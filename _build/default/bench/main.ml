@@ -1,0 +1,193 @@
+(* Benchmark & reproduction driver.
+
+     dune exec bench/main.exe            # every experiment + microbenches
+     dune exec bench/main.exe -- e1 e8   # a subset
+     dune exec bench/main.exe -- list    # what exists
+
+   Experiment tables live in Experiments (one per paper table/figure, see
+   DESIGN.md); the `micro` target runs Bechamel microbenchmarks of the hot
+   data structures — one Test.make per structure under test. *)
+
+module Sim = Aitf_engine.Sim
+module Heap = Aitf_engine.Heap
+open Aitf_net
+open Aitf_filter
+
+(* --- Bechamel microbenchmarks -------------------------------------------- *)
+
+let addr_a = Addr.of_octets 10 1 2 3
+let addr_b = Addr.of_octets 20 4 5 6
+
+let probe_packet =
+  Packet.make ~src:addr_a ~dst:addr_b ~size:1000
+    (Packet.Data { flow_id = 0; attack = true })
+
+let miss_packet =
+  Packet.make ~src:(Addr.of_octets 10 9 9 9) ~dst:(Addr.of_octets 20 9 9 9)
+    ~size:1000
+    (Packet.Data { flow_id = 0; attack = false })
+
+(* A filter table holding 1000 exact filters — the paper's "several
+   thousand wire-speed filters" regime. *)
+let loaded_filter_table () =
+  let sim = Sim.create () in
+  let t = Filter_table.create sim ~capacity:2048 in
+  for i = 0 to 999 do
+    ignore
+      (Filter_table.install t
+         (Flow_label.host_pair (Addr.add addr_a i) addr_b)
+         ~duration:1e9)
+  done;
+  ignore (Filter_table.install t (Flow_label.host_pair addr_a addr_b) ~duration:1e9);
+  t
+
+let loaded_lpm () =
+  let t = Lpm.create () in
+  for i = 0 to 999 do
+    Lpm.insert t (Addr.prefix (Addr.add (Addr.of_octets 10 0 0 0) (i * 256)) 24) i
+  done;
+  Lpm.insert t (Addr.prefix (Addr.of_octets 20 0 0 0) 8) (-1);
+  t
+
+let loaded_bloom () =
+  let b = Aitf_traceback.Bloom.create ~bits:(1 lsl 17) ~hashes:4 in
+  for i = 0 to 9_999 do
+    Aitf_traceback.Bloom.add b (string_of_int i)
+  done;
+  b
+
+let micro_tests () =
+  let open Bechamel in
+  let filter_hit =
+    let t = loaded_filter_table () in
+    Test.make ~name:"filter_table.match/hit (1k filters)"
+      (Staged.stage (fun () -> ignore (Filter_table.would_block t probe_packet)))
+  in
+  let filter_miss =
+    let t = loaded_filter_table () in
+    Test.make ~name:"filter_table.match/miss (1k filters)"
+      (Staged.stage (fun () -> ignore (Filter_table.would_block t miss_packet)))
+  in
+  let lpm_lookup =
+    let t = loaded_lpm () in
+    Test.make ~name:"lpm.lookup (1k prefixes)"
+      (Staged.stage (fun () -> ignore (Lpm.lookup t addr_b)))
+  in
+  let heap_cycle =
+    let h = Heap.create ~cmp:Float.compare in
+    for i = 0 to 1023 do
+      Heap.push h (float_of_int (i * 7919 mod 1024))
+    done;
+    Test.make ~name:"heap.push+pop (1k entries)"
+      (Staged.stage (fun () ->
+           Heap.push h 512.5;
+           ignore (Heap.pop h)))
+  in
+  let bloom_query =
+    let b = loaded_bloom () in
+    Test.make ~name:"bloom.mem (10k inserted)"
+      (Staged.stage (fun () -> ignore (Aitf_traceback.Bloom.mem b "4242")))
+  in
+  let bucket =
+    let b = Token_bucket.create ~rate:100. ~burst:100. in
+    let now = ref 0. in
+    Test.make ~name:"token_bucket.allow"
+      (Staged.stage (fun () ->
+           now := !now +. 0.01;
+           ignore (Token_bucket.allow b ~now:!now)))
+  in
+  let schedule =
+    let sim = Sim.create () in
+    Test.make ~name:"sim.schedule+run one event"
+      (Staged.stage (fun () ->
+           ignore (Sim.after sim 0.001 (fun () -> ()));
+           ignore (Sim.step sim)))
+  in
+  [ filter_hit; filter_miss; lpm_lookup; heap_cycle; bloom_query; bucket; schedule ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "== M1  microbenchmarks of the hot data structures ==";
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                     ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Bechamel.Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-42s %10.1f ns/op\n" name est
+        | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+      results
+  in
+  List.iter (fun t -> benchmark (Test.make_grouped ~name:"" [ t ])) (micro_tests ());
+  print_newline ()
+
+(* --- Dispatch -------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("f1", "Figure 1 / §II-D walk-through", Experiments.f1);
+    ("e1", "§IV-A.1 effective bandwidth ratio r", Experiments.e1);
+    ("e2", "§IV-A.2 Nv = R1*T protected flows", Experiments.e2);
+    ("e3", "§IV-B victim-gateway resources nv, mv", Experiments.e3);
+    ("e4", "§IV-C attacker-gateway resources na", Experiments.e4);
+    ("e5", "§IV-D attacker-host resources na", Experiments.e5);
+    ("e6", "§II-B/D escalation rounds", Experiments.e6);
+    ("e7", "§II-E/III-B forged requests vs handshake", Experiments.e7);
+    ("e8", "§V AITF vs Pushback", Experiments.e8);
+    ("e9", "§III-C scaling with Internet size", Experiments.e9);
+    ("e10", "§III-A ingress-filtering economics", Experiments.e10);
+    ("e11", "DPF [PL01] vs AITF (proactive vs reactive)", Experiments.e11);
+    ("e12", "random-topology robustness", Experiments.e12);
+    ("e13", "transaction-level service quality", Experiments.e13);
+    ("e14", "shape-shifting attack vs manual response", Experiments.e14);
+    ("a1", "ablation: traceback mechanisms", Experiments.a1);
+    ("a2", "ablation: shadow cache", Experiments.a2);
+    ("a3", "ablation: wildcard aggregation", Experiments.a3);
+    ("a4", "ablation: victim-tail queue discipline", Experiments.a4);
+    ("a5", "ablation: block vs rate-limit filters", Experiments.a5);
+  ]
+
+let list_targets () =
+  print_endline "available targets:";
+  List.iter (fun (id, desc, _) -> Printf.printf "  %-6s %s\n" id desc) experiments;
+  Printf.printf "  %-6s %s\n" "micro" "Bechamel microbenchmarks";
+  Printf.printf "  %-6s %s\n" "all" "everything (default)"
+
+let run_one id =
+  match List.find_opt (fun (k, _, _) -> k = id) experiments with
+  | Some (_, desc, f) ->
+    Printf.printf "\n#### %s — %s\n\n%!" (String.uppercase_ascii id) desc;
+    f ()
+  | None when id = "micro" -> run_micro ()
+  | None ->
+    Printf.eprintf "unknown target %S\n" id;
+    list_targets ();
+    exit 1
+
+let () =
+  (* --csv-dir DIR mirrors every table as CSV into DIR. *)
+  let args = Array.to_list Sys.argv in
+  let args =
+    match args with
+    | prog :: "--csv-dir" :: dir :: rest ->
+      (try if not (Sys.is_directory dir) then Unix.mkdir dir 0o755
+       with Sys_error _ -> Unix.mkdir dir 0o755);
+      Experiments.csv_dir := Some dir;
+      prog :: rest
+    | _ -> args
+  in
+  match args with
+  | _ :: ("list" | "--list") :: _ -> list_targets ()
+  | [ _ ] | [ _; "all" ] ->
+    List.iter (fun (id, _, _) -> run_one id) experiments;
+    run_micro ()
+  | _ :: targets -> List.iter run_one targets
+  | [] -> ()

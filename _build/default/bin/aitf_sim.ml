@@ -1,0 +1,312 @@
+(* aitf_sim — command-line front end to the AITF simulator.
+
+   Subcommands:
+     run       simulate a single-attacker Figure-1 scenario, every protocol
+               knob exposed as a flag; optionally dump the victim-rate
+               series as CSV
+     flood     a zombie army vs a server in a provider hierarchy
+     formulas  evaluate the paper's Section IV formulas for given
+               parameters
+
+   Examples:
+     aitf_sim run --duration 60 --t-filter 6 --non-coop 1 --strategy onoff
+     aitf_sim run --trace --duration 10
+     aitf_sim formulas --r1 100 --r2 1 --t-filter 60 --ttmp 0.6
+*)
+
+module Sim = Aitf_engine.Sim
+module Trace = Aitf_engine.Trace
+module Series = Aitf_stats.Series
+module Table = Aitf_stats.Table
+open Aitf_core
+module Scenarios = Aitf_workload.Scenarios
+module Formulas = Aitf_model.Formulas
+open Cmdliner
+
+(* --- run ------------------------------------------------------------------ *)
+
+let strategy_conv =
+  let parse = function
+    | "complies" -> Ok Policy.Complies
+    | "ignores" -> Ok Policy.Ignores
+    | s when String.length s > 6 && String.sub s 0 6 = "onoff:" -> (
+      match float_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some off_time -> Ok (Policy.On_off { off_time })
+      | None -> Error (`Msg "onoff:<seconds> expected"))
+    | "onoff" -> Ok (Policy.On_off { off_time = 1.0 })
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print fmt s = Policy.pp_attacker fmt s in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let duration =
+    Arg.(value & opt float 60. & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated duration.")
+  in
+  let t_filter =
+    Arg.(value & opt float 6. & info [ "t-filter"; "T" ] ~docv:"SECONDS"
+           ~doc:"The blocking interval T every request asks for.")
+  in
+  let t_tmp =
+    Arg.(value & opt float 0.5 & info [ "ttmp" ] ~docv:"SECONDS"
+           ~doc:"Ttmp, the victim gateway's temporary-filter horizon.")
+  in
+  let attack_rate =
+    Arg.(value & opt float 1e6 & info [ "attack-rate" ] ~docv:"BITS/S"
+           ~doc:"Undesired flow rate.")
+  in
+  let legit_rate =
+    Arg.(value & opt float 0. & info [ "legit-rate" ] ~docv:"BITS/S"
+           ~doc:"Bystander flow rate sharing the victim tail (0 = none).")
+  in
+  let non_coop =
+    Arg.(value & opt int 0 & info [ "non-coop" ] ~docv:"K"
+           ~doc:"Number of unresponsive attacker-side gateways.")
+  in
+  let strategy =
+    Arg.(value & opt strategy_conv Policy.Ignores & info [ "strategy" ]
+           ~docv:"complies|ignores|onoff[:T]"
+           ~doc:"Attacker host behaviour on a filtering request.")
+  in
+  let td =
+    Arg.(value & opt float 0.1 & info [ "td" ] ~docv:"SECONDS"
+           ~doc:"Victim detection delay Td for a new flow.")
+  in
+  let depth =
+    Arg.(value & opt int 3 & info [ "depth" ] ~docv:"N"
+           ~doc:"Gateways per side of the chain.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
+  in
+  let no_handshake =
+    Arg.(value & flag & info [ "no-handshake" ]
+           ~doc:"Disable the 3-way verification handshake.")
+  in
+  let disconnect =
+    Arg.(value & flag & info [ "disconnect" ]
+           ~doc:"Enforce disconnection of non-compliant parties.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print the protocol event timeline while running.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Write the victim-observed attack-rate series as CSV.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print per-gateway and per-link statistics after the run.")
+  in
+  let traceback =
+    Arg.(value & opt (enum [ ("rr", `Rr); ("spie", `Spie); ("ppm", `Ppm) ]) `Rr
+         & info [ "traceback" ] ~docv:"rr|spie|ppm"
+             ~doc:"Traceback mechanism: in-packet route record, SPIE digest \
+                   queries at the gateway, or probabilistic packet marking.")
+  in
+  let run duration t_filter t_tmp attack_rate legit_rate non_coop strategy td
+      depth seed no_handshake disconnect trace csv stats traceback =
+    if trace then Trace.add_sink (Trace.printing_sink ());
+    let config =
+      {
+        Config.default with
+        Config.t_filter;
+        t_tmp;
+        grace = 0.3;
+        min_report_gap = Float.max 0.2 (t_filter /. 30.);
+        handshake = not no_handshake;
+        disconnect;
+      }
+    in
+    let params =
+      {
+        Scenarios.default_chain with
+        Scenarios.spec = { Aitf_topo.Chain.default_spec with depth };
+        config;
+        seed;
+        duration;
+        attack_rate;
+        legit_rate;
+        n_non_coop_gws = non_coop;
+        attacker_strategy = strategy;
+        td;
+        traceback =
+          (match traceback with
+          | `Rr -> `Path_in_request
+          | `Spie -> `Spie
+          | `Ppm -> `Ppm);
+      }
+    in
+    let r = Scenarios.run_chain params in
+    if trace then Trace.clear_sinks ();
+    let table =
+      Table.create ~title:"scenario result" ~columns:[ "metric"; "value" ]
+    in
+    let add k v = Table.add_row table [ k; v ] in
+    add "attack offered (bytes)" (Printf.sprintf "%.0f" r.Scenarios.attack_offered_bytes);
+    add "attack received (bytes)" (Printf.sprintf "%.0f" r.Scenarios.attack_received_bytes);
+    add "effective bandwidth ratio r" (Printf.sprintf "%.5f" r.Scenarios.r_measured);
+    add "paper bound n(Td+Tr)/T"
+      (Printf.sprintf "%.5f"
+         (Formulas.effective_bandwidth_ratio ~n:(non_coop + 1) ~td
+            ~tr:Aitf_topo.Chain.default_spec.Aitf_topo.Chain.access_delay
+            ~t_filter));
+    (if legit_rate > 0. then
+       add "legit received / offered"
+         (Printf.sprintf "%.0f / %.0f" r.Scenarios.good_received_bytes
+            r.Scenarios.good_offered_bytes));
+    add "filtering requests sent" (string_of_int r.Scenarios.requests_sent);
+    add "escalations" (string_of_int r.Scenarios.escalations);
+    (match Scenarios.time_to_suppress r ~threshold:0.05 with
+    | Some t -> add "time to suppression (s)" (Printf.sprintf "%.2f" t)
+    | None -> add "time to suppression (s)" "never");
+    Table.print table;
+    if stats then begin
+      Table.print
+        (Aitf_workload.Report.gateway_table
+           (r.Scenarios.deployed.Aitf_topo.Chain.victim_gateways
+           @ r.Scenarios.deployed.Aitf_topo.Chain.attacker_gateways));
+      Table.print
+        (Aitf_workload.Report.link_table
+           r.Scenarios.deployed.Aitf_topo.Chain.topo.Aitf_topo.Chain.net)
+    end;
+    (match csv with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc "time,attack_bps\n";
+      List.iter
+        (fun (t, v) -> Printf.fprintf oc "%.3f,%.1f\n" t v)
+        (Series.points r.Scenarios.victim_rate);
+      close_out oc;
+      Printf.printf "wrote %s (%d samples)\n" file
+        (Series.length r.Scenarios.victim_rate))
+  in
+  let term =
+    Term.(
+      const run $ duration $ t_filter $ t_tmp $ attack_rate $ legit_rate
+      $ non_coop $ strategy $ td $ depth $ seed $ no_handshake $ disconnect
+      $ trace $ csv $ stats $ traceback)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a single-attacker Figure-1 scenario.")
+    term
+
+(* --- flood ------------------------------------------------------------------ *)
+
+let flood_cmd =
+  let isps = Arg.(value & opt int 3 & info [ "isps" ] ~doc:"Number of ISPs.") in
+  let nets =
+    Arg.(value & opt int 3 & info [ "nets" ] ~doc:"Enterprise networks per ISP.")
+  in
+  let hosts =
+    Arg.(value & opt int 3 & info [ "hosts" ] ~doc:"Hosts per enterprise.")
+  in
+  let zombies =
+    Arg.(value & opt int 12 & info [ "zombies" ] ~doc:"Size of the zombie army.")
+  in
+  let rate =
+    Arg.(value & opt float 1e6 & info [ "zombie-rate" ] ~docv:"BITS/S"
+           ~doc:"Per-zombie attack rate.")
+  in
+  let duration =
+    Arg.(value & opt float 20. & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated duration.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let no_aitf =
+    Arg.(value & flag & info [ "no-aitf" ] ~doc:"Run without any defense.")
+  in
+  let run isps nets hosts zombies rate duration seed no_aitf =
+    let r =
+      Scenarios.run_flood
+        {
+          Scenarios.default_flood with
+          Scenarios.hierarchy =
+            {
+              Aitf_topo.Hierarchy.default_spec with
+              Aitf_topo.Hierarchy.isps;
+              nets_per_isp = nets;
+              hosts_per_net = hosts;
+            };
+          zombies;
+          zombie_rate = rate;
+          flood_duration = duration;
+          flood_seed = seed;
+          with_aitf = not no_aitf;
+        }
+    in
+    let table =
+      Table.create ~title:"flood result" ~columns:[ "metric"; "value" ]
+    in
+    let add k v = Table.add_row table [ k; v ] in
+    add "zombies placed" (string_of_int r.Scenarios.zombies_placed);
+    add "legit received / offered"
+      (Printf.sprintf "%.0f / %.0f (%.0f%%)" r.Scenarios.legit_received_bytes
+         r.Scenarios.legit_offered_bytes
+         (100. *. r.Scenarios.legit_received_bytes
+         /. Float.max 1. r.Scenarios.legit_offered_bytes));
+    add "attack bytes reaching victim"
+      (Printf.sprintf "%.0f" r.Scenarios.flood_attack_received_bytes);
+    (match r.Scenarios.victim with
+    | Some v ->
+      add "victim requests" (string_of_int (Host_agent.Victim.requests_sent v))
+    | None -> ());
+    if not no_aitf then begin
+      add "filter installs at enterprise gateways"
+        (string_of_int r.Scenarios.leaf_filters);
+      add "filters at ISP gateways" (string_of_int r.Scenarios.isp_filters)
+    end;
+    Table.print table
+  in
+  let term =
+    Term.(
+      const run $ isps $ nets $ hosts $ zombies $ rate $ duration $ seed
+      $ no_aitf)
+  in
+  Cmd.v
+    (Cmd.info "flood"
+       ~doc:"Simulate a zombie army flooding a server in a provider hierarchy.")
+    term
+
+(* --- formulas --------------------------------------------------------------- *)
+
+let formulas_cmd =
+  let r1 = Arg.(value & opt float 100. & info [ "r1" ] ~doc:"Client->provider request rate R1 (1/s).") in
+  let r2 = Arg.(value & opt float 1. & info [ "r2" ] ~doc:"Provider->client request rate R2 (1/s).") in
+  let t_filter = Arg.(value & opt float 60. & info [ "t-filter"; "T" ] ~doc:"Blocking interval T (s).") in
+  let t_tmp = Arg.(value & opt float 0.6 & info [ "ttmp" ] ~doc:"Temporary filter horizon Ttmp (s).") in
+  let td = Arg.(value & opt float 0. & info [ "td" ] ~doc:"Detection delay Td (s).") in
+  let tr = Arg.(value & opt float 0.05 & info [ "tr" ] ~doc:"Victim->gateway one-way delay Tr (s).") in
+  let n = Arg.(value & opt int 1 & info [ "n" ] ~doc:"Non-cooperating AITF nodes on the path.") in
+  let show r1 r2 t_filter t_tmp td tr n =
+    let table =
+      Table.create ~title:"Section IV formulas" ~columns:[ "quantity"; "value" ]
+    in
+    let add k v = Table.add_row table [ k; v ] in
+    add "r = n(Td+Tr)/T"
+      (Printf.sprintf "%.6f"
+         (Formulas.effective_bandwidth_ratio ~n ~td ~tr ~t_filter));
+    add "Nv = R1*T (protected flows)"
+      (string_of_int (Formulas.protected_flows ~r1 ~t_filter));
+    add "nv = R1*Ttmp (victim-gw filters)"
+      (string_of_int (Formulas.victim_gateway_filters ~r1 ~t_tmp));
+    add "mv = R1*T (victim-gw shadow)"
+      (string_of_int (Formulas.victim_gateway_shadow ~r1 ~t_filter));
+    add "na = R2*T (attacker-side filters)"
+      (string_of_int (Formulas.attacker_gateway_filters ~r2 ~t_filter));
+    add "min Ttmp (traceback + handshake)"
+      (Printf.sprintf "%.3f" (Formulas.min_t_tmp ~traceback_time:0. ~handshake_time:0.6));
+    Table.print table
+  in
+  let term = Term.(const show $ r1 $ r2 $ t_filter $ t_tmp $ td $ tr $ n) in
+  Cmd.v (Cmd.info "formulas" ~doc:"Evaluate the paper's closed-form model.") term
+
+let () =
+  let info =
+    Cmd.info "aitf_sim" ~version:"1.0.0"
+      ~doc:"Active Internet Traffic Filtering simulator (Argyraki & Cheriton)"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; flood_cmd; formulas_cmd ]))

@@ -1,0 +1,1 @@
+examples/ddos_mitigation.ml: Aitf_stats Aitf_workload Float Printf

@@ -1,0 +1,1 @@
+examples/escalation.ml: Aitf_core Aitf_engine Aitf_net Aitf_stats Aitf_topo Aitf_workload Chain Config Gateway Host_agent List Node Packet Policy Printf

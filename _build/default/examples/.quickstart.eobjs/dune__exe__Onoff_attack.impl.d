@@ -1,0 +1,1 @@
+examples/onoff_attack.ml: Aitf_core Aitf_engine Aitf_workload Config Policy Printf

@@ -1,0 +1,1 @@
+examples/onoff_attack.mli:

@@ -1,0 +1,1 @@
+examples/operator_console.ml: Aitf_core Aitf_engine Aitf_net Aitf_stats Aitf_topo Aitf_workload Array Config Fun Hierarchy Host_agent List Node Policy Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aitf_core Aitf_engine Aitf_filter Aitf_net Aitf_stats Aitf_topo Aitf_workload Chain Config Gateway Host_agent List Node Policy Printf

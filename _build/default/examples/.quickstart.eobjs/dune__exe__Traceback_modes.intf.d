@@ -1,0 +1,1 @@
+examples/traceback_modes.mli:

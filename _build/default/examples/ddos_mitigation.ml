@@ -1,0 +1,57 @@
+(* A distributed attack against a web server, with and without AITF.
+
+   Twelve zombies scattered over two ISPs flood a server's 10 Mbit/s tail
+   circuit while legitimate clients keep using it. The example runs the
+   same scenario twice — AITF disabled, then enabled — and prints the
+   legitimate goodput and where the filtering ended up. Run with:
+
+     dune exec examples/ddos_mitigation.exe
+*)
+
+module Table = Aitf_stats.Table
+module Scenarios = Aitf_workload.Scenarios
+
+let params =
+  {
+    Scenarios.default_flood with
+    Scenarios.zombies = 12;
+    zombie_rate = 2e6;
+    legit_clients = 4;
+    legit_rate = 2e5;
+    flood_duration = 20.;
+    attack_start = 2.;
+  }
+
+let () =
+  Printf.printf
+    "=== DDoS mitigation: %d zombies x %.0f Mbit/s vs a 10 Mbit/s tail ===\n\n"
+    params.Scenarios.zombies
+    (params.Scenarios.zombie_rate /. 1e6);
+  let off = Scenarios.run_flood { params with Scenarios.with_aitf = false } in
+  let on = Scenarios.run_flood params in
+  let table =
+    Table.create ~title:"with vs without AITF"
+      ~columns:
+        [ "setup"; "legit goodput"; "attack delivered";
+          "leaf filter installs"; "ISP filters" ]
+  in
+  let row label (o : Scenarios.flood_result) =
+    Table.add_row table
+      [
+        label;
+        Printf.sprintf "%.0f kB (%.0f%% of offered)"
+          (o.Scenarios.legit_received_bytes /. 1e3)
+          (100. *. o.Scenarios.legit_received_bytes
+          /. Float.max 1. o.Scenarios.legit_offered_bytes);
+        Printf.sprintf "%.0f kB" (o.Scenarios.flood_attack_received_bytes /. 1e3);
+        string_of_int o.Scenarios.leaf_filters;
+        string_of_int o.Scenarios.isp_filters;
+      ]
+  in
+  row "no AITF" off;
+  row "AITF" on;
+  Table.print table;
+  print_endline
+    "Every zombie is blocked by its own enterprise gateway, once per T\n\
+     cycle while it keeps attacking; nothing accumulates in the ISPs or\n\
+     the core — the scaling argument of Section III-C."

@@ -1,0 +1,1 @@
+lib/core/contract.ml: Aitf_model Config Float Gateway Option

@@ -1,0 +1,1 @@
+lib/core/detection.ml: Aitf_engine Aitf_filter Aitf_net Flow_label Hashtbl Packet

@@ -1,0 +1,1 @@
+lib/core/gateway.mli: Addr Aitf_engine Aitf_filter Aitf_net Aitf_stats Config Filter_table Flow_label Network Node Policy

@@ -1,0 +1,1 @@
+lib/core/handshake.ml: Aitf_engine Aitf_filter Flow_label Hashtbl

@@ -1,0 +1,1 @@
+lib/core/handshake.mli: Aitf_engine Aitf_filter Flow_label

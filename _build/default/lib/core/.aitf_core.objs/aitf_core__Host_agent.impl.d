@@ -1,0 +1,1 @@
+lib/core/host_agent.ml: Addr Aitf_engine Aitf_filter Aitf_net Aitf_stats Aitf_traceback Config Detection Filter_table Flow_label Hashtbl List Message Network Node Option Packet Policy Token_bucket

@@ -1,0 +1,1 @@
+lib/core/host_agent.mli: Addr Aitf_filter Aitf_net Aitf_stats Aitf_traceback Config Filter_table Flow_label Network Node Packet Policy

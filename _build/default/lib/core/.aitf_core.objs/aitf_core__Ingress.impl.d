@@ -1,0 +1,1 @@
+lib/core/ingress.ml: Aitf_net List Lpm Node Option Packet

@@ -1,0 +1,1 @@
+lib/core/ingress.mli: Addr Aitf_net Network Node

@@ -1,0 +1,1 @@
+lib/core/legacy.ml: Aitf_engine Aitf_filter Aitf_net Config Detection Flow_label Gateway Hashtbl List Lpm Message Network Node Option Packet Token_bucket

@@ -1,0 +1,1 @@
+lib/core/legacy.mli: Addr Aitf_filter Aitf_net Flow_label Gateway Network

@@ -1,0 +1,1 @@
+lib/core/message.mli: Addr Aitf_filter Aitf_net Flow_label Format Packet

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Addr Aitf_filter Aitf_net Bytes Flow_label Format Int64 List Message

@@ -1,0 +1,1 @@
+lib/core/wire.mli: Aitf_net Bytes Format Packet

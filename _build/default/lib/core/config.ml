@@ -1,0 +1,62 @@
+type filter_action = Block | Rate_limit of float
+
+type traceback_mode = Path_in_request | Spie_query of Aitf_traceback.Spie.t
+
+type t = {
+  t_filter : float;
+  t_tmp : float;
+  grace : float;
+  handshake : bool;
+  handshake_timeout : float;
+  disconnect : bool;
+  disconnect_duration : float;
+  max_rounds : int;
+  r1 : float;
+  r1_burst : float;
+  r2 : float;
+  r2_burst : float;
+  remote_rate : float;
+  remote_burst : float;
+  filter_capacity : int;
+  shadow_capacity : int;
+  traceback : traceback_mode;
+  min_report_gap : float;
+  aggregate_on_pressure : bool;
+  filter_action : filter_action;
+}
+
+let default =
+  {
+    t_filter = 60.0;
+    t_tmp = 1.0;
+    grace = 0.5;
+    handshake = true;
+    handshake_timeout = 1.0;
+    disconnect = false;
+    disconnect_duration = 300.0;
+    max_rounds = 8;
+    r1 = 100.0;
+    r1_burst = 100.0;
+    r2 = 1.0;
+    r2_burst = 10.0;
+    remote_rate = 1000.0;
+    remote_burst = 1000.0;
+    filter_capacity = 1000;
+    shadow_capacity = 100_000;
+    traceback = Path_in_request;
+    min_report_gap = 1.0;
+    aggregate_on_pressure = false;
+    filter_action = Block;
+  }
+
+let with_timescale c k =
+  (* The handshake timeout and grace period are lower-bounded by network
+     round trips, which a timescale change does not shrink — scaling them
+     below the RTT would break every verification. *)
+  {
+    c with
+    t_filter = c.t_filter *. k;
+    t_tmp = Float.max (c.t_tmp *. k) 0.5;
+    disconnect_duration = c.disconnect_duration *. k;
+    min_report_gap = Float.max (c.min_report_gap *. k) 0.2;
+  }

@@ -1,0 +1,44 @@
+(** Filtering contracts (§II-A) and their resource provisioning (§IV).
+
+    "A filtering contract between networks A and B specifies: (i) the rate
+    R1 at which A accepts filtering requests to block certain traffic to B;
+    (ii) the rate R2 at which A can send filtering requests to get B to
+    block certain traffic." This module makes the contract a first-class
+    value: the rates, the router resources each side must provision to
+    honor them (computed from the paper's formulas), and the installation
+    of the corresponding policers on a gateway. *)
+
+open Aitf_net
+
+type t = {
+  r1 : float;  (** client -> provider request rate (1/s) *)
+  r1_burst : float;
+  r2 : float;  (** provider -> client request rate (1/s) *)
+  r2_burst : float;
+}
+
+val v : ?r1_burst:float -> ?r2_burst:float -> r1:float -> r2:float -> unit -> t
+(** Bursts default to one second of the rate (at least 1). *)
+
+val paper_default : t
+(** The running example: R1 = 100/s, R2 = 1/s. *)
+
+type provisioning = {
+  protected_flows : int;  (** Nv = R1·T *)
+  provider_filters : int;  (** nv = R1·Ttmp *)
+  provider_shadow : int;  (** mv = R1·T *)
+  client_side_filters : int;  (** na = R2·T, both at the client's gateway
+                                  and at the client itself *)
+}
+
+val provision : t -> t_filter:float -> t_tmp:float -> provisioning
+(** What honoring this contract costs each party (Section IV). *)
+
+val apply_provider_side : Gateway.t -> client:Addr.t -> t -> unit
+(** Install the contract's policers on the provider's gateway: the client's
+    requests are admitted at R1, and requests towards the client are capped
+    at R2. *)
+
+val sufficient : t -> config:Config.t -> bool
+(** Does a gateway configured with [config] have enough filter-table and
+    shadow-cache capacity to honor this contract for one client? *)

@@ -1,0 +1,36 @@
+(** Victim-side attack detection.
+
+    The paper "starts from the point where the node has identified the
+    undesired flows" and models detection as a delay: the first appearance
+    of an undesired flow costs Td to detect, while a {e reappearing} flow is
+    recognised "as fast as matching a received packet header to a logged
+    undesired flow label — i.e. insignificant".
+
+    This module implements exactly that: a per-flow state machine with a Td
+    timer on first sight, instant reporting on reappearance, and a
+    configurable damper ([min_report_gap]) so a still-leaking flow does not
+    burn the victim's whole request budget. *)
+
+open Aitf_net
+open Aitf_filter
+
+type t
+
+val create :
+  Aitf_engine.Sim.t ->
+  td:float ->
+  min_report_gap:float ->
+  on_detect:(Flow_label.t -> Packet.t -> unit) ->
+  t
+(** [on_detect] fires with the flow's label and the packet that triggered
+    the (re)detection. *)
+
+val observe : t -> Packet.t -> unit
+(** Feed every received packet the victim considers undesired. *)
+
+val known : t -> Flow_label.t -> bool
+(** Has this flow ever been detected? *)
+
+val flows_seen : t -> int
+val detections : t -> int
+(** Total [on_detect] firings, re-detections included. *)

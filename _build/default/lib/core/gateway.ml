@@ -1,0 +1,530 @@
+module Sim = Aitf_engine.Sim
+module Rng = Aitf_engine.Rng
+module Trace = Aitf_engine.Trace
+module Counter = Aitf_stats.Counter
+module Spie = Aitf_traceback.Spie
+open Aitf_net
+open Aitf_filter
+
+(* Per-flow protocol state at a gateway acting as (possibly escalated)
+   victim's gateway. Lives as shadow-cache data so it expires with the
+   logged request. *)
+type flow_phase =
+  | Filtering  (* temporary filter installed, waiting for handover *)
+  | Monitoring  (* shadow only: a hit means the attacker side failed us *)
+  | Delegated  (* escalated upstream; no longer our responsibility *)
+  | Awaiting_path  (* SPIE mode: need to capture a packet to trace *)
+
+type flow_entry = {
+  flow : Flow_label.t;
+  mutable path : Addr.t list;
+  mutable round : int;
+  mutable phase : flow_phase;
+  mutable gen : int;  (* invalidates stale Ttmp-expiry events *)
+  mutable duration : float;
+  mutable engaged_at : float;  (* when the current round was engaged *)
+  requestor : Addr.t;
+}
+
+type t = {
+  net : Network.t;
+  sim : Sim.t;
+  node : Node.t;
+  config : Config.t;
+  policy : Policy.gateway_policy;
+  upstream : Addr.t option;
+  client_cone : unit Lpm.t;
+  filters : Filter_table.t;
+  shadow : flow_entry Shadow_cache.t;
+  handshakes : Handshake.t;
+  rng : Rng.t;
+  policers : (Addr.t, Token_bucket.t) Hashtbl.t;
+  overflow_policer : Token_bucket.t;
+      (* shared bucket for requestors beyond the tracking bound *)
+  client_policers : (Addr.t, Token_bucket.t) Hashtbl.t;
+  overrides : (Addr.t, float * float) Hashtbl.t;
+  client_overrides : (Addr.t, float * float) Hashtbl.t;
+  verifying : (Flow_label.t, unit) Hashtbl.t;
+      (* flows with an in-flight 3-way handshake, to coalesce repeats *)
+  blocklist : (Addr.t, float) Hashtbl.t;
+  counters : Counter.t;
+  mutable requests_received : int;
+}
+
+let node t = t.node
+let addr t = t.node.Node.addr
+let config t = t.config
+let policy t = t.policy
+let filters t = t.filters
+let shadow_occupancy t = Shadow_cache.occupancy t.shadow
+let shadow_peak t = Shadow_cache.peak_occupancy t.shadow
+let counters t = t.counters
+let requests_received t = t.requests_received
+let tracked_requestors t = Hashtbl.length t.policers
+
+let phase_name = function
+  | Filtering -> "filtering"
+  | Monitoring -> "monitoring"
+  | Delegated -> "delegated"
+  | Awaiting_path -> "awaiting-path"
+
+let active_flows t =
+  let acc = ref [] in
+  Shadow_cache.iter t.shadow (fun entry ->
+      let e = Shadow_cache.data entry in
+      acc := (e.flow, phase_name e.phase) :: !acc);
+  List.sort (fun (a, _) (b, _) -> Flow_label.compare a b) !acc
+
+let trace t fmt =
+  Trace.emitf ~time:(Sim.now t.sim) ~category:t.node.Node.name fmt
+
+let in_cone t a = Option.is_some (Lpm.lookup t.client_cone a)
+
+let set_contract t ~peer ~rate ~burst =
+  Hashtbl.replace t.overrides peer (rate, burst);
+  Hashtbl.remove t.policers peer
+
+let set_client_contract t ~client ~rate ~burst =
+  Hashtbl.replace t.client_overrides client (rate, burst);
+  Hashtbl.remove t.client_policers client
+
+(* Requestor policing: clients get the R1 contract, remote gateways the
+   remote default, unless an explicit contract override exists.
+
+   The table itself must not become a resource-exhaustion target: a forger
+   rotating the requestor field could otherwise allocate one bucket per
+   forgery. Beyond a bound, unknown requestors share a single overflow
+   bucket — collectively policed, which is exactly what an address-spraying
+   forger deserves. *)
+let max_tracked_requestors = 4096
+
+let policer_for t requestor =
+  match Hashtbl.find_opt t.policers requestor with
+  | Some b -> b
+  | None ->
+    let rate, burst =
+      match Hashtbl.find_opt t.overrides requestor with
+      | Some rb -> rb
+      | None ->
+        if in_cone t requestor then (t.config.Config.r1, t.config.Config.r1_burst)
+        else (t.config.Config.remote_rate, t.config.Config.remote_burst)
+    in
+    if
+      Hashtbl.length t.policers >= max_tracked_requestors
+      && not (Hashtbl.mem t.overrides requestor)
+      && not (in_cone t requestor)
+    then begin
+      Counter.incr t.counters "policer-overflow";
+      t.overflow_policer
+    end
+    else begin
+      let b = Token_bucket.create ~rate ~burst in
+      Hashtbl.replace t.policers requestor b;
+      b
+    end
+
+(* R2 policing towards one of our clients. *)
+let client_policer_for t client =
+  match Hashtbl.find_opt t.client_policers client with
+  | Some b -> b
+  | None ->
+    let rate, burst =
+      match Hashtbl.find_opt t.client_overrides client with
+      | Some rb -> rb
+      | None -> (t.config.Config.r2, t.config.Config.r2_burst)
+    in
+    let b = Token_bucket.create ~rate ~burst in
+    Hashtbl.replace t.client_policers client b;
+    b
+
+let send t ~dst payload =
+  Network.originate t.net t.node (Message.packet ~src:(addr t) ~dst payload)
+
+let blocklisted t a =
+  match Hashtbl.find_opt t.blocklist a with
+  | None -> false
+  | Some expiry ->
+    if Sim.now t.sim >= expiry then begin
+      Hashtbl.remove t.blocklist a;
+      false
+    end
+    else true
+
+let disconnect_host t a =
+  Hashtbl.replace t.blocklist a
+    (Sim.now t.sim +. t.config.Config.disconnect_duration);
+  Counter.incr t.counters "disconnect-host";
+  trace t "disconnecting non-compliant host %a" Addr.pp a
+
+(* --- victim's-gateway role ---------------------------------------------- *)
+
+let install_temp t (e : flow_entry) =
+  (match Filter_table.install t.filters e.flow ~duration:t.config.Config.t_tmp with
+  | Ok _ -> Counter.incr t.counters "filter-temp"
+  | Error `Table_full ->
+    if t.config.Config.aggregate_on_pressure then begin
+      (* Last-ditch protection: one wildcard filter covering every source
+         towards this victim, evicting the exact filters it subsumes to
+         make room. Collateral damage, but the tail circuit survives. *)
+      let aggregate = Flow_label.v Flow_label.Any e.flow.Flow_label.dst in
+      ignore (Filter_table.evict_subsumed t.filters aggregate);
+      match
+        Filter_table.install t.filters aggregate
+          ~duration:t.config.Config.t_tmp
+      with
+      | Ok _ -> Counter.incr t.counters "filter-aggregated"
+      | Error `Table_full -> Counter.incr t.counters "filter-full"
+    end
+    else Counter.incr t.counters "filter-full");
+  e.gen <- e.gen + 1;
+  e.phase <- Filtering;
+  let gen = e.gen in
+  ignore
+    (Sim.after t.sim t.config.Config.t_tmp (fun () ->
+         if e.gen = gen && e.phase = Filtering then e.phase <- Monitoring))
+
+let long_rate_limit t =
+  match t.config.Config.filter_action with
+  | Config.Block -> None
+  | Config.Rate_limit r -> Some r
+
+let install_long t (e : flow_entry) =
+  match
+    Filter_table.install ?rate_limit:(long_rate_limit t) t.filters e.flow
+      ~duration:e.duration
+  with
+  | Ok _ -> Counter.incr t.counters "filter-long"
+  | Error `Table_full -> Counter.incr t.counters "filter-full"
+
+(* Last resort: nobody closer to the attacker will filter. Keep a full-T
+   filter ourselves and, when enforcement is on, disconnect the peering
+   that delivers the flow. *)
+let terminal t (e : flow_entry) =
+  Counter.incr t.counters "terminal-filter";
+  install_long t e;
+  e.phase <- Delegated;
+  if t.config.Config.disconnect then begin
+    match e.flow.Flow_label.src with
+    | Flow_label.Host a -> (
+      match Lpm.lookup t.node.Node.fib a with
+      | Some port when port.Node.inter_as ->
+        if Network.disconnect_port t.net t.node ~peer_id:port.Node.peer_id
+        then begin
+          Counter.incr t.counters "disconnect-peer";
+          trace t "disconnected peering towards %a" Addr.pp a
+        end
+      | Some _ | None -> ())
+    | Flow_label.Any | Flow_label.Net _ -> ()
+  end
+
+(* Engage round [e.round]: protect the victim with a temporary filter and
+   hand the request to this round's attacker-side gateway. *)
+let rec engage t (e : flow_entry) =
+  e.engaged_at <- Sim.now t.sim;
+  install_temp t e;
+  if e.round >= t.config.Config.max_rounds then terminal t e
+  else
+    match List.nth_opt e.path e.round with
+    | None -> terminal t e
+    | Some gw when Addr.equal gw (addr t) ->
+      (* The path has climbed up to us: filter here for the full T. *)
+      Counter.incr t.counters "filter-long-self";
+      install_long t e;
+      e.phase <- Delegated
+    | Some gw ->
+      Counter.incr t.counters "req-propagated";
+      trace t "round %d: asking %a to block %a" e.round Addr.pp gw
+        Flow_label.pp e.flow;
+      send t ~dst:gw
+        (Message.Filtering_request
+           {
+             Message.flow = e.flow;
+             target = Message.To_attacker_gateway;
+             duration = e.duration;
+             path = e.path;
+             hops = e.round;
+             requestor = addr t;
+           })
+
+(* A shadow hit while monitoring: the attacker's side did not take over
+   (non-cooperation or an on-off game). Re-protect and escalate. *)
+and escalate t (e : flow_entry) =
+  e.round <- e.round + 1;
+  Counter.incr t.counters "escalated";
+  if e.round >= t.config.Config.max_rounds then terminal t e
+  else
+    match t.upstream with
+    | Some up ->
+      install_temp t e;
+      e.phase <- Delegated;
+      trace t "escalating %a to upstream %a (round %d)" Flow_label.pp e.flow
+        Addr.pp up e.round;
+      send t ~dst:up
+        (Message.Filtering_request
+           {
+             Message.flow = e.flow;
+             target = Message.To_victim_gateway;
+             duration = e.duration;
+             path = e.path;
+             hops = e.round;
+             requestor = addr t;
+           })
+    | None ->
+      (* Top-level gateway: play the next round ourselves. *)
+      engage t e
+
+let victim_role t (req : Message.request) =
+  Counter.incr t.counters "req-victim-role";
+  let bucket = policer_for t req.Message.requestor in
+  if not (Token_bucket.allow bucket ~now:(Sim.now t.sim)) then
+    Counter.incr t.counters "req-policed"
+  else if
+    (* Trivial verification via ingress filtering: the requestor and the
+       flow's target must both be our customers. *)
+    not
+      (in_cone t req.Message.requestor
+      &&
+      match req.Message.flow.Flow_label.dst with
+      | Flow_label.Host d -> in_cone t d
+      | Flow_label.Any | Flow_label.Net _ -> false)
+  then Counter.incr t.counters "req-invalid"
+  else
+    match Shadow_cache.find t.shadow req.Message.flow with
+    | Some entry -> (
+      let e = Shadow_cache.data entry in
+      Shadow_cache.refresh t.shadow entry ~ttl:t.config.Config.t_filter;
+      match e.phase with
+      | Filtering | Awaiting_path -> Counter.incr t.counters "req-duplicate"
+      | Monitoring | Delegated ->
+        e.round <- Int.max e.round req.Message.hops;
+        if req.Message.path <> [] && List.length req.Message.path > List.length e.path
+        then e.path <- req.Message.path;
+        engage t e)
+    | None -> (
+      let e =
+        {
+          flow = req.Message.flow;
+          path = req.Message.path;
+          round = req.Message.hops;
+          phase = Filtering;
+          gen = 0;
+          duration = req.Message.duration;
+          engaged_at = Sim.now t.sim;
+          requestor = req.Message.requestor;
+        }
+      in
+      match
+        Shadow_cache.insert t.shadow req.Message.flow
+          ~ttl:t.config.Config.t_filter e
+      with
+      | Error `Full -> Counter.incr t.counters "shadow-full"
+      | Ok _ -> (
+        match (req.Message.path, t.config.Config.traceback) with
+        | [], Config.Spie_query _ ->
+          Counter.incr t.counters "traceback-pending";
+          install_temp t e;
+          e.phase <- Awaiting_path
+        | [], Config.Path_in_request ->
+          (* Nothing to propagate to; protect locally only. *)
+          Counter.incr t.counters "req-no-path";
+          install_temp t e
+        | _ :: _, _ -> engage t e))
+
+(* --- attacker's-gateway role -------------------------------------------- *)
+
+let comply t (req : Message.request) =
+  match
+    Filter_table.install ?rate_limit:(long_rate_limit t) t.filters
+      req.Message.flow ~duration:req.Message.duration
+  with
+  | Error `Table_full ->
+    (* Out of filters: we cannot honor the request; escalation will route
+       around us. *)
+    Counter.incr t.counters "filter-full"
+  | Ok handle ->
+    Counter.incr t.counters "filter-long";
+    trace t "blocking %a for %gs" Flow_label.pp req.Message.flow
+      req.Message.duration;
+    (match req.Message.flow.Flow_label.src with
+    | Flow_label.Host client when in_cone t client ->
+      let bucket = client_policer_for t client in
+      if Token_bucket.allow bucket ~now:(Sim.now t.sim) then begin
+        Counter.incr t.counters "req-to-attacker";
+        send t ~dst:client
+          (Message.Filtering_request
+             { req with Message.target = Message.To_attacker; requestor = addr t })
+      end
+      else Counter.incr t.counters "req-policed-client";
+      (* Compliance monitoring: a client still hitting the filter after the
+         grace period gets disconnected. *)
+      if t.config.Config.disconnect then begin
+        let grace = t.config.Config.grace in
+        ignore
+          (Sim.after t.sim grace (fun () ->
+               let hits_at_grace = Filter_table.hits handle in
+               ignore
+                 (Sim.after t.sim grace (fun () ->
+                      if
+                        Filter_table.live handle
+                        && Filter_table.hits handle > hits_at_grace
+                        && not (blocklisted t client)
+                      then disconnect_host t client))))
+      end
+    | Flow_label.Host _ | Flow_label.Any | Flow_label.Net _ -> ())
+
+let attacker_role t (req : Message.request) =
+  Counter.incr t.counters "req-attacker-role";
+  let bucket = policer_for t req.Message.requestor in
+  if not (Token_bucket.allow bucket ~now:(Sim.now t.sim)) then
+    Counter.incr t.counters "req-policed"
+  else if t.policy = Policy.Unresponsive then
+    Counter.incr t.counters "ignored-unresponsive"
+  else if
+    not
+      (List.exists (Addr.equal (addr t)) req.Message.path
+      ||
+      match req.Message.flow.Flow_label.src with
+      | Flow_label.Host a -> in_cone t a
+      | Flow_label.Any | Flow_label.Net _ -> false)
+  then Counter.incr t.counters "req-not-on-path"
+  else if Option.is_some (Filter_table.find t.filters req.Message.flow) then begin
+    (* Already blocking this flow; just refresh. *)
+    ignore
+      (Filter_table.install t.filters req.Message.flow
+         ~duration:req.Message.duration);
+    Counter.incr t.counters "req-duplicate"
+  end
+  else if not t.config.Config.handshake then comply t req
+  else if Hashtbl.mem t.verifying req.Message.flow then
+    Counter.incr t.counters "req-duplicate"
+  else
+    match req.Message.flow.Flow_label.dst with
+    | Flow_label.Host victim ->
+      Hashtbl.replace t.verifying req.Message.flow ();
+      let nonce =
+        Handshake.start t.handshakes ~flow:req.Message.flow
+          ~on_result:(fun ok ->
+            Hashtbl.remove t.verifying req.Message.flow;
+            if ok then begin
+              Counter.incr t.counters "handshake-ok";
+              comply t req
+            end
+            else Counter.incr t.counters "handshake-fail")
+      in
+      trace t "verifying %a with %a" Flow_label.pp req.Message.flow Addr.pp
+        victim;
+      send t ~dst:victim
+        (Message.Verification_query { flow = req.Message.flow; nonce })
+    | Flow_label.Any | Flow_label.Net _ ->
+      (* No single victim to query; treat as unverifiable. *)
+      Counter.incr t.counters "handshake-unverifiable"
+
+(* --- message dispatch & forwarding hook --------------------------------- *)
+
+let on_request t (req : Message.request) =
+  t.requests_received <- t.requests_received + 1;
+  match req.Message.target with
+  | Message.To_victim_gateway -> victim_role t req
+  | Message.To_attacker_gateway -> attacker_role t req
+  | Message.To_attacker ->
+    (* Gateways are not traffic sources; nothing to stop. *)
+    Counter.incr t.counters "req-to-attacker-ignored"
+
+(* SPIE capture: the first packet blocked (or shadow-matched) for a flow
+   whose path we still owe is the traceback specimen. *)
+let capture_for_traceback t (pkt : Packet.t) =
+  match t.config.Config.traceback with
+  | Config.Path_in_request -> ()
+  | Config.Spie_query spie -> (
+    match Shadow_cache.match_packet t.shadow pkt with
+    | Some entry when (Shadow_cache.data entry).phase = Awaiting_path ->
+      let e = Shadow_cache.data entry in
+      e.phase <- Filtering;
+      let path, latency = Spie.reconstruct spie ~from:t.node pkt in
+      ignore
+        (Sim.after t.sim latency (fun () ->
+             if path = [] then Counter.incr t.counters "traceback-failed"
+             else begin
+               Counter.incr t.counters "traceback-done";
+               e.path <- path;
+               engage t e
+             end))
+    | Some _ | None -> ())
+
+let hook t (_node : Node.t) (pkt : Packet.t) =
+  if blocklisted t pkt.src then Node.Drop "aitf-disconnected"
+  else if Filter_table.blocks t.filters pkt then begin
+    capture_for_traceback t pkt;
+    Node.Drop "aitf-filter"
+  end
+  else begin
+    (match Shadow_cache.match_packet t.shadow pkt with
+    | Some entry -> (
+      let e = Shadow_cache.data entry in
+      match e.phase with
+      | Monitoring ->
+        if Sim.now t.sim >= e.engaged_at +. e.duration then
+          (* The blocking interval T has legitimately elapsed; this is a new
+             attack cycle. It must cost the victim a fresh request (that is
+             the R1·T accounting), not be mistaken for non-cooperation. *)
+          Shadow_cache.remove t.shadow entry
+        else begin
+          Shadow_cache.refresh t.shadow entry ~ttl:t.config.Config.t_filter;
+          trace t "flow %a reappeared; escalating" Flow_label.pp e.flow;
+          escalate t e
+        end
+      | Awaiting_path -> capture_for_traceback t pkt
+      | Filtering | Delegated -> ())
+    | None -> ());
+    Packet.record_route pkt t.node.Node.addr;
+    Node.Continue
+  end
+
+let deliver t prev (node : Node.t) (pkt : Packet.t) =
+  match pkt.payload with
+  | Message.Filtering_request req -> on_request t req
+  | Message.Verification_reply { flow; nonce } ->
+    Handshake.handle_reply t.handshakes ~flow ~nonce
+  | Message.Verification_query { flow; nonce } ->
+    (* Only meaningful if the "victim" of an escalated round is this
+       gateway itself; confirm iff we logged the request. *)
+    if Option.is_some (Shadow_cache.find t.shadow flow) then
+      send t ~dst:pkt.src (Message.Verification_reply { flow; nonce })
+  | _ -> prev node pkt
+
+let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
+    node =
+  let sim = Network.sim net in
+  let cone = Lpm.create () in
+  List.iter (fun p -> Lpm.insert cone p ()) clients;
+  let t =
+    {
+      net;
+      sim;
+      node;
+      config;
+      policy;
+      upstream;
+      client_cone = cone;
+      filters = Filter_table.create sim ~capacity:config.Config.filter_capacity;
+      shadow = Shadow_cache.create sim ~capacity:config.Config.shadow_capacity;
+      handshakes =
+        Handshake.create sim rng ~timeout:config.Config.handshake_timeout;
+      rng;
+      policers = Hashtbl.create 16;
+      overflow_policer =
+        Token_bucket.create ~rate:config.Config.remote_rate
+          ~burst:config.Config.remote_burst;
+      client_policers = Hashtbl.create 16;
+      overrides = Hashtbl.create 8;
+      client_overrides = Hashtbl.create 8;
+      verifying = Hashtbl.create 8;
+      blocklist = Hashtbl.create 8;
+      counters = Counter.create ();
+      requests_received = 0;
+    }
+  in
+  Node.add_hook node (hook t);
+  let prev = node.Node.local_deliver in
+  node.Node.local_deliver <- deliver t prev;
+  t

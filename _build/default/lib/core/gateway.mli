@@ -1,0 +1,87 @@
+(** The AITF gateway: a border router speaking the protocol.
+
+    One [Gateway.t] attaches to a border-router node and implements both
+    protocol roles of Section II-C:
+
+    {b Victim's gateway} — on a [To_victim_gateway] request from a client
+    (or a downstream gateway escalating): police against the client's R1
+    contract, validate that the requestor and the flow's destination are
+    inside the customer cone, install a {e temporary} filter for Ttmp, log
+    the request in the DRAM shadow cache for T, and forward the request to
+    the attack path's round-appropriate gateway. When the temporary filter
+    lapses, the shadow entry keeps watching: a matching packet seen while
+    monitoring means the attacker's side did not take over (or is playing
+    on-off), so the gateway re-protects and {e escalates} — it plays victim
+    towards its own upstream gateway with [hops + 1]. A gateway with no
+    upstream handles the next round itself; a path that runs out triggers
+    terminal filtering (and peer disconnection when enabled).
+
+    {b Attacker's gateway} — on a [To_attacker_gateway] request: police the
+    remote requestor and the R2 contract of the implicated client, verify
+    the request with the 3-way handshake, install a filter for the full T,
+    propagate [To_attacker] to the client, and monitor compliance via the
+    filter's hit counters — a client still sending after the grace period is
+    disconnected (blocklisted) when disconnection is enabled.
+
+    Statistics for every decision are exposed through {!counters}. *)
+
+open Aitf_net
+open Aitf_filter
+
+type t
+
+val create :
+  ?policy:Policy.gateway_policy ->
+  ?upstream:Addr.t ->
+  clients:Addr.prefix list ->
+  config:Config.t ->
+  rng:Aitf_engine.Rng.t ->
+  Network.t ->
+  Node.t ->
+  t
+(** Attach a gateway to [node]: installs the forwarding hook (blocklist →
+    filter check → shadow watch → route-record stamp) and takes over
+    AITF-message delivery. [clients] is the customer cone — every prefix
+    this gateway is responsible for. [upstream] is the provider gateway
+    used for escalation (absent for a top-level/core gateway). *)
+
+val node : t -> Node.t
+val addr : t -> Addr.t
+val config : t -> Config.t
+val policy : t -> Policy.gateway_policy
+
+val set_contract : t -> peer:Addr.t -> rate:float -> burst:float -> unit
+(** Override the policing rate for one requestor (client or peer); absent
+    an override, clients get R1 and remote requestors the remote default. *)
+
+val set_client_contract : t -> client:Addr.t -> rate:float -> burst:float -> unit
+(** Override the R2 rate at which this gateway may send requests to one of
+    its clients; absent an override, the config's R2 applies. *)
+
+val filters : t -> Filter_table.t
+val shadow_occupancy : t -> int
+val shadow_peak : t -> int
+
+val blocklisted : t -> Addr.t -> bool
+(** Is this host currently disconnected? *)
+
+val counters : t -> Aitf_stats.Counter.t
+(** Decision counters, e.g. ["req-victim-role"], ["req-attacker-role"],
+    ["req-policed"], ["req-policed-client"], ["req-duplicate"],
+    ["handshake-ok"], ["handshake-fail"], ["filter-temp"],
+    ["filter-long"], ["filter-full"], ["escalated"], ["terminal-filter"],
+    ["disconnect-host"], ["disconnect-peer"], ["ignored-unresponsive"],
+    ["req-invalid"]. *)
+
+val requests_received : t -> int
+(** Filtering requests that reached this gateway (before policing). *)
+
+val active_flows : t -> (Flow_label.t * string) list
+(** The flows this gateway currently remembers as victim's gateway, with
+    their phase (["filtering"], ["monitoring"], ["delegated"],
+    ["awaiting-path"]) — the live protocol state an operator would list. *)
+
+val tracked_requestors : t -> int
+(** Distinct requestors currently holding their own policing bucket —
+    bounded; past the bound, unknown requestors share one overflow
+    bucket. *)

@@ -1,0 +1,65 @@
+module Sim = Aitf_engine.Sim
+module Rng = Aitf_engine.Rng
+open Aitf_filter
+
+type pending = {
+  flow : Flow_label.t;
+  on_result : bool -> unit;
+  timeout_event : Sim.handle;
+}
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  timeout : float;
+  table : (int64, pending) Hashtbl.t;
+  mutable started : int;
+  mutable verified : int;
+  mutable timed_out : int;
+  mutable bogus : int;
+}
+
+let create sim rng ~timeout =
+  {
+    sim;
+    rng;
+    timeout;
+    table = Hashtbl.create 32;
+    started = 0;
+    verified = 0;
+    timed_out = 0;
+    bogus = 0;
+  }
+
+let rec fresh_nonce t =
+  let n = Rng.nonce t.rng in
+  if Hashtbl.mem t.table n then fresh_nonce t else n
+
+let start t ~flow ~on_result =
+  let nonce = fresh_nonce t in
+  let timeout_event =
+    Sim.after t.sim t.timeout (fun () ->
+        if Hashtbl.mem t.table nonce then begin
+          Hashtbl.remove t.table nonce;
+          t.timed_out <- t.timed_out + 1;
+          on_result false
+        end)
+  in
+  Hashtbl.replace t.table nonce { flow; on_result; timeout_event };
+  t.started <- t.started + 1;
+  nonce
+
+let handle_reply t ~flow ~nonce =
+  match Hashtbl.find_opt t.table nonce with
+  | Some p when Flow_label.equal p.flow flow ->
+    Hashtbl.remove t.table nonce;
+    Sim.cancel p.timeout_event;
+    t.verified <- t.verified + 1;
+    p.on_result true
+  | Some _ | None -> t.bogus <- t.bogus + 1
+
+let pending t = Hashtbl.length t.table
+let started t = t.started
+let verified t = t.verified
+let timed_out t = t.timed_out
+let bogus_replies t = t.bogus

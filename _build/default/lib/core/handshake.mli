@@ -1,0 +1,35 @@
+(** Nonce bookkeeping for the 3-way handshake (Section II-E).
+
+    The attacker's gateway, before acting on a filtering request for a flow
+    A → V, sends V a {!Message.Verification_query} carrying a fresh random
+    nonce; only a {!Message.Verification_reply} echoing both the flow label
+    and the nonce within the timeout counts as verification. An off-path
+    forger never observes the nonce, so it cannot fabricate the reply.
+
+    This module owns the pending-verification table; actually sending the
+    query packet is the gateway's job (it gets the nonce from {!start}). *)
+
+open Aitf_filter
+
+type t
+
+val create :
+  Aitf_engine.Sim.t -> Aitf_engine.Rng.t -> timeout:float -> t
+
+val start :
+  t -> flow:Flow_label.t -> on_result:(bool -> unit) -> int64
+(** Begin a verification; returns the nonce to put in the query.
+    [on_result true] fires when a matching reply arrives in time,
+    [on_result false] on timeout. Concurrent verifications of the same flow
+    are independent (distinct nonces). *)
+
+val handle_reply : t -> flow:Flow_label.t -> nonce:int64 -> unit
+(** Feed a received reply; completes the matching pending verification, if
+    any. Replies with unknown nonces or mismatched flow labels are counted
+    and otherwise ignored. *)
+
+val pending : t -> int
+val started : t -> int
+val verified : t -> int
+val timed_out : t -> int
+val bogus_replies : t -> int

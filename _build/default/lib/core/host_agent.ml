@@ -1,0 +1,278 @@
+module Sim = Aitf_engine.Sim
+module Trace = Aitf_engine.Trace
+module Rate_meter = Aitf_stats.Rate_meter
+module Ppm = Aitf_traceback.Ppm
+open Aitf_net
+open Aitf_filter
+
+type path_source =
+  | From_route_record
+  | From_ppm of Ppm.Collector.t
+  | Gateway_traceback
+
+module Victim = struct
+  type t = {
+    net : Network.t;
+    sim : Sim.t;
+    node : Node.t;
+    gateway : Addr.t;
+    config : Config.t;
+    path_source : path_source;
+    detection : Detection.t option ref;
+        (* ref to tie the knot: detection's callback needs [t] *)
+    bucket : Token_bucket.t;
+    requested : (Flow_label.t, float) Hashtbl.t;  (* flow -> expiry *)
+    awaiting_path : (Flow_label.t, unit) Hashtbl.t;
+    attack_meter : Rate_meter.t;
+    good_meter : Rate_meter.t;
+    per_flow : (Flow_label.t, float ref) Hashtbl.t;
+    mutable last_ppm_path : Addr.t list option;
+    mutable ppm_stable : int;
+    mutable attack_packets : int;
+    mutable good_packets : int;
+    mutable requests_sent : int;
+    mutable requests_suppressed : int;
+    mutable queries_answered : int;
+  }
+
+  let node t = t.node
+
+  let trace t fmt =
+    Trace.emitf ~time:(Sim.now t.sim) ~category:t.node.Node.name fmt
+
+  let send t ~dst payload =
+    Network.originate t.net t.node
+      (Message.packet ~src:t.node.Node.addr ~dst payload)
+
+  let requested_live t flow =
+    match Hashtbl.find_opt t.requested flow with
+    | Some expiry when Sim.now t.sim < expiry -> true
+    | Some _ ->
+      Hashtbl.remove t.requested flow;
+      false
+    | None -> false
+
+  let send_request t flow path =
+    if Token_bucket.allow t.bucket ~now:(Sim.now t.sim) then begin
+      t.requests_sent <- t.requests_sent + 1;
+      Hashtbl.replace t.requested flow
+        (Sim.now t.sim +. t.config.Config.t_filter);
+      trace t "requesting block of %a" Flow_label.pp flow;
+      send t ~dst:t.gateway
+        (Message.Filtering_request
+           {
+             Message.flow;
+             target = Message.To_victim_gateway;
+             duration = t.config.Config.t_filter;
+             path;
+             hops = 0;
+             requestor = t.node.Node.addr;
+           })
+    end
+    else t.requests_suppressed <- t.requests_suppressed + 1
+
+  (* PPM reconstructions start as prefixes of the true path (the victim-
+     nearest edges converge first), so a path is only trusted once it has
+     been identical across several consecutive observations. *)
+  let ppm_stability_threshold = 5
+
+  let ppm_path_ready t collector =
+    let p = Ppm.Collector.reconstruct collector in
+    if p <> None && p = t.last_ppm_path then
+      t.ppm_stable <- t.ppm_stable + 1
+    else begin
+      t.last_ppm_path <- p;
+      t.ppm_stable <- 0
+    end;
+    if t.ppm_stable >= ppm_stability_threshold then p else None
+
+  (* Detection fired (first time after Td, or instantly on reappearance):
+     assemble the attack path per the configured traceback source. *)
+  let on_detect t flow (pkt : Packet.t) =
+    match t.path_source with
+    | From_route_record -> send_request t flow pkt.route_record
+    | Gateway_traceback -> send_request t flow []
+    | From_ppm collector -> (
+      match ppm_path_ready t collector with
+      | Some path -> send_request t flow path
+      | None -> Hashtbl.replace t.awaiting_path flow ())
+
+  (* PPM convergence: retry pending reconstructions as marks accumulate. *)
+  let retry_awaiting t collector =
+    if Hashtbl.length t.awaiting_path > 0 then begin
+      match ppm_path_ready t collector with
+      | None -> ()
+      | Some path ->
+        let flows = Hashtbl.fold (fun f () acc -> f :: acc) t.awaiting_path [] in
+        List.iter
+          (fun flow ->
+            Hashtbl.remove t.awaiting_path flow;
+            send_request t flow path)
+          flows
+    end
+
+  let on_attack_packet t (pkt : Packet.t) =
+    let now = Sim.now t.sim in
+    t.attack_packets <- t.attack_packets + 1;
+    Rate_meter.add t.attack_meter ~now (float_of_int pkt.size);
+    let label = Flow_label.host_pair pkt.src pkt.dst in
+    let cell =
+      match Hashtbl.find_opt t.per_flow label with
+      | Some c -> c
+      | None ->
+        let c = ref 0. in
+        Hashtbl.replace t.per_flow label c;
+        c
+    in
+    cell := !cell +. float_of_int pkt.size;
+    (match t.path_source with
+    | From_ppm collector ->
+      Ppm.Collector.observe collector pkt;
+      retry_awaiting t collector
+    | From_route_record | Gateway_traceback -> ());
+    match !(t.detection) with
+    | Some d -> Detection.observe d pkt
+    | None -> ()
+
+  let deliver t prev (node : Node.t) (pkt : Packet.t) =
+    match pkt.payload with
+    | Packet.Data { attack = true; _ } -> on_attack_packet t pkt
+    | Packet.Data _ ->
+      t.good_packets <- t.good_packets + 1;
+      Rate_meter.add t.good_meter ~now:(Sim.now t.sim) (float_of_int pkt.size)
+    | Message.Verification_query { flow; nonce } ->
+      (* "Do you really not want this flow?" — confirm iff we asked. *)
+      if requested_live t flow then begin
+        t.queries_answered <- t.queries_answered + 1;
+        send t ~dst:pkt.src (Message.Verification_reply { flow; nonce })
+      end
+    | _ -> prev node pkt
+
+  let create ?(td = 0.1) ?(path_source = From_route_record) ~gateway ~config
+      net node =
+    let sim = Network.sim net in
+    let t =
+      {
+        net;
+        sim;
+        node;
+        gateway;
+        config;
+        path_source;
+        detection = ref None;
+        bucket =
+          Token_bucket.create ~rate:config.Config.r1
+            ~burst:config.Config.r1_burst;
+        requested = Hashtbl.create 32;
+        awaiting_path = Hashtbl.create 8;
+        attack_meter = Rate_meter.create ~window:1.0;
+        good_meter = Rate_meter.create ~window:1.0;
+        per_flow = Hashtbl.create 32;
+        last_ppm_path = None;
+        ppm_stable = 0;
+        attack_packets = 0;
+        good_packets = 0;
+        requests_sent = 0;
+        requests_suppressed = 0;
+        queries_answered = 0;
+      }
+    in
+    t.detection :=
+      Some
+        (Detection.create sim ~td ~min_report_gap:config.Config.min_report_gap
+           ~on_detect:(fun flow pkt -> on_detect t flow pkt));
+    let prev = node.Node.local_deliver in
+    node.Node.local_deliver <- deliver t prev;
+    t
+
+  let attack_bytes t = Rate_meter.total t.attack_meter
+  let attack_packets t = t.attack_packets
+  let good_bytes t = Rate_meter.total t.good_meter
+  let good_packets t = t.good_packets
+  let attack_meter t = t.attack_meter
+  let good_meter t = t.good_meter
+
+  let flow_bytes t flow =
+    match Hashtbl.find_opt t.per_flow flow with
+    | Some c -> !c
+    | None -> 0.
+
+  let attack_flows_seen t = Hashtbl.length t.per_flow
+  let requests_sent t = t.requests_sent
+  let requests_suppressed t = t.requests_suppressed
+  let queries_answered t = t.queries_answered
+end
+
+module Attacker = struct
+  type t = {
+    sim : Sim.t;
+    node : Node.t;
+    strategy : Policy.attacker_response;
+    filters : Filter_table.t;
+    off_until : (Flow_label.t, float) Hashtbl.t;
+    mutable requests_received : int;
+    mutable flows_stopped : int;
+  }
+
+  let node t = t.node
+  let strategy t = t.strategy
+  let filters t = t.filters
+  let requests_received t = t.requests_received
+  let flows_stopped t = t.flows_stopped
+
+  let gate t (pkt : Packet.t) =
+    match t.strategy with
+    | Policy.Ignores -> true
+    | Policy.Complies -> not (Filter_table.blocks t.filters pkt)
+    | Policy.On_off _ -> (
+      let label = Flow_label.host_pair pkt.src pkt.dst in
+      match Hashtbl.find_opt t.off_until label with
+      | Some until when Sim.now t.sim < until -> false
+      | Some _ ->
+        Hashtbl.remove t.off_until label;
+        true
+      | None -> true)
+
+  let on_request t (req : Message.request) =
+    t.requests_received <- t.requests_received + 1;
+    match t.strategy with
+    | Policy.Ignores -> ()
+    | Policy.Complies -> (
+      match
+        Filter_table.install t.filters req.Message.flow
+          ~duration:req.Message.duration
+      with
+      | Ok _ -> t.flows_stopped <- t.flows_stopped + 1
+      | Error `Table_full -> ())
+    | Policy.On_off { off_time } ->
+      t.flows_stopped <- t.flows_stopped + 1;
+      Hashtbl.replace t.off_until req.Message.flow
+        (Sim.now t.sim +. off_time)
+
+  let deliver t prev (node : Node.t) (pkt : Packet.t) =
+    match pkt.payload with
+    | Message.Filtering_request ({ Message.target = Message.To_attacker; _ } as req)
+      ->
+      on_request t req
+    | _ -> prev node pkt
+
+  let create ?(strategy = Policy.Complies) ?filter_capacity ~config net node =
+    let sim = Network.sim net in
+    let capacity =
+      Option.value ~default:config.Config.filter_capacity filter_capacity
+    in
+    let t =
+      {
+        sim;
+        node;
+        strategy;
+        filters = Filter_table.create sim ~capacity;
+        off_until = Hashtbl.create 8;
+        requests_received = 0;
+        flows_stopped = 0;
+      }
+    in
+    let prev = node.Node.local_deliver in
+    node.Node.local_deliver <- deliver t prev;
+    t
+end

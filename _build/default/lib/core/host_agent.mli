@@ -1,0 +1,88 @@
+(** End-host AITF agents.
+
+    {!Victim} turns a host into an AITF client: it meters the traffic it
+    receives, detects undesired flows (via {!Detection}), sends filtering
+    requests to its gateway — self-policed against its R1 contract — and
+    answers the 3-way-handshake queries attacker-side gateways send it.
+
+    {!Attacker} models the source side: it receives [To_attacker] requests
+    and reacts per its {!Policy.attacker_response} — a compliant host
+    installs its own outbound filter (the na = R2·T filters of Section
+    IV-D), an ignoring host keeps sending, an on-off host pauses just long
+    enough to fool a temporary filter. Traffic generators consult the
+    agent's {!Attacker.gate} before each packet. *)
+
+open Aitf_net
+open Aitf_filter
+
+(** How the victim learns the attack path to put into its requests. *)
+type path_source =
+  | From_route_record  (** read it from the triggering packet *)
+  | From_ppm of Aitf_traceback.Ppm.Collector.t
+      (** reconstruct from collected marks; requests wait for convergence *)
+  | Gateway_traceback
+      (** send an empty path; the gateway runs SPIE itself *)
+
+module Victim : sig
+  type t
+
+  val create :
+    ?td:float ->
+    ?path_source:path_source ->
+    gateway:Addr.t ->
+    config:Config.t ->
+    Network.t ->
+    Node.t ->
+    t
+  (** Attach a victim agent: takes over local delivery (chaining to the
+      previous handler for non-AITF, non-data payloads). [td] is the
+      first-detection delay Td (default 0.1 s). Default path source is the
+      route record. *)
+
+  val node : t -> Node.t
+
+  (* Measurement *)
+
+  val attack_bytes : t -> float
+  val attack_packets : t -> int
+  val good_bytes : t -> float
+  val good_packets : t -> int
+  val attack_meter : t -> Aitf_stats.Rate_meter.t
+  val good_meter : t -> Aitf_stats.Rate_meter.t
+  val flow_bytes : t -> Flow_label.t -> float
+  (** Bytes received so far from one (undesired) flow. *)
+
+  val attack_flows_seen : t -> int
+
+  val requests_sent : t -> int
+  val requests_suppressed : t -> int
+  (** Requests the agent wanted to send but withheld (R1 self-policing). *)
+
+  val queries_answered : t -> int
+end
+
+module Attacker : sig
+  type t
+
+  val create :
+    ?strategy:Policy.attacker_response ->
+    ?filter_capacity:int ->
+    config:Config.t ->
+    Network.t ->
+    Node.t ->
+    t
+  (** Default strategy is {!Policy.Complies}; default filter capacity is
+      the config's [filter_capacity]. *)
+
+  val node : t -> Node.t
+  val strategy : t -> Policy.attacker_response
+
+  val gate : t -> Packet.t -> bool
+  (** [true] when the host's own state permits sending this packet. *)
+
+  val filters : t -> Filter_table.t
+  (** The compliant host's outbound filters (peak = measured na). *)
+
+  val requests_received : t -> int
+  val flows_stopped : t -> int
+end

@@ -1,0 +1,105 @@
+module Sim = Aitf_engine.Sim
+module Trace = Aitf_engine.Trace
+open Aitf_net
+open Aitf_filter
+
+type t = {
+  net : Network.t;
+  sim : Sim.t;
+  gateway : Gateway.t;
+  protected_prefixes : unit Lpm.t;
+  detection : Detection.t option ref;
+  bucket : Token_bucket.t;
+  requested : (Flow_label.t, float) Hashtbl.t;  (* flow -> expiry *)
+  mutable requests_sent : int;
+  mutable queries_answered : int;
+}
+
+let protects t a = Option.is_some (Lpm.lookup t.protected_prefixes a)
+
+let node t = Gateway.node t.gateway
+
+let send t ~dst payload =
+  Network.originate t.net (node t)
+    (Message.packet ~src:(node t).Node.addr ~dst payload)
+
+let requested_live t flow =
+  match Hashtbl.find_opt t.requested flow with
+  | Some expiry when Sim.now t.sim < expiry -> true
+  | Some _ ->
+    Hashtbl.remove t.requested flow;
+    false
+  | None -> false
+
+let watching = requested_live
+
+(* Originate a request exactly as the victim would have; the gateway node
+   delivers it to its own AITF agent locally. *)
+let on_detect t flow (pkt : Packet.t) =
+  if Token_bucket.allow t.bucket ~now:(Sim.now t.sim) then begin
+    let config = Gateway.config t.gateway in
+    t.requests_sent <- t.requests_sent + 1;
+    Hashtbl.replace t.requested flow (Sim.now t.sim +. config.Config.t_filter);
+    Trace.emitf ~time:(Sim.now t.sim) ~category:(node t).Node.name
+      "requesting block of %a on behalf of a legacy host" Flow_label.pp flow;
+    send t ~dst:(node t).Node.addr
+      (Message.Filtering_request
+         {
+           Message.flow;
+           target = Message.To_victim_gateway;
+           duration = config.Config.t_filter;
+           path = pkt.route_record;
+           hops = 0;
+           requestor = (node t).Node.addr;
+         })
+  end
+
+let hook t (_node : Node.t) (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | Packet.Data { attack = true; _ } when protects t pkt.dst ->
+    (match !(t.detection) with
+    | Some d -> Detection.observe d pkt
+    | None -> ());
+    Node.Continue
+  | Message.Verification_query { flow; nonce } when protects t pkt.dst ->
+    (* Answer on the legacy victim's behalf — the gateway is on the path,
+       which is all the handshake verifies — and consume the query so the
+       AITF-oblivious host never sees it. *)
+    if requested_live t flow then begin
+      t.queries_answered <- t.queries_answered + 1;
+      send t ~dst:pkt.src (Message.Verification_reply { flow; nonce })
+    end;
+    Node.Drop "legacy-proxy-query"
+  | _ -> Node.Continue
+
+let attach ?(td = 0.1) ~protect ~gateway net =
+  let sim = Network.sim net in
+  let prefixes = Lpm.create () in
+  List.iter (fun p -> Lpm.insert prefixes p ()) protect;
+  let config = Gateway.config gateway in
+  let t =
+    {
+      net;
+      sim;
+      gateway;
+      protected_prefixes = prefixes;
+      detection = ref None;
+      bucket =
+        Token_bucket.create ~rate:config.Config.r1 ~burst:config.Config.r1_burst;
+      requested = Hashtbl.create 32;
+      requests_sent = 0;
+      queries_answered = 0;
+    }
+  in
+  t.detection :=
+    Some
+      (Detection.create sim ~td ~min_report_gap:config.Config.min_report_gap
+         ~on_detect:(fun flow pkt -> on_detect t flow pkt));
+  Node.add_hook (node t) (hook t);
+  t
+
+let requests_sent t = t.requests_sent
+let queries_answered t = t.queries_answered
+
+let flows_detected t =
+  match !(t.detection) with Some d -> Detection.flows_seen d | None -> 0

@@ -1,0 +1,37 @@
+open Aitf_net
+open Aitf_filter
+
+type target = To_victim_gateway | To_attacker_gateway | To_attacker
+
+type request = {
+  flow : Flow_label.t;
+  target : target;
+  duration : float;
+  path : Addr.t list;
+  hops : int;
+  requestor : Addr.t;
+}
+
+type Packet.payload +=
+  | Filtering_request of request
+  | Verification_query of { flow : Flow_label.t; nonce : int64 }
+  | Verification_reply of { flow : Flow_label.t; nonce : int64 }
+
+let message_size = 64
+let protocol_number = 253
+
+let packet ~src ~dst payload =
+  Packet.make ~proto:protocol_number ~src ~dst ~size:message_size payload
+
+let pp_target fmt = function
+  | To_victim_gateway -> Format.pp_print_string fmt "to-victim-gw"
+  | To_attacker_gateway -> Format.pp_print_string fmt "to-attacker-gw"
+  | To_attacker -> Format.pp_print_string fmt "to-attacker"
+
+let pp_request fmt r =
+  Format.fprintf fmt "request{%a %a T=%g hops=%d path=[%a] from %a}"
+    Flow_label.pp r.flow pp_target r.target r.duration r.hops
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ";")
+       Addr.pp)
+    r.path Addr.pp r.requestor

@@ -1,0 +1,43 @@
+(** AITF protocol messages.
+
+    The protocol has one main message — the filtering request — plus the
+    verification query/reply pair of the 3-way handshake (Section II-E).
+    Messages ride as packet payloads via the extensible payload variant, so
+    the network layer needs no knowledge of AITF. *)
+
+open Aitf_net
+open Aitf_filter
+
+type target =
+  | To_victim_gateway
+  | To_attacker_gateway
+  | To_attacker
+      (** The type field of the paper: whom the request is addressed to. *)
+
+type request = {
+  flow : Flow_label.t;  (** the undesired flow to block *)
+  target : target;
+  duration : float;  (** T — how long to block, seconds *)
+  path : Addr.t list;
+      (** attack path (AITF border routers), attacker-side first; empty when
+          the receiving gateway must run traceback itself *)
+  hops : int;  (** escalation round: which path entry to contact *)
+  requestor : Addr.t;  (** who originated this round's request *)
+}
+
+type Packet.payload +=
+  | Filtering_request of request
+  | Verification_query of { flow : Flow_label.t; nonce : int64 }
+  | Verification_reply of { flow : Flow_label.t; nonce : int64 }
+
+val message_size : int
+(** Wire size (bytes) charged for every AITF message. *)
+
+val protocol_number : int
+(** The protocol field value of AITF packets. *)
+
+val packet : src:Addr.t -> dst:Addr.t -> Packet.payload -> Packet.t
+(** Wrap a payload in a correctly-sized AITF packet. *)
+
+val pp_target : Format.formatter -> target -> unit
+val pp_request : Format.formatter -> request -> unit

@@ -1,0 +1,200 @@
+open Aitf_net
+open Aitf_filter
+
+type error = Truncated | Bad_version of int | Bad_tag of string * int
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated message"
+  | Bad_version v -> Format.fprintf fmt "unsupported version %d" v
+  | Bad_tag (field, v) -> Format.fprintf fmt "bad %s tag %d" field v
+
+let version = 1
+
+(* --- size computation ----------------------------------------------------- *)
+
+let sel_size = function
+  | Flow_label.Any -> 1
+  | Flow_label.Host _ -> 5
+  | Flow_label.Net _ -> 6
+
+let quals_size (l : Flow_label.t) =
+  1
+  + (match l.proto with Some _ -> 1 | None -> 0)
+  + (match l.sport with Some _ -> 2 | None -> 0)
+  + (match l.dport with Some _ -> 2 | None -> 0)
+
+let label_size l = sel_size l.Flow_label.src + sel_size l.Flow_label.dst + quals_size l
+
+let encoded_size = function
+  | Message.Filtering_request r ->
+    Some
+      (2 + label_size r.Message.flow + 1 + 8 + 1 + 4 + 1
+      + (4 * List.length r.Message.path))
+  | Message.Verification_query { flow; _ } | Message.Verification_reply { flow; _ }
+    ->
+    Some (2 + label_size flow + 8)
+  | _ -> None
+
+(* --- encoding -------------------------------------------------------------- *)
+
+let put_u8 b pos v =
+  Bytes.set_uint8 b pos v;
+  pos + 1
+
+let put_u16 b pos v =
+  Bytes.set_uint16_be b pos v;
+  pos + 2
+
+let put_addr b pos (a : Addr.t) =
+  Bytes.set_int32_be b pos a;
+  pos + 4
+
+let put_sel b pos = function
+  | Flow_label.Any -> put_u8 b pos 0
+  | Flow_label.Host a -> put_addr b (put_u8 b pos 1) a
+  | Flow_label.Net p ->
+    let pos = put_addr b (put_u8 b pos 2) (p : Addr.prefix).base in
+    put_u8 b pos (p : Addr.prefix).len
+
+let put_label b pos (l : Flow_label.t) =
+  let pos = put_sel b pos l.src in
+  let pos = put_sel b pos l.dst in
+  let bitmap =
+    (if l.proto <> None then 1 else 0)
+    lor (if l.sport <> None then 2 else 0)
+    lor if l.dport <> None then 4 else 0
+  in
+  let pos = put_u8 b pos bitmap in
+  let pos = match l.proto with Some p -> put_u8 b pos p | None -> pos in
+  let pos = match l.sport with Some p -> put_u16 b pos p | None -> pos in
+  match l.dport with Some p -> put_u16 b pos p | None -> pos
+
+let target_tag = function
+  | Message.To_victim_gateway -> 1
+  | Message.To_attacker_gateway -> 2
+  | Message.To_attacker -> 3
+
+let encode payload =
+  match encoded_size payload with
+  | None -> Error "Wire.encode: not an AITF payload"
+  | Some size -> (
+    let b = Bytes.create size in
+    let pos = put_u8 b 0 version in
+    match payload with
+    | Message.Filtering_request r ->
+      let pos = put_u8 b pos 1 in
+      let pos = put_label b pos r.Message.flow in
+      let pos = put_u8 b pos (target_tag r.Message.target) in
+      Bytes.set_int64_be b pos (Int64.bits_of_float r.Message.duration);
+      let pos = pos + 8 in
+      let pos = put_u8 b pos r.Message.hops in
+      let pos = put_addr b pos r.Message.requestor in
+      let pos = put_u8 b pos (List.length r.Message.path) in
+      let final =
+        List.fold_left (fun pos a -> put_addr b pos a) pos r.Message.path
+      in
+      assert (final = size);
+      Ok b
+    | Message.Verification_query { flow; nonce } ->
+      let pos = put_u8 b pos 2 in
+      let pos = put_label b pos flow in
+      Bytes.set_int64_be b pos nonce;
+      assert (pos + 8 = size);
+      Ok b
+    | Message.Verification_reply { flow; nonce } ->
+      let pos = put_u8 b pos 3 in
+      let pos = put_label b pos flow in
+      Bytes.set_int64_be b pos nonce;
+      assert (pos + 8 = size);
+      Ok b
+    | _ -> Error "Wire.encode: not an AITF payload")
+
+(* --- decoding -------------------------------------------------------------- *)
+
+(* A tiny cursor over the buffer; every read checks bounds. *)
+type cursor = { buf : Bytes.t; mutable pos : int }
+
+exception Decode of error
+
+let need c n = if c.pos + n > Bytes.length c.buf then raise (Decode Truncated)
+
+let get_u8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.buf c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  need c 2;
+  let v = Bytes.get_uint16_be c.buf c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let get_addr c =
+  need c 4;
+  let v = Bytes.get_int32_be c.buf c.pos in
+  c.pos <- c.pos + 4;
+  v
+
+let get_u64 c =
+  need c 8;
+  let v = Bytes.get_int64_be c.buf c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let get_sel c =
+  match get_u8 c with
+  | 0 -> Flow_label.Any
+  | 1 -> Flow_label.Host (get_addr c)
+  | 2 ->
+    let base = get_addr c in
+    let len = get_u8 c in
+    if len > 32 then raise (Decode (Bad_tag ("prefix-length", len)));
+    Flow_label.Net (Addr.prefix base len)
+  | v -> raise (Decode (Bad_tag ("selector", v)))
+
+let get_label c =
+  let src = get_sel c in
+  let dst = get_sel c in
+  let bitmap = get_u8 c in
+  if bitmap land lnot 7 <> 0 then raise (Decode (Bad_tag ("qualifier-bitmap", bitmap)));
+  let proto = if bitmap land 1 <> 0 then Some (get_u8 c) else None in
+  let sport = if bitmap land 2 <> 0 then Some (get_u16 c) else None in
+  let dport = if bitmap land 4 <> 0 then Some (get_u16 c) else None in
+  Flow_label.v ?proto ?sport ?dport src dst
+
+let get_target c =
+  match get_u8 c with
+  | 1 -> Message.To_victim_gateway
+  | 2 -> Message.To_attacker_gateway
+  | 3 -> Message.To_attacker
+  | v -> raise (Decode (Bad_tag ("target", v)))
+
+let decode buf =
+  let c = { buf; pos = 0 } in
+  try
+    let v = get_u8 c in
+    if v <> version then Error (Bad_version v)
+    else
+      match get_u8 c with
+      | 1 ->
+        let flow = get_label c in
+        let target = get_target c in
+        let duration = Int64.float_of_bits (get_u64 c) in
+        let hops = get_u8 c in
+        let requestor = get_addr c in
+        let n = get_u8 c in
+        let path = List.init n (fun _ -> get_addr c) in
+        Ok
+          (Message.Filtering_request
+             { Message.flow; target; duration; path; hops; requestor })
+      | 2 ->
+        let flow = get_label c in
+        let nonce = get_u64 c in
+        Ok (Message.Verification_query { flow; nonce })
+      | 3 ->
+        let flow = get_label c in
+        let nonce = get_u64 c in
+        Ok (Message.Verification_reply { flow; nonce })
+      | t -> Error (Bad_tag ("message-type", t))
+  with Decode e -> Error e

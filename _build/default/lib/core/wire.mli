@@ -1,0 +1,46 @@
+(** Binary wire format for AITF messages.
+
+    The simulator moves OCaml values, but a deployable implementation needs
+    a concrete octet format; this module defines one and the test suite
+    round-trips it (including adversarial truncation/corruption cases, since
+    gateways parse these messages from untrusted peers).
+
+    Layout (all integers big-endian):
+
+    {v
+    octet 0      version (currently 1)
+    octet 1      message type: 1 request / 2 query / 3 reply
+    flow label:
+      sel        1 tag octet (0 any | 1 host | 2 net) then 4 addr octets
+                 (host) or 4 + 1 prefix-length octets (net), for src then dst
+      quals      1 bitmap octet (bit0 proto, bit1 sport, bit2 dport)
+                 followed by the present values (1, 2, 2 octets)
+    request body:
+      target     1 octet (1 victim-gw | 2 attacker-gw | 3 attacker)
+      duration   8 octets (IEEE double bits)
+      hops       1 octet
+      requestor  4 octets
+      path       1 length octet + 4 octets per entry
+    query/reply body:
+      nonce      8 octets
+    v} *)
+
+open Aitf_net
+
+type error =
+  | Truncated  (** buffer too short for the advertised structure *)
+  | Bad_version of int
+  | Bad_tag of string * int  (** (field, value) *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : Packet.payload -> (Bytes.t, string) result
+(** Serialise an AITF payload. [Error] for non-AITF payloads. *)
+
+val decode : Bytes.t -> (Packet.payload, error) result
+(** Parse a buffer produced by {!encode} (or by an adversary). Never
+    raises. *)
+
+val encoded_size : Packet.payload -> int option
+(** Size {!encode} would produce, without allocating. [None] for non-AITF
+    payloads. *)

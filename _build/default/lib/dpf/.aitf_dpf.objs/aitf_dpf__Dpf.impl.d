@@ -1,0 +1,1 @@
+lib/dpf/dpf.ml: Aitf_net List Lpm Network Node Packet

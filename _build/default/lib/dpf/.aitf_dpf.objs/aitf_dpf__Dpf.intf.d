@@ -1,0 +1,1 @@
+lib/dpf/dpf.mli: Aitf_net Network Node

@@ -1,0 +1,50 @@
+type entry = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = entry
+
+type t = { heap : entry Heap.t; mutable next_seq : int }
+
+let cmp_entry a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp:cmp_entry; next_seq = 0 }
+
+let schedule q ~time action =
+  if not (Float.is_finite time) then
+    invalid_arg "Event_queue.schedule: non-finite time";
+  let entry = { time; seq = q.next_seq; action; cancelled = false } in
+  q.next_seq <- q.next_seq + 1;
+  Heap.push q.heap entry;
+  entry
+
+let cancel h = h.cancelled <- true
+let is_cancelled h = h.cancelled
+
+let rec drop_cancelled q =
+  match Heap.peek q.heap with
+  | Some e when e.cancelled ->
+    ignore (Heap.pop q.heap);
+    drop_cancelled q
+  | _ -> ()
+
+let next_time q =
+  drop_cancelled q;
+  match Heap.peek q.heap with None -> None | Some e -> Some e.time
+
+let pop q =
+  drop_cancelled q;
+  match Heap.pop q.heap with
+  | None -> None
+  | Some e -> Some (e.time, e.action)
+
+let length q = Heap.length q.heap
+
+let is_empty q =
+  drop_cancelled q;
+  Heap.is_empty q.heap

@@ -1,0 +1,35 @@
+(** Time-ordered event queue with cancellation.
+
+    Events are closures scheduled at an absolute timestamp. Ties are broken
+    by insertion order (FIFO among events with equal timestamps), which keeps
+    simulations deterministic. Cancellation is O(1): the event is flagged and
+    skipped when it reaches the head of the queue. *)
+
+type t
+
+type handle
+(** Token identifying a scheduled event; used to cancel it. *)
+
+val create : unit -> t
+
+val schedule : t -> time:float -> (unit -> unit) -> handle
+(** [schedule q ~time f] arranges for [f ()] to run when the queue is drained
+    past [time]. [time] must be finite. *)
+
+val cancel : handle -> unit
+(** Cancel the event if it has not fired yet; idempotent. *)
+
+val is_cancelled : handle -> bool
+
+val next_time : t -> float option
+(** Timestamp of the earliest pending (non-cancelled) event. *)
+
+val pop : t -> (float * (unit -> unit)) option
+(** Remove and return the earliest pending event with its timestamp.
+    Cancelled events are discarded silently. *)
+
+val length : t -> int
+(** Number of queued entries, including not-yet-collected cancelled ones. *)
+
+val is_empty : t -> bool
+(** [true] iff no pending (non-cancelled) events remain. *)

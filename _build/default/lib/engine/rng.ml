@@ -1,0 +1,78 @@
+type t = {
+  state : Random.State.t;
+  mutable zipf_cache : (int * float * float array) option;
+      (* (n, s, cumulative weights) for the last zipf parameters used *)
+}
+
+let create ~seed = { state = Random.State.make [| seed |]; zipf_cache = None }
+
+let split t =
+  let seed = Random.State.bits t.state in
+  create ~seed
+
+let int t bound = Random.State.int t.state bound
+let float t bound = Random.State.float t.state bound
+let bool t = Random.State.bool t.state
+
+let bernoulli t ~p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else Random.State.float t.state 1.0 < p
+
+let uniform t ~lo ~hi = lo +. Random.State.float t.state (hi -. lo)
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  (* Avoid log 0 by sampling in (0, 1]. *)
+  let u = 1.0 -. Random.State.float t.state 1.0 in
+  -.log u /. rate
+
+let pareto t ~shape ~scale =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Rng.pareto: shape and scale must be positive";
+  let u = 1.0 -. Random.State.float t.state 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let zipf_weights n s =
+  let w = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (i + 1) ** s));
+    w.(i) <- !acc
+  done;
+  w
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  let weights =
+    match t.zipf_cache with
+    | Some (n', s', w) when n' = n && s' = s -> w
+    | _ ->
+      let w = zipf_weights n s in
+      t.zipf_cache <- Some (n, s, w);
+      w
+  in
+  let total = weights.(n - 1) in
+  let u = Random.State.float t.state total in
+  (* Binary search for the first cumulative weight >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if weights.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1) + 1
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t.state (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(Random.State.int t.state (Array.length a))
+
+let nonce t = Random.State.int64 t.state Int64.max_int

@@ -1,0 +1,49 @@
+(** Deterministic random-number utilities for simulations.
+
+    Every scenario takes a seed and derives all randomness from a single
+    [Rng.t], so runs are reproducible bit-for-bit. The distributions here are
+    the ones needed by the workload generators: uniform, exponential (Poisson
+    inter-arrivals), Pareto (heavy-tailed flow sizes) and Zipf (skewed victim
+    or zombie popularity). *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** A new generator whose stream is a deterministic function of the parent's
+    state; use one per independent traffic source so that adding a source
+    does not perturb the others' streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [true] with probability [p]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val exponential : t -> rate:float -> float
+(** Exponential variate with mean [1 /. rate]. [rate] must be positive. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto variate >= [scale] with tail index [shape]. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [\[1, n\]] with exponent [s]. O(n) setup per
+    call is avoided by inverse-CDF over a cached normaliser only when [n]
+    matches the previous call; intended for moderate [n]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element. @raise Invalid_argument on empty array. *)
+
+val nonce : t -> int64
+(** 64-bit random value for protocol nonces. *)

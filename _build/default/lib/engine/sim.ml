@@ -1,0 +1,70 @@
+type handle = Event_queue.handle
+
+type t = {
+  queue : Event_queue.t;
+  mutable now : float;
+  mutable running : bool;
+  mutable stop_requested : bool;
+  mutable events_processed : int;
+}
+
+let create () =
+  {
+    queue = Event_queue.create ();
+    now = 0.0;
+    running = false;
+    stop_requested = false;
+    events_processed = 0;
+  }
+
+let now sim = sim.now
+
+let at sim time f =
+  if time < sim.now then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time sim.now);
+  Event_queue.schedule sim.queue ~time f
+
+let after sim delay f =
+  let delay = if delay < 0. then 0. else delay in
+  Event_queue.schedule sim.queue ~time:(sim.now +. delay) f
+
+let cancel = Event_queue.cancel
+
+let step sim =
+  match Event_queue.pop sim.queue with
+  | None -> false
+  | Some (time, action) ->
+    sim.now <- time;
+    sim.events_processed <- sim.events_processed + 1;
+    action ();
+    true
+
+let run ?until ?max_events sim =
+  if sim.running then invalid_arg "Sim.run: already running";
+  sim.running <- true;
+  sim.stop_requested <- false;
+  let horizon = match until with None -> infinity | Some t -> t in
+  let budget = ref (match max_events with None -> -1 | Some n -> n) in
+  let rec loop () =
+    if sim.stop_requested || !budget = 0 then ()
+    else
+      match Event_queue.next_time sim.queue with
+      | None -> ()
+      | Some t when t > horizon -> ()
+      | Some _ ->
+        ignore (step sim);
+        if !budget > 0 then decr budget;
+        loop ()
+  in
+  Fun.protect ~finally:(fun () -> sim.running <- false) loop;
+  (* Only advance the clock to the horizon when the run actually drained
+     that far (not when stopped or event-budget-exhausted mid-way). *)
+  match until with
+  | Some t when t > sim.now && (not sim.stop_requested) && !budget <> 0 ->
+    sim.now <- t
+  | _ -> ()
+
+let stop sim = sim.stop_requested <- true
+let events_processed sim = sim.events_processed
+let pending sim = Event_queue.length sim.queue

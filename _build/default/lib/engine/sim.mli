@@ -1,0 +1,51 @@
+(** Simulation world: a virtual clock driving an event queue.
+
+    A [Sim.t] owns the current virtual time and the pending events. All
+    simulation components (links, timers, protocol state machines) schedule
+    closures against it. Execution is strictly single-threaded and
+    deterministic: events fire in (time, insertion-order) order.
+
+    Times are absolute, in seconds. Use {!after} for relative scheduling. *)
+
+type t
+
+type handle = Event_queue.handle
+(** Cancellation token for a scheduled event. *)
+
+val create : unit -> t
+(** A fresh world at time [0.0] with no pending events. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val at : t -> float -> (unit -> unit) -> handle
+(** [at sim time f] schedules [f] at absolute [time].
+    @raise Invalid_argument if [time] is in the past or not finite. *)
+
+val after : t -> float -> (unit -> unit) -> handle
+(** [after sim delay f] schedules [f] at [now sim +. delay]. A negative
+    [delay] is clamped to [0.] (fires "immediately", after already-queued
+    events at the current instant). *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; idempotent, harmless after firing. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue. With [?until], stops once the next event would
+    fire strictly after [until] and advances the clock to [until]. Without
+    it, runs until no events remain. [?max_events] bounds the number of
+    events executed by this call — a guard against runaway self-scheduling
+    loops in scenario code. Re-entrant calls are rejected. *)
+
+val step : t -> bool
+(** Execute the single earliest event, if any. Returns [false] when the
+    queue is empty. *)
+
+val stop : t -> unit
+(** Request that the current [run] stop after the event being processed. *)
+
+val events_processed : t -> int
+(** Total number of events executed so far (for tests and reporting). *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled, uncollected ones). *)

@@ -1,0 +1,26 @@
+(** One-shot and periodic timers on top of {!Sim}.
+
+    Timers add cancellation-aware convenience over raw event scheduling:
+    a periodic timer re-arms itself until stopped, and a one-shot timer can
+    be rescheduled (pushed back) before it fires — the pattern used for
+    protocol grace periods. *)
+
+type t
+
+val one_shot : Sim.t -> delay:float -> (unit -> unit) -> t
+(** Fire once after [delay] seconds. *)
+
+val periodic : ?start:float -> Sim.t -> period:float -> (unit -> unit) -> t
+(** Fire every [period] seconds; the first firing happens after
+    [start] (default [period]) seconds. [period] must be positive. *)
+
+val cancel : t -> unit
+(** Stop the timer; idempotent. A periodic timer stops re-arming. *)
+
+val reschedule : t -> delay:float -> unit
+(** For a one-shot timer: move the (pending or already-fired) firing to
+    [now + delay]. For a periodic timer: delay the next firing to
+    [now + delay], after which the normal period resumes. *)
+
+val active : t -> bool
+(** [true] while a firing is still pending. *)

@@ -1,0 +1,28 @@
+type event = { time : float; category : string; message : string }
+type sink = event -> unit
+
+let sinks : sink list ref = ref []
+
+let add_sink s = sinks := s :: !sinks
+let clear_sinks () = sinks := []
+let enabled () = !sinks <> []
+
+let emit ~time ~category message =
+  match !sinks with
+  | [] -> ()
+  | l ->
+    let e = { time; category; message } in
+    List.iter (fun s -> s e) l
+
+let emitf ~time ~category fmt =
+  Format.kasprintf
+    (fun message -> emit ~time ~category message)
+    fmt
+
+let printing_sink ?(out = Format.std_formatter) () e =
+  Format.fprintf out "%10.4f  [%-12s] %s@." e.time e.category e.message
+
+let collecting_sink () =
+  let acc = ref [] in
+  let sink e = acc := e :: !acc in
+  (sink, fun () -> List.rev !acc)

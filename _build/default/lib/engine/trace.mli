@@ -1,0 +1,34 @@
+(** Lightweight structured tracing for simulation runs.
+
+    Components emit timestamped, categorised lines; sinks decide what to do
+    with them. Examples install a printing sink to show protocol timelines;
+    tests install a collecting sink to assert on event sequences. Tracing is
+    disabled (zero sinks) by default and costs one branch per emission. *)
+
+type event = { time : float; category : string; message : string }
+
+type sink = event -> unit
+
+val add_sink : sink -> unit
+(** Register a sink. Sinks receive every subsequent event. *)
+
+val clear_sinks : unit -> unit
+(** Remove all sinks (used between test cases). *)
+
+val enabled : unit -> bool
+(** [true] iff at least one sink is registered. *)
+
+val emit : time:float -> category:string -> string -> unit
+(** Emit an event to all sinks; no-op when none are registered. *)
+
+val emitf :
+  time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!emit} with a format string; the message is only built when a sink
+    is registered. *)
+
+val printing_sink : ?out:Format.formatter -> unit -> sink
+(** A sink that prints ["%8.4f [category] message"] lines. *)
+
+val collecting_sink : unit -> sink * (unit -> event list)
+(** A sink that accumulates events plus a function returning them in
+    emission order. *)

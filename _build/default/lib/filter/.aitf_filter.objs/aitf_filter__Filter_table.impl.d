@@ -1,0 +1,1 @@
+lib/filter/filter_table.ml: Aitf_engine Aitf_net Float Flow_label Hashtbl List Option Packet Token_bucket

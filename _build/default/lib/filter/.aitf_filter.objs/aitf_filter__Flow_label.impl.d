@@ -1,0 +1,1 @@
+lib/filter/flow_label.ml: Addr Aitf_net Format Hashtbl Int List Option Packet Printf String

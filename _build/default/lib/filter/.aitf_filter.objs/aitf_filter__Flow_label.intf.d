@@ -1,0 +1,1 @@
+lib/filter/flow_label.mli: Addr Aitf_net Format Packet

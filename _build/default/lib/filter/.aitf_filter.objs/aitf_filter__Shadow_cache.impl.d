@@ -1,0 +1,1 @@
+lib/filter/shadow_cache.ml: Aitf_engine Aitf_net Float Flow_label Hashtbl List Packet

@@ -1,0 +1,1 @@
+lib/filter/token_bucket.mli:

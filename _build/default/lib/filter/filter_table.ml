@@ -1,0 +1,180 @@
+module Sim = Aitf_engine.Sim
+open Aitf_net
+
+type handle = {
+  label : Flow_label.t;
+  mutable expires_at : float;
+  mutable alive : bool;
+  mutable hits : int;
+  mutable hit_bytes : int;
+  mutable last_hit : float option;
+  mutable expiry_event : Sim.handle option;
+  limiter : Token_bucket.t option;  (* None = block outright *)
+}
+
+type t = {
+  sim : Sim.t;
+  capacity : int;
+  exact : (Flow_label.t, handle) Hashtbl.t;
+  mutable wildcards : handle list;
+  by_label : (Flow_label.t, handle) Hashtbl.t;
+  mutable occupancy : int;
+  mutable peak : int;
+  mutable installs : int;
+  mutable rejected : int;
+  mutable blocked_packets : int;
+  mutable blocked_bytes : int;
+}
+
+let create sim ~capacity =
+  if capacity <= 0 then invalid_arg "Filter_table.create: capacity";
+  {
+    sim;
+    capacity;
+    exact = Hashtbl.create 64;
+    wildcards = [];
+    by_label = Hashtbl.create 64;
+    occupancy = 0;
+    peak = 0;
+    installs = 0;
+    rejected = 0;
+    blocked_packets = 0;
+    blocked_bytes = 0;
+  }
+
+let detach t h =
+  if h.alive then begin
+    h.alive <- false;
+    (match h.expiry_event with Some e -> Sim.cancel e | None -> ());
+    h.expiry_event <- None;
+    Hashtbl.remove t.by_label h.label;
+    if Flow_label.is_exact h.label then Hashtbl.remove t.exact h.label
+    else t.wildcards <- List.filter (fun w -> w != h) t.wildcards;
+    t.occupancy <- t.occupancy - 1
+  end
+
+let arm_expiry t h =
+  (match h.expiry_event with Some e -> Sim.cancel e | None -> ());
+  h.expiry_event <- Some (Sim.at t.sim h.expires_at (fun () -> detach t h))
+
+let install ?rate_limit t label ~duration =
+  let now = Sim.now t.sim in
+  match Hashtbl.find_opt t.by_label label with
+  | Some h ->
+    h.expires_at <- Float.max h.expires_at (now +. duration);
+    arm_expiry t h;
+    t.installs <- t.installs + 1;
+    Ok h
+  | None ->
+    if t.occupancy >= t.capacity then begin
+      t.rejected <- t.rejected + 1;
+      Error `Table_full
+    end
+    else begin
+      let limiter =
+        match rate_limit with
+        | None -> None
+        | Some rate ->
+          (* one second of burst, floored at a packet *)
+          Some (Token_bucket.create ~rate ~burst:(Float.max rate 1500.))
+      in
+      let h =
+        {
+          label;
+          expires_at = now +. duration;
+          alive = true;
+          hits = 0;
+          hit_bytes = 0;
+          last_hit = None;
+          expiry_event = None;
+          limiter;
+        }
+      in
+      Hashtbl.replace t.by_label label h;
+      if Flow_label.is_exact label then Hashtbl.replace t.exact label h
+      else t.wildcards <- h :: t.wildcards;
+      t.occupancy <- t.occupancy + 1;
+      if t.occupancy > t.peak then t.peak <- t.occupancy;
+      t.installs <- t.installs + 1;
+      arm_expiry t h;
+      Ok h
+    end
+
+let remove t h = detach t h
+
+let find t label =
+  match Hashtbl.find_opt t.by_label label with
+  | Some h when h.alive -> Some h
+  | _ -> None
+
+let evict_subsumed t label =
+  let victims =
+    Hashtbl.fold
+      (fun _ h acc ->
+        if h.alive && Flow_label.subsumes label h.label then h :: acc else acc)
+      t.by_label []
+  in
+  List.iter (detach t) victims;
+  List.length victims
+
+let label h = h.label
+let expires_at h = h.expires_at
+let live h = h.alive
+let hits h = h.hits
+let hit_bytes h = h.hit_bytes
+let last_hit h = h.last_hit
+
+(* The labels an exact-match probe must try for a packet: host-pair with and
+   without the protocol qualifier. *)
+let probe_exact t (pkt : Packet.t) =
+  let pair = Flow_label.host_pair pkt.src pkt.dst in
+  match Hashtbl.find_opt t.exact pair with
+  | Some h when h.alive -> Some h
+  | _ -> (
+    let with_proto = { pair with Flow_label.proto = Some pkt.proto } in
+    match Hashtbl.find_opt t.exact with_proto with
+    | Some h when h.alive -> Some h
+    | _ -> None)
+
+let matching_entry t pkt =
+  match probe_exact t pkt with
+  | Some h -> Some h
+  | None ->
+    List.find_opt
+      (fun h -> h.alive && Flow_label.matches h.label pkt)
+      t.wildcards
+
+let blocks t pkt =
+  match matching_entry t pkt with
+  | None -> false
+  | Some h -> (
+    let record_hit () =
+      h.hits <- h.hits + 1;
+      h.hit_bytes <- h.hit_bytes + pkt.Packet.size;
+      h.last_hit <- Some (Sim.now t.sim);
+      t.blocked_packets <- t.blocked_packets + 1;
+      t.blocked_bytes <- t.blocked_bytes + pkt.Packet.size
+    in
+    match h.limiter with
+    | None ->
+      record_hit ();
+      true
+    | Some bucket ->
+      if
+        Token_bucket.allow bucket ~now:(Sim.now t.sim)
+          ~cost:(float_of_int pkt.Packet.size)
+      then false
+      else begin
+        record_hit ();
+        true
+      end)
+
+let would_block t pkt = Option.is_some (matching_entry t pkt)
+
+let occupancy t = t.occupancy
+let capacity t = t.capacity
+let peak_occupancy t = t.peak
+let installs t = t.installs
+let rejected t = t.rejected
+let blocked_packets t = t.blocked_packets
+let blocked_bytes t = t.blocked_bytes

@@ -1,0 +1,76 @@
+(** Bounded wire-speed filter table.
+
+    Models the scarce resource at the centre of the paper: a router's
+    hardware filters. Capacity is fixed at creation; installs beyond it fail
+    (and are counted), entries expire automatically after their duration, and
+    the table keeps the statistics the evaluation needs — peak occupancy
+    (compare with nv = R1·Ttmp and na = R2·T), capacity rejections, and how
+    much traffic each filter actually blocked.
+
+    Matching is O(1) for exact host-pair labels (hash probes) plus a linear
+    scan of the few wildcard entries. *)
+
+open Aitf_net
+
+type t
+
+type handle
+(** Identifies one installed filter. *)
+
+val create : Aitf_engine.Sim.t -> capacity:int -> t
+(** [capacity] must be positive. *)
+
+val install :
+  ?rate_limit:float ->
+  t ->
+  Flow_label.t ->
+  duration:float ->
+  (handle, [ `Table_full ]) result
+(** Add a filter that expires after [duration] seconds. Installing a label
+    equal to an existing live one refreshes that entry's expiry (to the later
+    of the two) instead of consuming a new slot, and returns its handle.
+
+    By default the filter {e blocks} matching traffic. With [?rate_limit]
+    (bytes/s) it rate-limits instead: conforming packets pass, the excess is
+    dropped — the alternative the paper's footnote 10 argues against for
+    DoS traffic (and ablation A5 measures). A refresh keeps the original
+    action. *)
+
+val remove : t -> handle -> unit
+(** Uninstall now; idempotent, harmless after expiry. *)
+
+val find : t -> Flow_label.t -> handle option
+(** Live entry with exactly this label. *)
+
+val evict_subsumed : t -> Flow_label.t -> int
+(** Remove every live entry whose label is subsumed by the given label and
+    return how many were evicted — the compaction step used when a
+    wildcard aggregate replaces the exact filters it covers. *)
+
+val label : handle -> Flow_label.t
+val expires_at : handle -> float
+val live : handle -> bool
+
+val hits : handle -> int
+val hit_bytes : handle -> int
+val last_hit : handle -> float option
+(** Time of the most recent packet this filter blocked. *)
+
+val blocks : t -> Packet.t -> bool
+(** [true] iff some live filter matches the packet. Updates hit counters —
+    call it once per packet from the forwarding hook. *)
+
+val would_block : t -> Packet.t -> bool
+(** Like {!blocks} but without touching counters (for tests/queries). *)
+
+val occupancy : t -> int
+val capacity : t -> int
+val peak_occupancy : t -> int
+val installs : t -> int
+(** Successful installs (refreshes of a live entry count too). *)
+
+val rejected : t -> int
+(** Installs refused because the table was full. *)
+
+val blocked_packets : t -> int
+val blocked_bytes : t -> int

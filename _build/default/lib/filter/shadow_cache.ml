@@ -1,0 +1,132 @@
+module Sim = Aitf_engine.Sim
+open Aitf_net
+
+type 'a entry = {
+  label : Flow_label.t;
+  inserted_at : float;
+  mutable expires_at : float;
+  mutable alive : bool;
+  mutable data : 'a;
+  mutable expiry_event : Sim.handle option;
+}
+
+type 'a t = {
+  sim : Sim.t;
+  capacity : int;
+  exact : (Flow_label.t, 'a entry) Hashtbl.t;
+  mutable wildcards : 'a entry list;
+  by_label : (Flow_label.t, 'a entry) Hashtbl.t;
+  mutable occupancy : int;
+  mutable peak : int;
+  mutable inserts : int;
+  mutable rejected : int;
+}
+
+let create sim ~capacity =
+  if capacity <= 0 then invalid_arg "Shadow_cache.create: capacity";
+  {
+    sim;
+    capacity;
+    exact = Hashtbl.create 256;
+    wildcards = [];
+    by_label = Hashtbl.create 256;
+    occupancy = 0;
+    peak = 0;
+    inserts = 0;
+    rejected = 0;
+  }
+
+let detach t e =
+  if e.alive then begin
+    e.alive <- false;
+    (match e.expiry_event with Some ev -> Sim.cancel ev | None -> ());
+    e.expiry_event <- None;
+    Hashtbl.remove t.by_label e.label;
+    if Flow_label.is_exact e.label then Hashtbl.remove t.exact e.label
+    else t.wildcards <- List.filter (fun w -> w != e) t.wildcards;
+    t.occupancy <- t.occupancy - 1
+  end
+
+let arm t e =
+  (match e.expiry_event with Some ev -> Sim.cancel ev | None -> ());
+  e.expiry_event <- Some (Sim.at t.sim e.expires_at (fun () -> detach t e))
+
+let insert t label ~ttl data =
+  let now = Sim.now t.sim in
+  match Hashtbl.find_opt t.by_label label with
+  | Some e ->
+    e.data <- data;
+    e.expires_at <- Float.max e.expires_at (now +. ttl);
+    arm t e;
+    t.inserts <- t.inserts + 1;
+    Ok e
+  | None ->
+    if t.occupancy >= t.capacity then begin
+      t.rejected <- t.rejected + 1;
+      Error `Full
+    end
+    else begin
+      let e =
+        {
+          label;
+          inserted_at = now;
+          expires_at = now +. ttl;
+          alive = true;
+          data;
+          expiry_event = None;
+        }
+      in
+      Hashtbl.replace t.by_label label e;
+      if Flow_label.is_exact label then Hashtbl.replace t.exact label e
+      else t.wildcards <- e :: t.wildcards;
+      t.occupancy <- t.occupancy + 1;
+      if t.occupancy > t.peak then t.peak <- t.occupancy;
+      t.inserts <- t.inserts + 1;
+      arm t e;
+      Ok e
+    end
+
+let find t label =
+  match Hashtbl.find_opt t.by_label label with
+  | Some e when e.alive -> Some e
+  | _ -> None
+
+let match_packet t (pkt : Packet.t) =
+  let pair = Flow_label.host_pair pkt.src pkt.dst in
+  match Hashtbl.find_opt t.exact pair with
+  | Some e when e.alive -> Some e
+  | _ -> (
+    let with_proto = { pair with Flow_label.proto = Some pkt.proto } in
+    match Hashtbl.find_opt t.exact with_proto with
+    | Some e when e.alive -> Some e
+    | _ ->
+      List.find_opt
+        (fun e -> e.alive && Flow_label.matches e.label pkt)
+        t.wildcards)
+
+let remove t e = detach t e
+
+let refresh t e ~ttl =
+  if e.alive then begin
+    let deadline = Sim.now t.sim +. ttl in
+    if deadline > e.expires_at then begin
+      e.expires_at <- deadline;
+      arm t e
+    end
+  end
+
+let data e = e.data
+let set_data e d = e.data <- d
+let label e = e.label
+let inserted_at e = e.inserted_at
+let expires_at e = e.expires_at
+let live e = e.alive
+
+let occupancy t = t.occupancy
+let capacity t = t.capacity
+let peak_occupancy t = t.peak
+let inserts t = t.inserts
+let rejected t = t.rejected
+
+let iter t f =
+  Hashtbl.iter (fun _ e -> if e.alive then f e) t.by_label

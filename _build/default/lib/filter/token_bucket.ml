@@ -1,0 +1,40 @@
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last_update : float;
+  mutable admitted : int;
+  mutable denied : int;
+}
+
+let create ~rate ~burst =
+  if rate <= 0. || burst <= 0. then
+    invalid_arg "Token_bucket.create: rate and burst must be positive";
+  { rate; burst; tokens = burst; last_update = 0.; admitted = 0; denied = 0 }
+
+let refill t ~now =
+  if now > t.last_update then begin
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last_update) *. t.rate));
+    t.last_update <- now
+  end
+
+let allow ?(cost = 1.0) t ~now =
+  refill t ~now;
+  if t.tokens >= cost then begin
+    t.tokens <- t.tokens -. cost;
+    t.admitted <- t.admitted + 1;
+    true
+  end
+  else begin
+    t.denied <- t.denied + 1;
+    false
+  end
+
+let peek_tokens t ~now =
+  refill t ~now;
+  t.tokens
+
+let rate t = t.rate
+let burst t = t.burst
+let admitted t = t.admitted
+let denied t = t.denied

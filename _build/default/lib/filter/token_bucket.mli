@@ -1,0 +1,25 @@
+(** Token-bucket rate policer.
+
+    Realises the filtering contracts of the paper: "the rate R at which A
+    accepts filtering requests". A bucket refills continuously at [rate]
+    tokens per second up to [burst]; each admitted event consumes one token
+    (or an explicit [cost]). Requests arriving when the bucket is empty are
+    rejected — "indiscriminately dropped", as the paper puts it. *)
+
+type t
+
+val create : rate:float -> burst:float -> t
+(** Starts full. [rate] and [burst] must be positive. *)
+
+val allow : ?cost:float -> t -> now:float -> bool
+(** Admit an event at virtual time [now] if at least [cost] (default 1)
+    tokens are available, consuming them. [now] must not go backwards. *)
+
+val peek_tokens : t -> now:float -> float
+(** Tokens available at [now], without consuming. *)
+
+val rate : t -> float
+val burst : t -> float
+
+val admitted : t -> int
+val denied : t -> int

@@ -1,0 +1,31 @@
+let effective_bandwidth_ratio ~n ~td ~tr ~t_filter =
+  if t_filter <= 0. then invalid_arg "Formulas: T must be positive";
+  float_of_int n *. (td +. tr) /. t_filter
+
+let effective_bandwidth ~n ~td ~tr ~t_filter ~bandwidth =
+  bandwidth *. effective_bandwidth_ratio ~n ~td ~tr ~t_filter
+
+let check_positive name v =
+  if v <= 0. then invalid_arg (Printf.sprintf "Formulas: %s must be positive" name)
+
+let protected_flows ~r1 ~t_filter =
+  check_positive "R1" r1;
+  check_positive "T" t_filter;
+  int_of_float (r1 *. t_filter)
+
+let victim_gateway_filters ~r1 ~t_tmp =
+  check_positive "R1" r1;
+  check_positive "Ttmp" t_tmp;
+  int_of_float (ceil (r1 *. t_tmp))
+
+let victim_gateway_shadow ~r1 ~t_filter =
+  check_positive "R1" r1;
+  check_positive "T" t_filter;
+  int_of_float (r1 *. t_filter)
+
+let attacker_gateway_filters ~r2 ~t_filter =
+  check_positive "R2" r2;
+  check_positive "T" t_filter;
+  int_of_float (r2 *. t_filter)
+
+let min_t_tmp ~traceback_time ~handshake_time = traceback_time +. handshake_time

@@ -1,0 +1,38 @@
+(** The paper's closed-form performance model (Section IV).
+
+    Each function is one formula, with the paper's variable names; the
+    benches print these next to the simulator's measurements.
+
+    Worked examples from the paper (reproduced in the tests):
+    - r ≈ 0.00083 for n = 1, Td ≈ 0, Tr = 50 ms, T = 60 s;
+    - Nv = 6000 for R1 = 100/s, T = 60 s;
+    - nv = 60 for R1 = 100/s, Ttmp = 600 ms;
+    - na = 60 for R2 = 1/s, T = 60 s. *)
+
+val effective_bandwidth_ratio :
+  n:int -> td:float -> tr:float -> t_filter:float -> float
+(** r ≈ n (Td + Tr) / T — the fraction of an undesired flow's bandwidth the
+    victim still experiences, with [n] non-cooperating AITF nodes on the
+    attack path (IV-A.1). *)
+
+val effective_bandwidth :
+  n:int -> td:float -> tr:float -> t_filter:float -> bandwidth:float -> float
+(** Be ≈ B · r. *)
+
+val protected_flows : r1:float -> t_filter:float -> int
+(** Nv = R1 · T — simultaneous undesired flows a client is protected
+    against (IV-A.2). *)
+
+val victim_gateway_filters : r1:float -> t_tmp:float -> int
+(** nv = R1 · Ttmp — hardware filters the victim's gateway needs (IV-B). *)
+
+val victim_gateway_shadow : r1:float -> t_filter:float -> int
+(** mv = R1 · T — shadow-cache entries the victim's gateway needs (IV-B). *)
+
+val attacker_gateway_filters : r2:float -> t_filter:float -> int
+(** na = R2 · T — filters the attacker's gateway needs (IV-C); the same
+    bound applies to the compliant attacker itself (IV-D). *)
+
+val min_t_tmp : traceback_time:float -> handshake_time:float -> float
+(** Lower bound on Ttmp: it must cover traceback plus the 3-way handshake
+    (IV-B). *)

@@ -1,0 +1,1 @@
+lib/net/addr.ml: Format Hashtbl Int Int32 Printf String

@@ -1,0 +1,1 @@
+lib/net/link.ml: Aitf_engine Hashtbl Packet Queue

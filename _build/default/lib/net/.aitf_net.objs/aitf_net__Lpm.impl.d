@@ -1,0 +1,1 @@
+lib/net/lpm.ml: Addr Int32

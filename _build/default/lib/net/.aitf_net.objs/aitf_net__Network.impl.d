@@ -1,0 +1,1 @@
+lib/net/network.ml: Addr Aitf_engine Array Float Hashtbl Link List Lpm Node Option Packet Printf

@@ -1,0 +1,1 @@
+lib/net/network.mli: Addr Aitf_engine Link Node Packet

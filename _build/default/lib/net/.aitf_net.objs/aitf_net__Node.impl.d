@@ -1,0 +1,1 @@
+lib/net/node.ml: Addr Format Hashtbl Link List Lpm Packet

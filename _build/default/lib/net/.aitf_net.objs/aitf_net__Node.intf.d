@@ -1,0 +1,1 @@
+lib/net/node.mli: Addr Format Hashtbl Link Lpm Packet

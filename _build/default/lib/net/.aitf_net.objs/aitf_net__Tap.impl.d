@@ -1,0 +1,1 @@
+lib/net/tap.ml: List Node Packet

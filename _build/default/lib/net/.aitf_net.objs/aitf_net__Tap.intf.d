@@ -1,0 +1,1 @@
+lib/net/tap.mli: Node Packet

@@ -1,0 +1,126 @@
+module Sim = Aitf_engine.Sim
+module Rng = Aitf_engine.Rng
+
+type discipline =
+  | Drop_tail
+  | Red of { min_th : int; max_th : int; max_p : float }
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  bandwidth : float;
+  delay : float;
+  queue_capacity : int;
+  mutable deliver : (Packet.t -> unit) option;
+  queue : Packet.t Queue.t;
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable is_up : bool;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable dropped_packets : int;
+  mutable dropped_bytes : int;
+  discipline : discipline;
+  rng : Rng.t;
+  mutable avg_queue : float;  (* EWMA of queued bytes, for RED *)
+  mutable early_drops : int;
+}
+
+let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
+    ~queue_capacity =
+  if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if delay < 0. then invalid_arg "Link.create: negative delay";
+  if queue_capacity < 0 then invalid_arg "Link.create: negative queue capacity";
+  {
+    sim;
+    name;
+    bandwidth;
+    delay;
+    queue_capacity;
+    deliver = None;
+    queue = Queue.create ();
+    queued_bytes = 0;
+    busy = false;
+    is_up = true;
+    tx_packets = 0;
+    tx_bytes = 0;
+    dropped_packets = 0;
+    dropped_bytes = 0;
+    discipline;
+    rng = Rng.create ~seed:(Hashtbl.hash name);
+    avg_queue = 0.;
+    early_drops = 0;
+  }
+
+let set_deliver t f = t.deliver <- Some f
+
+let drop t (pkt : Packet.t) =
+  t.dropped_packets <- t.dropped_packets + 1;
+  t.dropped_bytes <- t.dropped_bytes + pkt.size
+
+let rec start_transmission t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    t.queued_bytes <- t.queued_bytes - pkt.size;
+    let serialization = float_of_int (pkt.size * 8) /. t.bandwidth in
+    ignore
+      (Sim.after t.sim serialization (fun () ->
+           t.tx_packets <- t.tx_packets + 1;
+           t.tx_bytes <- t.tx_bytes + pkt.size;
+           ignore
+             (Sim.after t.sim t.delay (fun () ->
+                  match t.deliver with
+                  | Some f when t.is_up -> f pkt
+                  | Some _ | None -> drop t pkt));
+           start_transmission t))
+
+(* RED decision on enqueue: EWMA the backlog and drop probabilistically
+   between the thresholds. *)
+let red_rejects t =
+  match t.discipline with
+  | Drop_tail -> false
+  | Red { min_th; max_th; max_p } ->
+    let w = 0.02 in
+    t.avg_queue <-
+      ((1. -. w) *. t.avg_queue) +. (w *. float_of_int t.queued_bytes);
+    if t.avg_queue <= float_of_int min_th then false
+    else if t.avg_queue >= float_of_int max_th then true
+    else
+      let ramp =
+        (t.avg_queue -. float_of_int min_th)
+        /. float_of_int (max_th - min_th)
+      in
+      Rng.bernoulli t.rng ~p:(max_p *. ramp)
+
+let send t pkt =
+  if not t.is_up then drop t pkt
+  else if t.busy && t.queued_bytes + pkt.Packet.size > t.queue_capacity then
+    drop t pkt
+  else if t.busy && red_rejects t then begin
+    t.early_drops <- t.early_drops + 1;
+    drop t pkt
+  end
+  else begin
+    Queue.add pkt t.queue;
+    t.queued_bytes <- t.queued_bytes + pkt.size;
+    if not t.busy then start_transmission t
+  end
+
+let name t = t.name
+let bandwidth t = t.bandwidth
+let delay t = t.delay
+let up t = t.is_up
+let set_up t v = t.is_up <- v
+let queued_bytes t = t.queued_bytes
+let discipline t = t.discipline
+let early_drops t = t.early_drops
+let tx_packets t = t.tx_packets
+let tx_bytes t = t.tx_bytes
+let dropped_packets t = t.dropped_packets
+let dropped_bytes t = t.dropped_bytes
+
+let utilization t ~now =
+  if now <= 0. then 0.
+  else float_of_int (t.tx_bytes * 8) /. (t.bandwidth *. now)

@@ -1,0 +1,99 @@
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+}
+
+type 'a t = { root : 'a node; mutable size : int }
+
+let new_node () = { value = None; zero = None; one = None }
+
+let create () = { root = new_node (); size = 0 }
+
+let child node bit =
+  if bit then node.one else node.zero
+
+let ensure_child node bit =
+  match child node bit with
+  | Some c -> c
+  | None ->
+    let c = new_node () in
+    if bit then node.one <- Some c else node.zero <- Some c;
+    c
+
+let find_node t (p : Addr.prefix) =
+  let rec go node depth =
+    if depth = p.len then Some node
+    else
+      match child node (Addr.bit p.base depth) with
+      | None -> None
+      | Some c -> go c (depth + 1)
+  in
+  go t.root 0
+
+let insert t (p : Addr.prefix) v =
+  let rec go node depth =
+    if depth = p.len then begin
+      if node.value = None then t.size <- t.size + 1;
+      node.value <- Some v
+    end
+    else go (ensure_child node (Addr.bit p.base depth)) (depth + 1)
+  in
+  go t.root 0
+
+let remove t p =
+  match find_node t p with
+  | None -> ()
+  | Some node ->
+    if node.value <> None then t.size <- t.size - 1;
+    node.value <- None
+
+let exact t p =
+  match find_node t p with None -> None | Some node -> node.value
+
+let lookup_prefix t addr =
+  let rec go node depth best =
+    let best =
+      match node.value with
+      | Some v -> Some (Addr.prefix addr depth, v)
+      | None -> best
+    in
+    if depth = 32 then best
+    else
+      match child node (Addr.bit addr depth) with
+      | None -> best
+      | Some c -> go c (depth + 1) best
+  in
+  go t.root 0 None
+
+let lookup t addr =
+  match lookup_prefix t addr with None -> None | Some (_, v) -> Some v
+
+let iter t f =
+  let rec go node prefix_bits depth =
+    (match node.value with
+    | Some v -> f (Addr.prefix prefix_bits depth) v
+    | None -> ());
+    (match node.zero with
+    | Some c -> go c prefix_bits (depth + 1)
+    | None -> ());
+    match node.one with
+    | Some c ->
+      let bit_val = Int32.shift_left 1l (31 - depth) in
+      go c (Int32.logor prefix_bits bit_val) (depth + 1)
+    | None -> ()
+  in
+  go t.root 0l 0
+
+let size t = t.size
+
+let clear t =
+  t.root.value <- None;
+  t.root.zero <- None;
+  t.root.one <- None;
+  t.size <- 0
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun p v -> acc := (p, v) :: !acc);
+  !acc

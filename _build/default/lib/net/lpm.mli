@@ -1,0 +1,37 @@
+(** Longest-prefix-match routing table.
+
+    A binary trie over address bits, most-significant bit first. Lookup walks
+    at most 32 levels and returns the value bound to the longest prefix
+    covering the address — the classic FIB structure, here used both for
+    forwarding tables and for "is this address inside my network" checks. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val insert : 'a t -> Addr.prefix -> 'a -> unit
+(** Bind [prefix] to a value, replacing any previous binding of the exact
+    same prefix. *)
+
+val remove : 'a t -> Addr.prefix -> unit
+(** Remove the binding of exactly this prefix, if any. *)
+
+val lookup : 'a t -> Addr.t -> 'a option
+(** Longest matching prefix's value, or [None]. *)
+
+val lookup_prefix : 'a t -> Addr.t -> (Addr.prefix * 'a) option
+(** Like {!lookup} but also returns the matching prefix. *)
+
+val exact : 'a t -> Addr.prefix -> 'a option
+(** Value bound to exactly this prefix. *)
+
+val size : 'a t -> int
+(** Number of bound prefixes. *)
+
+val clear : 'a t -> unit
+(** Remove every binding. *)
+
+val iter : 'a t -> (Addr.prefix -> 'a -> unit) -> unit
+(** Visit all bindings (order unspecified). *)
+
+val to_list : 'a t -> (Addr.prefix * 'a) list

@@ -1,0 +1,218 @@
+module Sim = Aitf_engine.Sim
+module Heap = Aitf_engine.Heap
+
+type t = {
+  sim : Sim.t;
+  mutable nodes_rev : Node.t list;
+  by_id : (int, Node.t) Hashtbl.t;
+  by_addr : (Addr.t, Node.t) Hashtbl.t;
+  mutable links_rev : Link.t list;
+  mutable next_id : int;
+}
+
+let create sim =
+  {
+    sim;
+    nodes_rev = [];
+    by_id = Hashtbl.create 64;
+    by_addr = Hashtbl.create 64;
+    links_rev = [];
+    next_id = 0;
+  }
+
+let sim t = t.sim
+
+(* Forwarding loop ------------------------------------------------------- *)
+
+let rec run_hooks node pkt = function
+  | [] -> Node.Continue
+  | h :: rest -> (
+    match h node pkt with
+    | Node.Continue -> run_hooks node pkt rest
+    | Node.Drop _ as d -> d)
+
+let forward node (pkt : Packet.t) =
+  match Lpm.lookup node.Node.fib pkt.dst with
+  | None -> Node.count_drop node "no-route"
+  | Some port ->
+    node.Node.forwarded_packets <- node.Node.forwarded_packets + 1;
+    Link.send port.Node.link pkt
+
+let receive node (pkt : Packet.t) =
+  node.Node.rx_packets <- node.Node.rx_packets + 1;
+  node.Node.rx_bytes <- node.Node.rx_bytes + pkt.size;
+  if Addr.equal pkt.dst node.Node.addr then begin
+    node.Node.delivered_packets <- node.Node.delivered_packets + 1;
+    node.Node.local_deliver node pkt
+  end
+  else
+    match run_hooks node pkt node.Node.hooks with
+    | Node.Drop reason -> Node.count_drop node reason
+    | Node.Continue ->
+      pkt.ttl <- pkt.ttl - 1;
+      if pkt.ttl <= 0 then Node.count_drop node "ttl-expired"
+      else forward node pkt
+
+(* Topology -------------------------------------------------------------- *)
+
+let add_node t ~name ~addr ~as_id kind =
+  if Hashtbl.mem t.by_addr addr then
+    invalid_arg
+      (Printf.sprintf "Network.add_node: duplicate address %s"
+         (Addr.to_string addr));
+  let node = Node.make ~id:t.next_id ~name ~addr ~as_id kind in
+  t.next_id <- t.next_id + 1;
+  t.nodes_rev <- node :: t.nodes_rev;
+  Hashtbl.add t.by_id node.id node;
+  Hashtbl.add t.by_addr addr node;
+  node
+
+let node t id = Hashtbl.find t.by_id id
+let node_by_addr t addr = Hashtbl.find_opt t.by_addr addr
+
+let node_by_name t name =
+  List.find_opt (fun n -> n.Node.name = name) (List.rev t.nodes_rev)
+
+let nodes t = List.rev t.nodes_rev
+let links t = List.rev t.links_rev
+
+let connect ?(queue_capacity = 65536) ?discipline ?name t a b ~bandwidth
+    ~delay =
+  let link_name dir =
+    match name with
+    | Some n -> n ^ dir
+    | None -> Printf.sprintf "%s->%s" a.Node.name b.Node.name
+  in
+  let ab =
+    Link.create ?discipline t.sim ~name:(link_name "") ~bandwidth ~delay
+      ~queue_capacity
+  in
+  let ba =
+    Link.create ?discipline t.sim
+      ~name:(Printf.sprintf "%s->%s" b.Node.name a.Node.name)
+      ~bandwidth ~delay ~queue_capacity
+  in
+  Link.set_deliver ab (fun pkt ->
+      pkt.Packet.last_hop <- Some a.Node.addr;
+      receive b pkt);
+  Link.set_deliver ba (fun pkt ->
+      pkt.Packet.last_hop <- Some b.Node.addr;
+      receive a pkt);
+  let inter_as = a.Node.as_id <> b.Node.as_id in
+  a.Node.ports <-
+    a.Node.ports @ [ { Node.link = ab; peer_id = b.Node.id; inter_as } ];
+  b.Node.ports <-
+    b.Node.ports @ [ { Node.link = ba; peer_id = a.Node.id; inter_as } ];
+  t.links_rev <- ba :: ab :: t.links_rev;
+  (ab, ba)
+
+(* Routing --------------------------------------------------------------- *)
+
+(* Dijkstra from [src] over propagation delays (plus a small per-hop bias so
+   zero-delay topologies still prefer shorter hop counts). Returns, for every
+   reachable node id, the distance and the first-hop port out of [src]. *)
+let shortest_paths t (src : Node.t) =
+  let n = t.next_id in
+  let dist = Array.make n infinity in
+  let first_port : Node.port option array = Array.make n None in
+  let heap =
+    Heap.create ~cmp:(fun (d1, _) (d2, _) -> Float.compare d1 d2)
+  in
+  dist.(src.Node.id) <- 0.;
+  Heap.push heap (0., src.Node.id);
+  let hop_bias = 1e-6 in
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, id) ->
+      if d <= dist.(id) then begin
+        let node = Hashtbl.find t.by_id id in
+        let relax (port : Node.port) =
+          if Link.up port.Node.link then begin
+            let nd = d +. Link.delay port.Node.link +. hop_bias in
+            let peer = port.Node.peer_id in
+            if nd < dist.(peer) then begin
+              dist.(peer) <- nd;
+              first_port.(peer) <-
+                (if id = src.Node.id then Some port else first_port.(id));
+              Heap.push heap (nd, peer)
+            end
+          end
+        in
+        List.iter relax node.Node.ports
+      end;
+      loop ()
+  in
+  loop ();
+  (dist, first_port)
+
+let compute_routes t =
+  let all = nodes t in
+  let advertisements =
+    List.concat_map
+      (fun (n : Node.t) ->
+        List.map (fun (p, scope) -> (p, scope, n)) n.Node.advertised)
+      all
+  in
+  let install (src : Node.t) =
+    let dist, first_port = shortest_paths t src in
+    Lpm.clear src.Node.fib;
+    (* Best (nearest-owner) route per prefix. *)
+    let best : (Addr.prefix, float * Node.port) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let consider (prefix, scope, owner) =
+      let visible =
+        match scope with
+        | Node.Global -> true
+        | Node.As_local -> owner.Node.as_id = src.Node.as_id
+      in
+      if visible && owner.Node.id <> src.Node.id then
+        match first_port.(owner.Node.id) with
+        | None -> ()
+        | Some port ->
+          let d = dist.(owner.Node.id) in
+          let better =
+            match Hashtbl.find_opt best prefix with
+            | None -> true
+            | Some (d', _) -> d < d'
+          in
+          if better then Hashtbl.replace best prefix (d, port)
+    in
+    List.iter consider advertisements;
+    Hashtbl.iter (fun prefix (_, port) -> Lpm.insert src.Node.fib prefix port)
+      best
+  in
+  List.iter install all
+
+(* Injection & admin ------------------------------------------------------ *)
+
+let originate t (node : Node.t) (pkt : Packet.t) =
+  if Addr.equal pkt.dst node.Node.addr then
+    ignore
+      (Sim.after t.sim 0. (fun () ->
+           node.Node.delivered_packets <- node.Node.delivered_packets + 1;
+           node.Node.local_deliver node pkt))
+  else forward node pkt
+
+let disconnect_port _t (node : Node.t) ~peer_id =
+  match Node.port_to node ~peer_id with
+  | None -> false
+  | Some port ->
+    Link.set_up port.Node.link false;
+    let peer_port =
+      let peer_node_id = node.Node.id in
+      fun (p : Node.port) -> p.Node.peer_id = peer_node_id
+    in
+    (match
+       List.find_opt peer_port
+         (Hashtbl.find_opt _t.by_id peer_id
+         |> Option.map (fun n -> n.Node.ports)
+         |> Option.value ~default:[])
+     with
+    | Some p -> Link.set_up p.Node.link false
+    | None -> ());
+    true
+
+let total_drops t ~reason =
+  List.fold_left (fun acc n -> acc + Node.drop_count n reason) 0 (nodes t)

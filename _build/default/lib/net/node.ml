@@ -1,0 +1,68 @@
+type kind = Host | Router | Border_router
+type scope = Global | As_local
+type hook_verdict = Continue | Drop of string
+
+type port = { link : Link.t; peer_id : int; mutable inter_as : bool }
+
+type t = {
+  id : int;
+  name : string;
+  addr : Addr.t;
+  mutable as_id : int;
+  kind : kind;
+  fib : port Lpm.t;
+  mutable ports : port list;
+  mutable advertised : (Addr.prefix * scope) list;
+  mutable hooks : (t -> Packet.t -> hook_verdict) list;
+  mutable local_deliver : t -> Packet.t -> unit;
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable forwarded_packets : int;
+  mutable delivered_packets : int;
+  drops : (string, int) Hashtbl.t;
+}
+
+let make ~id ~name ~addr ~as_id kind =
+  {
+    id;
+    name;
+    addr;
+    as_id;
+    kind;
+    fib = Lpm.create ();
+    ports = [];
+    advertised = [ (Addr.host_prefix addr, Global) ];
+    hooks = [];
+    local_deliver = (fun _ _ -> ());
+    rx_packets = 0;
+    rx_bytes = 0;
+    forwarded_packets = 0;
+    delivered_packets = 0;
+    drops = Hashtbl.create 8;
+  }
+
+let add_hook t h = t.hooks <- h :: t.hooks
+
+let port_to t ~peer_id =
+  List.find_opt (fun p -> p.peer_id = peer_id) t.ports
+
+let count_drop t reason =
+  let n = match Hashtbl.find_opt t.drops reason with None -> 0 | Some n -> n in
+  Hashtbl.replace t.drops reason (n + 1)
+
+let drop_count t reason =
+  match Hashtbl.find_opt t.drops reason with None -> 0 | Some n -> n
+
+let total_drops t = Hashtbl.fold (fun _ n acc -> acc + n) t.drops 0
+
+let is_border t = t.kind = Border_router
+let is_host t = t.kind = Host
+
+let kind_string = function
+  | Host -> "host"
+  | Router -> "router"
+  | Border_router -> "border"
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s, %a, AS%d)" t.name (kind_string t.kind) Addr.pp
+    t.addr t.as_id

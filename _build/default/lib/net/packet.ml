@@ -1,0 +1,60 @@
+type payload = ..
+type payload += Data of { flow_id : int; attack : bool }
+
+type t = {
+  id : int;
+  src : Addr.t;
+  true_src : Addr.t;
+  dst : Addr.t;
+  proto : int;
+  sport : int;
+  dport : int;
+  size : int;
+  mutable ttl : int;
+  mutable route_record : Addr.t list;
+  mutable ppm_mark : (Addr.t * Addr.t * int) option;
+  mutable last_hop : Addr.t option;
+  payload : payload;
+}
+
+let next_id = ref 0
+let reset_ids () = next_id := 0
+
+let route_record_limit = 16
+
+let make ?spoofed_src ?(proto = 17) ?(sport = 0) ?(dport = 0) ?(ttl = 64) ~src
+    ~dst ~size payload =
+  let id = !next_id in
+  incr next_id;
+  let header_src = match spoofed_src with None -> src | Some s -> s in
+  {
+    id;
+    src = header_src;
+    true_src = src;
+    dst;
+    proto;
+    sport;
+    dport;
+    size;
+    ttl;
+    route_record = [];
+    ppm_mark = None;
+    last_hop = None;
+    payload;
+  }
+
+let is_control p = match p.payload with Data _ -> false | _ -> true
+
+let record_route p addr =
+  if List.length p.route_record < route_record_limit then
+    p.route_record <- p.route_record @ [ addr ]
+
+let payload_kind p =
+  match p.payload with
+  | Data { attack = true; _ } -> "data/attack"
+  | Data _ -> "data"
+  | _ -> "ctrl"
+
+let pp fmt p =
+  Format.fprintf fmt "#%d %a -> %a (%dB %s)" p.id Addr.pp p.src Addr.pp p.dst
+    p.size (payload_kind p)

@@ -1,0 +1,72 @@
+(** Simulated packets.
+
+    The payload is an extensible variant: higher layers (the AITF protocol,
+    the Pushback baseline) add their own message constructors without the
+    network layer depending on them. Plain traffic uses {!Data}.
+
+    Two source fields coexist: [src] is what the header claims (and may be
+    spoofed); [true_src] is the simulator's ground truth, used only for
+    measurement and never consulted by protocol code.
+
+    [route_record] models in-packet traceback (TRIAD-style, [CG00]): each
+    AITF border router that forwards the packet appends its address, oldest
+    (closest to the attacker) first. [ppm_mark] carries a Savage-style
+    probabilistic edge mark: [(edge_start, edge_end, distance)]. *)
+
+type payload = ..
+
+type payload +=
+  | Data of { flow_id : int; attack : bool }
+        (** Ordinary traffic. [attack] is scenario ground truth consumed by
+            the victim's detector, standing in for whatever local
+            classification identified the flow as undesired. *)
+
+type t = {
+  id : int;  (** unique per simulation, for digests and tracing *)
+  src : Addr.t;  (** header source — may be spoofed *)
+  true_src : Addr.t;  (** ground truth origin (measurement only) *)
+  dst : Addr.t;
+  proto : int;
+  sport : int;  (** source port (0 when not meaningful) *)
+  dport : int;  (** destination port *)
+  size : int;  (** bytes on the wire *)
+  mutable ttl : int;
+  mutable route_record : Addr.t list;  (** attacker-side first *)
+  mutable ppm_mark : (Addr.t * Addr.t * int) option;
+  mutable last_hop : Addr.t option;
+      (** address of the node that transmitted the packet last (set by the
+          link layer); lets receivers attribute traffic to an upstream
+          neighbor, as Pushback needs *)
+  payload : payload;
+}
+
+val make :
+  ?spoofed_src:Addr.t ->
+  ?proto:int ->
+  ?sport:int ->
+  ?dport:int ->
+  ?ttl:int ->
+  src:Addr.t ->
+  dst:Addr.t ->
+  size:int ->
+  payload ->
+  t
+(** Build a packet with a fresh [id]. [src] is the true origin; when
+    [?spoofed_src] is given it becomes the header source while [src] is kept
+    as [true_src]. Default [proto] is [17], ports [0], [ttl] [64]. *)
+
+val is_control : t -> bool
+(** [true] for anything that is not {!Data} — i.e. protocol messages. *)
+
+val record_route : t -> Addr.t -> unit
+(** Append a border-router address to the route record (bounded; further
+    appends beyond the bound are dropped, mirroring limited header space). *)
+
+val route_record_limit : int
+(** Maximum number of recorded addresses (16). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering for traces: id, src -> dst, size and payload kind. *)
+
+val reset_ids : unit -> unit
+(** Reset the global id counter (between independent test runs). *)

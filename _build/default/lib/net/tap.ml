@@ -1,0 +1,33 @@
+type t = {
+  filter : Packet.t -> bool;
+  limit : int;
+  mutable rev_captured : Packet.t list;
+  mutable count : int;
+  mutable matched : int;
+  mutable stopped : bool;
+}
+
+let attach ?(filter = fun _ -> true) ?(limit = 10_000) node =
+  let t =
+    { filter; limit; rev_captured = []; count = 0; matched = 0; stopped = false }
+  in
+  Node.add_hook node (fun _ pkt ->
+      if (not t.stopped) && t.filter pkt then begin
+        t.matched <- t.matched + 1;
+        if t.count < t.limit then begin
+          t.rev_captured <- pkt :: t.rev_captured;
+          t.count <- t.count + 1
+        end
+      end;
+      Node.Continue);
+  t
+
+let captured t = List.rev t.rev_captured
+let count t = t.count
+let matched t = t.matched
+
+let clear t =
+  t.rev_captured <- [];
+  t.count <- 0
+
+let stop t = t.stopped <- true

@@ -1,0 +1,29 @@
+(** Packet capture for debugging and tests.
+
+    A tap records (references to) transit packets flowing through a node's
+    forwarding path, optionally filtered, up to a bound. Think of it as a
+    tiny tcpdump: examples and tests use it to assert on what actually
+    crossed a router without perturbing forwarding. *)
+
+type t
+
+val attach : ?filter:(Packet.t -> bool) -> ?limit:int -> Node.t -> t
+(** Start capturing transit packets at [node] (local deliveries are not
+    transit and are not seen). Default [filter] accepts everything; default
+    [limit] is 10_000 packets, after which the tap stops recording (but
+    keeps counting {!matched}). *)
+
+val captured : t -> Packet.t list
+(** Recorded packets, oldest first. *)
+
+val count : t -> int
+(** Number of recorded packets (≤ limit). *)
+
+val matched : t -> int
+(** Number of packets that matched the filter, recorded or not. *)
+
+val clear : t -> unit
+(** Drop the recording (counting continues). *)
+
+val stop : t -> unit
+(** Stop matching entirely; the hook becomes a no-op. *)

@@ -1,0 +1,1 @@
+lib/pushback/pushback.ml: Addr Aitf_engine Aitf_net Float Hashtbl Link List Network Node Packet

@@ -1,0 +1,1 @@
+lib/pushback/pushback.mli: Addr Aitf_net Network Node Packet

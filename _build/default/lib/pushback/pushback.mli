@@ -1,0 +1,66 @@
+(** Pushback: aggregate-based congestion control ([MBF+01]) — the baseline
+    AITF is contrasted against.
+
+    Each participating router periodically inspects its output links; when
+    a link's drop fraction over the last interval exceeds a threshold, the
+    router identifies the highest-volume destination aggregate (a /24 around
+    the victim), installs a local rate limiter for it, and — if the
+    aggregate keeps arriving well above the limit — recursively asks the
+    upstream neighbors that contribute most to rate-limit it too, dividing
+    the rate budget between them. Limiters expire unless re-triggered.
+
+    The contrast with AITF that experiment E8 quantifies: pushback involves
+    {e every} router on the attack path(s) hop by hop and rate-limits (the
+    aggregate keeps part of its bandwidth — collateral damage for legit
+    traffic inside it), while AITF involves four nodes per round and blocks
+    exact flows. *)
+
+open Aitf_net
+
+type config = {
+  check_interval : float;  (** congestion-inspection period (s) *)
+  drop_threshold : float;  (** drop fraction that means "congested" *)
+  limit_fraction : float;
+      (** the aggregate is limited to this fraction of the congested link's
+          bandwidth *)
+  feedback_delay : float;  (** wait before propagating upstream (s) *)
+  over_limit_factor : float;
+      (** propagate when arrivals exceed [over_limit_factor * limit] *)
+  limiter_timeout : float;  (** rate-limiter lifetime (s) *)
+  max_depth : int;  (** recursion bound for upstream propagation *)
+  aggregate_prefix_len : int;  (** aggregate granularity (default /24) *)
+  max_contributors : int;  (** upstream neighbors asked per round *)
+}
+
+val default_config : config
+
+type Packet.payload +=
+  | Pushback_request of {
+      aggregate : Addr.prefix;
+      rate : float;  (** bytes/s allowed *)
+      depth : int;
+    }
+
+type t
+(** A deployment over some of a network's routers. *)
+
+val deploy : ?config:config -> Network.t -> Node.t list -> t
+(** Enable pushback on the given routers: installs accounting/limiting
+    hooks and the periodic congestion check. *)
+
+val config : t -> config
+
+val limiters_installed : t -> int
+(** Total limiters ever installed across the deployment. *)
+
+val active_limiters : t -> int
+
+val routers_limiting : t -> int
+(** Routers currently holding at least one limiter — the "nodes involved"
+    measure. *)
+
+val messages_sent : t -> int
+(** Pushback requests exchanged. *)
+
+val limited_bytes : t -> float
+(** Bytes dropped by rate limiters. *)

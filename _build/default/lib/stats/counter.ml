@@ -1,0 +1,19 @@
+type t = (string, int) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let incr ?(by = 1) t name =
+  let v = Option.value ~default:0 (Hashtbl.find_opt t name) in
+  Hashtbl.replace t name (v + by)
+
+let get t name = Option.value ~default:0 (Hashtbl.find_opt t name)
+let set t name v = Hashtbl.replace t name v
+
+let to_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset = Hashtbl.reset
+
+let pp fmt t =
+  List.iter (fun (k, v) -> Format.fprintf fmt "%s=%d@ " k v) (to_list t)

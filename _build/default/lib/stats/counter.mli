@@ -1,0 +1,20 @@
+(** Named counter groups.
+
+    A tiny instrumentation primitive: a group of integer counters addressed
+    by name, created on first touch. Protocol components expose one group
+    each; reports iterate them. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+val get : t -> string -> int
+val set : t -> string -> int -> unit
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

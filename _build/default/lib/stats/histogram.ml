@@ -1,0 +1,51 @@
+type t = { bounds : float array; counts : int array; mutable total : int }
+
+let create ~bounds =
+  if bounds = [] then invalid_arg "Histogram.create: empty bounds";
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | [ _ ] | [] -> true
+  in
+  if not (ascending bounds) then
+    invalid_arg "Histogram.create: bounds must be strictly ascending";
+  let bounds = Array.of_list bounds in
+  (* one extra slot: overflow *)
+  { bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0 }
+
+let log_bounds ~lo ~hi ~per_decade =
+  if lo <= 0. || hi <= lo || per_decade <= 0 then
+    invalid_arg "Histogram.log_bounds";
+  let step = 10. ** (1. /. float_of_int per_decade) in
+  let rec go acc v = if v >= hi *. step then List.rev acc else go (v :: acc) (v *. step) in
+  go [] lo
+
+let add t v =
+  t.total <- t.total + 1;
+  let n = Array.length t.bounds in
+  let rec find i = if i >= n || v <= t.bounds.(i) then i else find (i + 1) in
+  let i = find 0 in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let count t = t.total
+
+let buckets t =
+  let n = Array.length t.bounds in
+  List.init (n + 1) (fun i ->
+      ((if i < n then t.bounds.(i) else infinity), t.counts.(i)))
+
+let render ?(width = 40) t =
+  let max_count = Array.fold_left Int.max 1 t.counts in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (bound, c) ->
+      if c > 0 then begin
+        let bar = c * width / max_count in
+        Buffer.add_string buf
+          (Printf.sprintf "%10s | %-*s %d\n"
+             (if bound = infinity then "inf" else Printf.sprintf "%.4g" bound)
+             width
+             (String.make (Int.max 1 bar) '#')
+             c)
+      end)
+    (buckets t);
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Fixed-bucket histograms with an ASCII rendering.
+
+    Used for latency distributions in the transaction benches. Buckets are
+    supplied as ascending upper bounds; samples above the last bound land in
+    a final overflow bucket. *)
+
+type t
+
+val create : bounds:float list -> t
+(** @raise Invalid_argument if [bounds] is empty or not strictly
+    ascending. *)
+
+val log_bounds : lo:float -> hi:float -> per_decade:int -> float list
+(** Logarithmically spaced bounds from [lo] to at least [hi], with
+    [per_decade] buckets per decade — the usual latency scale. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total samples. *)
+
+val buckets : t -> (float * int) list
+(** (upper bound, samples) pairs; the final pair has bound [infinity]. *)
+
+val render : ?width:int -> t -> string
+(** Multi-line ASCII bar chart, one row per non-empty bucket. *)

@@ -1,0 +1,36 @@
+type t = {
+  window : float;
+  samples : (float * float) Queue.t;  (* (time, amount) *)
+  mutable in_window : float;
+  mutable total : float;
+}
+
+let create ~window =
+  if window <= 0. then invalid_arg "Rate_meter.create: window must be positive";
+  { window; samples = Queue.create (); in_window = 0.; total = 0. }
+
+let expire t ~now =
+  let cutoff = now -. t.window in
+  let rec go () =
+    match Queue.peek_opt t.samples with
+    | Some (time, amount) when time <= cutoff ->
+      ignore (Queue.pop t.samples);
+      t.in_window <- t.in_window -. amount;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let add t ~now amount =
+  expire t ~now;
+  Queue.add (now, amount) t.samples;
+  t.in_window <- t.in_window +. amount;
+  t.total <- t.total +. amount
+
+let rate t ~now =
+  expire t ~now;
+  t.in_window /. t.window
+
+let total t = t.total
+
+let mean_rate t ~now = if now <= 0. then 0. else t.total /. now

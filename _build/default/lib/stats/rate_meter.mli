@@ -1,0 +1,23 @@
+(** Sliding-window rate measurement.
+
+    Tracks bytes (or any additive quantity) over a moving time window and
+    reports the average rate — how the victim experiences the "effective
+    bandwidth" of a flow. Also accumulates the all-time total, from which
+    whole-run averages (the r factor of Section IV-A.1) are computed. *)
+
+type t
+
+val create : window:float -> t
+(** [window] in seconds, positive. *)
+
+val add : t -> now:float -> float -> unit
+(** Record an amount at time [now]. Times must be non-decreasing. *)
+
+val rate : t -> now:float -> float
+(** Windowed average: amount per second over the trailing window. *)
+
+val total : t -> float
+(** All-time accumulated amount. *)
+
+val mean_rate : t -> now:float -> float
+(** Whole-run average: total / now (0 before time advances). *)

@@ -1,0 +1,36 @@
+type t = { name : string; mutable rev_points : (float * float) list; mutable n : int }
+
+let create ?(name = "") () = { name; rev_points = []; n = 0 }
+
+let name t = t.name
+
+let add t ~time v =
+  (match t.rev_points with
+  | (last, _) :: _ when time < last ->
+    invalid_arg "Series.add: time went backwards"
+  | _ -> ());
+  t.rev_points <- (time, v) :: t.rev_points;
+  t.n <- t.n + 1
+
+let length t = t.n
+let points t = List.rev t.rev_points
+let last t = match t.rev_points with [] -> None | p :: _ -> Some p
+
+let resample t ~step ~until =
+  if step <= 0. then invalid_arg "Series.resample: step must be positive";
+  let pts = points t in
+  let rec go grid pts current acc =
+    if grid > until +. (step /. 2.) then List.rev acc
+    else
+      match pts with
+      | (time, v) :: rest when time <= grid -> go grid rest v acc
+      | _ -> go (grid +. step) pts current ((grid, current) :: acc)
+  in
+  go 0. pts 0. []
+
+let max_value t =
+  List.fold_left (fun acc (_, v) -> Float.max acc v) 0. t.rev_points
+
+let mean_value t =
+  if t.n = 0 then 0.
+  else List.fold_left (fun acc (_, v) -> acc +. v) 0. t.rev_points /. float_of_int t.n

@@ -1,0 +1,30 @@
+(** Time series accumulation.
+
+    Append (time, value) points during a run, then read them back for
+    figures: raw, resampled onto a regular grid, or reduced. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val add : t -> time:float -> float -> unit
+(** Times must be non-decreasing. *)
+
+val length : t -> int
+val points : t -> (float * float) list
+(** In insertion order. *)
+
+val last : t -> (float * float) option
+
+val resample : t -> step:float -> until:float -> (float * float) list
+(** Sample-and-hold onto a regular grid from 0 to [until]: each grid point
+    carries the most recent value at or before it (0 before the first
+    point). *)
+
+val max_value : t -> float
+(** Largest value (0 for an empty series). *)
+
+val mean_value : t -> float
+(** Plain average of the values (0 for an empty series). *)

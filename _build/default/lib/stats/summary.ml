@@ -1,0 +1,51 @@
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let zero =
+  { n = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile: empty input";
+  if q < 0. || q > 1. then invalid_arg "Summary.percentile: q outside [0,1]";
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  sorted.(Int.max 0 (Int.min (n - 1) (rank - 1)))
+
+let of_array a =
+  let n = Array.length a in
+  if n = 0 then zero
+  else begin
+    let sorted = Array.copy a in
+    Array.sort Float.compare sorted;
+    let sum = Array.fold_left ( +. ) 0. a in
+    let mean = sum /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a
+      /. float_of_int n
+    in
+    {
+      n;
+      mean;
+      stddev = sqrt var;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      p50 = percentile sorted 0.5;
+      p90 = percentile sorted 0.9;
+      p99 = percentile sorted 0.99;
+    }
+  end
+
+let of_list l = of_array (Array.of_list l)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g" t.n
+    t.mean t.stddev t.min t.p50 t.p90 t.p99 t.max

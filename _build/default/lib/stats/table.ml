@@ -1,0 +1,81 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rev_rows : string list list;
+}
+
+let create ~title ~columns = { title; columns; rev_rows = [] }
+
+let title t = t.title
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns (%s)"
+         (List.length cells) (List.length t.columns) t.title);
+  t.rev_rows <- cells :: t.rev_rows
+
+let add_rowf t fmt =
+  Printf.ksprintf (fun s -> add_row t (String.split_on_char '|' s)) fmt
+
+let rows t = List.rev t.rev_rows
+
+let render t =
+  let all = t.columns :: rows t in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- Int.max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 256 in
+  let pad cell width =
+    cell ^ String.make (width - String.length cell) ' '
+  in
+  let render_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (pad cell widths.(i));
+        Buffer.add_string buf " | ")
+      row;
+    (* trim the trailing space *)
+    let len = Buffer.length buf in
+    Buffer.truncate buf (len - 1);
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (3 * ncols) + 1
+  in
+  let rule = String.make total_width '-' ^ "\n" in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" t.title);
+  Buffer.add_string buf rule;
+  render_row t.columns;
+  Buffer.add_string buf rule;
+  List.iter render_row (rows t);
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (List.map line (t.columns :: rows t)) ^ "\n"
+
+let cell_float ?(digits = 4) v = Printf.sprintf "%.*g" digits v
+let cell_int = string_of_int
+let cell_bool b = if b then "yes" else "no"
+
+let cell_ratio ?(digits = 1) a b =
+  if b = 0. then Printf.sprintf "%.0f/0" a
+  else Printf.sprintf "%.0f/%.0f (%.*f%%)" a b digits (100. *. a /. b)

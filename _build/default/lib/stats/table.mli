@@ -1,0 +1,37 @@
+(** ASCII tables and CSV output for experiment reports.
+
+    The bench harness prints one table per paper table/figure; this module
+    owns the formatting so every experiment renders consistently. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val title : t -> string
+
+val add_row : t -> string list -> unit
+(** Must have as many cells as there are columns.
+    @raise Invalid_argument otherwise. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** One-cell-per-'|' convenience: the formatted string is split on ['|']. *)
+
+val rows : t -> string list list
+
+val render : t -> string
+(** Aligned, boxed ASCII rendering including the title. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val to_csv : t -> string
+(** Header row plus data rows, comma-separated; cells containing commas or
+    quotes are quoted. *)
+
+(** Cell formatting helpers. *)
+
+val cell_float : ?digits:int -> float -> string
+val cell_int : int -> string
+val cell_bool : bool -> string
+val cell_ratio : ?digits:int -> float -> float -> string
+(** ["a/b (x%)"]. *)

@@ -1,0 +1,1 @@
+lib/topo/chain.ml: Addr Aitf_core Aitf_engine Aitf_net Config Gateway Host_agent Link List Network Node Policy Printf

@@ -1,0 +1,1 @@
+lib/topo/chain.mli: Aitf_core Aitf_engine Aitf_net Config Gateway Host_agent Link Network Node Policy

@@ -1,0 +1,1 @@
+lib/topo/hierarchy.ml: Addr Aitf_core Aitf_engine Aitf_net Array Gateway Host_agent Network Node Policy Printf

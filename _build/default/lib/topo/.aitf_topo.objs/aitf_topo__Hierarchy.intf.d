@@ -1,0 +1,1 @@
+lib/topo/hierarchy.mli: Addr Aitf_core Aitf_engine Aitf_net Config Gateway Host_agent Network Node Policy

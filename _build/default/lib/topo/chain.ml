@@ -1,0 +1,171 @@
+module Sim = Aitf_engine.Sim
+module Rng = Aitf_engine.Rng
+open Aitf_net
+open Aitf_core
+
+type spec = {
+  depth : int;
+  tail_bw : float;
+  attacker_tail_bw : float;
+  core_bw : float;
+  access_delay : float;
+  hop_delay : float;
+  queue_capacity : int;
+  tail_discipline : Link.discipline;
+}
+
+let default_spec =
+  {
+    depth = 3;
+    tail_bw = 10e6;
+    attacker_tail_bw = 10e6;
+    core_bw = 1e9;
+    access_delay = 0.050;
+    hop_delay = 0.010;
+    queue_capacity = 65536;
+    tail_discipline = Link.Drop_tail;
+  }
+
+type t = {
+  net : Network.t;
+  victim : Node.t;
+  attacker : Node.t;
+  bystander : Node.t;
+  victim_gws : Node.t list;
+  attacker_gws : Node.t list;
+  victim_tail : Link.t;
+}
+
+(* One side of the chain: a host behind [depth] gateways. [base] is the
+   first address octet (10 for the victim side, 20 for the attacker side);
+   AS numbering starts at [as_base] + 1. *)
+let build_side net spec ~base ~as_base ~host_octet ~prefix =
+  let host_addr = Addr.of_octets base 0 0 host_octet in
+  let host =
+    Network.add_node net
+      ~name:(Printf.sprintf "%s_host" prefix)
+      ~addr:host_addr ~as_id:(as_base + 1) Node.Host
+  in
+  let gws =
+    List.init spec.depth (fun i ->
+        Network.add_node net
+          ~name:(Printf.sprintf "%s_gw%d" prefix (i + 1))
+          ~addr:(Addr.of_octets base i 0 1)
+          ~as_id:(as_base + 1 + i) Node.Border_router)
+  in
+  (host, gws)
+
+let build sim spec =
+  if spec.depth < 1 then invalid_arg "Chain.build: depth must be >= 1";
+  let net = Network.create sim in
+  let victim, victim_gws = build_side net spec ~base:10 ~as_base:0 ~host_octet:10 ~prefix:"G" in
+  let attacker, attacker_gws =
+    build_side net spec ~base:20 ~as_base:100 ~host_octet:66 ~prefix:"B"
+  in
+  let connect_chain ~tail_bw ~discipline host gws =
+    let first = List.hd gws in
+    let tail_pair =
+      Network.connect ~discipline net first host ~bandwidth:tail_bw
+        ~delay:spec.access_delay ~queue_capacity:spec.queue_capacity
+    in
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+        ignore
+          (Network.connect net a b ~bandwidth:spec.core_bw
+             ~delay:spec.hop_delay ~queue_capacity:spec.queue_capacity);
+        link rest
+      | [ _ ] | [] -> ()
+    in
+    link gws;
+    fst tail_pair
+  in
+  let victim_tail =
+    connect_chain ~tail_bw:spec.tail_bw ~discipline:spec.tail_discipline
+      victim victim_gws
+  in
+  let (_ : Link.t) =
+    connect_chain ~tail_bw:spec.attacker_tail_bw ~discipline:Link.Drop_tail
+      attacker attacker_gws
+  in
+  let bystander =
+    Network.add_node net ~name:"B_bystander" ~addr:(Addr.of_octets 20 0 0 77)
+      ~as_id:101 Node.Host
+  in
+  ignore
+    (Network.connect net (List.hd attacker_gws) bystander
+       ~bandwidth:spec.attacker_tail_bw ~delay:spec.access_delay
+       ~queue_capacity:spec.queue_capacity);
+  (* Peering between the two top-level gateways. *)
+  let top l = List.nth l (spec.depth - 1) in
+  ignore
+    (Network.connect net (top victim_gws) (top attacker_gws)
+       ~bandwidth:spec.core_bw ~delay:spec.hop_delay
+       ~queue_capacity:spec.queue_capacity);
+  Network.compute_routes net;
+  { net; victim; attacker; bystander; victim_gws; attacker_gws; victim_tail }
+
+type deployed = {
+  topo : t;
+  victim_agent : Host_agent.Victim.t;
+  attacker_agent : Host_agent.Attacker.t;
+  victim_gateways : Gateway.t list;
+  attacker_gateways : Gateway.t list;
+}
+
+let cone ~base ~index =
+  (* First gateway speaks only for the enterprise /24; higher ones for the
+     whole /8 customer cone. *)
+  if index = 0 then [ Addr.prefix (Addr.of_octets base 0 0 0) 24 ]
+  else [ Addr.prefix (Addr.of_octets base 0 0 0) 8 ]
+
+let deploy_side ~config ~rng ~policies ~base net gws =
+  let n = List.length gws in
+  List.mapi
+    (fun i (gw : Node.t) ->
+      let upstream =
+        if i + 1 < n then Some (List.nth gws (i + 1)).Node.addr else None
+      in
+      let policy =
+        match List.nth_opt policies i with Some p -> p | None -> Policy.Cooperative
+      in
+      Gateway.create ~policy ?upstream ~clients:(cone ~base ~index:i) ~config
+        ~rng:(Rng.split rng) net gw)
+    gws
+
+let non_cooperating k = List.init k (fun _ -> Policy.Unresponsive)
+
+let deploy ?(attacker_strategy = Policy.Complies) ?(attacker_gw_policies = [])
+    ?(victim_td = 0.1) ?(path_source = Host_agent.From_route_record)
+    ?victim_filter_capacity ~config ~rng t =
+  let victim_config =
+    match victim_filter_capacity with
+    | None -> config
+    | Some c -> { config with Config.filter_capacity = c }
+  in
+  let victim_gateways =
+    List.mapi
+      (fun i gw ->
+        let cfg = if i = 0 then victim_config else config in
+        let upstream =
+          match List.nth_opt t.victim_gws (i + 1) with
+          | Some up -> Some up.Node.addr
+          | None -> None
+        in
+        Gateway.create ~policy:Policy.Cooperative ?upstream
+          ~clients:(cone ~base:10 ~index:i) ~config:cfg ~rng:(Rng.split rng)
+          t.net gw)
+      t.victim_gws
+  in
+  let attacker_gateways =
+    deploy_side ~config ~rng ~policies:attacker_gw_policies ~base:20 t.net
+      t.attacker_gws
+  in
+  let victim_agent =
+    Host_agent.Victim.create ~td:victim_td ~path_source
+      ~gateway:(List.hd t.victim_gws).Node.addr ~config t.net t.victim
+  in
+  let attacker_agent =
+    Host_agent.Attacker.create ~strategy:attacker_strategy ~config t.net
+      t.attacker
+  in
+  { topo = t; victim_agent; attacker_agent; victim_gateways; attacker_gateways }

@@ -1,0 +1,79 @@
+(** The Figure-1 topology: a linear attack path.
+
+    [G_host — G_gw1 — G_gw2 — … — G_gwd  ===  B_gwd — … — B_gw1 — B_host]
+
+    with the victim's tail circuit (G_gw1 → G_host) as the thin link the
+    attack congests. [depth] gateways per side generalise the paper's
+    three-level example (enterprise, regional ISP, WAN). All gateways are
+    border routers; {!deploy} attaches the AITF machinery with per-gateway
+    cooperation policies so experiments can make any suffix of the
+    attacker's side unresponsive. *)
+
+open Aitf_net
+open Aitf_core
+
+type spec = {
+  depth : int;  (** gateways per side (>= 1); Figure 1 has 3 *)
+  tail_bw : float;  (** victim-side access-link bandwidth (bits/s) *)
+  attacker_tail_bw : float;
+      (** attacker-side access links; kept separate so a congestion
+          experiment can squeeze the victim's tail without also throttling
+          the attack at its source *)
+  core_bw : float;  (** inter-gateway bandwidth *)
+  access_delay : float;  (** host <-> first gateway one-way delay (s) —
+                             the Tr of the analysis *)
+  hop_delay : float;  (** gateway <-> gateway delay (s) *)
+  queue_capacity : int;  (** bytes per link queue *)
+  tail_discipline : Link.discipline;
+      (** queueing discipline of the victim's tail circuit (default
+          drop-tail; the A4 ablation compares RED) *)
+}
+
+val default_spec : spec
+(** depth 3, 10 Mbit/s tails (the paper's enterprise uplink), 1 Gbit/s
+    core, 50 ms access delay (the paper's Tr example), 10 ms hops, 64 KiB
+    queues. *)
+
+type t = {
+  net : Network.t;
+  victim : Node.t;
+  attacker : Node.t;
+  bystander : Node.t;
+      (** an innocent host in the attacker's enterprise — the collateral
+          victim of peer disconnection *)
+  victim_gws : Node.t list;  (** closest to the victim first: G_gw1, … *)
+  attacker_gws : Node.t list;  (** closest to the attacker first: B_gw1, … *)
+  victim_tail : Link.t;  (** the G_gw1 → G_host link the attack congests *)
+}
+
+val build : Aitf_engine.Sim.t -> spec -> t
+(** Construct nodes and links and compute routes. *)
+
+type deployed = {
+  topo : t;
+  victim_agent : Host_agent.Victim.t;
+  attacker_agent : Host_agent.Attacker.t;
+  victim_gateways : Gateway.t list;  (** same order as [victim_gws] *)
+  attacker_gateways : Gateway.t list;  (** same order as [attacker_gws] *)
+}
+
+val deploy :
+  ?attacker_strategy:Policy.attacker_response ->
+  ?attacker_gw_policies:Policy.gateway_policy list ->
+  ?victim_td:float ->
+  ?path_source:Host_agent.path_source ->
+  ?victim_filter_capacity:int ->
+  config:Config.t ->
+  rng:Aitf_engine.Rng.t ->
+  t ->
+  deployed
+(** Attach AITF agents everywhere. [attacker_gw_policies] gives the policy
+    of each attacker-side gateway, closest-to-the-attacker first (missing
+    entries default to cooperative) — setting the first [k] to
+    [Unresponsive] reproduces "n non-cooperating nodes" scenarios.
+    [victim_filter_capacity] optionally overrides the filter-table size of
+    the victim's first gateway (for resource experiments). *)
+
+val non_cooperating : int -> Policy.gateway_policy list
+(** [non_cooperating k] is [k] unresponsive entries — a convenience for the
+    sweep in E1/E6. *)

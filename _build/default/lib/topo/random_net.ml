@@ -1,0 +1,173 @@
+module Rng = Aitf_engine.Rng
+open Aitf_net
+open Aitf_core
+
+type spec = {
+  transits : int;
+  stubs : int;
+  hosts_per_stub : int;
+  multihoming_p : float;
+  extra_peering_p : float;
+  tail_bw : float;
+  stub_bw : float;
+  core_bw : float;
+  access_delay : float;
+  hop_delay : float;
+  queue_capacity : int;
+}
+
+let default_spec =
+  {
+    transits = 4;
+    stubs = 12;
+    hosts_per_stub = 2;
+    multihoming_p = 0.3;
+    extra_peering_p = 0.3;
+    tail_bw = 10e6;
+    stub_bw = 100e6;
+    core_bw = 1e9;
+    access_delay = 0.005;
+    hop_delay = 0.010;
+    queue_capacity = 65536;
+  }
+
+type t = {
+  net : Network.t;
+  transit_gws : Node.t array;
+  stub_gws : Node.t array;
+  hosts : Node.t array array;
+  stub_primary : int array;
+  stub_secondary : int option array;
+}
+
+let stub_prefix ~stub = Addr.prefix (Addr.of_octets 10 stub 0 0) 16
+
+let transit_as i = 100 + i
+let stub_as s = 1000 + s
+
+let build sim rng spec =
+  if spec.transits < 2 then invalid_arg "Random_net.build: transits >= 2";
+  if spec.stubs < 1 || spec.stubs > 200 then
+    invalid_arg "Random_net.build: stubs in 1..200";
+  let net = Network.create sim in
+  let transit_gws =
+    Array.init spec.transits (fun i ->
+        Network.add_node net
+          ~name:(Printf.sprintf "transit%d" i)
+          ~addr:(Addr.of_octets 172 i 0 1)
+          ~as_id:(transit_as i) Node.Border_router)
+  in
+  (* Transit ring guarantees connectivity; extra random peerings add path
+     diversity. *)
+  let connect_core a b =
+    ignore
+      (Network.connect net transit_gws.(a) transit_gws.(b)
+         ~bandwidth:spec.core_bw ~delay:spec.hop_delay
+         ~queue_capacity:spec.queue_capacity)
+  in
+  for i = 0 to spec.transits - 1 do
+    connect_core i ((i + 1) mod spec.transits)
+  done;
+  for i = 0 to spec.transits - 1 do
+    for j = i + 2 to spec.transits - 1 do
+      (* skip ring neighbors (and the wrap-around pair) *)
+      let ring_pair = i = 0 && j = spec.transits - 1 in
+      if (not ring_pair) && Rng.bernoulli rng ~p:spec.extra_peering_p then
+        connect_core i j
+    done
+  done;
+  let stub_primary = Array.make spec.stubs 0 in
+  let stub_secondary = Array.make spec.stubs None in
+  let stub_gws =
+    Array.init spec.stubs (fun s ->
+        let gw =
+          Network.add_node net
+            ~name:(Printf.sprintf "stub%d" s)
+            ~addr:(Addr.of_octets 10 s 0 1)
+            ~as_id:(stub_as s) Node.Border_router
+        in
+        gw.Node.advertised <-
+          [
+            (stub_prefix ~stub:s, Node.Global);
+            (Addr.host_prefix gw.Node.addr, Node.Global);
+          ];
+        let primary = Rng.int rng spec.transits in
+        stub_primary.(s) <- primary;
+        ignore
+          (Network.connect net transit_gws.(primary) gw ~bandwidth:spec.stub_bw
+             ~delay:spec.hop_delay ~queue_capacity:spec.queue_capacity);
+        if Rng.bernoulli rng ~p:spec.multihoming_p then begin
+          let secondary = (primary + 1 + Rng.int rng (spec.transits - 1))
+                          mod spec.transits in
+          stub_secondary.(s) <- Some secondary;
+          ignore
+            (Network.connect net transit_gws.(secondary) gw
+               ~bandwidth:spec.stub_bw ~delay:spec.hop_delay
+               ~queue_capacity:spec.queue_capacity)
+        end;
+        gw)
+  in
+  let hosts =
+    Array.init spec.stubs (fun s ->
+        Array.init spec.hosts_per_stub (fun k ->
+            let h =
+              Network.add_node net
+                ~name:(Printf.sprintf "h%d_%d" s k)
+                ~addr:(Addr.of_octets 10 s 0 (10 + k))
+                ~as_id:(stub_as s) Node.Host
+            in
+            h.Node.advertised <- [ (Addr.host_prefix h.Node.addr, Node.As_local) ];
+            ignore
+              (Network.connect net stub_gws.(s) h ~bandwidth:spec.tail_bw
+                 ~delay:spec.access_delay ~queue_capacity:spec.queue_capacity);
+            h))
+  in
+  Network.compute_routes net;
+  { net; transit_gws; stub_gws; hosts; stub_primary; stub_secondary }
+
+let host t ~stub ~host = t.hosts.(stub).(host)
+
+type deployed = {
+  topo : t;
+  stub_gateways : Gateway.t array;
+  transit_gateways : Gateway.t array;
+}
+
+let deploy ?(policies = fun ~stub:_ -> Policy.Cooperative) ~config ~rng t =
+  let stubs = Array.length t.stub_gws in
+  (* A transit's cone: prefixes of every stub homed to it (either slot). *)
+  let cone_of_transit i =
+    let acc = ref [ Addr.host_prefix t.transit_gws.(i).Node.addr ] in
+    for s = 0 to stubs - 1 do
+      if t.stub_primary.(s) = i || t.stub_secondary.(s) = Some i then
+        acc := stub_prefix ~stub:s :: !acc
+    done;
+    !acc
+  in
+  let transit_gateways =
+    Array.mapi
+      (fun i gw ->
+        Gateway.create ~policy:Policy.Cooperative ~clients:(cone_of_transit i)
+          ~config ~rng:(Rng.split rng) t.net gw)
+      t.transit_gws
+  in
+  let stub_gateways =
+    Array.mapi
+      (fun s gw ->
+        Gateway.create ~policy:(policies ~stub:s)
+          ~upstream:t.transit_gws.(t.stub_primary.(s)).Node.addr
+          ~clients:[ stub_prefix ~stub:s ]
+          ~config ~rng:(Rng.split rng) t.net gw)
+      t.stub_gws
+  in
+  { topo = t; stub_gateways; transit_gateways }
+
+let attach_victim ?td d ~config ~stub ~host =
+  Host_agent.Victim.create ?td
+    ~gateway:d.topo.stub_gws.(stub).Node.addr
+    ~config d.topo.net
+    d.topo.hosts.(stub).(host)
+
+let attach_attacker ?strategy d ~config ~stub ~host =
+  Host_agent.Attacker.create ?strategy ~config d.topo.net
+    d.topo.hosts.(stub).(host)

@@ -1,0 +1,1 @@
+lib/traceback/bloom.ml: Bytes Char Hashtbl

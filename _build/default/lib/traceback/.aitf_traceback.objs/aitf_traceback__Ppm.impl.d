@@ -1,0 +1,1 @@
+lib/traceback/ppm.ml: Addr Aitf_engine Aitf_net Hashtbl Node Option Packet

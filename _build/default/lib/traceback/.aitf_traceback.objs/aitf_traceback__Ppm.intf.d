@@ -1,0 +1,1 @@
+lib/traceback/ppm.mli: Addr Aitf_engine Aitf_net Node Packet

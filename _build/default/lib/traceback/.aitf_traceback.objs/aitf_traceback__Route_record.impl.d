@@ -1,0 +1,1 @@
+lib/traceback/route_record.ml: Aitf_net List Node Packet

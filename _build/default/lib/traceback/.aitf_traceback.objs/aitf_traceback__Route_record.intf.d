@@ -1,0 +1,1 @@
+lib/traceback/route_record.mli: Addr Aitf_net Node Packet

@@ -1,0 +1,1 @@
+lib/traceback/spie.ml: Aitf_engine Aitf_net Array Bloom Hashtbl Link List Network Node Packet Printf

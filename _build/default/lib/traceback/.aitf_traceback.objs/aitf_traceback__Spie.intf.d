@@ -1,0 +1,1 @@
+lib/traceback/spie.mli: Addr Aitf_net Network Node Packet

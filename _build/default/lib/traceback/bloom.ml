@@ -1,0 +1,62 @@
+type t = {
+  bytes : Bytes.t;
+  nbits : int;
+  hashes : int;
+  mutable inserted : int;
+  mutable set_bits : int;
+}
+
+let create ~bits ~hashes =
+  if bits <= 0 || hashes <= 0 then
+    invalid_arg "Bloom.create: bits and hashes must be positive";
+  let nbytes = (bits + 7) / 8 in
+  {
+    bytes = Bytes.make nbytes '\000';
+    nbits = nbytes * 8;
+    hashes;
+    inserted = 0;
+    set_bits = 0;
+  }
+
+let bit_index t seed key = Hashtbl.seeded_hash seed key mod t.nbits
+
+let set_bit t i =
+  let byte = i / 8 and bit = i mod 8 in
+  let v = Char.code (Bytes.get t.bytes byte) in
+  let mask = 1 lsl bit in
+  if v land mask = 0 then begin
+    Bytes.set t.bytes byte (Char.chr (v lor mask));
+    t.set_bits <- t.set_bits + 1
+  end
+
+let get_bit t i =
+  let byte = i / 8 and bit = i mod 8 in
+  Char.code (Bytes.get t.bytes byte) land (1 lsl bit) <> 0
+
+let add t key =
+  for seed = 0 to t.hashes - 1 do
+    set_bit t (bit_index t seed key)
+  done;
+  t.inserted <- t.inserted + 1
+
+let mem t key =
+  let rec go seed =
+    seed >= t.hashes || (get_bit t (bit_index t seed key) && go (seed + 1))
+  in
+  go 0
+
+let clear t =
+  Bytes.fill t.bytes 0 (Bytes.length t.bytes) '\000';
+  t.inserted <- 0;
+  t.set_bits <- 0
+
+let bits t = t.nbits
+let hashes t = t.hashes
+let inserted t = t.inserted
+let fill_ratio t = float_of_int t.set_bits /. float_of_int t.nbits
+
+let theoretical_fp_rate t =
+  let k = float_of_int t.hashes in
+  let n = float_of_int t.inserted in
+  let m = float_of_int t.nbits in
+  (1.0 -. exp (-.k *. n /. m)) ** k

@@ -1,0 +1,26 @@
+(** Bloom filters — the digest structure behind SPIE ([SPS+01]).
+
+    A fixed-size bit array with [k] independent seeded hash functions.
+    Supports the two properties SPIE relies on: no false negatives, and a
+    false-positive rate controlled by the bits-per-element budget. *)
+
+type t
+
+val create : bits:int -> hashes:int -> t
+(** [bits] and [hashes] must be positive; [bits] is rounded up to a multiple
+    of 8. *)
+
+val add : t -> string -> unit
+val mem : t -> string -> bool
+val clear : t -> unit
+
+val bits : t -> int
+val hashes : t -> int
+val inserted : t -> int
+(** Number of {!add} calls since the last {!clear}. *)
+
+val fill_ratio : t -> float
+(** Fraction of bits set — a cheap saturation indicator. *)
+
+val theoretical_fp_rate : t -> float
+(** (1 - e^{-kn/m})^k for the current load. *)

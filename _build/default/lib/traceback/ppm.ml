@@ -1,0 +1,81 @@
+open Aitf_net
+module Rng = Aitf_engine.Rng
+
+(* Savage-style edge sampling. The mark triple is (start, end, distance);
+   a distance of 0 with [end_ = start] denotes a half-written edge. *)
+let hook ~p ~rng (node : Node.t) (pkt : Packet.t) =
+  let self = node.Node.addr in
+  (if Rng.bernoulli rng ~p then pkt.ppm_mark <- Some (self, self, 0)
+   else
+     match pkt.ppm_mark with
+     | Some (start, _, 0) -> pkt.ppm_mark <- Some (start, self, 1)
+     | Some (start, end_, d) -> pkt.ppm_mark <- Some (start, end_, d + 1)
+     | None -> ());
+  Node.Continue
+
+let install ~p ~rng node = Node.add_hook node (hook ~p ~rng)
+
+module Collector = struct
+  type t = {
+    (* distance -> (edge -> observation count) *)
+    edges : (int, (Addr.t * Addr.t, int) Hashtbl.t) Hashtbl.t;
+    mutable samples : int;
+  }
+
+  let create () = { edges = Hashtbl.create 16; samples = 0 }
+
+  let observe t (pkt : Packet.t) =
+    match pkt.ppm_mark with
+    | None -> ()
+    | Some (start, end_, d) ->
+      t.samples <- t.samples + 1;
+      let per_d =
+        match Hashtbl.find_opt t.edges d with
+        | Some h -> h
+        | None ->
+          let h = Hashtbl.create 4 in
+          Hashtbl.replace t.edges d h;
+          h
+      in
+      let key = (start, end_) in
+      let n = Option.value ~default:0 (Hashtbl.find_opt per_d key) in
+      Hashtbl.replace per_d key (n + 1)
+
+  let samples t = t.samples
+
+  let best_edge t d =
+    match Hashtbl.find_opt t.edges d with
+    | None -> None
+    | Some h ->
+      Hashtbl.fold
+        (fun edge count best ->
+          match best with
+          | Some (_, c) when c >= count -> best
+          | _ -> Some (edge, count))
+        h None
+      |> Option.map fst
+
+  (* Chain edges outward from the victim. A distance-0 mark is degenerate —
+     the victim-adjacent router marked and nobody completed the edge, so
+     start = end = that router. For d >= 1 the edge is
+     (router_d -> router_{d-1}) counting routers from the victim, so
+     consistency requires end(d) = start(d-1). Each accepted edge prepends
+     its start; the result is attacker-first. *)
+  let reconstruct t =
+    match best_edge t 0 with
+    | None -> None
+    | Some (s0, _) ->
+      let rec extend d expected_end acc =
+        match best_edge t d with
+        | Some (s, e) when Addr.equal e expected_end ->
+          extend (d + 1) s (s :: acc)
+        | Some _ | None -> acc
+      in
+      Some (extend 1 s0 [ s0 ])
+
+  let expected_samples ~p ~hops =
+    if p <= 0. || p >= 1. || hops <= 0 then infinity
+    else
+      let d = float_of_int hops in
+      log d /. (p *. ((1. -. p) ** (d -. 1.)))
+end

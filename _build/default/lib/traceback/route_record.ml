@@ -1,0 +1,11 @@
+open Aitf_net
+
+let hook (node : Node.t) (pkt : Packet.t) =
+  Packet.record_route pkt node.Node.addr;
+  Node.Continue
+
+let install node = Node.add_hook node hook
+
+let path (pkt : Packet.t) = pkt.route_record
+
+let gateway_for_round path ~round = List.nth_opt path round

@@ -1,0 +1,23 @@
+(** In-packet route record (TRIAD-style traceback, [CG00]).
+
+    Each AITF border router stamps its address into packets it forwards, so
+    the receiver reads the attack path straight out of the packet and
+    "traceback time is 0". The stamp order is traversal order, which means
+    the head of the list is the AITF node closest to the attacker — exactly
+    the order escalation consumes it in. *)
+
+open Aitf_net
+
+val hook : Node.t -> Packet.t -> Node.hook_verdict
+(** Forwarding hook for border routers: stamp and continue. *)
+
+val install : Node.t -> unit
+(** Attach {!hook} to the node. *)
+
+val path : Packet.t -> Addr.t list
+(** The recorded path, attacker-side first. *)
+
+val gateway_for_round : Addr.t list -> round:int -> Addr.t option
+(** [gateway_for_round path ~round] is the AITF node the mechanism contacts
+    in escalation round [round] (0-based): the (round+1)-th closest to the
+    attacker. *)

@@ -1,0 +1,110 @@
+module Sim = Aitf_engine.Sim
+open Aitf_net
+
+type store = {
+  window : float;
+  mutable blooms : (int * Bloom.t) array;  (* (window index, digest) ring *)
+  bits : int;
+  hashes : int;
+}
+
+type t = {
+  net : Network.t;
+  stores : (int, store) Hashtbl.t;  (* node id -> store *)
+  mutable queries : int;
+}
+
+let digest (pkt : Packet.t) =
+  Printf.sprintf "%d|%ld|%ld|%d|%d" pkt.id pkt.src pkt.dst pkt.proto pkt.size
+
+let window_index store now = int_of_float (now /. store.window)
+
+(* The ring slot for a window index; recycled blooms are cleared lazily when
+   a new window claims the slot. *)
+let bloom_for store idx =
+  let slot = idx mod Array.length store.blooms in
+  let current_idx, bloom = store.blooms.(slot) in
+  if current_idx = idx then bloom
+  else begin
+    Bloom.clear bloom;
+    store.blooms.(slot) <- (idx, bloom);
+    bloom
+  end
+
+let make_store ~bits ~hashes ~window ~windows =
+  {
+    window;
+    blooms = Array.init windows (fun _ -> (-1, Bloom.create ~bits ~hashes));
+    bits;
+    hashes;
+  }
+
+let record_in store ~now pkt =
+  let idx = window_index store now in
+  Bloom.add (bloom_for store idx) (digest pkt)
+
+let seen store ~now pkt =
+  let key = digest pkt in
+  let now_idx = window_index store now in
+  let windows = Array.length store.blooms in
+  let hit = ref false in
+  Array.iter
+    (fun (idx, bloom) ->
+      if idx >= 0 && now_idx - idx < windows && Bloom.mem bloom key then
+        hit := true)
+    store.blooms;
+  !hit
+
+let deploy ?(bits = 1 lsl 17) ?(hashes = 4) ?(window = 1.0) ?(windows = 8) net =
+  let t = { net; stores = Hashtbl.create 32; queries = 0 } in
+  let sim = Network.sim net in
+  let attach (node : Node.t) =
+    if Node.is_border node then begin
+      let store = make_store ~bits ~hashes ~window ~windows in
+      Hashtbl.replace t.stores node.Node.id store;
+      Node.add_hook node (fun _ pkt ->
+          record_in store ~now:(Sim.now sim) pkt;
+          Node.Continue)
+    end
+  in
+  List.iter attach (Network.nodes net);
+  t
+
+let store_of t (node : Node.t) = Hashtbl.find_opt t.stores node.Node.id
+
+let record t (node : Node.t) pkt =
+  match store_of t node with
+  | None -> ()
+  | Some store -> record_in store ~now:(Sim.now (Network.sim t.net)) pkt
+
+let reconstruct t ~from pkt =
+  let sim = Network.sim t.net in
+  let now = Sim.now sim in
+  let visited = Hashtbl.create 16 in
+  (* Walk upstream: from the current router, find a not-yet-visited border
+     neighbor whose digests contain the packet; each probe costs one query
+     round trip over the connecting link. *)
+  let rec walk (node : Node.t) acc latency =
+    Hashtbl.replace visited node.Node.id ();
+    let try_port (found, latency) (port : Node.port) =
+      match found with
+      | Some _ -> (found, latency)
+      | None -> (
+        let peer = Network.node t.net port.Node.peer_id in
+        if Hashtbl.mem visited peer.Node.id then (None, latency)
+        else
+          match Hashtbl.find_opt t.stores peer.Node.id with
+          | None -> (None, latency)
+          | Some store ->
+            t.queries <- t.queries + 1;
+            let latency = latency +. (2.0 *. Link.delay port.Node.link) in
+            if seen store ~now pkt then (Some peer, latency)
+            else (None, latency))
+    in
+    match List.fold_left try_port (None, latency) node.Node.ports with
+    | Some next, latency -> walk next (next.Node.addr :: acc) latency
+    | None, latency -> (acc, latency)
+  in
+  walk from [] 0.
+
+let queries t = t.queries

@@ -1,0 +1,1 @@
+lib/workload/app.ml: Addr Aitf_engine Aitf_net Float Hashtbl List Network Node Packet

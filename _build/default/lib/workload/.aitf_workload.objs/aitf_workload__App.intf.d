@@ -1,0 +1,1 @@
+lib/workload/app.mli: Addr Aitf_net Network Node Packet

@@ -1,0 +1,1 @@
+lib/workload/manual_defense.ml: Aitf_engine Aitf_filter Aitf_net Filter_table Flow_label Hashtbl Network Node Packet

@@ -1,0 +1,1 @@
+lib/workload/manual_defense.mli: Aitf_filter Aitf_net Filter_table Network Node

@@ -1,0 +1,1 @@
+lib/workload/report.mli: Aitf_core Aitf_net Aitf_stats Network

@@ -1,0 +1,1 @@
+lib/workload/request_driver.ml: Addr Aitf_core Aitf_engine Aitf_net Float Message Network Node Packet

@@ -1,0 +1,1 @@
+lib/workload/request_driver.mli: Addr Aitf_core Aitf_net Message Network Node

@@ -1,0 +1,1 @@
+lib/workload/shape_shifter.ml: Addr Aitf_engine Aitf_filter Aitf_net Float Network Node Packet

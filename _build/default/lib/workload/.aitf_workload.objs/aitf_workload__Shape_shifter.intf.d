@@ -1,0 +1,1 @@
+lib/workload/shape_shifter.mli: Addr Aitf_filter Aitf_net Network Node Packet

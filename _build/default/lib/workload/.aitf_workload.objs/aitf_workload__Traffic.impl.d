@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Addr Aitf_engine Aitf_filter Aitf_net Float Flow_label Network Node Option Packet

@@ -1,0 +1,1 @@
+lib/workload/traffic.mli: Addr Aitf_engine Aitf_filter Aitf_net Flow_label Network Node Packet

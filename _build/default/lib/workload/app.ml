@@ -1,0 +1,166 @@
+module Sim = Aitf_engine.Sim
+open Aitf_net
+
+type Packet.payload +=
+  | App_request of { txn : int; client : Addr.t }
+  | App_reply of { txn : int; seq : int; total : int }
+
+let request_size = 200
+
+module Server = struct
+  type t = {
+    net : Network.t;
+    node : Node.t;
+    reply_packets : int;
+    reply_size : int;
+    mutable served : int;
+  }
+
+  let answer t ~client ~txn =
+    t.served <- t.served + 1;
+    for seq = 1 to t.reply_packets do
+      Network.originate t.net t.node
+        (Packet.make ~src:t.node.Node.addr ~dst:client ~size:t.reply_size
+           (App_reply { txn; seq; total = t.reply_packets }))
+    done
+
+  let create ?(reply_packets = 4) ?(reply_size = 1000) net node =
+    let t = { net; node; reply_packets; reply_size; served = 0 } in
+    let prev = node.Node.local_deliver in
+    node.Node.local_deliver <-
+      (fun n (pkt : Packet.t) ->
+        match pkt.Packet.payload with
+        | App_request { txn; client } -> answer t ~client ~txn
+        | _ -> prev n pkt);
+    t
+
+  let requests_served t = t.served
+end
+
+module Client = struct
+  type pending = {
+    txn : int;
+    started_at : float;
+    mutable received : int;
+    mutable expected : int;
+    mutable tries_left : int;
+    mutable timeout_event : Sim.handle option;
+  }
+
+  type t = {
+    net : Network.t;
+    node : Node.t;
+    server : Addr.t;
+    period : float;
+    timeout : float;
+    retries : int;
+    stop : float;
+    pending : (int, pending) Hashtbl.t;
+    mutable next_txn : int;
+    mutable completed : int;
+    mutable failed : int;
+    mutable attempts : int;
+    mutable rev_latencies : float list;
+  }
+
+  let sim t = Network.sim t.net
+
+  let send_request t p =
+    t.attempts <- t.attempts + 1;
+    Network.originate t.net t.node
+      (Packet.make ~src:t.node.Node.addr ~dst:t.server ~size:request_size
+         (App_request { txn = p.txn; client = t.node.Node.addr }))
+
+  let rec arm_timeout t p =
+    p.timeout_event <-
+      Some
+        (Sim.after (sim t) t.timeout (fun () ->
+             if Hashtbl.mem t.pending p.txn then
+               if p.tries_left > 0 then begin
+                 p.tries_left <- p.tries_left - 1;
+                 p.received <- 0;
+                 send_request t p;
+                 arm_timeout t p
+               end
+               else begin
+                 Hashtbl.remove t.pending p.txn;
+                 t.failed <- t.failed + 1
+               end))
+
+  let begin_txn t =
+    let txn = t.next_txn in
+    t.next_txn <- txn + 1;
+    let p =
+      {
+        txn;
+        started_at = Sim.now (sim t);
+        received = 0;
+        expected = max_int;
+        tries_left = t.retries;
+        timeout_event = None;
+      }
+    in
+    Hashtbl.replace t.pending txn p;
+    send_request t p;
+    arm_timeout t p
+
+  let on_reply t ~txn ~total =
+    match Hashtbl.find_opt t.pending txn with
+    | None -> () (* late packet of a finished/failed transaction *)
+    | Some p ->
+      p.expected <- total;
+      p.received <- p.received + 1;
+      if p.received >= p.expected then begin
+        Hashtbl.remove t.pending txn;
+        (match p.timeout_event with Some e -> Sim.cancel e | None -> ());
+        t.completed <- t.completed + 1;
+        t.rev_latencies <-
+          (Sim.now (sim t) -. p.started_at) :: t.rev_latencies
+      end
+
+  let create ?(period = 0.5) ?(timeout = 2.0) ?(retries = 1) ?(start = 0.)
+      ?(stop = infinity) ~server net node =
+    if period <= 0. then invalid_arg "App.Client.create: period";
+    let t =
+      {
+        net;
+        node;
+        server;
+        period;
+        timeout;
+        retries;
+        stop;
+        pending = Hashtbl.create 16;
+        next_txn = 0;
+        completed = 0;
+        failed = 0;
+        attempts = 0;
+        rev_latencies = [];
+      }
+    in
+    let prev = node.Node.local_deliver in
+    node.Node.local_deliver <-
+      (fun n (pkt : Packet.t) ->
+        match pkt.Packet.payload with
+        | App_reply { txn; total; _ } -> on_reply t ~txn ~total
+        | _ -> prev n pkt);
+    let rec tick at =
+      if at < t.stop then
+        ignore
+          (Sim.at (Network.sim net) at (fun () ->
+               begin_txn t;
+               tick (at +. t.period)))
+    in
+    let now = Sim.now (Network.sim net) in
+    tick (Float.max start now +. 1e-9);
+    t
+
+  let completed t = t.completed
+  let failed t = t.failed
+  let attempts t = t.attempts
+  let latencies t = List.rev t.rev_latencies
+
+  let completion_rate t =
+    let total = t.completed + t.failed in
+    if total = 0 then 1.0 else float_of_int t.completed /. float_of_int total
+end

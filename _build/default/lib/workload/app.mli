@@ -1,0 +1,61 @@
+(** A minimal request/response application on top of the packet layer.
+
+    Raw goodput understates what a DoS attack does to a service: a victim
+    whose tail circuit drops 30% of packets does not lose 30% of its
+    usefulness — it loses most of it, because transactions need {e all}
+    their packets. This module models that: clients issue transactions
+    (one request packet), the server answers each with [reply_packets]
+    packets, and a transaction completes only when every reply arrived
+    within the timeout (clients retry a configurable number of times).
+
+    Metrics: completed / failed transactions and the latency distribution
+    of completions — the victim-experience numbers used by the examples
+    and the congestion benches. *)
+
+open Aitf_net
+
+type Packet.payload +=
+  | App_request of { txn : int; client : Addr.t }
+  | App_reply of { txn : int; seq : int; total : int }
+
+module Server : sig
+  type t
+
+  val create : ?reply_packets:int -> ?reply_size:int -> Network.t -> Node.t -> t
+  (** Attach to a host: answers every {!App_request} with [reply_packets]
+      packets of [reply_size] bytes (defaults 4 × 1000 B). Chains to the
+      node's previous delivery handler for other payloads (so it composes
+      with an AITF victim agent on the same host). *)
+
+  val requests_served : t -> int
+end
+
+module Client : sig
+  type t
+
+  val create :
+    ?period:float ->
+    ?timeout:float ->
+    ?retries:int ->
+    ?start:float ->
+    ?stop:float ->
+    server:Addr.t ->
+    Network.t ->
+    Node.t ->
+    t
+  (** Issue one transaction every [period] seconds (default 0.5): send a
+      request, await all reply packets within [timeout] (default 2 s),
+      retry up to [retries] times (default 1), then count the transaction
+      as failed. *)
+
+  val completed : t -> int
+  val failed : t -> int
+  val attempts : t -> int
+
+  val latencies : t -> float list
+  (** Completion latencies (first attempt to last reply packet), in
+      completion order. *)
+
+  val completion_rate : t -> float
+  (** completed / (completed + failed); 1.0 when nothing finished yet. *)
+end

@@ -1,0 +1,37 @@
+(** The manual-response baseline: a human operator with a phone.
+
+    The paper's opening argument: "Currently, this propagation of filters
+    is manual: the operator on each site determines the necessary filters
+    and adds them to each router configuration … manual filter propagation
+    becomes unacceptably slow or even infeasible." This module models that
+    status quo so the claim can be measured: undesired flows are detected
+    at the victim exactly as AITF would, but each new flow label costs
+    [response_time] (minutes of a human diagnosing and configuring) before
+    a filter appears at the victim's gateway — and the gateway's bounded
+    filter table is all there is (no propagation towards the source, no
+    expiry management beyond a fixed duration). *)
+
+open Aitf_net
+open Aitf_filter
+
+type t
+
+val deploy :
+  ?filter_capacity:int ->
+  ?filter_duration:float ->
+  response_time:float ->
+  gateway:Node.t ->
+  victim:Node.t ->
+  Network.t ->
+  t
+(** Watch the victim's incoming attack traffic and, [response_time] seconds
+    after each previously-unseen flow label first appears, install a
+    blocking filter at [gateway] (default capacity 1000, default duration
+    forever-ish). Chains to the victim's previous delivery handler. *)
+
+val filters : t -> Filter_table.t
+val flows_seen : t -> int
+val filters_installed : t -> int
+
+val pending : t -> int
+(** Flows detected but still waiting on the operator. *)

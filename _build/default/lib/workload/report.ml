@@ -1,0 +1,96 @@
+module Sim = Aitf_engine.Sim
+module Table = Aitf_stats.Table
+module Counter = Aitf_stats.Counter
+open Aitf_net
+
+let drops_summary (n : Node.t) =
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) n.Node.drops [] in
+  entries
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+  |> String.concat " "
+
+let node_table net =
+  let t =
+    Table.create ~title:"nodes"
+      ~columns:[ "node"; "kind"; "rx pkts"; "forwarded"; "delivered"; "drops" ]
+  in
+  List.iter
+    (fun (n : Node.t) ->
+      Table.add_row t
+        [
+          n.Node.name;
+          (match n.Node.kind with
+          | Node.Host -> "host"
+          | Node.Router -> "router"
+          | Node.Border_router -> "border");
+          string_of_int n.Node.rx_packets;
+          string_of_int n.Node.forwarded_packets;
+          string_of_int n.Node.delivered_packets;
+          drops_summary n;
+        ])
+    (Network.nodes net);
+  t
+
+let link_table ?(busy_only = true) net =
+  let now = Sim.now (Network.sim net) in
+  let t =
+    Table.create ~title:"links"
+      ~columns:
+        [ "link"; "tx pkts"; "tx bytes"; "dropped"; "utilisation"; "state" ]
+  in
+  List.iter
+    (fun l ->
+      if (not busy_only) || Link.tx_packets l > 0 || Link.dropped_packets l > 0
+      then
+        Table.add_row t
+          [
+            Link.name l;
+            string_of_int (Link.tx_packets l);
+            string_of_int (Link.tx_bytes l);
+            string_of_int (Link.dropped_packets l);
+            Printf.sprintf "%.1f%%" (100. *. Link.utilization l ~now);
+            (if Link.up l then "up" else "down");
+          ])
+    (Network.links net);
+  t
+
+let gateway_table gws =
+  let t =
+    Table.create ~title:"AITF gateways"
+      ~columns:
+        [ "gateway"; "filters (now/peak)"; "shadow peak"; "requests";
+          "active flows"; "counters" ]
+  in
+  List.iter
+    (fun gw ->
+      let filters = Aitf_core.Gateway.filters gw in
+      let counters =
+        Counter.to_list (Aitf_core.Gateway.counters gw)
+        |> List.filter (fun (_, v) -> v > 0)
+        |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+        |> String.concat " "
+      in
+      let active =
+        Aitf_core.Gateway.active_flows gw
+        |> List.map (fun (_, phase) -> phase)
+        |> List.sort_uniq String.compare
+        |> String.concat ","
+      in
+      Table.add_row t
+        [
+          (Aitf_core.Gateway.node gw).Node.name;
+          Printf.sprintf "%d/%d"
+            (Aitf_filter.Filter_table.occupancy filters)
+            (Aitf_filter.Filter_table.peak_occupancy filters);
+          string_of_int (Aitf_core.Gateway.shadow_peak gw);
+          string_of_int (Aitf_core.Gateway.requests_received gw);
+          (if active = "" then "-"
+           else
+             Printf.sprintf "%d (%s)"
+               (List.length (Aitf_core.Gateway.active_flows gw))
+               active);
+          counters;
+        ])
+    gws;
+  t

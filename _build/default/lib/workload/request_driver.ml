@@ -1,0 +1,62 @@
+module Sim = Aitf_engine.Sim
+open Aitf_net
+open Aitf_core
+
+type t = {
+  net : Network.t;
+  node : Node.t;
+  dst : Addr.t;
+  rate : float;
+  make_request : int -> Message.request;
+  stop : float;
+  mutable halted : bool;
+  mutable sent : int;
+  mutable queries_answered : int;
+}
+
+let send_message t ~dst payload =
+  Network.originate t.net t.node
+    (Message.packet ~src:t.node.Node.addr ~dst payload)
+
+let rec tick t =
+  let sim = Network.sim t.net in
+  if (not t.halted) && Sim.now sim < t.stop then begin
+    send_message t ~dst:t.dst
+      (Message.Filtering_request (t.make_request t.sent));
+    t.sent <- t.sent + 1;
+    ignore (Sim.after sim (1. /. t.rate) (fun () -> tick t))
+  end
+
+let create ?(answer_queries = true) ?(start = 0.) ?(stop = infinity) ~rate ~dst
+    ~make_request net node =
+  if rate <= 0. then invalid_arg "Request_driver.create: rate must be positive";
+  let t =
+    {
+      net;
+      node;
+      dst;
+      rate;
+      make_request;
+      stop;
+      halted = false;
+      sent = 0;
+      queries_answered = 0;
+    }
+  in
+  if answer_queries then begin
+    let prev = node.Node.local_deliver in
+    node.Node.local_deliver <-
+      (fun n (pkt : Packet.t) ->
+        match pkt.payload with
+        | Message.Verification_query { flow; nonce } ->
+          t.queries_answered <- t.queries_answered + 1;
+          send_message t ~dst:pkt.src (Message.Verification_reply { flow; nonce })
+        | _ -> prev n pkt)
+  end;
+  let sim = Network.sim net in
+  ignore (Sim.after sim (Float.max 0. (start -. Sim.now sim)) (fun () -> tick t));
+  t
+
+let sent t = t.sent
+let queries_answered t = t.queries_answered
+let halt t = t.halted <- true

@@ -1,0 +1,33 @@
+(** Synthetic filtering-request load.
+
+    The resource experiments (E3–E5) need a precise, sustained request rate
+    — R1 requests per second against a victim's gateway, R2 against an
+    attacker's gateway or host — independent of traffic dynamics. The
+    driver sends {!Aitf_core.Message.Filtering_request}s from a node at a
+    constant rate, each built by a caller-supplied function of the request
+    index (so every request can name a distinct flow), and can answer the
+    3-way-handshake queries that come back so downstream gateways accept
+    the requests as genuine. *)
+
+open Aitf_net
+open Aitf_core
+
+type t
+
+val create :
+  ?answer_queries:bool ->
+  ?start:float ->
+  ?stop:float ->
+  rate:float ->
+  dst:Addr.t ->
+  make_request:(int -> Message.request) ->
+  Network.t ->
+  Node.t ->
+  t
+(** Send [make_request i] (i = 0, 1, …) to [dst] every [1/rate] seconds
+    from [start] (default 0) until [stop]. With [answer_queries] (default
+    true) the node confirms every verification query it receives. *)
+
+val sent : t -> int
+val queries_answered : t -> int
+val halt : t -> unit

@@ -1,0 +1,318 @@
+module Sim = Aitf_engine.Sim
+module Rng = Aitf_engine.Rng
+module Series = Aitf_stats.Series
+module Rate_meter = Aitf_stats.Rate_meter
+module Counter = Aitf_stats.Counter
+open Aitf_net
+open Aitf_core
+open Aitf_topo
+
+type chain_params = {
+  spec : Chain.spec;
+  config : Config.t;
+  seed : int;
+  duration : float;
+  attack_rate : float;
+  attack_start : float;
+  legit_rate : float;
+  n_non_coop_gws : int;
+  attacker_strategy : Policy.attacker_response;
+  td : float;
+  path_source : Host_agent.path_source;
+  traceback : [ `Path_in_request | `Spie | `Ppm ];
+  sample_period : float;
+}
+
+let default_chain =
+  {
+    spec = Chain.default_spec;
+    config = Config.default;
+    seed = 42;
+    duration = 300.;
+    attack_rate = 1e6;
+    attack_start = 1.;
+    legit_rate = 0.;
+    n_non_coop_gws = 0;
+    attacker_strategy = Policy.Ignores;
+    td = 0.1;
+    path_source = Host_agent.From_route_record;
+    traceback = `Path_in_request;
+    sample_period = 0.1;
+  }
+
+type chain_result = {
+  params : chain_params;
+  deployed : Chain.deployed;
+  attack_offered_bytes : float;
+  attack_received_bytes : float;
+  r_measured : float;
+  good_offered_bytes : float;
+  good_received_bytes : float;
+  victim_rate : Series.t;
+  escalations : int;
+  requests_sent : int;
+}
+
+let counter_total gws name =
+  List.fold_left (fun acc gw -> acc + Counter.get (Gateway.counters gw) name) 0
+    gws
+
+let run_chain params =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:params.seed in
+  let topo = Chain.build sim params.spec in
+  let config, path_source =
+    match params.traceback with
+    | `Path_in_request -> (params.config, params.path_source)
+    | `Spie ->
+      let spie = Aitf_traceback.Spie.deploy topo.Chain.net in
+      ( { params.config with Config.traceback = Config.Spie_query spie },
+        Host_agent.Gateway_traceback )
+    | `Ppm ->
+      let mark_rng = Rng.split rng in
+      List.iter
+        (fun gw -> Aitf_traceback.Ppm.install ~p:0.2 ~rng:mark_rng gw)
+        (topo.Chain.victim_gws @ topo.Chain.attacker_gws);
+      ( params.config,
+        Host_agent.From_ppm (Aitf_traceback.Ppm.Collector.create ()) )
+  in
+  let deployed =
+    Chain.deploy ~attacker_strategy:params.attacker_strategy
+      ~attacker_gw_policies:(Chain.non_cooperating params.n_non_coop_gws)
+      ~victim_td:params.td ~path_source ~config ~rng topo
+  in
+  let attacker_agent = deployed.Chain.attacker_agent in
+  let (_attack_source : Traffic.t) =
+    Traffic.cbr
+      ~gate:(Host_agent.Attacker.gate attacker_agent)
+      ~start:params.attack_start ~attack:true ~flow_id:1
+      ~rate:params.attack_rate ~dst:topo.Chain.victim.Node.addr topo.Chain.net
+      topo.Chain.attacker
+  in
+  let legit_source =
+    if params.legit_rate > 0. then
+      Some
+        (Traffic.cbr ~start:0. ~flow_id:2 ~rate:params.legit_rate
+           ~dst:topo.Chain.victim.Node.addr topo.Chain.net
+           topo.Chain.bystander)
+    else None
+  in
+  (* Sample the attack bandwidth the victim experiences. *)
+  let victim_rate = Series.create ~name:"victim-attack-rate" () in
+  let meter = Host_agent.Victim.attack_meter deployed.Chain.victim_agent in
+  let rec sample t =
+    if t <= params.duration then
+      ignore
+        (Sim.at sim t (fun () ->
+             Series.add victim_rate ~time:t
+               (8. *. Rate_meter.rate meter ~now:t);
+             sample (t +. params.sample_period)))
+  in
+  sample params.sample_period;
+  Sim.run ~until:params.duration sim;
+  let attack_offered_bytes =
+    params.attack_rate *. (params.duration -. params.attack_start) /. 8.
+  in
+  let attack_received_bytes =
+    Host_agent.Victim.attack_bytes deployed.Chain.victim_agent
+  in
+  let good_offered_bytes =
+    match legit_source with
+    | Some _ -> params.legit_rate *. params.duration /. 8.
+    | None -> 0.
+  in
+  {
+    params;
+    deployed;
+    attack_offered_bytes;
+    attack_received_bytes;
+    r_measured =
+      (if attack_offered_bytes > 0. then
+         attack_received_bytes /. attack_offered_bytes
+       else 0.);
+    good_offered_bytes;
+    good_received_bytes =
+      Host_agent.Victim.good_bytes deployed.Chain.victim_agent;
+    victim_rate;
+    escalations = counter_total deployed.Chain.victim_gateways "escalated";
+    requests_sent =
+      Host_agent.Victim.requests_sent deployed.Chain.victim_agent;
+  }
+
+let time_to_suppress result ~threshold =
+  let limit = threshold *. result.params.attack_rate in
+  let after_start (t, _) = t >= result.params.attack_start in
+  let points = List.filter after_start (Series.points result.victim_rate) in
+  (* Find the first point below the limit that is followed by another
+     below-limit sample (debounce a single lucky window). *)
+  let rec scan = function
+    | (t, v) :: ((_, v') :: _ as rest) ->
+      if v < limit && v' < limit then Some t else scan rest
+    | [ (t, v) ] -> if v < limit then Some t else None
+    | [] -> None
+  in
+  (* Only meaningful once the attack has had a chance to be seen. *)
+  let rec drop_until_seen = function
+    | (_, v) :: rest when v <= 0. -> drop_until_seen rest
+    | l -> l
+  in
+  scan (drop_until_seen points)
+
+(* --- Distributed flood on the provider hierarchy -------------------------- *)
+
+type flood_params = {
+  hierarchy : Hierarchy.spec;
+  flood_config : Config.t;
+  flood_seed : int;
+  flood_duration : float;
+  zombies : int;
+  zombie_rate : float;
+  zombie_strategy : Policy.attacker_response;
+  legit_clients : int;
+  legit_rate : float;
+  attack_start : float;
+  with_aitf : bool;
+}
+
+let default_flood =
+  {
+    hierarchy =
+      {
+        Hierarchy.default_spec with
+        Hierarchy.isps = 3;
+        nets_per_isp = 3;
+        hosts_per_net = 3;
+      };
+    flood_config = Config.with_timescale Config.default 0.1;
+    flood_seed = 42;
+    flood_duration = 20.;
+    zombies = 12;
+    zombie_rate = 1e6;
+    zombie_strategy = Policy.Ignores;
+    legit_clients = 2;
+    legit_rate = 2e5;
+    attack_start = 1.;
+    with_aitf = true;
+  }
+
+type flood_result = {
+  flood_params : flood_params;
+  hierarchy_deployed : Hierarchy.deployed option;
+  victim : Host_agent.Victim.t option;
+  zombies_placed : int;
+  legit_received_bytes : float;
+  legit_offered_bytes : float;
+  flood_attack_received_bytes : float;
+  leaf_filters : int;
+  isp_filters : int;
+}
+
+let run_flood p =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:p.flood_seed in
+  let t = Hierarchy.build sim p.hierarchy in
+  let config = p.flood_config in
+  let deployed =
+    if p.with_aitf then Some (Hierarchy.deploy ~config ~rng t) else None
+  in
+  let victim_node = Hierarchy.host t ~isp:0 ~net:0 ~host:0 in
+  let victim =
+    Option.map
+      (fun d -> Hierarchy.attach_victim ~td:0.1 d ~config ~isp:0 ~net:0 ~host:0)
+      deployed
+  in
+  (* Count at the node so the no-AITF baseline measures too; the victim
+     agent (when present) re-dispatches data it does not own to this
+     handler's predecessor, so install ours first... order matters: this
+     wrapper was installed before any agent, so the agent runs first and
+     swallows Data; count here only without AITF, through the agent
+     otherwise. *)
+  let legit = ref 0. and attack = ref 0. in
+  (if not p.with_aitf then
+     let prev = victim_node.Node.local_deliver in
+     victim_node.Node.local_deliver <-
+       (fun node (pkt : Packet.t) ->
+         (match pkt.Packet.payload with
+         | Packet.Data { attack = true; _ } ->
+           attack := !attack +. float_of_int pkt.Packet.size
+         | Packet.Data _ -> legit := !legit +. float_of_int pkt.Packet.size
+         | _ -> ());
+         prev node pkt));
+  (* Legit clients inside the victim's ISP (excluding the victim's own
+     host slot). *)
+  let placed_clients = ref 0 in
+  (try
+     for net = 0 to p.hierarchy.Hierarchy.nets_per_isp - 1 do
+       for host = 0 to p.hierarchy.Hierarchy.hosts_per_net - 1 do
+         if
+           !placed_clients < p.legit_clients && not (net = 0 && host = 0)
+         then begin
+           incr placed_clients;
+           ignore
+             (Traffic.cbr ~start:0. ~flow_id:(2000 + !placed_clients)
+                ~rate:p.legit_rate ~dst:victim_node.Node.addr t.Hierarchy.net
+                (Hierarchy.host t ~isp:0 ~net ~host))
+         end
+       done
+     done
+   with Invalid_argument _ -> ());
+  (* Zombies round-robin over the other ISPs. *)
+  let placed = ref 0 in
+  (try
+     for isp = 1 to p.hierarchy.Hierarchy.isps - 1 do
+       for net = 0 to p.hierarchy.Hierarchy.nets_per_isp - 1 do
+         for host = 0 to p.hierarchy.Hierarchy.hosts_per_net - 1 do
+           if !placed < p.zombies then begin
+             incr placed;
+             let gate =
+               match deployed with
+               | Some d ->
+                 let agent =
+                   Hierarchy.attach_attacker ~strategy:p.zombie_strategy d
+                     ~config ~isp ~net ~host
+                 in
+                 Host_agent.Attacker.gate agent
+               | None -> fun _ -> true
+             in
+             ignore
+               (Traffic.cbr ~gate ~start:p.attack_start ~attack:true
+                  ~flow_id:(1000 + !placed) ~rate:p.zombie_rate
+                  ~dst:victim_node.Node.addr t.Hierarchy.net
+                  (Hierarchy.host t ~isp ~net ~host))
+           end
+         done
+       done
+     done
+   with Invalid_argument _ -> ());
+  Sim.run ~until:p.flood_duration sim;
+  let filters_at gws =
+    Array.fold_left
+      (fun acc gw -> acc + Counter.get (Gateway.counters gw) "filter-long")
+      0 gws
+  in
+  let leaf_filters, isp_filters =
+    match deployed with
+    | None -> (0, 0)
+    | Some d ->
+      ( Array.fold_left
+          (fun acc row -> acc + filters_at row)
+          0 d.Hierarchy.net_gateways,
+        filters_at d.Hierarchy.isp_gateways )
+  in
+  let legit_received, attack_received =
+    match victim with
+    | Some v -> (Host_agent.Victim.good_bytes v, Host_agent.Victim.attack_bytes v)
+    | None -> (!legit, !attack)
+  in
+  {
+    flood_params = p;
+    hierarchy_deployed = deployed;
+    victim;
+    zombies_placed = !placed;
+    legit_received_bytes = legit_received;
+    legit_offered_bytes =
+      float_of_int !placed_clients *. p.legit_rate *. p.flood_duration /. 8.;
+    flood_attack_received_bytes = attack_received;
+    leaf_filters;
+    isp_filters;
+  }

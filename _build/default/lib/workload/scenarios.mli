@@ -1,0 +1,103 @@
+(** Packaged experiment scenarios.
+
+    The single-attacker chain scenario (Figure 1) parameterised along every
+    axis the evaluation sweeps: attack rate, number of non-cooperating
+    attacker-side gateways, attacker strategy, protocol config, traceback
+    source. Running it returns the measurements the paper's formulas
+    predict — above all the effective-bandwidth ratio r — plus the raw
+    series and deployment handles for deeper inspection. *)
+
+open Aitf_core
+open Aitf_topo
+module Series = Aitf_stats.Series
+
+type chain_params = {
+  spec : Chain.spec;
+  config : Config.t;
+  seed : int;
+  duration : float;  (** simulated seconds *)
+  attack_rate : float;  (** bits/s *)
+  attack_start : float;
+  legit_rate : float;  (** bystander -> victim rate; 0 disables *)
+  n_non_coop_gws : int;  (** unresponsive attacker-side gateways *)
+  attacker_strategy : Policy.attacker_response;
+  td : float;  (** victim detection delay Td *)
+  path_source : Host_agent.path_source;
+  traceback : [ `Path_in_request | `Spie | `Ppm ];
+      (** [`Path_in_request] uses [path_source] as given (route record by
+          default); [`Spie] and [`Ppm] deploy and instrument that mechanism
+          on the topology and override [path_source] and the config's
+          traceback mode accordingly. *)
+  sample_period : float;  (** victim-rate sampling period *)
+}
+
+val default_chain : chain_params
+(** Figure-1 defaults: 3-deep chain, T = 60 s, 1 Mbit/s attack starting at
+    t = 1 s, ignoring attacker, all gateways cooperative, Td = 100 ms,
+    route-record traceback, 300 s horizon. *)
+
+type chain_result = {
+  params : chain_params;
+  deployed : Chain.deployed;
+  attack_offered_bytes : float;
+      (** what the flow would have delivered unimpeded *)
+  attack_received_bytes : float;  (** what actually reached the victim *)
+  r_measured : float;  (** received / offered — the measured r *)
+  good_offered_bytes : float;
+  good_received_bytes : float;
+  victim_rate : Series.t;
+      (** windowed attack bandwidth (bits/s) at the victim over time *)
+  escalations : int;  (** total across victim-side gateways *)
+  requests_sent : int;  (** by the victim host *)
+}
+
+val run_chain : chain_params -> chain_result
+
+val time_to_suppress : chain_result -> threshold:float -> float option
+(** First time after the attack started at which the victim-observed attack
+    bandwidth fell (and stayed, for one sample) below [threshold] × the
+    offered rate. *)
+
+val counter_total : Gateway.t list -> string -> int
+(** Sum one counter over several gateways. *)
+
+(** {1 Distributed flood on the provider hierarchy}
+
+    The multi-zombie scenario shared by the DDoS example, the scaling
+    bench and the CLI: a victim server in ISP 0 / net 0, legitimate
+    clients probing it, and a zombie army spread round-robin over the
+    other ISPs. *)
+
+type flood_params = {
+  hierarchy : Hierarchy.spec;
+  flood_config : Config.t;
+  flood_seed : int;
+  flood_duration : float;
+  zombies : int;
+  zombie_rate : float;  (** bits/s each *)
+  zombie_strategy : Policy.attacker_response;
+  legit_clients : int;  (** spread over the victim's ISP *)
+  legit_rate : float;  (** bits/s each *)
+  attack_start : float;
+  with_aitf : bool;
+}
+
+val default_flood : flood_params
+(** 3×3×3 hierarchy, 12 ignoring zombies at 1 Mbit/s, 2 legit clients,
+    T = 6 s config, AITF on. *)
+
+type flood_result = {
+  flood_params : flood_params;
+  hierarchy_deployed : Hierarchy.deployed option;
+  victim : Host_agent.Victim.t option;
+  zombies_placed : int;
+  legit_received_bytes : float;
+  legit_offered_bytes : float;
+  flood_attack_received_bytes : float;
+  leaf_filters : int;
+      (** long-filter installs at enterprise gateways — one per zombie per
+          T cycle while the attack lasts *)
+  isp_filters : int;
+}
+
+val run_flood : flood_params -> flood_result

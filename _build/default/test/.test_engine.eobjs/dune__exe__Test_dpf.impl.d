@@ -1,0 +1,1 @@
+test/test_dpf.ml: Addr Aitf_dpf Aitf_engine Aitf_net Alcotest List Network Node Packet

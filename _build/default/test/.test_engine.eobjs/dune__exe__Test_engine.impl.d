@@ -1,0 +1,1 @@
+test/test_engine.ml: Aitf_engine Alcotest Array Float Fun Int List Option QCheck QCheck_alcotest

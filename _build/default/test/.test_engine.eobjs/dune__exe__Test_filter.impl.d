@@ -1,0 +1,1 @@
+test/test_filter.ml: Addr Aitf_engine Aitf_filter Aitf_net Alcotest Filter_table Flow_label Int32 List Option Packet QCheck QCheck_alcotest Shadow_cache Token_bucket

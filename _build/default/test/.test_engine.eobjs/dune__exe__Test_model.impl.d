@@ -1,0 +1,1 @@
+test/test_model.ml: Aitf_model Alcotest Float QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Aitf_engine Aitf_net Alcotest Int32 Link List Lpm Network Node Option Packet QCheck QCheck_alcotest Tap

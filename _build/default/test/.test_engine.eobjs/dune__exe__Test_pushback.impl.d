@@ -1,0 +1,1 @@
+test/test_pushback.ml: Addr Aitf_engine Aitf_net Aitf_pushback Aitf_workload Alcotest Network Node

@@ -1,0 +1,1 @@
+test/test_stats.ml: Aitf_stats Alcotest Array Float List String

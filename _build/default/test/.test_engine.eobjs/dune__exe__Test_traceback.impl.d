@@ -1,0 +1,1 @@
+test/test_traceback.ml: Addr Aitf_engine Aitf_net Aitf_traceback Alcotest Array Bloom List Network Node Option Packet Ppm Printf QCheck QCheck_alcotest Route_record Spie String

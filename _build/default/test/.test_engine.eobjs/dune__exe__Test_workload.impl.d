@@ -1,0 +1,1 @@
+test/test_workload.ml: Addr Aitf_core Aitf_engine Aitf_filter Aitf_net Aitf_stats Aitf_topo Aitf_workload Alcotest Config Int Link List Message Network Node Packet String

@@ -1,0 +1,600 @@
+(* Tests for aitf_filter: flow labels, filter tables, shadow cache and
+   token-bucket policers. *)
+
+module Sim = Aitf_engine.Sim
+open Aitf_net
+open Aitf_filter
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+let addr = Addr.of_string
+
+let data_packet ?spoofed_src ?(proto = 17) ~src ~dst () =
+  Packet.make ?spoofed_src ~proto ~src ~dst ~size:1000
+    (Packet.Data { flow_id = 0; attack = true })
+
+(* --- Flow labels ---------------------------------------------------------- *)
+
+let test_label_host_pair_match () =
+  let l = Flow_label.host_pair (addr "1.0.0.1") (addr "2.0.0.2") in
+  checkb "match" true
+    (Flow_label.matches l (data_packet ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ()));
+  checkb "wrong src" false
+    (Flow_label.matches l (data_packet ~src:(addr "1.0.0.9") ~dst:(addr "2.0.0.2") ()));
+  checkb "wrong dst" false
+    (Flow_label.matches l (data_packet ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.9") ()))
+
+let test_label_matches_header_src () =
+  (* Spoofed packets match labels naming the spoofed (header) address. *)
+  let l = Flow_label.host_pair (addr "9.9.9.9") (addr "2.0.0.2") in
+  let pkt =
+    data_packet ~spoofed_src:(addr "9.9.9.9") ~src:(addr "1.0.0.1")
+      ~dst:(addr "2.0.0.2") ()
+  in
+  checkb "spoofed header matches" true (Flow_label.matches l pkt)
+
+let test_label_net_and_any () =
+  let l = Flow_label.from_net (Addr.prefix_of_string "10.0.0.0/8") (addr "2.0.0.2") in
+  checkb "prefix src" true
+    (Flow_label.matches l (data_packet ~src:(addr "10.3.4.5") ~dst:(addr "2.0.0.2") ()));
+  checkb "outside prefix" false
+    (Flow_label.matches l (data_packet ~src:(addr "11.0.0.1") ~dst:(addr "2.0.0.2") ()));
+  let from = Flow_label.from_host (addr "1.0.0.1") in
+  checkb "any dst" true
+    (Flow_label.matches from (data_packet ~src:(addr "1.0.0.1") ~dst:(addr "5.5.5.5") ()))
+
+let test_label_proto () =
+  let l = Flow_label.v ~proto:6 (Flow_label.Host (addr "1.0.0.1")) Flow_label.Any in
+  checkb "matching proto" true
+    (Flow_label.matches l (data_packet ~proto:6 ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ()));
+  checkb "other proto" false
+    (Flow_label.matches l (data_packet ~proto:17 ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ()))
+
+let test_label_ports () =
+  let l =
+    Flow_label.v ~dport:80 (Flow_label.Host (addr "1.0.0.1")) Flow_label.Any
+  in
+  let pkt ~dport =
+    Packet.make ~dport ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ~size:10
+      (Packet.Data { flow_id = 0; attack = true })
+  in
+  checkb "port 80 matches" true (Flow_label.matches l (pkt ~dport:80));
+  checkb "port 81 misses" false (Flow_label.matches l (pkt ~dport:81));
+  (* The attacker switching ports dodges a port-qualified filter but not a
+     host-pair one — the intro's "oscillate ... port numbers" point. *)
+  let unqualified = Flow_label.host_pair (addr "1.0.0.1") (addr "2.0.0.2") in
+  checkb "host pair blind to ports" true
+    (Flow_label.matches unqualified (pkt ~dport:81));
+  checkb "port label not exact" false (Flow_label.is_exact l);
+  checkb "unqualified subsumes qualified" true
+    (Flow_label.subsumes
+       (Flow_label.v (Flow_label.Host (addr "1.0.0.1")) Flow_label.Any)
+       l);
+  checkb "qualified does not subsume" false
+    (Flow_label.subsumes l
+       (Flow_label.v (Flow_label.Host (addr "1.0.0.1")) Flow_label.Any))
+
+let test_label_of_string () =
+  let check_roundtrip s =
+    checks s s (Flow_label.to_string (Flow_label.of_string s))
+  in
+  List.iter check_roundtrip
+    [
+      "1.2.3.4 -> 5.6.7.8";
+      "* -> 5.6.7.8";
+      "10.0.0.0/8 -> *";
+      "1.2.3.4 -> 5.6.7.8 proto=6 sport=1024 dport=80";
+    ];
+  List.iter
+    (fun s ->
+      checkb s true
+        (try
+           ignore (Flow_label.of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ ""; "1.2.3.4"; "1.2.3.4 -> "; "a -> b"; "* -> * bogus=1";
+      "* -> * proto=abc"; "* -> * proto=-1" ]
+
+let test_label_subsumes () =
+  let wide = Flow_label.from_net (Addr.prefix_of_string "10.0.0.0/8") (addr "2.0.0.2") in
+  let narrow = Flow_label.host_pair (addr "10.1.1.1") (addr "2.0.0.2") in
+  checkb "net subsumes host" true (Flow_label.subsumes wide narrow);
+  checkb "host does not subsume net" false (Flow_label.subsumes narrow wide);
+  checkb "reflexive" true (Flow_label.subsumes wide wide);
+  let any = Flow_label.v Flow_label.Any Flow_label.Any in
+  checkb "any subsumes everything" true (Flow_label.subsumes any narrow);
+  let with_proto = { narrow with Flow_label.proto = Some 6 } in
+  checkb "no-proto subsumes proto" true (Flow_label.subsumes narrow with_proto);
+  checkb "proto does not subsume no-proto" false
+    (Flow_label.subsumes with_proto narrow)
+
+let test_label_equal_compare () =
+  let a = Flow_label.host_pair (addr "1.0.0.1") (addr "2.0.0.2") in
+  let b = Flow_label.host_pair (addr "1.0.0.1") (addr "2.0.0.2") in
+  let c = Flow_label.host_pair (addr "1.0.0.2") (addr "2.0.0.2") in
+  checkb "equal" true (Flow_label.equal a b);
+  checki "compare equal" 0 (Flow_label.compare a b);
+  checkb "hash equal" true (Flow_label.hash a = Flow_label.hash b);
+  checkb "different" false (Flow_label.equal a c)
+
+let test_label_is_exact () =
+  checkb "host pair exact" true
+    (Flow_label.is_exact (Flow_label.host_pair (addr "1.0.0.1") (addr "2.0.0.2")));
+  checkb "from_host not exact" false
+    (Flow_label.is_exact (Flow_label.from_host (addr "1.0.0.1")))
+
+let label_gen =
+  let open QCheck.Gen in
+  let sel =
+    frequency
+      [
+        (1, return Flow_label.Any);
+        (3, map (fun i -> Flow_label.Host (Int32.of_int i)) (int_bound 1000));
+        ( 2,
+          map2
+            (fun i len -> Flow_label.Net (Addr.prefix (Int32.of_int i) len))
+            (int_bound 1000) (int_bound 32) );
+      ]
+  in
+  let proto = opt (int_bound 255) in
+  map3
+    (fun s d p ->
+      { Flow_label.src = s; dst = d; proto = p; sport = None; dport = None })
+    sel sel proto
+
+let label_arb = QCheck.make label_gen
+
+let subsumption_implies_match =
+  QCheck.Test.make ~name:"subsumption is consistent with matching" ~count:500
+    (QCheck.pair label_arb (QCheck.pair QCheck.(int_bound 1000) QCheck.(int_bound 1000)))
+    (fun (l, (s, d)) ->
+      let pkt =
+        Packet.make ~src:(Int32.of_int s) ~dst:(Int32.of_int d) ~size:10
+          (Packet.Data { flow_id = 0; attack = false })
+      in
+      (* If l subsumes the exact host-pair label of the packet, l must match
+         the packet. *)
+      let exact = Flow_label.host_pair pkt.Packet.src pkt.Packet.dst in
+      (not (Flow_label.subsumes l exact)) || Flow_label.matches l pkt)
+
+let subsumes_reflexive_transitive =
+  QCheck.Test.make ~name:"subsumption is reflexive and transitive" ~count:300
+    (QCheck.triple label_arb label_arb label_arb)
+    (fun (a, b, c) ->
+      Flow_label.subsumes a a
+      && ((not (Flow_label.subsumes a b && Flow_label.subsumes b c))
+         || Flow_label.subsumes a c))
+
+let subsumes_antisymmetric =
+  QCheck.Test.make ~name:"mutual subsumption implies equality" ~count:300
+    (QCheck.pair label_arb label_arb)
+    (fun (a, b) ->
+      (not (Flow_label.subsumes a b && Flow_label.subsumes b a))
+      || Flow_label.equal a b)
+
+let to_string_roundtrip =
+  QCheck.Test.make ~name:"of_string inverts to_string" ~count:300 label_arb
+    (fun l -> Flow_label.equal l (Flow_label.of_string (Flow_label.to_string l)))
+
+let compare_total_order =
+  QCheck.Test.make ~name:"compare is antisymmetric and equal-consistent"
+    ~count:500 (QCheck.pair label_arb label_arb) (fun (a, b) ->
+      let c1 = Flow_label.compare a b and c2 = Flow_label.compare b a in
+      (c1 = 0) = (c2 = 0)
+      && (c1 > 0) = (c2 < 0)
+      && Flow_label.equal a b = (c1 = 0))
+
+(* --- Filter table ---------------------------------------------------------- *)
+
+let mk_table ?(capacity = 4) () =
+  let sim = Sim.create () in
+  (sim, Filter_table.create sim ~capacity)
+
+let l1 = Flow_label.host_pair (addr "1.0.0.1") (addr "2.0.0.2")
+let l2 = Flow_label.host_pair (addr "1.0.0.2") (addr "2.0.0.2")
+let p1 () = data_packet ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ()
+
+let test_table_install_and_block () =
+  let _sim, t = mk_table () in
+  (match Filter_table.install t l1 ~duration:10. with
+  | Ok _ -> ()
+  | Error `Table_full -> Alcotest.fail "unexpected full");
+  checkb "blocks match" true (Filter_table.blocks t (p1 ()));
+  checkb "other flow passes" false
+    (Filter_table.blocks t (data_packet ~src:(addr "5.0.0.5") ~dst:(addr "2.0.0.2") ()));
+  checki "occupancy" 1 (Filter_table.occupancy t);
+  checki "blocked packets" 1 (Filter_table.blocked_packets t);
+  checki "blocked bytes" 1000 (Filter_table.blocked_bytes t)
+
+let test_table_expiry () =
+  let sim, t = mk_table () in
+  ignore (Filter_table.install t l1 ~duration:5.);
+  Sim.run ~until:4.9 sim;
+  checkb "still blocking" true (Filter_table.blocks t (p1 ()));
+  Sim.run ~until:5.1 sim;
+  checkb "expired" false (Filter_table.blocks t (p1 ()));
+  checki "occupancy zero" 0 (Filter_table.occupancy t)
+
+let test_table_capacity () =
+  let _sim, t = mk_table ~capacity:2 () in
+  ignore (Filter_table.install t l1 ~duration:10.);
+  ignore (Filter_table.install t l2 ~duration:10.);
+  (match
+     Filter_table.install t
+       (Flow_label.host_pair (addr "1.0.0.3") (addr "2.0.0.2"))
+       ~duration:10.
+   with
+  | Ok _ -> Alcotest.fail "expected Table_full"
+  | Error `Table_full -> ());
+  checki "rejected" 1 (Filter_table.rejected t);
+  checki "peak" 2 (Filter_table.peak_occupancy t)
+
+let test_table_refresh_same_label () =
+  let sim, t = mk_table ~capacity:1 () in
+  ignore (Filter_table.install t l1 ~duration:5.);
+  Sim.run ~until:3. sim;
+  (* Re-install: must not consume a slot and must extend expiry. *)
+  (match Filter_table.install t l1 ~duration:5. with
+  | Ok _ -> ()
+  | Error `Table_full -> Alcotest.fail "refresh must not hit capacity");
+  checki "occupancy still 1" 1 (Filter_table.occupancy t);
+  Sim.run ~until:6. sim;
+  checkb "survives past original expiry" true (Filter_table.blocks t (p1 ()));
+  Sim.run ~until:8.1 sim;
+  checkb "expires at extended time" false (Filter_table.blocks t (p1 ()))
+
+let test_table_remove () =
+  let _sim, t = mk_table () in
+  let h =
+    match Filter_table.install t l1 ~duration:10. with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "install failed"
+  in
+  Filter_table.remove t h;
+  checkb "no longer blocking" false (Filter_table.blocks t (p1 ()));
+  checkb "handle dead" false (Filter_table.live h);
+  Filter_table.remove t h (* idempotent *)
+
+let test_table_slot_reusable_after_expiry () =
+  let sim, t = mk_table ~capacity:1 () in
+  ignore (Filter_table.install t l1 ~duration:1.);
+  Sim.run ~until:2. sim;
+  (match Filter_table.install t l2 ~duration:1. with
+  | Ok _ -> ()
+  | Error `Table_full -> Alcotest.fail "slot should be free");
+  checki "peak stays 1" 1 (Filter_table.peak_occupancy t)
+
+let test_table_wildcard_entries () =
+  let _sim, t = mk_table () in
+  ignore
+    (Filter_table.install t
+       (Flow_label.from_net (Addr.prefix_of_string "10.0.0.0/8") (addr "2.0.0.2"))
+       ~duration:10.);
+  checkb "wildcard blocks" true
+    (Filter_table.blocks t (data_packet ~src:(addr "10.9.9.9") ~dst:(addr "2.0.0.2") ()));
+  checkb "outside passes" false
+    (Filter_table.blocks t (data_packet ~src:(addr "11.0.0.1") ~dst:(addr "2.0.0.2") ()))
+
+let test_table_would_block_no_stats () =
+  let _sim, t = mk_table () in
+  ignore (Filter_table.install t l1 ~duration:10.);
+  checkb "would block" true (Filter_table.would_block t (p1 ()));
+  checki "no hit recorded" 0 (Filter_table.blocked_packets t)
+
+let test_table_hit_tracking () =
+  let sim, t = mk_table () in
+  let h =
+    match Filter_table.install t l1 ~duration:10. with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "install"
+  in
+  ignore (Sim.at sim 2. (fun () -> ignore (Filter_table.blocks t (p1 ()))));
+  ignore (Sim.at sim 3. (fun () -> ignore (Filter_table.blocks t (p1 ()))));
+  Sim.run ~until:4. sim;
+  checki "hits" 2 (Filter_table.hits h);
+  checki "hit bytes" 2000 (Filter_table.hit_bytes h);
+  checkb "last hit time" true (Filter_table.last_hit h = Some 3.)
+
+let test_table_find () =
+  let _sim, t = mk_table () in
+  ignore (Filter_table.install t l1 ~duration:10.);
+  checkb "find live" true (Option.is_some (Filter_table.find t l1));
+  checkb "find miss" true (Filter_table.find t l2 = None)
+
+let test_table_evict_subsumed () =
+  let _sim, t = mk_table ~capacity:4 () in
+  ignore (Filter_table.install t l1 ~duration:10.);
+  ignore (Filter_table.install t l2 ~duration:10.);
+  ignore
+    (Filter_table.install t
+       (Flow_label.host_pair (addr "1.0.0.1") (addr "3.0.0.3"))
+       ~duration:10.);
+  (* The wildcard any->2.0.0.2 covers l1 and l2 but not the third entry. *)
+  let agg = Flow_label.v Flow_label.Any (Flow_label.Host (addr "2.0.0.2")) in
+  checki "two evicted" 2 (Filter_table.evict_subsumed t agg);
+  checki "occupancy" 1 (Filter_table.occupancy t);
+  checkb "uncovered survives" true
+    (Filter_table.would_block t
+       (data_packet ~src:(addr "1.0.0.1") ~dst:(addr "3.0.0.3") ()));
+  (* And now the aggregate fits. *)
+  (match Filter_table.install t agg ~duration:10. with
+  | Ok _ -> ()
+  | Error `Table_full -> Alcotest.fail "room was made");
+  checkb "aggregate blocks both old flows" true
+    (Filter_table.would_block t (p1 ())
+    && Filter_table.would_block t
+         (data_packet ~src:(addr "1.0.0.2") ~dst:(addr "2.0.0.2") ()))
+
+let test_table_evict_subsumed_none () =
+  let _sim, t = mk_table () in
+  ignore (Filter_table.install t l1 ~duration:10.);
+  let other = Flow_label.v Flow_label.Any (Flow_label.Host (addr "9.9.9.9")) in
+  checki "nothing covered" 0 (Filter_table.evict_subsumed t other);
+  checki "occupancy intact" 1 (Filter_table.occupancy t)
+
+let test_table_proto_probe () =
+  (* An exact label qualified by protocol must match packets of that
+     protocol via the hash probe. *)
+  let _sim, t = mk_table () in
+  ignore
+    (Filter_table.install t { l1 with Flow_label.proto = Some 6 } ~duration:10.);
+  checkb "proto 6 blocked" true
+    (Filter_table.blocks t
+       (data_packet ~proto:6 ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ()));
+  checkb "proto 17 passes" false
+    (Filter_table.blocks t
+       (data_packet ~proto:17 ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ()))
+
+let test_table_rate_limited_entry () =
+  let sim, t = mk_table () in
+  (* 2000 B/s allowance; 1000 B packets arriving at 10/s: ~2 per second
+     pass, the rest are dropped. *)
+  (match Filter_table.install ~rate_limit:2000. t l1 ~duration:100. with
+  | Ok _ -> ()
+  | Error `Table_full -> Alcotest.fail "install");
+  let passed = ref 0 and dropped = ref 0 in
+  for i = 0 to 99 do
+    ignore
+      (Sim.at sim
+         (0.1 *. float_of_int (i + 1))
+         (fun () ->
+           if Filter_table.blocks t (p1 ()) then incr dropped else incr passed))
+  done;
+  Sim.run sim;
+  (* 10 s at 2 pkt/s + burst ~= 22; allow slack. *)
+  checkb "conforming share passes" true (abs (!passed - 22) <= 3);
+  checki "the rest dropped" 100 (!passed + !dropped);
+  checkb "drops counted as hits" true (Filter_table.blocked_packets t = !dropped)
+
+let test_table_block_entry_blocks_everything () =
+  let _sim, t = mk_table () in
+  ignore (Filter_table.install t l1 ~duration:100.);
+  for _ = 1 to 10 do
+    checkb "always blocked" true (Filter_table.blocks t (p1 ()))
+  done
+
+(* Property: with lazy capacity, a table never blocks a packet unless some
+   installed-and-unexpired label matches it. *)
+let table_soundness =
+  QCheck.Test.make ~name:"table blocks iff a live label matches" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_bound 10) (pair QCheck.(int_bound 50) QCheck.(int_bound 50)))
+    (fun pairs ->
+      let sim = Sim.create () in
+      let t = Filter_table.create sim ~capacity:100 in
+      let labels =
+        List.map
+          (fun (s, d) ->
+            let l = Flow_label.host_pair (Int32.of_int s) (Int32.of_int d) in
+            ignore (Filter_table.install t l ~duration:10.);
+            l)
+          pairs
+      in
+      let probe =
+        Packet.make ~src:25l ~dst:25l ~size:10
+          (Packet.Data { flow_id = 0; attack = false })
+      in
+      Filter_table.would_block t probe
+      = List.exists (fun l -> Flow_label.matches l probe) labels)
+
+(* --- Shadow cache ---------------------------------------------------------- *)
+
+let test_shadow_insert_find () =
+  let sim = Sim.create () in
+  let c = Shadow_cache.create sim ~capacity:4 in
+  (match Shadow_cache.insert c l1 ~ttl:10. "state" with
+  | Ok e -> checkb "data" true (Shadow_cache.data e = "state")
+  | Error `Full -> Alcotest.fail "full");
+  checkb "find" true (Option.is_some (Shadow_cache.find c l1));
+  checkb "miss" true (Shadow_cache.find c l2 = None);
+  checki "occupancy" 1 (Shadow_cache.occupancy c)
+
+let test_shadow_match_packet () =
+  let sim = Sim.create () in
+  let c = Shadow_cache.create sim ~capacity:4 in
+  ignore (Shadow_cache.insert c l1 ~ttl:10. 1);
+  (match Shadow_cache.match_packet c (p1 ()) with
+  | Some e -> checki "data via packet" 1 (Shadow_cache.data e)
+  | None -> Alcotest.fail "expected match");
+  checkb "other packet misses" true
+    (Shadow_cache.match_packet c
+       (data_packet ~src:(addr "7.7.7.7") ~dst:(addr "2.0.0.2") ())
+    = None)
+
+let test_shadow_ttl () =
+  let sim = Sim.create () in
+  let c = Shadow_cache.create sim ~capacity:4 in
+  ignore (Shadow_cache.insert c l1 ~ttl:5. ());
+  Sim.run ~until:5.1 sim;
+  checkb "expired" true (Shadow_cache.find c l1 = None);
+  checki "occupancy" 0 (Shadow_cache.occupancy c)
+
+let test_shadow_refresh () =
+  let sim = Sim.create () in
+  let c = Shadow_cache.create sim ~capacity:4 in
+  let e =
+    match Shadow_cache.insert c l1 ~ttl:5. () with
+    | Ok e -> e
+    | Error `Full -> Alcotest.fail "full"
+  in
+  ignore (Sim.at sim 4. (fun () -> Shadow_cache.refresh c e ~ttl:5.));
+  Sim.run ~until:8. sim;
+  checkb "still live after refresh" true (Option.is_some (Shadow_cache.find c l1));
+  Sim.run ~until:9.1 sim;
+  checkb "expires at refreshed deadline" true (Shadow_cache.find c l1 = None)
+
+let test_shadow_capacity () =
+  let sim = Sim.create () in
+  let c = Shadow_cache.create sim ~capacity:2 in
+  ignore (Shadow_cache.insert c l1 ~ttl:10. ());
+  ignore (Shadow_cache.insert c l2 ~ttl:10. ());
+  (match
+     Shadow_cache.insert c
+       (Flow_label.host_pair (addr "1.0.0.3") (addr "2.0.0.2"))
+       ~ttl:10. ()
+   with
+  | Ok _ -> Alcotest.fail "expected Full"
+  | Error `Full -> ());
+  checki "rejected" 1 (Shadow_cache.rejected c);
+  checki "peak" 2 (Shadow_cache.peak_occupancy c)
+
+let test_shadow_reinsert_replaces () =
+  let sim = Sim.create () in
+  let c = Shadow_cache.create sim ~capacity:1 in
+  ignore (Shadow_cache.insert c l1 ~ttl:10. 1);
+  (match Shadow_cache.insert c l1 ~ttl:10. 2 with
+  | Ok e -> checki "data replaced" 2 (Shadow_cache.data e)
+  | Error `Full -> Alcotest.fail "reinsert must not hit capacity");
+  checki "occupancy 1" 1 (Shadow_cache.occupancy c)
+
+let test_shadow_remove_and_iter () =
+  let sim = Sim.create () in
+  let c = Shadow_cache.create sim ~capacity:4 in
+  let e =
+    match Shadow_cache.insert c l1 ~ttl:10. () with
+    | Ok e -> e
+    | Error `Full -> Alcotest.fail "full"
+  in
+  ignore (Shadow_cache.insert c l2 ~ttl:10. ());
+  Shadow_cache.remove c e;
+  let n = ref 0 in
+  Shadow_cache.iter c (fun _ -> incr n);
+  checki "one live entry" 1 !n;
+  checkb "removed entry dead" false (Shadow_cache.live e)
+
+(* --- Token bucket ---------------------------------------------------------- *)
+
+let test_bucket_burst_then_deny () =
+  let b = Token_bucket.create ~rate:1.0 ~burst:3.0 in
+  checkb "1" true (Token_bucket.allow b ~now:0.);
+  checkb "2" true (Token_bucket.allow b ~now:0.);
+  checkb "3" true (Token_bucket.allow b ~now:0.);
+  checkb "4 denied" false (Token_bucket.allow b ~now:0.);
+  checki "admitted" 3 (Token_bucket.admitted b);
+  checki "denied" 1 (Token_bucket.denied b)
+
+let test_bucket_refill () =
+  let b = Token_bucket.create ~rate:2.0 ~burst:2.0 in
+  checkb "drain 1" true (Token_bucket.allow b ~now:0.);
+  checkb "drain 2" true (Token_bucket.allow b ~now:0.);
+  checkb "empty" false (Token_bucket.allow b ~now:0.);
+  checkb "after 0.5s one token" true (Token_bucket.allow b ~now:0.5);
+  checkb "not two" false (Token_bucket.allow b ~now:0.5)
+
+let test_bucket_burst_cap () =
+  let b = Token_bucket.create ~rate:10.0 ~burst:2.0 in
+  (* Long idle must not accumulate beyond burst. *)
+  checkb "t=100 1" true (Token_bucket.allow b ~now:100.);
+  checkb "t=100 2" true (Token_bucket.allow b ~now:100.);
+  checkb "t=100 3 denied" false (Token_bucket.allow b ~now:100.)
+
+let test_bucket_cost () =
+  let b = Token_bucket.create ~rate:1.0 ~burst:10.0 in
+  checkb "cost 8" true (Token_bucket.allow ~cost:8. b ~now:0.);
+  checkb "cost 3 denied" false (Token_bucket.allow ~cost:3. b ~now:0.);
+  checkb "peek" true (Token_bucket.peek_tokens b ~now:0. = 2.)
+
+let test_bucket_long_run_rate () =
+  (* Admitted count over a long horizon approximates rate * time. *)
+  let b = Token_bucket.create ~rate:5.0 ~burst:5.0 in
+  let admitted = ref 0 in
+  for ms = 0 to 100_000 do
+    let now = float_of_int ms /. 100. in
+    if Token_bucket.allow b ~now then incr admitted
+  done;
+  (* 1000 s at 5/s = ~5000 (+burst). *)
+  checkb "within 1%" true (abs (!admitted - 5005) < 50)
+
+let test_bucket_validation () =
+  checkb "bad rate" true
+    (try
+       ignore (Token_bucket.create ~rate:0. ~burst:1.);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "aitf_filter"
+    [
+      ( "flow_label",
+        [
+          Alcotest.test_case "host pair" `Quick test_label_host_pair_match;
+          Alcotest.test_case "header src" `Quick test_label_matches_header_src;
+          Alcotest.test_case "net/any" `Quick test_label_net_and_any;
+          Alcotest.test_case "proto" `Quick test_label_proto;
+          Alcotest.test_case "ports" `Quick test_label_ports;
+          Alcotest.test_case "of_string" `Quick test_label_of_string;
+          Alcotest.test_case "subsumes" `Quick test_label_subsumes;
+          Alcotest.test_case "equal/compare" `Quick test_label_equal_compare;
+          Alcotest.test_case "is_exact" `Quick test_label_is_exact;
+          QCheck_alcotest.to_alcotest subsumption_implies_match;
+          QCheck_alcotest.to_alcotest subsumes_reflexive_transitive;
+          QCheck_alcotest.to_alcotest subsumes_antisymmetric;
+          QCheck_alcotest.to_alcotest to_string_roundtrip;
+          QCheck_alcotest.to_alcotest compare_total_order;
+        ] );
+      ( "filter_table",
+        [
+          Alcotest.test_case "install/block" `Quick test_table_install_and_block;
+          Alcotest.test_case "expiry" `Quick test_table_expiry;
+          Alcotest.test_case "capacity" `Quick test_table_capacity;
+          Alcotest.test_case "refresh" `Quick test_table_refresh_same_label;
+          Alcotest.test_case "remove" `Quick test_table_remove;
+          Alcotest.test_case "slot reuse" `Quick
+            test_table_slot_reusable_after_expiry;
+          Alcotest.test_case "wildcards" `Quick test_table_wildcard_entries;
+          Alcotest.test_case "would_block" `Quick
+            test_table_would_block_no_stats;
+          Alcotest.test_case "hit tracking" `Quick test_table_hit_tracking;
+          Alcotest.test_case "find" `Quick test_table_find;
+          Alcotest.test_case "proto probe" `Quick test_table_proto_probe;
+          Alcotest.test_case "evict subsumed" `Quick test_table_evict_subsumed;
+          Alcotest.test_case "evict subsumed none" `Quick
+            test_table_evict_subsumed_none;
+          Alcotest.test_case "rate-limited entry" `Quick
+            test_table_rate_limited_entry;
+          Alcotest.test_case "block entry" `Quick
+            test_table_block_entry_blocks_everything;
+          QCheck_alcotest.to_alcotest table_soundness;
+        ] );
+      ( "shadow_cache",
+        [
+          Alcotest.test_case "insert/find" `Quick test_shadow_insert_find;
+          Alcotest.test_case "match packet" `Quick test_shadow_match_packet;
+          Alcotest.test_case "ttl" `Quick test_shadow_ttl;
+          Alcotest.test_case "refresh" `Quick test_shadow_refresh;
+          Alcotest.test_case "capacity" `Quick test_shadow_capacity;
+          Alcotest.test_case "reinsert" `Quick test_shadow_reinsert_replaces;
+          Alcotest.test_case "remove/iter" `Quick test_shadow_remove_and_iter;
+        ] );
+      ( "token_bucket",
+        [
+          Alcotest.test_case "burst then deny" `Quick
+            test_bucket_burst_then_deny;
+          Alcotest.test_case "refill" `Quick test_bucket_refill;
+          Alcotest.test_case "burst cap" `Quick test_bucket_burst_cap;
+          Alcotest.test_case "cost" `Quick test_bucket_cost;
+          Alcotest.test_case "long-run rate" `Quick test_bucket_long_run_rate;
+          Alcotest.test_case "validation" `Quick test_bucket_validation;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Tests for aitf_model: the paper's Section IV formulas, pinned to the
+   worked examples given in the text. *)
+
+module F = Aitf_model.Formulas
+
+let check = Alcotest.check
+let checkb = check Alcotest.bool
+let checki = check Alcotest.int
+
+let close ?(tol = 1e-9) a b = Float.abs (a -. b) < tol
+
+(* Paper IV-A.1: "if the only non-cooperating node on the attack path is the
+   attacker, and if the one-way delay from the victim to its gateway is
+   Tr = 50 msec, for T = 1 min, ... r ~= 0.00083". *)
+let test_r_paper_example () =
+  let r = F.effective_bandwidth_ratio ~n:1 ~td:0. ~tr:0.05 ~t_filter:60. in
+  checkb "r ~= 0.00083" true (close ~tol:5e-6 r 0.000833333)
+
+let test_r_scales_linearly_with_n () =
+  let r1 = F.effective_bandwidth_ratio ~n:1 ~td:0.1 ~tr:0.05 ~t_filter:60. in
+  let r3 = F.effective_bandwidth_ratio ~n:3 ~td:0.1 ~tr:0.05 ~t_filter:60. in
+  checkb "3x" true (close (3. *. r1) r3)
+
+let test_r_inverse_in_t () =
+  let r60 = F.effective_bandwidth_ratio ~n:1 ~td:0.1 ~tr:0.05 ~t_filter:60. in
+  let r120 = F.effective_bandwidth_ratio ~n:1 ~td:0.1 ~tr:0.05 ~t_filter:120. in
+  checkb "halves" true (close (r60 /. 2.) r120)
+
+let test_effective_bandwidth () =
+  let be =
+    F.effective_bandwidth ~n:1 ~td:0. ~tr:0.05 ~t_filter:60. ~bandwidth:10e6
+  in
+  checkb "Be = B * r" true (close ~tol:1. be (10e6 *. 0.05 /. 60.))
+
+(* Paper IV-A.2: "for R1 = 100 filtering requests per second and T = 1 min,
+   the client is protected against Nv = 6,000 simultaneous undesired
+   flows". *)
+let test_nv_paper_example () =
+  checki "Nv = 6000" 6000 (F.protected_flows ~r1:100. ~t_filter:60.)
+
+(* Paper IV-B: "if the 3-way handshake ... takes 600 msec, for R1 = 100 ...
+   the provider needs nv = 60 filters", and "mv = R1 * T". *)
+let test_nv_filters_paper_example () =
+  checki "nv = 60" 60 (F.victim_gateway_filters ~r1:100. ~t_tmp:0.6);
+  checki "mv = 6000" 6000 (F.victim_gateway_shadow ~r1:100. ~t_filter:60.)
+
+(* Paper IV-C/IV-D: "for R2 = 1 filtering request per second and T = 1 min,
+   the provider needs na = 60 filters" (and the client the same). *)
+let test_na_paper_example () =
+  checki "na = 60" 60 (F.attacker_gateway_filters ~r2:1. ~t_filter:60.)
+
+let test_nv_much_less_than_shadow () =
+  (* The whole point of the design: nv = R1*Ttmp << mv = R1*T. *)
+  let nv = F.victim_gateway_filters ~r1:100. ~t_tmp:0.6 in
+  let mv = F.victim_gateway_shadow ~r1:100. ~t_filter:60. in
+  checkb "nv << mv" true (nv * 10 <= mv)
+
+let test_min_t_tmp () =
+  checkb "sum" true (close (F.min_t_tmp ~traceback_time:0.2 ~handshake_time:0.6) 0.8);
+  (* With in-packet route record traceback is free. *)
+  checkb "route record" true
+    (close (F.min_t_tmp ~traceback_time:0. ~handshake_time:0.6) 0.6)
+
+let test_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  checkb "T=0 rejected" true
+    (raises (fun () -> F.effective_bandwidth_ratio ~n:1 ~td:0. ~tr:0. ~t_filter:0.));
+  checkb "R1<=0 rejected" true
+    (raises (fun () -> F.protected_flows ~r1:0. ~t_filter:60.));
+  checkb "Ttmp<=0 rejected" true
+    (raises (fun () -> F.victim_gateway_filters ~r1:1. ~t_tmp:0.));
+  checkb "R2<=0 rejected" true
+    (raises (fun () -> F.attacker_gateway_filters ~r2:(-1.) ~t_filter:60.))
+
+let nv_monotone =
+  QCheck.Test.make ~name:"Nv monotone in R1 and T" ~count:200
+    QCheck.(pair (float_range 1. 1000.) (float_range 1. 600.))
+    (fun (r1, t) ->
+      F.protected_flows ~r1 ~t_filter:t
+      <= F.protected_flows ~r1:(r1 +. 1.) ~t_filter:(t +. 1.))
+
+let () =
+  Alcotest.run "aitf_model"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "r paper example" `Quick test_r_paper_example;
+          Alcotest.test_case "r linear in n" `Quick test_r_scales_linearly_with_n;
+          Alcotest.test_case "r inverse in T" `Quick test_r_inverse_in_t;
+          Alcotest.test_case "effective bandwidth" `Quick
+            test_effective_bandwidth;
+          Alcotest.test_case "Nv paper example" `Quick test_nv_paper_example;
+          Alcotest.test_case "nv/mv paper example" `Quick
+            test_nv_filters_paper_example;
+          Alcotest.test_case "na paper example" `Quick test_na_paper_example;
+          Alcotest.test_case "nv << mv" `Quick test_nv_much_less_than_shadow;
+          Alcotest.test_case "min Ttmp" `Quick test_min_t_tmp;
+          Alcotest.test_case "validation" `Quick test_validation;
+          QCheck_alcotest.to_alcotest nv_monotone;
+        ] );
+    ]

@@ -1,0 +1,697 @@
+(* Tests for aitf_net: addresses, packets, LPM, links, nodes, network
+   forwarding and routing. *)
+
+module Sim = Aitf_engine.Sim
+open Aitf_net
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+let checkf = check (Alcotest.float 1e-9)
+
+(* --- Addr ---------------------------------------------------------------- *)
+
+let test_addr_roundtrip () =
+  let cases = [ "0.0.0.0"; "10.0.0.1"; "192.168.1.254"; "255.255.255.255" ] in
+  List.iter (fun s -> checks s s (Addr.to_string (Addr.of_string s))) cases
+
+let test_addr_of_octets () =
+  checks "octets" "10.1.2.3" (Addr.to_string (Addr.of_octets 10 1 2 3));
+  checkb "bad octet" true
+    (try
+       ignore (Addr.of_octets 256 0 0 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_addr_bad_strings () =
+  List.iter
+    (fun s ->
+      checkb s true
+        (try
+           ignore (Addr.of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ "10.0.0"; "a.b.c.d"; ""; "1.2.3.4.5" ]
+
+let test_addr_bits () =
+  let a = Addr.of_string "128.0.0.1" in
+  checkb "msb set" true (Addr.bit a 0);
+  checkb "bit 1 clear" false (Addr.bit a 1);
+  checkb "lsb set" true (Addr.bit a 31)
+
+let test_addr_succ_add () =
+  let a = Addr.of_string "10.0.0.255" in
+  checks "succ crosses octet" "10.0.1.0" (Addr.to_string (Addr.succ a));
+  checks "add" "10.0.1.9" (Addr.to_string (Addr.add a 10))
+
+let test_prefix_normalisation () =
+  let p = Addr.prefix (Addr.of_string "10.1.2.3") 8 in
+  checks "host bits cleared" "10.0.0.0/8" (Addr.prefix_to_string p);
+  let q = Addr.prefix_of_string "10.5.6.7/8" in
+  checki "equal prefixes compare 0" 0 (Addr.prefix_compare p q)
+
+let test_prefix_membership () =
+  let p = Addr.prefix_of_string "10.1.0.0/16" in
+  checkb "inside" true (Addr.prefix_mem p (Addr.of_string "10.1.200.3"));
+  checkb "outside" false (Addr.prefix_mem p (Addr.of_string "10.2.0.1"));
+  let zero = Addr.prefix_of_string "0.0.0.0/0" in
+  checkb "default route matches all" true
+    (Addr.prefix_mem zero (Addr.of_string "250.1.2.3"))
+
+let test_prefix_len_bounds () =
+  checkb "len 33 rejected" true
+    (try
+       ignore (Addr.prefix (Addr.of_string "1.2.3.4") 33);
+       false
+     with Invalid_argument _ -> true);
+  let host = Addr.host_prefix (Addr.of_string "1.2.3.4") in
+  checkb "host prefix only self" true
+    (Addr.prefix_mem host (Addr.of_string "1.2.3.4")
+    && not (Addr.prefix_mem host (Addr.of_string "1.2.3.5")))
+
+(* --- Packet -------------------------------------------------------------- *)
+
+let addr = Addr.of_string
+
+let test_packet_make () =
+  Packet.reset_ids ();
+  let p =
+    Packet.make ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ~size:500
+      (Packet.Data { flow_id = 1; attack = false })
+  in
+  checki "id starts at 0" 0 p.Packet.id;
+  checkb "src = true_src" true (Addr.equal p.Packet.src p.Packet.true_src);
+  checki "default ttl" 64 p.Packet.ttl;
+  let q =
+    Packet.make ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ~size:500
+      (Packet.Data { flow_id = 1; attack = false })
+  in
+  checki "ids increment" 1 q.Packet.id
+
+let test_packet_spoofing () =
+  let p =
+    Packet.make ~spoofed_src:(addr "9.9.9.9") ~src:(addr "1.0.0.1")
+      ~dst:(addr "2.0.0.2") ~size:100
+      (Packet.Data { flow_id = 1; attack = true })
+  in
+  checks "header src spoofed" "9.9.9.9" (Addr.to_string p.Packet.src);
+  checks "true src kept" "1.0.0.1" (Addr.to_string p.Packet.true_src)
+
+let test_packet_route_record () =
+  let p =
+    Packet.make ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ~size:100
+      (Packet.Data { flow_id = 1; attack = false })
+  in
+  Packet.record_route p (addr "3.0.0.1");
+  Packet.record_route p (addr "4.0.0.1");
+  check (Alcotest.list Alcotest.string) "traversal order"
+    [ "3.0.0.1"; "4.0.0.1" ]
+    (List.map Addr.to_string p.Packet.route_record)
+
+let test_packet_route_record_bounded () =
+  let p =
+    Packet.make ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ~size:100
+      (Packet.Data { flow_id = 1; attack = false })
+  in
+  for i = 0 to Packet.route_record_limit + 5 do
+    Packet.record_route p (Addr.add (addr "5.0.0.0") i)
+  done;
+  checki "bounded" Packet.route_record_limit (List.length p.Packet.route_record)
+
+let test_packet_is_control () =
+  let data =
+    Packet.make ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ~size:100
+      (Packet.Data { flow_id = 1; attack = false })
+  in
+  checkb "data is not control" false (Packet.is_control data)
+
+(* --- LPM ----------------------------------------------------------------- *)
+
+let test_lpm_empty () =
+  let t : int Lpm.t = Lpm.create () in
+  checkb "lookup misses" true (Lpm.lookup t (addr "1.2.3.4") = None);
+  checki "size" 0 (Lpm.size t)
+
+let test_lpm_longest_match () =
+  let t = Lpm.create () in
+  Lpm.insert t (Addr.prefix_of_string "10.0.0.0/8") "eight";
+  Lpm.insert t (Addr.prefix_of_string "10.1.0.0/16") "sixteen";
+  Lpm.insert t (Addr.prefix_of_string "10.1.2.0/24") "twentyfour";
+  checkb "/24 wins" true (Lpm.lookup t (addr "10.1.2.3") = Some "twentyfour");
+  checkb "/16 wins" true (Lpm.lookup t (addr "10.1.9.1") = Some "sixteen");
+  checkb "/8 wins" true (Lpm.lookup t (addr "10.200.0.1") = Some "eight");
+  checkb "no match" true (Lpm.lookup t (addr "11.0.0.1") = None)
+
+let test_lpm_default_route () =
+  let t = Lpm.create () in
+  Lpm.insert t (Addr.prefix_of_string "0.0.0.0/0") "default";
+  Lpm.insert t (Addr.prefix_of_string "10.0.0.0/8") "ten";
+  checkb "default" true (Lpm.lookup t (addr "200.0.0.1") = Some "default");
+  checkb "specific" true (Lpm.lookup t (addr "10.0.0.1") = Some "ten")
+
+let test_lpm_replace_and_remove () =
+  let t = Lpm.create () in
+  let p = Addr.prefix_of_string "10.0.0.0/8" in
+  Lpm.insert t p 1;
+  Lpm.insert t p 2;
+  checki "size after replace" 1 (Lpm.size t);
+  checkb "replaced" true (Lpm.exact t p = Some 2);
+  Lpm.remove t p;
+  checki "size after remove" 0 (Lpm.size t);
+  checkb "gone" true (Lpm.lookup t (addr "10.0.0.1") = None);
+  Lpm.remove t p (* idempotent *)
+
+let test_lpm_host_route () =
+  let t = Lpm.create () in
+  Lpm.insert t (Addr.host_prefix (addr "10.0.0.5")) "host";
+  Lpm.insert t (Addr.prefix_of_string "10.0.0.0/24") "net";
+  checkb "host wins" true (Lpm.lookup t (addr "10.0.0.5") = Some "host");
+  checkb "sibling uses net" true (Lpm.lookup t (addr "10.0.0.6") = Some "net")
+
+let test_lpm_lookup_prefix () =
+  let t = Lpm.create () in
+  Lpm.insert t (Addr.prefix_of_string "10.1.0.0/16") "p";
+  match Lpm.lookup_prefix t (addr "10.1.2.3") with
+  | Some (p, "p") -> checks "prefix" "10.1.0.0/16" (Addr.prefix_to_string p)
+  | _ -> Alcotest.fail "expected match"
+
+let test_lpm_iter_and_clear () =
+  let t = Lpm.create () in
+  List.iter
+    (fun s -> Lpm.insert t (Addr.prefix_of_string s) s)
+    [ "10.0.0.0/8"; "10.1.0.0/16"; "192.168.0.0/24"; "0.0.0.0/0" ];
+  let seen = ref [] in
+  Lpm.iter t (fun p v ->
+      checks "prefix matches value" v (Addr.prefix_to_string p);
+      seen := v :: !seen);
+  checki "visited all" 4 (List.length !seen);
+  Lpm.clear t;
+  checki "cleared" 0 (Lpm.size t);
+  checkb "lookup after clear" true (Lpm.lookup t (addr "10.0.0.1") = None)
+
+(* Reference model: LPM as a linear scan over a list of (prefix, value). *)
+let lpm_vs_reference =
+  let gen_prefix =
+    QCheck.Gen.(
+      map2
+        (fun base len -> Addr.prefix (Int32.of_int base) len)
+        (int_bound 0xFFFFFF) (int_bound 24))
+  in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        pair (list_size (int_bound 30) gen_prefix) (int_bound 0xFFFFFF))
+  in
+  QCheck.Test.make ~name:"lpm agrees with linear reference" ~count:300 arb
+    (fun (prefixes, addr_int) ->
+      let a = Int32.of_int addr_int in
+      let t = Lpm.create () in
+      List.iteri (fun i p -> Lpm.insert t p i) prefixes;
+      (* Reference: longest covering prefix wins; among duplicates the
+         later insert replaces the earlier. *)
+      let best = ref None in
+      List.iteri
+        (fun i p ->
+          if Addr.prefix_mem p a then
+            match !best with
+            | Some (len, _) when len > (p : Addr.prefix).len -> ()
+            | Some (len, _) when len = (p : Addr.prefix).len ->
+              best := Some (len, i)
+            | _ -> best := Some ((p : Addr.prefix).len, i))
+        prefixes;
+      Lpm.lookup t a = Option.map snd !best)
+
+(* --- Link ---------------------------------------------------------------- *)
+
+let mk_packet ?(size = 1000) () =
+  Packet.make ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ~size
+    (Packet.Data { flow_id = 0; attack = false })
+
+let test_link_delivery_timing () =
+  let sim = Sim.create () in
+  (* 8 kbit packet over 8 kbit/s + 0.5 s propagation = 1.5 s. *)
+  let l =
+    Link.create sim ~name:"l" ~bandwidth:8000. ~delay:0.5 ~queue_capacity:10000
+  in
+  let arrival = ref 0. in
+  Link.set_deliver l (fun _ -> arrival := Sim.now sim);
+  Link.send l (mk_packet ~size:1000 ());
+  Sim.run sim;
+  checkf "serialization + propagation" 1.5 !arrival
+
+let test_link_serialises_back_to_back () =
+  let sim = Sim.create () in
+  let l =
+    Link.create sim ~name:"l" ~bandwidth:8000. ~delay:0. ~queue_capacity:10000
+  in
+  let times = ref [] in
+  Link.set_deliver l (fun _ -> times := Sim.now sim :: !times);
+  Link.send l (mk_packet ~size:1000 ());
+  Link.send l (mk_packet ~size:1000 ());
+  Sim.run sim;
+  check (Alcotest.list (Alcotest.float 1e-9)) "one second apart" [ 1.0; 2.0 ]
+    (List.rev !times)
+
+let test_link_queue_overflow () =
+  let sim = Sim.create () in
+  (* Queue of 1500 B: holds one waiting 1000 B packet plus the one in
+     service. *)
+  let l =
+    Link.create sim ~name:"l" ~bandwidth:8000. ~delay:0. ~queue_capacity:1500
+  in
+  let received = ref 0 in
+  Link.set_deliver l (fun _ -> incr received);
+  for _ = 1 to 5 do
+    Link.send l (mk_packet ~size:1000 ())
+  done;
+  Sim.run sim;
+  checki "two delivered" 2 !received;
+  checki "three dropped" 3 (Link.dropped_packets l);
+  checki "dropped bytes" 3000 (Link.dropped_bytes l)
+
+let test_link_down () =
+  let sim = Sim.create () in
+  let l =
+    Link.create sim ~name:"l" ~bandwidth:1e6 ~delay:0. ~queue_capacity:10000
+  in
+  let received = ref 0 in
+  Link.set_deliver l (fun _ -> incr received);
+  Link.set_up l false;
+  Link.send l (mk_packet ());
+  Sim.run sim;
+  checki "nothing delivered" 0 !received;
+  checki "counted as drop" 1 (Link.dropped_packets l)
+
+let test_link_stats () =
+  let sim = Sim.create () in
+  let l =
+    Link.create sim ~name:"l" ~bandwidth:1e6 ~delay:0.01 ~queue_capacity:10000
+  in
+  Link.set_deliver l (fun _ -> ());
+  Link.send l (mk_packet ~size:500 ());
+  Link.send l (mk_packet ~size:700 ());
+  Sim.run sim;
+  checki "tx packets" 2 (Link.tx_packets l);
+  checki "tx bytes" 1200 (Link.tx_bytes l)
+
+let test_link_validation () =
+  let sim = Sim.create () in
+  checkb "bad bandwidth" true
+    (try
+       ignore
+         (Link.create sim ~name:"x" ~bandwidth:0. ~delay:0. ~queue_capacity:1);
+       false
+     with Invalid_argument _ -> true);
+  checkb "bad delay" true
+    (try
+       ignore
+         (Link.create sim ~name:"x" ~bandwidth:1. ~delay:(-1.)
+            ~queue_capacity:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_link_red_early_drops () =
+  let sim = Sim.create () in
+  let l =
+    Link.create
+      ~discipline:(Link.Red { min_th = 2000; max_th = 8000; max_p = 0.5 })
+      sim ~name:"red" ~bandwidth:8e5 ~delay:0. ~queue_capacity:16000
+  in
+  let received = ref 0 in
+  Link.set_deliver l (fun _ -> incr received);
+  (* Offer 4x the link rate for 2 seconds. *)
+  let n = ref 0 in
+  let rec offer t =
+    if t < 2.0 then
+      ignore
+        (Sim.at sim t (fun () ->
+             incr n;
+             Link.send l (mk_packet ~size:1000 ());
+             offer (t +. 0.0025)))
+  in
+  offer 0.;
+  Sim.run sim;
+  checkb "early drops happened" true (Link.early_drops l > 0);
+  (* RED keeps the standing queue short: backlog stays closer to max_th
+     than to the hard capacity. *)
+  checkb "queue never saturated" true
+    (Link.dropped_packets l > Link.early_drops l - 1);
+  checkb "still forwards" true (!received > 100)
+
+let test_link_red_below_threshold_is_droptail () =
+  let sim = Sim.create () in
+  let l =
+    Link.create
+      ~discipline:(Link.Red { min_th = 4000; max_th = 8000; max_p = 0.5 })
+      sim ~name:"red2" ~bandwidth:8e6 ~delay:0. ~queue_capacity:16000
+  in
+  let received = ref 0 in
+  Link.set_deliver l (fun _ -> incr received);
+  (* Light load: average queue never reaches min_th. *)
+  for _ = 1 to 3 do
+    Link.send l (mk_packet ~size:1000 ())
+  done;
+  Sim.run sim;
+  checki "all delivered" 3 !received;
+  checki "no early drops" 0 (Link.early_drops l)
+
+let test_link_red_deterministic () =
+  let run () =
+    let sim = Sim.create () in
+    let l =
+      Link.create
+        ~discipline:(Link.Red { min_th = 1000; max_th = 4000; max_p = 1.0 })
+        sim ~name:"same-name" ~bandwidth:8e5 ~delay:0. ~queue_capacity:8000
+    in
+    Link.set_deliver l (fun _ -> ());
+    let rec offer t =
+      if t < 1.0 then
+        ignore
+          (Sim.at sim t (fun () ->
+               Link.send l (mk_packet ~size:1000 ());
+               offer (t +. 0.002)))
+    in
+    offer 0.;
+    Sim.run sim;
+    (Link.tx_packets l, Link.dropped_packets l, Link.early_drops l)
+  in
+  checkb "same name, same RED decisions" true (run () = run ())
+
+(* --- Network ------------------------------------------------------------- *)
+
+(* A -- B -- C line with a host on each end. *)
+let line () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let a =
+    Network.add_node net ~name:"a" ~addr:(addr "10.0.0.1") ~as_id:1 Node.Host
+  in
+  let b =
+    Network.add_node net ~name:"b" ~addr:(addr "10.0.1.1") ~as_id:2
+      Node.Border_router
+  in
+  let c =
+    Network.add_node net ~name:"c" ~addr:(addr "10.0.2.1") ~as_id:3 Node.Host
+  in
+  ignore (Network.connect net a b ~bandwidth:1e6 ~delay:0.01);
+  ignore (Network.connect net b c ~bandwidth:1e6 ~delay:0.01);
+  Network.compute_routes net;
+  (sim, net, a, b, c)
+
+let test_network_end_to_end () =
+  let sim, net, a, b, c = line () in
+  let got = ref None in
+  c.Node.local_deliver <- (fun _ pkt -> got := Some pkt);
+  let p =
+    Packet.make ~src:a.Node.addr ~dst:c.Node.addr ~size:100
+      (Packet.Data { flow_id = 7; attack = false })
+  in
+  Network.originate net a p;
+  Sim.run sim;
+  (match !got with
+  | Some pkt ->
+    checki "flow id intact" 7
+      (match pkt.Packet.payload with
+      | Packet.Data { flow_id; _ } -> flow_id
+      | _ -> -1);
+    checkb "last hop is b" true (pkt.Packet.last_hop = Some b.Node.addr)
+  | None -> Alcotest.fail "not delivered");
+  checki "b forwarded once" 1 b.Node.forwarded_packets;
+  checki "c delivered once" 1 c.Node.delivered_packets
+
+let test_network_duplicate_addr_rejected () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  ignore
+    (Network.add_node net ~name:"x" ~addr:(addr "1.1.1.1") ~as_id:1 Node.Host);
+  checkb "duplicate rejected" true
+    (try
+       ignore
+         (Network.add_node net ~name:"y" ~addr:(addr "1.1.1.1") ~as_id:1
+            Node.Host);
+       false
+     with Invalid_argument _ -> true)
+
+let test_network_hook_drop () =
+  let sim, net, a, b, c = line () in
+  Node.add_hook b (fun _ _ -> Node.Drop "test-drop");
+  let delivered = ref false in
+  c.Node.local_deliver <- (fun _ _ -> delivered := true);
+  Network.originate net a
+    (Packet.make ~src:a.Node.addr ~dst:c.Node.addr ~size:100
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  checkb "dropped at hook" false !delivered;
+  checki "drop counted" 1 (Node.drop_count b "test-drop");
+  checki "network-wide count" 1 (Network.total_drops net ~reason:"test-drop")
+
+let test_network_hook_order_first_drop_wins () =
+  let sim, net, a, b, c = line () in
+  let log = ref [] in
+  Node.add_hook b (fun _ _ ->
+      log := "first-added" :: !log;
+      Node.Drop "x");
+  Node.add_hook b (fun _ _ ->
+      log := "second-added" :: !log;
+      Node.Continue);
+  Network.originate net a
+    (Packet.make ~src:a.Node.addr ~dst:c.Node.addr ~size:100
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  (* Later-added hooks run first. *)
+  check
+    (Alcotest.list Alcotest.string)
+    "order"
+    [ "second-added"; "first-added" ]
+    (List.rev !log)
+
+let test_network_ttl_expiry () =
+  let sim, net, a, b, c = line () in
+  let delivered = ref false in
+  c.Node.local_deliver <- (fun _ _ -> delivered := true);
+  let p =
+    Packet.make ~ttl:1 ~src:a.Node.addr ~dst:c.Node.addr ~size:100
+      (Packet.Data { flow_id = 0; attack = false })
+  in
+  Network.originate net a p;
+  Sim.run sim;
+  checkb "ttl killed it" false !delivered;
+  checki "ttl drop at b" 1 (Node.drop_count b "ttl-expired")
+
+let test_network_no_route () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let a =
+    Network.add_node net ~name:"a" ~addr:(addr "1.0.0.1") ~as_id:1 Node.Host
+  in
+  Network.compute_routes net;
+  Network.originate net a
+    (Packet.make ~src:a.Node.addr ~dst:(addr "2.0.0.2") ~size:10
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  checki "no-route counted" 1 (Node.drop_count a "no-route")
+
+let test_network_disconnect_port () =
+  let sim, net, a, b, c = line () in
+  let delivered = ref 0 in
+  c.Node.local_deliver <- (fun _ _ -> incr delivered);
+  checkb "disconnect works" true
+    (Network.disconnect_port net b ~peer_id:c.Node.id);
+  Network.originate net a
+    (Packet.make ~src:a.Node.addr ~dst:c.Node.addr ~size:100
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  checki "nothing arrives" 0 !delivered;
+  checkb "unknown peer" false (Network.disconnect_port net b ~peer_id:999)
+
+let test_network_shortest_path () =
+  (* a-b-d has higher total delay than a-c-d; routing must use the lower
+     delay path. *)
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let mk name ip =
+    Network.add_node net ~name ~addr:(addr ip) ~as_id:1 Node.Router
+  in
+  let a = mk "a" "1.0.0.1" in
+  let b = mk "b" "1.0.0.2" in
+  let c = mk "c" "1.0.0.3" in
+  let d = mk "d" "1.0.0.4" in
+  ignore (Network.connect net a b ~bandwidth:1e6 ~delay:0.5);
+  ignore (Network.connect net b d ~bandwidth:1e6 ~delay:0.5);
+  ignore (Network.connect net a c ~bandwidth:1e6 ~delay:0.01);
+  ignore (Network.connect net c d ~bandwidth:1e6 ~delay:0.01);
+  Network.compute_routes net;
+  let got_via = ref None in
+  d.Node.local_deliver <- (fun _ pkt -> got_via := pkt.Packet.last_hop);
+  Network.originate net a
+    (Packet.make ~src:a.Node.addr ~dst:d.Node.addr ~size:10
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  checkb "went via c" true (!got_via = Some c.Node.addr)
+
+let test_network_as_local_scope () =
+  (* Host h advertises /32 AS-locally; a node in another AS must reach it
+     via the gateway's aggregate instead. *)
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let h =
+    Network.add_node net ~name:"h" ~addr:(addr "10.0.0.10") ~as_id:5 Node.Host
+  in
+  let gw =
+    Network.add_node net ~name:"gw" ~addr:(addr "10.0.0.1") ~as_id:5
+      Node.Border_router
+  in
+  let remote =
+    Network.add_node net ~name:"r" ~addr:(addr "20.0.0.1") ~as_id:6 Node.Host
+  in
+  h.Node.advertised <- [ (Addr.host_prefix h.Node.addr, Node.As_local) ];
+  gw.Node.advertised <-
+    [
+      (Addr.prefix_of_string "10.0.0.0/16", Node.Global);
+      (Addr.host_prefix gw.Node.addr, Node.Global);
+    ];
+  ignore (Network.connect net gw h ~bandwidth:1e6 ~delay:0.001);
+  ignore (Network.connect net gw remote ~bandwidth:1e6 ~delay:0.001);
+  Network.compute_routes net;
+  let delivered = ref false in
+  h.Node.local_deliver <- (fun _ _ -> delivered := true);
+  Network.originate net remote
+    (Packet.make ~src:remote.Node.addr ~dst:h.Node.addr ~size:10
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  checkb "reached via aggregate + AS-local host route" true !delivered;
+  (* And the remote's FIB must not contain the AS-local /32. *)
+  checkb "remote lacks host route" true
+    (Lpm.exact remote.Node.fib (Addr.host_prefix h.Node.addr) = None)
+
+(* --- Tap ------------------------------------------------------------------- *)
+
+let test_tap_captures_transit () =
+  let sim, net, a, b, c = line () in
+  let tap = Tap.attach b in
+  for _ = 1 to 3 do
+    Network.originate net a
+      (Packet.make ~src:a.Node.addr ~dst:c.Node.addr ~size:100
+         (Packet.Data { flow_id = 1; attack = false }))
+  done;
+  Sim.run sim;
+  checki "captured" 3 (Tap.count tap);
+  checki "matched" 3 (Tap.matched tap);
+  checkb "in order, right flow" true
+    (List.for_all
+       (fun (p : Packet.t) ->
+         match p.Packet.payload with
+         | Packet.Data { flow_id = 1; _ } -> true
+         | _ -> false)
+       (Tap.captured tap))
+
+let test_tap_filter_and_limit () =
+  let sim, net, a, b, c = line () in
+  let tap =
+    Tap.attach ~limit:2
+      ~filter:(fun p ->
+        match p.Packet.payload with
+        | Packet.Data { attack; _ } -> attack
+        | _ -> false)
+      b
+  in
+  for i = 1 to 5 do
+    Network.originate net a
+      (Packet.make ~src:a.Node.addr ~dst:c.Node.addr ~size:100
+         (Packet.Data { flow_id = i; attack = i mod 2 = 0 }))
+  done;
+  Sim.run sim;
+  checki "only attack packets matched" 2 (Tap.matched tap);
+  checki "recorded up to limit" 2 (Tap.count tap)
+
+let test_tap_clear_and_stop () =
+  let sim, net, a, b, c = line () in
+  let tap = Tap.attach b in
+  Network.originate net a
+    (Packet.make ~src:a.Node.addr ~dst:c.Node.addr ~size:100
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  Tap.clear tap;
+  checki "cleared" 0 (Tap.count tap);
+  checki "matched preserved" 1 (Tap.matched tap);
+  Tap.stop tap;
+  Network.originate net a
+    (Packet.make ~src:a.Node.addr ~dst:c.Node.addr ~size:100
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  checki "stopped" 1 (Tap.matched tap)
+
+let () =
+  Alcotest.run "aitf_net"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_addr_roundtrip;
+          Alcotest.test_case "of_octets" `Quick test_addr_of_octets;
+          Alcotest.test_case "bad strings" `Quick test_addr_bad_strings;
+          Alcotest.test_case "bits" `Quick test_addr_bits;
+          Alcotest.test_case "succ/add" `Quick test_addr_succ_add;
+          Alcotest.test_case "prefix normalisation" `Quick
+            test_prefix_normalisation;
+          Alcotest.test_case "prefix membership" `Quick test_prefix_membership;
+          Alcotest.test_case "prefix bounds" `Quick test_prefix_len_bounds;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "make" `Quick test_packet_make;
+          Alcotest.test_case "spoofing" `Quick test_packet_spoofing;
+          Alcotest.test_case "route record" `Quick test_packet_route_record;
+          Alcotest.test_case "route record bounded" `Quick
+            test_packet_route_record_bounded;
+          Alcotest.test_case "is_control" `Quick test_packet_is_control;
+        ] );
+      ( "lpm",
+        [
+          Alcotest.test_case "empty" `Quick test_lpm_empty;
+          Alcotest.test_case "longest match" `Quick test_lpm_longest_match;
+          Alcotest.test_case "default route" `Quick test_lpm_default_route;
+          Alcotest.test_case "replace/remove" `Quick
+            test_lpm_replace_and_remove;
+          Alcotest.test_case "host route" `Quick test_lpm_host_route;
+          Alcotest.test_case "lookup_prefix" `Quick test_lpm_lookup_prefix;
+          Alcotest.test_case "iter/clear" `Quick test_lpm_iter_and_clear;
+          QCheck_alcotest.to_alcotest lpm_vs_reference;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivery timing" `Quick test_link_delivery_timing;
+          Alcotest.test_case "serialisation" `Quick
+            test_link_serialises_back_to_back;
+          Alcotest.test_case "queue overflow" `Quick test_link_queue_overflow;
+          Alcotest.test_case "down" `Quick test_link_down;
+          Alcotest.test_case "stats" `Quick test_link_stats;
+          Alcotest.test_case "validation" `Quick test_link_validation;
+          Alcotest.test_case "red early drops" `Quick test_link_red_early_drops;
+          Alcotest.test_case "red light load" `Quick
+            test_link_red_below_threshold_is_droptail;
+          Alcotest.test_case "red deterministic" `Quick
+            test_link_red_deterministic;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "end to end" `Quick test_network_end_to_end;
+          Alcotest.test_case "duplicate addr" `Quick
+            test_network_duplicate_addr_rejected;
+          Alcotest.test_case "hook drop" `Quick test_network_hook_drop;
+          Alcotest.test_case "hook order" `Quick
+            test_network_hook_order_first_drop_wins;
+          Alcotest.test_case "ttl expiry" `Quick test_network_ttl_expiry;
+          Alcotest.test_case "no route" `Quick test_network_no_route;
+          Alcotest.test_case "disconnect port" `Quick
+            test_network_disconnect_port;
+          Alcotest.test_case "shortest path" `Quick test_network_shortest_path;
+          Alcotest.test_case "as-local scope" `Quick test_network_as_local_scope;
+        ] );
+      ( "tap",
+        [
+          Alcotest.test_case "captures transit" `Quick test_tap_captures_transit;
+          Alcotest.test_case "filter and limit" `Quick test_tap_filter_and_limit;
+          Alcotest.test_case "clear and stop" `Quick test_tap_clear_and_stop;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(* Tests for aitf_pushback: congestion detection, aggregate rate limiting
+   and hop-by-hop upstream propagation. *)
+
+module Sim = Aitf_engine.Sim
+open Aitf_net
+module Pushback = Aitf_pushback.Pushback
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let addr = Addr.of_string
+
+(* Topology:  s1, s2 -- r1 -- r0 -- victim(thin tail)
+   Both sources flood the victim; r0's tail link congests. *)
+type rig = {
+  sim : Sim.t;
+  net : Network.t;
+  victim : Node.t;
+  r0 : Node.t;
+  r1 : Node.t;
+  s1 : Node.t;
+  s2 : Node.t;
+}
+
+let build () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let victim =
+    Network.add_node net ~name:"victim" ~addr:(addr "10.0.0.10") ~as_id:1 Node.Host
+  in
+  let r0 =
+    Network.add_node net ~name:"r0" ~addr:(addr "10.0.0.1") ~as_id:1 Node.Router
+  in
+  let r1 =
+    Network.add_node net ~name:"r1" ~addr:(addr "10.1.0.1") ~as_id:2 Node.Router
+  in
+  let s1 =
+    Network.add_node net ~name:"s1" ~addr:(addr "20.0.0.1") ~as_id:3 Node.Host
+  in
+  let s2 =
+    Network.add_node net ~name:"s2" ~addr:(addr "20.0.0.2") ~as_id:4 Node.Host
+  in
+  (* Thin 1 Mbit/s tail; fat upstream links. *)
+  ignore (Network.connect net r0 victim ~bandwidth:1e6 ~delay:0.005 ~queue_capacity:16000);
+  ignore (Network.connect net r1 r0 ~bandwidth:1e8 ~delay:0.005);
+  ignore (Network.connect net s1 r1 ~bandwidth:1e8 ~delay:0.005);
+  ignore (Network.connect net s2 r1 ~bandwidth:1e8 ~delay:0.005);
+  Network.compute_routes net;
+  { sim; net; victim; r0; r1; s1; s2 }
+
+let flood r node ~rate ~flow_id =
+  ignore
+    (Aitf_workload.Traffic.cbr ~start:0.1 ~attack:true ~flow_id ~rate
+       ~dst:r.victim.Node.addr r.net node)
+
+let test_congestion_triggers_limiter () =
+  let r = build () in
+  let pb = Pushback.deploy r.net [ r.r0; r.r1 ] in
+  flood r r.s1 ~rate:2e6 ~flow_id:1;
+  flood r r.s2 ~rate:2e6 ~flow_id:2;
+  Sim.run ~until:2.0 r.sim;
+  checkb "limiter installed" true (Pushback.limiters_installed pb >= 1);
+  checkb "some router limiting" true (Pushback.routers_limiting pb >= 1);
+  checkb "limited bytes counted" true (Pushback.limited_bytes pb > 0.)
+
+let test_propagates_upstream () =
+  let r = build () in
+  let pb = Pushback.deploy r.net [ r.r0; r.r1 ] in
+  flood r r.s1 ~rate:4e6 ~flow_id:1;
+  flood r r.s2 ~rate:4e6 ~flow_id:2;
+  Sim.run ~until:6.0 r.sim;
+  (* r0 limits first, stays over the limit (sources unabated), then pushes
+     back to r1 which installs its own limiter. *)
+  checkb "pushback message sent" true (Pushback.messages_sent pb >= 1);
+  checkb "both routers limiting" true (Pushback.routers_limiting pb >= 2)
+
+let test_rate_actually_limited () =
+  let r = build () in
+  let (_ : Pushback.t) = Pushback.deploy r.net [ r.r0; r.r1 ] in
+  let received = ref 0 in
+  r.victim.Node.local_deliver <- (fun _ _ -> incr received);
+  flood r r.s1 ~rate:8e6 ~flow_id:1;
+  Sim.run ~until:10.0 r.sim;
+  (* Unlimited, ~10 Mb would offer 1000+ packets through a 1 Mb/s tail
+     (~125 pkt/s); with pushback limiting to ~30% of the congested link the
+     delivered count must come out well below the tail's own capacity. *)
+  let tail_capacity_packets = int_of_float (10.0 *. 1e6 /. 8. /. 1000.) in
+  checkb "delivered below tail capacity" true (!received < tail_capacity_packets);
+  checkb "still some traffic" true (!received > 0)
+
+let test_no_congestion_no_limiter () =
+  let r = build () in
+  let pb = Pushback.deploy r.net [ r.r0; r.r1 ] in
+  flood r r.s1 ~rate:2e5 ~flow_id:1 (* well under the 1 Mb/s tail *);
+  Sim.run ~until:3.0 r.sim;
+  checki "no limiters" 0 (Pushback.limiters_installed pb)
+
+let test_limiter_expires () =
+  let r = build () in
+  let config = { Pushback.default_config with Pushback.limiter_timeout = 2.0 } in
+  let pb = Pushback.deploy ~config r.net [ r.r0; r.r1 ] in
+  (* Flood briefly, then stop; limiters must age out. *)
+  ignore
+    (Aitf_workload.Traffic.cbr ~start:0.1 ~stop:1.5 ~attack:true ~flow_id:1
+       ~rate:4e6 ~dst:r.victim.Node.addr r.net r.s1);
+  Sim.run ~until:8.0 r.sim;
+  checkb "was limiting" true (Pushback.limiters_installed pb >= 1);
+  checki "no active limiters left" 0 (Pushback.active_limiters pb)
+
+let test_default_config_sane () =
+  let c = Pushback.default_config in
+  checkb "threshold in (0,1)" true
+    (c.Pushback.drop_threshold > 0. && c.Pushback.drop_threshold < 1.);
+  checkb "limit fraction in (0,1)" true
+    (c.Pushback.limit_fraction > 0. && c.Pushback.limit_fraction < 1.);
+  checkb "depth positive" true (c.Pushback.max_depth > 0)
+
+let () =
+  Alcotest.run "aitf_pushback"
+    [
+      ( "pushback",
+        [
+          Alcotest.test_case "congestion triggers limiter" `Quick
+            test_congestion_triggers_limiter;
+          Alcotest.test_case "propagates upstream" `Quick
+            test_propagates_upstream;
+          Alcotest.test_case "rate limited" `Quick test_rate_actually_limited;
+          Alcotest.test_case "no congestion no limiter" `Quick
+            test_no_congestion_no_limiter;
+          Alcotest.test_case "limiter expires" `Quick test_limiter_expires;
+          Alcotest.test_case "default config" `Quick test_default_config_sane;
+        ] );
+    ]

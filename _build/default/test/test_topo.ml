@@ -1,0 +1,405 @@
+(* Tests for aitf_topo: the Figure-1 chain and the provider hierarchy. *)
+
+module Sim = Aitf_engine.Sim
+module Rng = Aitf_engine.Rng
+open Aitf_net
+open Aitf_topo
+open Aitf_core
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let deliver_count sim net ~src ~dst =
+  let n = ref 0 in
+  let prev = dst.Node.local_deliver in
+  dst.Node.local_deliver <-
+    (fun node pkt ->
+      incr n;
+      prev node pkt);
+  Network.originate net src
+    (Packet.make ~src:src.Node.addr ~dst:dst.Node.addr ~size:100
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  !n
+
+(* --- Chain ------------------------------------------------------------------ *)
+
+let test_chain_structure () =
+  let sim = Sim.create () in
+  let t = Chain.build sim Chain.default_spec in
+  checki "three gateways each side" 3 (List.length t.Chain.victim_gws);
+  checki "attacker side" 3 (List.length t.Chain.attacker_gws);
+  (* 2 hosts + 6 gateways + bystander *)
+  checki "node count" 9 (List.length (Network.nodes t.Chain.net));
+  List.iter
+    (fun gw -> checkb "gateways are border routers" true (Node.is_border gw))
+    (t.Chain.victim_gws @ t.Chain.attacker_gws)
+
+let test_chain_reachability () =
+  let sim = Sim.create () in
+  let t = Chain.build sim Chain.default_spec in
+  checki "attacker -> victim" 1
+    (deliver_count sim t.Chain.net ~src:t.Chain.attacker ~dst:t.Chain.victim)
+
+let test_chain_reverse_reachability () =
+  let sim = Sim.create () in
+  let t = Chain.build sim Chain.default_spec in
+  checki "victim -> attacker" 1
+    (deliver_count sim t.Chain.net ~src:t.Chain.victim ~dst:t.Chain.attacker)
+
+let test_chain_bystander_reachability () =
+  let sim = Sim.create () in
+  let t = Chain.build sim Chain.default_spec in
+  checki "bystander -> victim" 1
+    (deliver_count sim t.Chain.net ~src:t.Chain.bystander ~dst:t.Chain.victim)
+
+let test_chain_depth_one () =
+  let sim = Sim.create () in
+  let t = Chain.build sim { Chain.default_spec with Chain.depth = 1 } in
+  checki "one gateway" 1 (List.length t.Chain.victim_gws);
+  checki "attacker -> victim" 1
+    (deliver_count sim t.Chain.net ~src:t.Chain.attacker ~dst:t.Chain.victim)
+
+let test_chain_depth_validation () =
+  let sim = Sim.create () in
+  checkb "depth 0 rejected" true
+    (try
+       ignore (Chain.build sim { Chain.default_spec with Chain.depth = 0 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_chain_route_record_path () =
+  (* Attack packets arriving at the victim after deployment must carry the
+     full gateway path, attacker side first. *)
+  let sim = Sim.create () in
+  let t = Chain.build sim Chain.default_spec in
+  let rng = Rng.create ~seed:1 in
+  let (_ : Chain.deployed) = Chain.deploy ~config:Config.default ~rng t in
+  let path = ref [] in
+  let prev = t.Chain.victim.Node.local_deliver in
+  t.Chain.victim.Node.local_deliver <-
+    (fun node pkt ->
+      if !path = [] then path := pkt.Packet.route_record;
+      prev node pkt);
+  Network.originate t.Chain.net t.Chain.attacker
+    (Packet.make ~src:t.Chain.attacker.Node.addr ~dst:t.Chain.victim.Node.addr
+       ~size:100
+       (Packet.Data { flow_id = 0; attack = false }));
+  Sim.run sim;
+  let names =
+    List.filter_map
+      (fun a ->
+        Option.map (fun (n : Node.t) -> n.Node.name)
+          (Network.node_by_addr t.Chain.net a))
+      !path
+  in
+  check (Alcotest.list Alcotest.string) "attacker-first"
+    [ "B_gw1"; "B_gw2"; "B_gw3"; "G_gw3"; "G_gw2"; "G_gw1" ]
+    names
+
+let test_chain_non_cooperating_helper () =
+  checki "three" 3 (List.length (Chain.non_cooperating 3));
+  checkb "all unresponsive" true
+    (List.for_all (( = ) Policy.Unresponsive) (Chain.non_cooperating 3))
+
+let test_chain_deploy_wiring () =
+  let sim = Sim.create () in
+  let t = Chain.build sim Chain.default_spec in
+  let rng = Rng.create ~seed:1 in
+  let d =
+    Chain.deploy ~attacker_gw_policies:(Chain.non_cooperating 2)
+      ~config:Config.default ~rng t
+  in
+  checki "gateways deployed" 3 (List.length d.Chain.victim_gateways);
+  checkb "policy applied" true
+    (Gateway.policy (List.hd d.Chain.attacker_gateways) = Policy.Unresponsive);
+  checkb "third cooperative" true
+    (Gateway.policy (List.nth d.Chain.attacker_gateways 2) = Policy.Cooperative)
+
+(* --- Hierarchy ---------------------------------------------------------------- *)
+
+let small_spec =
+  { Hierarchy.default_spec with Hierarchy.isps = 2; nets_per_isp = 3; hosts_per_net = 2 }
+
+let test_hierarchy_structure () =
+  let sim = Sim.create () in
+  let t = Hierarchy.build sim small_spec in
+  checki "isps" 2 (Array.length t.Hierarchy.isp_gws);
+  checki "nets" 3 (Array.length t.Hierarchy.net_gws.(0));
+  checki "hosts" 2 (Array.length t.Hierarchy.hosts.(0).(0));
+  (* 1 core + 2 isp + 6 net gws + 12 hosts = 21 *)
+  checki "node count" 21 (List.length (Network.nodes t.Hierarchy.net))
+
+let test_hierarchy_cross_isp_reachability () =
+  let sim = Sim.create () in
+  let t = Hierarchy.build sim small_spec in
+  let a = Hierarchy.host t ~isp:0 ~net:0 ~host:0 in
+  let b = Hierarchy.host t ~isp:1 ~net:2 ~host:1 in
+  checki "a -> b across ISPs" 1 (deliver_count sim t.Hierarchy.net ~src:a ~dst:b)
+
+let test_hierarchy_same_net_reachability () =
+  let sim = Sim.create () in
+  let t = Hierarchy.build sim small_spec in
+  let a = Hierarchy.host t ~isp:0 ~net:1 ~host:0 in
+  let b = Hierarchy.host t ~isp:0 ~net:1 ~host:1 in
+  checki "same-net siblings" 1 (deliver_count sim t.Hierarchy.net ~src:a ~dst:b)
+
+let test_hierarchy_fib_aggregation () =
+  (* Host /32s are AS-local: a host in another ISP must carry no /32 route
+     for them, only the /16 aggregates. *)
+  let sim = Sim.create () in
+  let t = Hierarchy.build sim small_spec in
+  let a = Hierarchy.host t ~isp:0 ~net:0 ~host:0 in
+  let b = Hierarchy.host t ~isp:1 ~net:0 ~host:0 in
+  checkb "no remote host route" true
+    (Lpm.exact a.Node.fib (Addr.host_prefix b.Node.addr) = None);
+  (* FIB stays small: aggregates + local hosts, far below total node count. *)
+  checkb "fib small" true (Lpm.size a.Node.fib < 20)
+
+let test_hierarchy_prefixes () =
+  let p = Hierarchy.net_prefix ~isp:1 ~net:2 in
+  checkb "host inside" true
+    (Addr.prefix_mem p (Addr.of_octets 11 2 0 10));
+  checkb "other net outside" true
+    (not (Addr.prefix_mem p (Addr.of_octets 11 3 0 10)));
+  let ip = Hierarchy.isp_prefix ~isp:1 in
+  checkb "net inside isp" true (Addr.prefix_mem ip (Addr.of_octets 11 2 0 10))
+
+let test_hierarchy_validation () =
+  let sim = Sim.create () in
+  checkb "zero dims rejected" true
+    (try
+       ignore (Hierarchy.build sim { small_spec with Hierarchy.isps = 0 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_hierarchy_deploy_and_protocol () =
+  (* One zombie in isp1/net0 attacks a victim in isp0/net0: the zombie's own
+     enterprise gateway must end up holding the long filter. *)
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:3 in
+  let t = Hierarchy.build sim small_spec in
+  let config =
+    {
+      (Config.with_timescale Config.default 0.1) with
+      Config.t_tmp = 0.5;
+      grace = 0.3;
+    }
+  in
+  let d = Hierarchy.deploy ~config ~rng t in
+  let victim = Hierarchy.attach_victim ~td:0.05 d ~config ~isp:0 ~net:0 ~host:0 in
+  let attacker =
+    Hierarchy.attach_attacker ~strategy:Policy.Ignores d ~config ~isp:1 ~net:0
+      ~host:0
+  in
+  let (_ : Aitf_workload.Traffic.t) =
+    Aitf_workload.Traffic.cbr
+      ~gate:(Host_agent.Attacker.gate attacker)
+      ~start:0.5 ~attack:true ~flow_id:1 ~rate:4e5
+      ~dst:(Hierarchy.host t ~isp:0 ~net:0 ~host:0).Node.addr
+      t.Hierarchy.net
+      (Hierarchy.host t ~isp:1 ~net:0 ~host:0)
+  in
+  Sim.run ~until:3.0 sim;
+  checkb "victim requested" true (Host_agent.Victim.requests_sent victim >= 1);
+  let zombie_gw = d.Hierarchy.net_gateways.(1).(0) in
+  checkb "zombie's gateway filters" true
+    (Aitf_stats.Counter.get (Gateway.counters zombie_gw) "filter-long" >= 1);
+  (* Other enterprise gateways hold nothing. *)
+  let other_gw = d.Hierarchy.net_gateways.(1).(1) in
+  checki "bystander gateway idle" 0
+    (Aitf_filter.Filter_table.occupancy (Gateway.filters other_gw))
+
+let test_hierarchy_escalation_to_isp () =
+  (* The zombie's enterprise gateway is rogue; the mechanism must climb to
+     its ISP gateway, which blocks the flow instead. *)
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:13 in
+  let t = Hierarchy.build sim small_spec in
+  let config =
+    {
+      (Config.with_timescale Config.default 0.1) with
+      Config.t_tmp = 0.5;
+      grace = 0.3;
+    }
+  in
+  let d =
+    Hierarchy.deploy
+      ~policies:(fun ~isp ~net ->
+        if isp = 1 && net = 0 then Policy.Unresponsive else Policy.Cooperative)
+      ~config ~rng t
+  in
+  let victim = Hierarchy.attach_victim ~td:0.05 d ~config ~isp:0 ~net:0 ~host:0 in
+  ignore victim;
+  let attacker =
+    Hierarchy.attach_attacker
+      ~strategy:(Policy.On_off { off_time = config.Config.t_tmp +. 0.2 })
+      d ~config ~isp:1 ~net:0 ~host:0
+  in
+  let (_ : Aitf_workload.Traffic.t) =
+    Aitf_workload.Traffic.cbr
+      ~gate:(Host_agent.Attacker.gate attacker)
+      ~start:0.5 ~attack:true ~flow_id:1 ~rate:4e5
+      ~dst:(Hierarchy.host t ~isp:0 ~net:0 ~host:0).Node.addr t.Hierarchy.net
+      (Hierarchy.host t ~isp:1 ~net:0 ~host:0)
+  in
+  Sim.run ~until:4.0 sim;
+  let rogue_gw = d.Hierarchy.net_gateways.(1).(0) in
+  let isp_gw = d.Hierarchy.isp_gateways.(1) in
+  checkb "rogue gateway ignored the request" true
+    (Aitf_stats.Counter.get (Gateway.counters rogue_gw) "ignored-unresponsive"
+    >= 1);
+  checkb "ISP gateway took over" true
+    (Aitf_stats.Counter.get (Gateway.counters isp_gw) "filter-long" >= 1);
+  checkb "victim-side escalated" true
+    (Aitf_stats.Counter.get
+       (Gateway.counters d.Hierarchy.net_gateways.(0).(0))
+       "escalated"
+    >= 1)
+
+(* --- Random_net ---------------------------------------------------------------- *)
+
+let random_spec =
+  { Random_net.default_spec with Random_net.transits = 4; stubs = 10; hosts_per_stub = 2 }
+
+let test_random_structure () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:5 in
+  let t = Random_net.build sim rng random_spec in
+  checki "transits" 4 (Array.length t.Random_net.transit_gws);
+  checki "stubs" 10 (Array.length t.Random_net.stub_gws);
+  Array.iter
+    (fun p -> checkb "primary in range" true (p >= 0 && p < 4))
+    t.Random_net.stub_primary
+
+let test_random_deterministic () =
+  let build seed =
+    let sim = Sim.create () in
+    let rng = Rng.create ~seed in
+    let t = Random_net.build sim rng random_spec in
+    ( Array.to_list t.Random_net.stub_primary,
+      Array.to_list t.Random_net.stub_secondary,
+      List.length (Network.links t.Random_net.net) )
+  in
+  checkb "same seed same topology" true (build 9 = build 9);
+  checkb "different seeds differ" true (build 9 <> build 10)
+
+let test_random_all_pairs_reachable () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:5 in
+  let t = Random_net.build sim rng random_spec in
+  (* Sample several cross-stub host pairs. *)
+  let pairs = [ (0, 9); (3, 7); (5, 1); (9, 0); (2, 8) ] in
+  List.iter
+    (fun (a, b) ->
+      let src = Random_net.host t ~stub:a ~host:0 in
+      let dst = Random_net.host t ~stub:b ~host:1 in
+      checki
+        (Printf.sprintf "stub%d -> stub%d" a b)
+        1
+        (deliver_count sim t.Random_net.net ~src ~dst))
+    pairs
+
+let test_random_multihoming_survives_link_loss () =
+  (* Find a multihomed stub, cut its primary uplink, recompute routes:
+     still reachable via the secondary. *)
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:12 in
+  let t =
+    Random_net.build sim rng
+      { random_spec with Random_net.multihoming_p = 1.0 }
+  in
+  let stub = 0 in
+  let gw = t.Random_net.stub_gws.(stub) in
+  let primary = t.Random_net.transit_gws.(t.Random_net.stub_primary.(stub)) in
+  checkb "cut primary" true
+    (Network.disconnect_port t.Random_net.net gw ~peer_id:primary.Node.id);
+  Network.compute_routes t.Random_net.net;
+  let src = Random_net.host t ~stub:5 ~host:0 in
+  let dst = Random_net.host t ~stub ~host:0 in
+  checki "still reachable via secondary" 1
+    (deliver_count sim t.Random_net.net ~src ~dst)
+
+let test_random_deploy_protocol () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:3 in
+  let t = Random_net.build sim rng random_spec in
+  let config =
+    {
+      (Config.with_timescale Config.default 0.1) with
+      Config.t_tmp = 0.5;
+      grace = 0.3;
+    }
+  in
+  let d = Random_net.deploy ~config ~rng t in
+  let victim = Random_net.host t ~stub:0 ~host:0 in
+  let (_ : Host_agent.Victim.t) =
+    Random_net.attach_victim ~td:0.05 d ~config ~stub:0 ~host:0
+  in
+  let attacker_stub = 6 in
+  let agent =
+    Random_net.attach_attacker ~strategy:Policy.Ignores d ~config
+      ~stub:attacker_stub ~host:0
+  in
+  let (_ : Aitf_workload.Traffic.t) =
+    Aitf_workload.Traffic.cbr
+      ~gate:(Host_agent.Attacker.gate agent)
+      ~start:0.5 ~attack:true ~flow_id:1 ~rate:4e5 ~dst:victim.Node.addr
+      t.Random_net.net
+      (Random_net.host t ~stub:attacker_stub ~host:0)
+  in
+  Sim.run ~until:3.0 sim;
+  checkb "blocked at the attacker's stub gateway" true
+    (Aitf_stats.Counter.get
+       (Gateway.counters d.Random_net.stub_gateways.(attacker_stub))
+       "filter-long"
+    >= 1)
+
+let () =
+  Alcotest.run "aitf_topo"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "structure" `Quick test_chain_structure;
+          Alcotest.test_case "reachability" `Quick test_chain_reachability;
+          Alcotest.test_case "reverse reachability" `Quick
+            test_chain_reverse_reachability;
+          Alcotest.test_case "bystander" `Quick test_chain_bystander_reachability;
+          Alcotest.test_case "depth 1" `Quick test_chain_depth_one;
+          Alcotest.test_case "depth validation" `Quick
+            test_chain_depth_validation;
+          Alcotest.test_case "route record path" `Quick
+            test_chain_route_record_path;
+          Alcotest.test_case "non_cooperating" `Quick
+            test_chain_non_cooperating_helper;
+          Alcotest.test_case "deploy wiring" `Quick test_chain_deploy_wiring;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "structure" `Quick test_hierarchy_structure;
+          Alcotest.test_case "cross-isp reachability" `Quick
+            test_hierarchy_cross_isp_reachability;
+          Alcotest.test_case "same-net reachability" `Quick
+            test_hierarchy_same_net_reachability;
+          Alcotest.test_case "fib aggregation" `Quick
+            test_hierarchy_fib_aggregation;
+          Alcotest.test_case "prefixes" `Quick test_hierarchy_prefixes;
+          Alcotest.test_case "validation" `Quick test_hierarchy_validation;
+          Alcotest.test_case "deploy + protocol" `Quick
+            test_hierarchy_deploy_and_protocol;
+          Alcotest.test_case "escalation to ISP" `Quick
+            test_hierarchy_escalation_to_isp;
+        ] );
+      ( "random_net",
+        [
+          Alcotest.test_case "structure" `Quick test_random_structure;
+          Alcotest.test_case "deterministic" `Quick test_random_deterministic;
+          Alcotest.test_case "all pairs reachable" `Quick
+            test_random_all_pairs_reachable;
+          Alcotest.test_case "multihoming failover" `Quick
+            test_random_multihoming_survives_link_loss;
+          Alcotest.test_case "deploy + protocol" `Quick
+            test_random_deploy_protocol;
+        ] );
+    ]
