@@ -28,6 +28,11 @@ let pct a b = if b = 0. then 0. else 100. *. a /. b
 (* Optional CSV mirroring of every printed table (enabled by --csv-dir). *)
 let csv_dir : string option ref = ref None
 
+(* Optional machine-readable collection of every printed table (enabled by
+   --json; main.ml serialises the accumulated list at exit). *)
+let collect_json : bool ref = ref false
+let json_tables : Table.t list ref = ref []
+
 let slug title =
   String.map
     (fun c ->
@@ -56,6 +61,7 @@ let slug title =
 
 let emit table =
   Table.print table;
+  if !collect_json then json_tables := table :: !json_tables;
   match !csv_dir with
   | None -> ()
   | Some dir ->

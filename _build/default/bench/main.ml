@@ -105,6 +105,9 @@ let micro_tests () =
   in
   [ filter_hit; filter_miss; lpm_lookup; heap_cycle; bloom_query; bucket; schedule ]
 
+(* ns/op estimates of the last `micro` run, for the --json report. *)
+let micro_results : (string * float) list ref = ref []
+
 let run_micro () =
   let open Bechamel in
   print_endline "== M1  microbenchmarks of the hot data structures ==";
@@ -122,10 +125,13 @@ let run_micro () =
     Hashtbl.iter
       (fun name result ->
         match Bechamel.Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.printf "  %-42s %10.1f ns/op\n" name est
+        | Some [ est ] ->
+          micro_results := (name, est) :: !micro_results;
+          Printf.printf "  %-42s %10.1f ns/op\n" name est
         | _ -> Printf.printf "  %-42s (no estimate)\n" name)
       results
   in
+  micro_results := [];
   List.iter (fun t -> benchmark (Test.make_grouped ~name:"" [ t ])) (micro_tests ());
   print_newline ()
 
@@ -172,22 +178,76 @@ let run_one id =
     list_targets ();
     exit 1
 
+(* --json FILE: everything the run printed, machine-readable — the emitted
+   experiment tables plus the micro estimates (schema aitf.bench-report/1). *)
+let write_json_report file targets =
+  let module Json = Aitf_obs.Json in
+  let module Table = Aitf_stats.Table in
+  let table_json t =
+    Json.Obj
+      [
+        ("title", Json.String (Table.title t));
+        ("columns", Json.List (List.map (fun c -> Json.String c) (Table.columns t)));
+        ( "rows",
+          Json.List
+            (List.map
+               (fun row -> Json.List (List.map (fun c -> Json.String c) row))
+               (Table.rows t)) );
+      ]
+  in
+  let micro_json (name, est) =
+    Json.Obj [ ("name", Json.String name); ("ns_per_op", Json.Float est) ]
+  in
+  let report =
+    Json.Obj
+      [
+        ("schema", Json.String "aitf.bench-report/1");
+        ("targets", Json.List (List.map (fun t -> Json.String t) targets));
+        ("tables", Json.List (List.rev_map table_json !Experiments.json_tables));
+        ( "micro",
+          Json.List
+            (List.map micro_json
+               (List.sort compare !micro_results)) );
+      ]
+  in
+  Aitf_obs.Report.write_json file report;
+  Printf.printf "wrote %s\n" file
+
 let () =
-  (* --csv-dir DIR mirrors every table as CSV into DIR. *)
-  let args = Array.to_list Sys.argv in
-  let args =
-    match args with
-    | prog :: "--csv-dir" :: dir :: rest ->
+  (* --csv-dir DIR mirrors every table as CSV into DIR;
+     --json FILE writes a machine-readable report of the whole run. *)
+  let json_file = ref None in
+  let rec strip_opts = function
+    | "--csv-dir" :: dir :: rest ->
       (try if not (Sys.is_directory dir) then Unix.mkdir dir 0o755
        with Sys_error _ -> Unix.mkdir dir 0o755);
       Experiments.csv_dir := Some dir;
-      prog :: rest
-    | _ -> args
+      strip_opts rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      Experiments.collect_json := true;
+      strip_opts rest
+    | rest -> rest
   in
-  match args with
-  | _ :: ("list" | "--list") :: _ -> list_targets ()
-  | [ _ ] | [ _; "all" ] ->
-    List.iter (fun (id, _, _) -> run_one id) experiments;
-    run_micro ()
-  | _ :: targets -> List.iter run_one targets
-  | [] -> ()
+  let args =
+    match Array.to_list Sys.argv with
+    | prog :: rest -> prog :: strip_opts rest
+    | [] -> []
+  in
+  let targets =
+    match args with
+    | _ :: ("list" | "--list") :: _ ->
+      list_targets ();
+      []
+    | [ _ ] | [ _; "all" ] ->
+      List.iter (fun (id, _, _) -> run_one id) experiments;
+      run_micro ();
+      List.map (fun (id, _, _) -> id) experiments @ [ "micro" ]
+    | _ :: targets ->
+      List.iter run_one targets;
+      targets
+    | [] -> []
+  in
+  match (!json_file, targets) with
+  | Some file, _ :: _ -> write_json_report file targets
+  | _ -> ()

@@ -100,6 +100,20 @@ let run_cmd =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Print per-gateway and per-link statistics after the run.")
   in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Attach a metrics registry and write a JSON run report \
+                 (schema aitf.run-report/1, see docs/OBSERVABILITY.md).")
+  in
+  let metrics_csv =
+    Arg.(value & opt (some string) None & info [ "metrics-csv" ] ~docv:"FILE"
+           ~doc:"Write the sampled metric time series as long-format CSV \
+                 (metric,time,value).")
+  in
+  let metrics_interval =
+    Arg.(value & opt float 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
+           ~doc:"Metric sampling period (0 = the scenario default).")
+  in
   let traceback =
     Arg.(value & opt (enum [ ("rr", `Rr); ("spie", `Spie); ("ppm", `Ppm) ]) `Rr
          & info [ "traceback" ] ~docv:"rr|spie|ppm"
@@ -107,8 +121,17 @@ let run_cmd =
                    queries at the gateway, or probabilistic packet marking.")
   in
   let run duration t_filter t_tmp attack_rate legit_rate non_coop strategy td
-      depth seed no_handshake disconnect trace csv stats traceback =
+      depth seed no_handshake disconnect trace csv stats metrics metrics_csv
+      metrics_interval traceback =
     if trace then Trace.add_sink (Trace.printing_sink ());
+    let registry =
+      if metrics <> None || metrics_csv <> None then begin
+        let reg = Aitf_obs.Metrics.create () in
+        Aitf_obs.Metrics.attach reg;
+        Some reg
+      end
+      else None
+    in
     let config =
       {
         Config.default with
@@ -137,9 +160,13 @@ let run_cmd =
           | `Rr -> `Path_in_request
           | `Spie -> `Spie
           | `Ppm -> `Ppm);
+        sample_period =
+          (if metrics_interval > 0. then metrics_interval
+           else Scenarios.default_chain.Scenarios.sample_period);
       }
     in
     let r = Scenarios.run_chain params in
+    Aitf_obs.Metrics.detach ();
     if trace then Trace.clear_sinks ();
     let table =
       Table.create ~title:"scenario result" ~columns:[ "metric"; "value" ]
@@ -170,8 +197,43 @@ let run_cmd =
            @ r.Scenarios.deployed.Aitf_topo.Chain.attacker_gateways));
       Table.print
         (Aitf_workload.Report.link_table
-           r.Scenarios.deployed.Aitf_topo.Chain.topo.Aitf_topo.Chain.net)
+           r.Scenarios.deployed.Aitf_topo.Chain.topo.Aitf_topo.Chain.net);
+      match registry with
+      | Some reg -> Table.print (Aitf_workload.Report.metrics_table reg)
+      | None -> ()
     end;
+    (match registry with
+    | None -> ()
+    | Some reg ->
+      let module Json = Aitf_obs.Json in
+      let series =
+        match r.Scenarios.sampler with
+        | Some s -> Aitf_obs.Sampler.series s
+        | None -> []
+      in
+      let meta =
+        [
+          ("scenario", Json.String "chain");
+          ("seed", Json.Int seed);
+          ("duration", Json.Float duration);
+          ("attack_rate", Json.Float attack_rate);
+          ("t_filter", Json.Float t_filter);
+          ("t_tmp", Json.Float t_tmp);
+          ("non_coop", Json.Int non_coop);
+        ]
+      in
+      (match metrics with
+      | Some file ->
+        Aitf_obs.Report.write_json file
+          (Aitf_obs.Report.make ~meta ~series ~now:duration reg);
+        Printf.printf "wrote %s (%d metrics, %d series)\n" file
+          (Aitf_obs.Metrics.size reg) (List.length series)
+      | None -> ());
+      match metrics_csv with
+      | Some file ->
+        Aitf_obs.Report.write_file file (Aitf_obs.Report.series_csv series);
+        Printf.printf "wrote %s\n" file
+      | None -> ());
     (match csv with
     | None -> ()
     | Some file ->
@@ -188,7 +250,8 @@ let run_cmd =
     Term.(
       const run $ duration $ t_filter $ t_tmp $ attack_rate $ legit_rate
       $ non_coop $ strategy $ td $ depth $ seed $ no_handshake $ disconnect
-      $ trace $ csv $ stats $ traceback)
+      $ trace $ csv $ stats $ metrics $ metrics_csv $ metrics_interval
+      $ traceback)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a single-attacker Figure-1 scenario.")
@@ -219,7 +282,25 @@ let flood_cmd =
   let no_aitf =
     Arg.(value & flag & info [ "no-aitf" ] ~doc:"Run without any defense.")
   in
-  let run isps nets hosts zombies rate duration seed no_aitf =
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Attach a metrics registry and write a JSON run report \
+                 (schema aitf.run-report/1).")
+  in
+  let metrics_interval =
+    Arg.(value & opt float 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
+           ~doc:"Metric sampling period (0 = the scenario default).")
+  in
+  let run isps nets hosts zombies rate duration seed no_aitf metrics
+      metrics_interval =
+    let registry =
+      if metrics <> None then begin
+        let reg = Aitf_obs.Metrics.create () in
+        Aitf_obs.Metrics.attach reg;
+        Some reg
+      end
+      else None
+    in
     let r =
       Scenarios.run_flood
         {
@@ -236,8 +317,12 @@ let flood_cmd =
           flood_duration = duration;
           flood_seed = seed;
           with_aitf = not no_aitf;
+          flood_sample_period =
+            (if metrics_interval > 0. then metrics_interval
+             else Scenarios.default_flood.Scenarios.flood_sample_period);
         }
     in
+    Aitf_obs.Metrics.detach ();
     let table =
       Table.create ~title:"flood result" ~columns:[ "metric"; "value" ]
     in
@@ -259,12 +344,35 @@ let flood_cmd =
         (string_of_int r.Scenarios.leaf_filters);
       add "filters at ISP gateways" (string_of_int r.Scenarios.isp_filters)
     end;
-    Table.print table
+    Table.print table;
+    match (registry, metrics) with
+    | Some reg, Some file ->
+      let module Json = Aitf_obs.Json in
+      let series =
+        match r.Scenarios.flood_sampler with
+        | Some s -> Aitf_obs.Sampler.series s
+        | None -> []
+      in
+      let meta =
+        [
+          ("scenario", Json.String "flood");
+          ("seed", Json.Int seed);
+          ("duration", Json.Float duration);
+          ("zombies", Json.Int zombies);
+          ("zombie_rate", Json.Float rate);
+          ("with_aitf", Json.Bool (not no_aitf));
+        ]
+      in
+      Aitf_obs.Report.write_json file
+        (Aitf_obs.Report.make ~meta ~series ~now:duration reg);
+      Printf.printf "wrote %s (%d metrics, %d series)\n" file
+        (Aitf_obs.Metrics.size reg) (List.length series)
+    | _ -> ()
   in
   let term =
     Term.(
       const run $ isps $ nets $ hosts $ zombies $ rate $ duration $ seed
-      $ no_aitf)
+      $ no_aitf $ metrics $ metrics_interval)
   in
   Cmd.v
     (Cmd.info "flood"

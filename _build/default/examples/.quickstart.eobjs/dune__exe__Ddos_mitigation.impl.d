@@ -1,1 +1,1 @@
-examples/ddos_mitigation.ml: Aitf_stats Aitf_workload Float Printf
+examples/ddos_mitigation.ml: Aitf_obs Aitf_stats Aitf_workload Float List Option Printf String

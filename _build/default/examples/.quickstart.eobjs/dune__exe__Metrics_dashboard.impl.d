@@ -1,0 +1,1 @@
+examples/metrics_dashboard.ml: Aitf_core Aitf_obs Aitf_stats Aitf_workload List Printf String

@@ -1,0 +1,1 @@
+examples/metrics_dashboard.mli:

@@ -3,12 +3,17 @@
    Twelve zombies scattered over two ISPs flood a server's 10 Mbit/s tail
    circuit while legitimate clients keep using it. The example runs the
    same scenario twice — AITF disabled, then enabled — and prints the
-   legitimate goodput and where the filtering ended up. Run with:
+   legitimate goodput and where the filtering ended up, followed by a
+   sampled timeline of the AITF run (the "watching an attack in real
+   time" walk-through of docs/OBSERVABILITY.md). Run with:
 
      dune exec examples/ddos_mitigation.exe
 *)
 
 module Table = Aitf_stats.Table
+module Series = Aitf_stats.Series
+module Metrics = Aitf_obs.Metrics
+module Sampler = Aitf_obs.Sampler
 module Scenarios = Aitf_workload.Scenarios
 
 let params =
@@ -28,7 +33,12 @@ let () =
     params.Scenarios.zombies
     (params.Scenarios.zombie_rate /. 1e6);
   let off = Scenarios.run_flood { params with Scenarios.with_aitf = false } in
+  (* One fresh registry per run: attach it around the AITF run only, so
+     every gateway and agent self-registers as the topology deploys. *)
+  let reg = Metrics.create () in
+  Metrics.attach reg;
   let on = Scenarios.run_flood params in
+  Metrics.detach ();
   let table =
     Table.create ~title:"with vs without AITF"
       ~columns:
@@ -51,6 +61,52 @@ let () =
   row "no AITF" off;
   row "AITF" on;
   Table.print table;
+  (* Watching the attack in real time: replay the sampled series from the
+     AITF run as a timeline. Every column is pulled from the registry the
+     scenario sampled on the virtual clock. *)
+  (match on.Scenarios.flood_sampler with
+  | None -> ()
+  | Some sampler ->
+    let duration = params.Scenarios.flood_duration in
+    let grid s = Series.resample s ~step:1. ~until:duration in
+    let value_at points t =
+      match List.assoc_opt t points with Some v -> v | None -> 0.
+    in
+    let attack_rate =
+      Option.map grid (Sampler.find_series sampler "victim.h0_0_0.attack_rate_bps")
+      |> Option.value ~default:[]
+    in
+    (* Long-filter installs summed over every gateway in the hierarchy. *)
+    let installs =
+      Sampler.series sampler
+      |> List.filter_map (fun (name, s) ->
+             let suffix = ".filters_long_installed" in
+             if
+               String.length name > String.length suffix
+               && String.sub name
+                    (String.length name - String.length suffix)
+                    (String.length suffix)
+                  = suffix
+             then Some (grid s)
+             else None)
+    in
+    let timeline =
+      Table.create ~title:"AITF run timeline (sampled metrics)"
+        ~columns:[ "t (s)"; "attack at victim (Mbit/s)"; "long filters installed" ]
+    in
+    List.iter
+      (fun (t, rate) ->
+        let total_installs =
+          List.fold_left (fun acc pts -> acc +. value_at pts t) 0. installs
+        in
+        Table.add_row timeline
+          [
+            Printf.sprintf "%.0f" t;
+            Printf.sprintf "%.2f" (rate /. 1e6);
+            Printf.sprintf "%.0f" total_installs;
+          ])
+      attack_rate;
+    Table.print timeline);
   print_endline
     "Every zombie is blocked by its own enterprise gateway, once per T\n\
      cycle while it keeps attacking; nothing accumulates in the ISPs or\n\

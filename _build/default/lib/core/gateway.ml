@@ -49,6 +49,8 @@ type t = {
   blocklist : (Addr.t, float) Hashtbl.t;
   counters : Counter.t;
   mutable requests_received : int;
+  ttf : Aitf_obs.Metrics.timer option;
+      (* time-to-filter histogram; None when no registry was attached *)
 }
 
 let node t = t.node
@@ -332,7 +334,7 @@ let victim_role t (req : Message.request) =
 
 (* --- attacker's-gateway role -------------------------------------------- *)
 
-let comply t (req : Message.request) =
+let comply t ~received_at (req : Message.request) =
   match
     Filter_table.install ?rate_limit:(long_rate_limit t) t.filters
       req.Message.flow ~duration:req.Message.duration
@@ -343,6 +345,9 @@ let comply t (req : Message.request) =
     Counter.incr t.counters "filter-full"
   | Ok handle ->
     Counter.incr t.counters "filter-long";
+    (match t.ttf with
+    | Some tm -> Aitf_obs.Metrics.observe tm (Sim.now t.sim -. received_at)
+    | None -> ());
     trace t "blocking %a for %gs" Flow_label.pp req.Message.flow
       req.Message.duration;
     (match req.Message.flow.Flow_label.src with
@@ -374,6 +379,7 @@ let comply t (req : Message.request) =
 
 let attacker_role t (req : Message.request) =
   Counter.incr t.counters "req-attacker-role";
+  let received_at = Sim.now t.sim in
   let bucket = policer_for t req.Message.requestor in
   if not (Token_bucket.allow bucket ~now:(Sim.now t.sim)) then
     Counter.incr t.counters "req-policed"
@@ -394,7 +400,7 @@ let attacker_role t (req : Message.request) =
          ~duration:req.Message.duration);
     Counter.incr t.counters "req-duplicate"
   end
-  else if not t.config.Config.handshake then comply t req
+  else if not t.config.Config.handshake then comply t ~received_at req
   else if Hashtbl.mem t.verifying req.Message.flow then
     Counter.incr t.counters "req-duplicate"
   else
@@ -407,7 +413,7 @@ let attacker_role t (req : Message.request) =
             Hashtbl.remove t.verifying req.Message.flow;
             if ok then begin
               Counter.incr t.counters "handshake-ok";
-              comply t req
+              comply t ~received_at req
             end
             else Counter.incr t.counters "handshake-fail")
       in
@@ -497,6 +503,15 @@ let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
   let sim = Network.sim net in
   let cone = Lpm.create () in
   List.iter (fun p -> Lpm.insert cone p ()) clients;
+  let prefix = "gateway." ^ node.Node.name in
+  let ttf =
+    Aitf_obs.Metrics.timer_if_attached
+      (prefix ^ ".time_to_filter")
+      ~unit_:"s"
+      ~help:
+        "Request receipt at this (attacker-side) gateway to long-filter \
+         install; includes the handshake round-trip"
+  in
   let t =
     {
       net;
@@ -522,8 +537,43 @@ let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
       blocklist = Hashtbl.create 8;
       counters = Counter.create ();
       requests_received = 0;
+      ttf;
     }
   in
+  Aitf_obs.Metrics.if_attached (fun reg ->
+      let open Aitf_obs.Metrics in
+      let p metric = prefix ^ "." ^ metric in
+      Filter_table.register_metrics t.filters reg ~prefix:(p "filters");
+      Shadow_cache.register_metrics t.shadow reg ~prefix:(p "shadow");
+      register_counter reg (p "requests_received") ~unit_:"requests"
+        ~help:"AITF filtering requests delivered to this gateway" (fun () ->
+          float_of_int t.requests_received);
+      register_counter reg (p "policer_drops") ~unit_:"requests"
+        ~help:"Requests dropped by the R1/R2 token-bucket policers" (fun () ->
+          float_of_int
+            (Counter.get t.counters "req-policed"
+            + Counter.get t.counters "req-policed-client"));
+      register_counter reg (p "escalations") ~unit_:"requests"
+        ~help:"Rounds escalated after a flow reappeared" (fun () ->
+          float_of_int (Counter.get t.counters "escalated"));
+      register_counter reg (p "handshakes_ok") ~unit_:"handshakes"
+        ~help:"Three-way handshakes that verified the victim" (fun () ->
+          float_of_int (Counter.get t.counters "handshake-ok"));
+      register_counter reg (p "handshakes_failed") ~unit_:"handshakes"
+        ~help:"Three-way handshakes that timed out or failed" (fun () ->
+          float_of_int (Counter.get t.counters "handshake-fail"));
+      register_counter reg (p "filters_temp_installed") ~unit_:"filters"
+        ~help:"Temporary (Ttmp) filter installs" (fun () ->
+          float_of_int (Counter.get t.counters "filter-temp"));
+      register_counter reg (p "filters_long_installed") ~unit_:"filters"
+        ~help:"Long (T) filter installs, local self-installs included"
+        (fun () ->
+          float_of_int
+            (Counter.get t.counters "filter-long"
+            + Counter.get t.counters "filter-long-self"));
+      register_gauge reg (p "tracked_requestors") ~unit_:"requestors"
+        ~help:"Requestors with a dedicated policer bucket" (fun () ->
+          float_of_int (Hashtbl.length t.policers)));
   Node.add_hook node (hook t);
   let prev = node.Node.local_deliver in
   node.Node.local_deliver <- deliver t prev;

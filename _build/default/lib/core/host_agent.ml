@@ -181,6 +181,29 @@ module Victim = struct
       Some
         (Detection.create sim ~td ~min_report_gap:config.Config.min_report_gap
            ~on_detect:(fun flow pkt -> on_detect t flow pkt));
+    Aitf_obs.Metrics.if_attached (fun reg ->
+        let open Aitf_obs.Metrics in
+        let p metric =
+          Printf.sprintf "victim.%s.%s" node.Node.name metric
+        in
+        register_counter reg (p "requests_sent") ~unit_:"requests"
+          ~help:"Filtering requests sent to the gateway" (fun () ->
+            float_of_int t.requests_sent);
+        register_counter reg (p "requests_suppressed") ~unit_:"requests"
+          ~help:"Requests withheld by the local R1 bucket" (fun () ->
+            float_of_int t.requests_suppressed);
+        register_counter reg (p "queries_answered") ~unit_:"queries"
+          ~help:"Handshake verification queries confirmed" (fun () ->
+            float_of_int t.queries_answered);
+        register_counter reg (p "attack_bytes") ~unit_:"bytes"
+          ~help:"Attack bytes delivered to this host" (fun () ->
+            Rate_meter.total t.attack_meter);
+        register_counter reg (p "good_bytes") ~unit_:"bytes"
+          ~help:"Legitimate bytes delivered to this host" (fun () ->
+            Rate_meter.total t.good_meter);
+        register_gauge reg (p "attack_rate_bps") ~unit_:"bit/s"
+          ~help:"Attack traffic rate over the meter window" (fun () ->
+            8. *. Rate_meter.rate t.attack_meter ~now:(Sim.now t.sim)));
     let prev = node.Node.local_deliver in
     node.Node.local_deliver <- deliver t prev;
     t
@@ -272,6 +295,17 @@ module Attacker = struct
         flows_stopped = 0;
       }
     in
+    Aitf_obs.Metrics.if_attached (fun reg ->
+        let open Aitf_obs.Metrics in
+        let p metric =
+          Printf.sprintf "attacker.%s.%s" node.Node.name metric
+        in
+        register_counter reg (p "requests_received") ~unit_:"requests"
+          ~help:"To-attacker filtering requests delivered" (fun () ->
+            float_of_int t.requests_received);
+        register_counter reg (p "flows_stopped") ~unit_:"flows"
+          ~help:"Flows this host stopped (honestly or on-off)" (fun () ->
+            float_of_int t.flows_stopped));
     let prev = node.Node.local_deliver in
     node.Node.local_deliver <- deliver t prev;
     t

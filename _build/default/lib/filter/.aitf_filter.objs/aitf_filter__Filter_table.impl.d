@@ -1,1 +1,1 @@
-lib/filter/filter_table.ml: Aitf_engine Aitf_net Float Flow_label Hashtbl List Option Packet Token_bucket
+lib/filter/filter_table.ml: Aitf_engine Aitf_net Aitf_obs Float Flow_label Hashtbl List Option Packet Token_bucket

@@ -1,1 +1,1 @@
-lib/filter/filter_table.mli: Aitf_engine Aitf_net Flow_label Packet
+lib/filter/filter_table.mli: Aitf_engine Aitf_net Aitf_obs Flow_label Packet

@@ -1,1 +1,1 @@
-lib/filter/shadow_cache.ml: Aitf_engine Aitf_net Float Flow_label Hashtbl List Packet
+lib/filter/shadow_cache.ml: Aitf_engine Aitf_net Aitf_obs Float Flow_label Hashtbl List Packet

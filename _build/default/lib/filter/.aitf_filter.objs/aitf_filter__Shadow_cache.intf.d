@@ -1,1 +1,1 @@
-lib/filter/shadow_cache.mli: Aitf_engine Aitf_net Flow_label Packet
+lib/filter/shadow_cache.mli: Aitf_engine Aitf_net Aitf_obs Flow_label Packet

@@ -1,1 +1,1 @@
-lib/filter/token_bucket.ml: Float
+lib/filter/token_bucket.ml: Aitf_obs Float

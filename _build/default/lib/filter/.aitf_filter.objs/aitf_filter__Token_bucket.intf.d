@@ -1,1 +1,1 @@
-lib/filter/token_bucket.mli:
+lib/filter/token_bucket.mli: Aitf_obs

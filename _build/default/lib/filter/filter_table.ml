@@ -178,3 +178,24 @@ let installs t = t.installs
 let rejected t = t.rejected
 let blocked_packets t = t.blocked_packets
 let blocked_bytes t = t.blocked_bytes
+
+let register_metrics t reg ~prefix =
+  let open Aitf_obs.Metrics in
+  let p metric = prefix ^ "." ^ metric in
+  register_gauge reg (p "occupancy") ~unit_:"filters"
+    ~help:"Live hardware filters" (fun () -> float_of_int t.occupancy);
+  register_gauge reg (p "peak_occupancy") ~unit_:"filters"
+    ~help:"High-water mark of live filters (compare with nv/na)" (fun () ->
+      float_of_int t.peak);
+  register_counter reg (p "installs") ~unit_:"filters"
+    ~help:"Successful installs, refreshes included" (fun () ->
+      float_of_int t.installs);
+  register_counter reg (p "rejected") ~unit_:"filters"
+    ~help:"Installs refused because the table was full" (fun () ->
+      float_of_int t.rejected);
+  register_counter reg (p "blocked_packets") ~unit_:"packets"
+    ~help:"Packets dropped by a matching filter" (fun () ->
+      float_of_int t.blocked_packets);
+  register_counter reg (p "blocked_bytes") ~unit_:"bytes"
+    ~help:"Bytes dropped by a matching filter" (fun () ->
+      float_of_int t.blocked_bytes)

@@ -74,3 +74,8 @@ val rejected : t -> int
 
 val blocked_packets : t -> int
 val blocked_bytes : t -> int
+
+val register_metrics : t -> Aitf_obs.Metrics.t -> prefix:string -> unit
+(** Register occupancy/peak gauges and install/rejection/blocked counters
+    under [prefix] (e.g. ["gateway.B_gw1.filters"]). Pull-based: the table
+    itself pays nothing on the data path. *)

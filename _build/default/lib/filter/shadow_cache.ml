@@ -20,6 +20,8 @@ type 'a t = {
   mutable peak : int;
   mutable inserts : int;
   mutable rejected : int;
+  mutable hits : int;
+  mutable misses : int;
 }
 
 let create sim ~capacity =
@@ -34,6 +36,8 @@ let create sim ~capacity =
     peak = 0;
     inserts = 0;
     rejected = 0;
+    hits = 0;
+    misses = 0;
   }
 
 let detach t e =
@@ -93,16 +97,22 @@ let find t label =
 
 let match_packet t (pkt : Packet.t) =
   let pair = Flow_label.host_pair pkt.src pkt.dst in
-  match Hashtbl.find_opt t.exact pair with
-  | Some e when e.alive -> Some e
-  | _ -> (
-    let with_proto = { pair with Flow_label.proto = Some pkt.proto } in
-    match Hashtbl.find_opt t.exact with_proto with
+  let result =
+    match Hashtbl.find_opt t.exact pair with
     | Some e when e.alive -> Some e
-    | _ ->
-      List.find_opt
-        (fun e -> e.alive && Flow_label.matches e.label pkt)
-        t.wildcards)
+    | _ -> (
+      let with_proto = { pair with Flow_label.proto = Some pkt.proto } in
+      match Hashtbl.find_opt t.exact with_proto with
+      | Some e when e.alive -> Some e
+      | _ ->
+        List.find_opt
+          (fun e -> e.alive && Flow_label.matches e.label pkt)
+          t.wildcards)
+  in
+  (match result with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  result
 
 let remove t e = detach t e
 
@@ -127,6 +137,34 @@ let capacity t = t.capacity
 let peak_occupancy t = t.peak
 let inserts t = t.inserts
 let rejected t = t.rejected
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let register_metrics t reg ~prefix =
+  let open Aitf_obs.Metrics in
+  let p metric = prefix ^ "." ^ metric in
+  register_gauge reg (p "occupancy") ~unit_:"entries"
+    ~help:"Live shadow-cache entries" (fun () -> float_of_int t.occupancy);
+  register_gauge reg (p "peak_occupancy") ~unit_:"entries"
+    ~help:"High-water mark of live entries (compare with mv = R1*T)"
+    (fun () -> float_of_int t.peak);
+  register_counter reg (p "inserts") ~unit_:"entries"
+    ~help:"Inserts, refreshes included" (fun () -> float_of_int t.inserts);
+  register_counter reg (p "rejected") ~unit_:"entries"
+    ~help:"Inserts refused because the cache was full" (fun () ->
+      float_of_int t.rejected);
+  register_counter reg (p "hits") ~unit_:"lookups"
+    ~help:"Data-path lookups that matched a live entry" (fun () ->
+      float_of_int t.hits);
+  register_counter reg (p "misses") ~unit_:"lookups"
+    ~help:"Data-path lookups that matched nothing" (fun () ->
+      float_of_int t.misses);
+  register_gauge reg (p "hit_rate") ~unit_:"ratio"
+    ~help:"hits / (hits + misses); 0 before any lookup" (fun () -> hit_rate t)
 
 let iter t f =
   Hashtbl.iter (fun _ e -> if e.alive then f e) t.by_label

@@ -38,3 +38,11 @@ let rate t = t.rate
 let burst t = t.burst
 let admitted t = t.admitted
 let denied t = t.denied
+
+let register_metrics t reg ~prefix =
+  let open Aitf_obs.Metrics in
+  let p metric = prefix ^ "." ^ metric in
+  register_counter reg (p "admitted") ~unit_:"events"
+    ~help:"Events the policer admitted" (fun () -> float_of_int t.admitted);
+  register_counter reg (p "denied") ~unit_:"events"
+    ~help:"Events the policer dropped" (fun () -> float_of_int t.denied)

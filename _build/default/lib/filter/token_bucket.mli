@@ -23,3 +23,7 @@ val burst : t -> float
 
 val admitted : t -> int
 val denied : t -> int
+
+val register_metrics : t -> Aitf_obs.Metrics.t -> prefix:string -> unit
+(** Register admitted/denied counters under [prefix] (e.g.
+    ["gateway.B_gw1.policer"]). *)

@@ -1,1 +1,1 @@
-lib/net/link.ml: Aitf_engine Hashtbl Packet Queue
+lib/net/link.ml: Aitf_engine Aitf_obs Hashtbl Packet Printf Queue

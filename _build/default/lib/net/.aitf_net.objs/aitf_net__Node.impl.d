@@ -1,1 +1,1 @@
-lib/net/node.ml: Addr Format Hashtbl Link List Lpm Packet
+lib/net/node.ml: Addr Aitf_obs Format Hashtbl Link List Lpm Packet Printf

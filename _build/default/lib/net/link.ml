@@ -31,26 +31,50 @@ let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay < 0. then invalid_arg "Link.create: negative delay";
   if queue_capacity < 0 then invalid_arg "Link.create: negative queue capacity";
-  {
-    sim;
-    name;
-    bandwidth;
-    delay;
-    queue_capacity;
-    deliver = None;
-    queue = Queue.create ();
-    queued_bytes = 0;
-    busy = false;
-    is_up = true;
-    tx_packets = 0;
-    tx_bytes = 0;
-    dropped_packets = 0;
-    dropped_bytes = 0;
-    discipline;
-    rng = Rng.create ~seed:(Hashtbl.hash name);
-    avg_queue = 0.;
-    early_drops = 0;
-  }
+  let t =
+    {
+      sim;
+      name;
+      bandwidth;
+      delay;
+      queue_capacity;
+      deliver = None;
+      queue = Queue.create ();
+      queued_bytes = 0;
+      busy = false;
+      is_up = true;
+      tx_packets = 0;
+      tx_bytes = 0;
+      dropped_packets = 0;
+      dropped_bytes = 0;
+      discipline;
+      rng = Rng.create ~seed:(Hashtbl.hash name);
+      avg_queue = 0.;
+      early_drops = 0;
+    }
+  in
+  Aitf_obs.Metrics.if_attached (fun reg ->
+      let open Aitf_obs.Metrics in
+      let p metric = Printf.sprintf "link.%s.%s" name metric in
+      register_counter reg (p "tx_packets") ~unit_:"packets"
+        ~help:"Packets fully serialised onto the wire" (fun () ->
+          float_of_int t.tx_packets);
+      register_counter reg (p "tx_bytes") ~unit_:"bytes"
+        ~help:"Bytes fully serialised onto the wire" (fun () ->
+          float_of_int t.tx_bytes);
+      register_counter reg (p "dropped_packets") ~unit_:"packets"
+        ~help:"Packets dropped (queue overflow, RED early drop, link down)"
+        (fun () -> float_of_int t.dropped_packets);
+      register_gauge reg (p "queued_bytes") ~unit_:"bytes"
+        ~help:"Current queue occupancy" (fun () ->
+          float_of_int t.queued_bytes);
+      register_gauge reg (p "utilization") ~unit_:"ratio"
+        ~help:"Cumulative bits sent over bandwidth x elapsed virtual time"
+        (fun () ->
+          let now = Sim.now t.sim in
+          if now <= 0. then 0.
+          else float_of_int (t.tx_bytes * 8) /. (t.bandwidth *. now)));
+  t
 
 let set_deliver t f = t.deliver <- Some f
 

@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Aitf_stats Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/obs/report.ml: Aitf_stats Buffer Fun Json List Metrics Option Printf Result

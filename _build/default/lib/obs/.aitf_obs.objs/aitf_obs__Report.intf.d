@@ -1,0 +1,1 @@
+lib/obs/report.mli: Aitf_stats Json Metrics

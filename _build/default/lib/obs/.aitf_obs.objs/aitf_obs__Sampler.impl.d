@@ -1,0 +1,1 @@
+lib/obs/sampler.ml: Aitf_engine Aitf_stats Hashtbl List Metrics String Sys

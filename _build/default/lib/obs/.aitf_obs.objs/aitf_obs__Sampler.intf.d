@@ -1,0 +1,1 @@
+lib/obs/sampler.mli: Aitf_engine Aitf_stats Metrics

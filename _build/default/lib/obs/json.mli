@@ -1,0 +1,46 @@
+(** Minimal JSON values — construction, printing, parsing.
+
+    The run reports must be machine-readable without pulling a JSON
+    dependency into the build, so this is a deliberately small, total
+    implementation: a value type, a printer whose float formatting
+    round-trips exactly, and a recursive-descent parser for reading
+    reports back (tests, external tooling written against the library).
+
+    Not supported: surrogate-pair [\uXXXX] escapes beyond the BMP, and
+    non-finite floats (printed as [null] — JSON has no spelling for
+    them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Render. Default is indented (2 spaces); [~minify:true] produces one
+    line. Floats print with the fewest digits that parse back to the
+    identical bit pattern. *)
+
+val pp : Format.formatter -> t -> unit
+(** [to_string ~minify:true] onto a formatter. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    non-whitespace is an error). Numbers without [./e/E] become [Int],
+    the rest [Float]. Errors carry a character offset. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Int n] and [Float f] compare equal when
+    [float_of_int n = f], and object field order is significant. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on other constructors. *)
+
+val get_float : t -> float option
+(** [Float f] or [Int n] (as float). *)
+
+val get_string : t -> string option
+val get_list : t -> t list option

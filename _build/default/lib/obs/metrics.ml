@@ -1,0 +1,87 @@
+module Histogram = Aitf_stats.Histogram
+
+type timer = { hist : Histogram.t; mutable sum : float }
+
+type source =
+  | Pull_counter of (unit -> float)
+  | Pull_gauge of (unit -> float)
+  | Push_timer of timer
+
+type metric = { m_unit : string; m_help : string; source : source }
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let register t name metric =
+  if name = "" then invalid_arg "Metrics.register: empty name";
+  if Hashtbl.mem t.tbl name then
+    invalid_arg (Printf.sprintf "Metrics.register: duplicate metric %S" name);
+  Hashtbl.replace t.tbl name metric
+
+let register_counter t ?(unit_ = "") ?(help = "") name read =
+  register t name { m_unit = unit_; m_help = help; source = Pull_counter read }
+
+let register_gauge t ?(unit_ = "") ?(help = "") name read =
+  register t name { m_unit = unit_; m_help = help; source = Pull_gauge read }
+
+let default_bounds = Histogram.log_bounds ~lo:1e-3 ~hi:100. ~per_decade:5
+
+let timer t ?(unit_ = "s") ?(help = "") ?(bounds = default_bounds) name =
+  let tm = { hist = Histogram.create ~bounds; sum = 0. } in
+  register t name { m_unit = unit_; m_help = help; source = Push_timer tm };
+  tm
+
+let observe tm v =
+  Histogram.add tm.hist v;
+  tm.sum <- tm.sum +. v
+
+let registered t name = Hashtbl.mem t.tbl name
+let size t = Hashtbl.length t.tbl
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []
+  |> List.sort String.compare
+
+let sample metric =
+  match metric.source with
+  | Pull_counter read -> Counter (read ())
+  | Pull_gauge read -> Gauge (read ())
+  | Push_timer tm ->
+    Histogram
+      {
+        count = Histogram.count tm.hist;
+        sum = tm.sum;
+        buckets = Histogram.buckets tm.hist;
+      }
+
+let value t name = Option.map sample (Hashtbl.find_opt t.tbl name)
+
+let snapshot t =
+  List.map (fun name -> (name, sample (Hashtbl.find t.tbl name))) (names t)
+
+let unit_of t name =
+  Option.map (fun m -> m.m_unit) (Hashtbl.find_opt t.tbl name)
+
+let help_of t name =
+  Option.map (fun m -> m.m_help) (Hashtbl.find_opt t.tbl name)
+
+(* --- global attachment ------------------------------------------------------ *)
+
+let current : t option ref = ref None
+
+let attach t = current := Some t
+let detach () = current := None
+let attached () = !current
+
+let if_attached f = match !current with None -> () | Some t -> f t
+
+let timer_if_attached ?unit_ ?help ?bounds name =
+  match !current with
+  | None -> None
+  | Some t -> Some (timer t ?unit_ ?help ?bounds name)

@@ -1,0 +1,95 @@
+(** Run-wide metrics registry.
+
+    The observability substrate for every layer of the simulator: named
+    counters, gauges and timers, registered once per run and read back as
+    deterministic snapshots. Counters and gauges are {e pull-based} — the
+    registering component hands over a closure reading state it already
+    keeps (a filter table's occupancy, a link's byte count), so an
+    instrumented hot path costs nothing beyond the work it was already
+    doing. Timers are the one push-based kind (value distributions such as
+    time-to-filter have no state to read back); components hold a
+    [timer option] that is [None] when no registry was attached at
+    creation, so a disabled observation costs one branch — mirroring
+    {!Aitf_engine.Trace}'s zero-sink design.
+
+    {b Naming.} Dot-separated, instance-qualified:
+    [<layer>.<instance>.<metric>], e.g. [gateway.B_gw1.filters.occupancy].
+    Names are unique per registry; registering a duplicate raises. Use one
+    fresh registry per run — component creation registers instance metrics,
+    so replaying a scenario against the same registry would collide.
+
+    {b Attachment.} Like tracing, instrumentation is off by default. A
+    scenario attaches a registry ({!attach}) before building its world;
+    every component created while one is attached self-registers. Detach
+    when the run's report has been taken. *)
+
+type t
+
+type timer
+(** Handle for pushing duration (or any scalar) observations. *)
+
+(** A snapshot value. [Counter] is monotone over a run; [Gauge] is a
+    level; [Histogram] carries the sample count, the sum and the
+    cumulative-style buckets (upper bound, count), final bound
+    [infinity]. *)
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+
+val create : unit -> t
+
+val register_counter :
+  t -> ?unit_:string -> ?help:string -> string -> (unit -> float) -> unit
+(** [register_counter t name read] registers a monotone metric sampled by
+    calling [read].
+    @raise Invalid_argument if [name] is already registered. *)
+
+val register_gauge :
+  t -> ?unit_:string -> ?help:string -> string -> (unit -> float) -> unit
+(** Like {!register_counter} for a level (may go down). *)
+
+val timer :
+  t -> ?unit_:string -> ?help:string -> ?bounds:float list -> string -> timer
+(** Register a histogram-backed timer. Default [bounds] are logarithmic
+    from 1 ms to 100 s (the protocol latency scale); see
+    {!Aitf_stats.Histogram.log_bounds}.
+    @raise Invalid_argument on a duplicate name or bad bounds. *)
+
+val observe : timer -> float -> unit
+(** Record one sample (seconds, for the default bounds). *)
+
+val registered : t -> string -> bool
+val size : t -> int
+
+val names : t -> string list
+(** Sorted. *)
+
+val value : t -> string -> value option
+(** Sample one metric now. *)
+
+val snapshot : t -> (string * value) list
+(** Sample every metric, sorted by name — the deterministic read used by
+    samplers and reports. *)
+
+val unit_of : t -> string -> string option
+val help_of : t -> string -> string option
+
+(** {1 Process-global attachment}
+
+    One optional registry, consulted by component constructors. *)
+
+val attach : t -> unit
+(** Make [t] the attached registry (replacing any previous one). *)
+
+val detach : unit -> unit
+
+val attached : unit -> t option
+
+val if_attached : (t -> unit) -> unit
+(** Run the registration block iff a registry is attached. *)
+
+val timer_if_attached :
+  ?unit_:string -> ?help:string -> ?bounds:float list -> string -> timer option
+(** [Some (timer reg name)] against the attached registry, else [None] —
+    what a component stores for its push-side observations. *)

@@ -1,0 +1,170 @@
+module Series = Aitf_stats.Series
+
+let schema = "aitf.run-report/1"
+
+let bucket_json (le, count) =
+  Json.Obj
+    [
+      ("le", if le = infinity then Json.String "inf" else Json.Float le);
+      ("count", Json.Int count);
+    ]
+
+let metric_json registry (name, v) =
+  let common kind =
+    [
+      ("name", Json.String name);
+      ("kind", Json.String kind);
+      ("unit", Json.String (Option.value ~default:"" (Metrics.unit_of registry name)));
+      ("help", Json.String (Option.value ~default:"" (Metrics.help_of registry name)));
+    ]
+  in
+  match v with
+  | Metrics.Counter v -> Json.Obj (common "counter" @ [ ("value", Json.Float v) ])
+  | Metrics.Gauge v -> Json.Obj (common "gauge" @ [ ("value", Json.Float v) ])
+  | Metrics.Histogram { count; sum; buckets } ->
+    Json.Obj
+      (common "histogram"
+      @ [
+          ("count", Json.Int count);
+          ("sum", Json.Float sum);
+          ("buckets", Json.List (List.map bucket_json buckets));
+        ])
+
+let series_json (name, s) =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (t, v) -> Json.List [ Json.Float t; Json.Float v ])
+             (Series.points s)) );
+    ]
+
+let make ?(meta = []) ?(series = []) ~now registry =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("generated_at", Json.Float now);
+      ("meta", Json.Obj meta);
+      ( "metrics",
+        Json.List (List.map (metric_json registry) (Metrics.snapshot registry)) );
+      ("series", Json.List (List.map series_json series));
+    ]
+
+(* --- parsing back ----------------------------------------------------------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "report: missing field %S" name)
+
+let as_float what json =
+  match Json.get_float json with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "report: %s is not a number" what)
+
+let bucket_of_json json =
+  let* le = field "le" json in
+  let* le =
+    match le with
+    | Json.String "inf" -> Ok infinity
+    | j -> as_float "bucket bound" j
+  in
+  let* count = field "count" json in
+  let* count = as_float "bucket count" count in
+  Ok (le, int_of_float count)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let metric_of_json json =
+  let* name = field "name" json in
+  let* name =
+    match Json.get_string name with
+    | Some s -> Ok s
+    | None -> Error "report: metric name is not a string"
+  in
+  let* kind = field "kind" json in
+  match Json.get_string kind with
+  | Some "counter" ->
+    let* v = field "value" json in
+    let* v = as_float name v in
+    Ok (name, Metrics.Counter v)
+  | Some "gauge" ->
+    let* v = field "value" json in
+    let* v = as_float name v in
+    Ok (name, Metrics.Gauge v)
+  | Some "histogram" ->
+    let* count = field "count" json in
+    let* count = as_float name count in
+    let* sum = field "sum" json in
+    let* sum = as_float name sum in
+    let* buckets = field "buckets" json in
+    let* buckets =
+      match Json.get_list buckets with
+      | Some l -> map_result bucket_of_json l
+      | None -> Error "report: buckets is not a list"
+    in
+    Ok (name, Metrics.Histogram { count = int_of_float count; sum; buckets })
+  | _ -> Error (Printf.sprintf "report: bad metric kind for %S" name)
+
+let values_of_json json =
+  let* metrics = field "metrics" json in
+  match Json.get_list metrics with
+  | Some l -> map_result metric_of_json l
+  | None -> Error "report: metrics is not a list"
+
+(* --- CSV -------------------------------------------------------------------- *)
+
+let series_csv series =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "metric,time,value\n";
+  List.iter
+    (fun (name, s) ->
+      List.iter
+        (fun (t, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%.6g,%.8g\n" name t v))
+        (Series.points s))
+    series;
+  Buffer.contents buf
+
+let snapshot_csv registry =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "metric,kind,value,unit\n";
+  let unit_of name = Option.value ~default:"" (Metrics.unit_of registry name) in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter v ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,counter,%.8g,%s\n" name v (unit_of name))
+      | Metrics.Gauge v ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,gauge,%.8g,%s\n" name v (unit_of name))
+      | Metrics.Histogram { count; sum; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,histogram,%d,%s\n" name count (unit_of name));
+        if count > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "%s.mean,gauge,%.8g,%s\n" name
+               (sum /. float_of_int count)
+               (unit_of name)))
+    (Metrics.snapshot registry);
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_json path json =
+  write_file path (Json.to_string json ^ "\n")

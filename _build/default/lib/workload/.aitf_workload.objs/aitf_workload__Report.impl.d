@@ -1,1 +1,1 @@
-lib/workload/report.ml: Aitf_core Aitf_engine Aitf_filter Aitf_net Aitf_stats Hashtbl Link List Network Node Printf String
+lib/workload/report.ml: Aitf_core Aitf_engine Aitf_filter Aitf_net Aitf_obs Aitf_stats Hashtbl Link List Network Node Option Printf String

@@ -1,1 +1,1 @@
-lib/workload/report.mli: Aitf_core Aitf_net Aitf_stats Network
+lib/workload/report.mli: Aitf_core Aitf_net Aitf_obs Aitf_stats Network

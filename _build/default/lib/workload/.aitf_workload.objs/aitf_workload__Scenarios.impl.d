@@ -1,1 +1,1 @@
-lib/workload/scenarios.ml: Aitf_core Aitf_engine Aitf_net Aitf_stats Aitf_topo Aitf_traceback Array Chain Config Gateway Hierarchy Host_agent List Node Option Packet Policy Traffic
+lib/workload/scenarios.ml: Aitf_core Aitf_engine Aitf_net Aitf_obs Aitf_stats Aitf_topo Aitf_traceback Array Chain Config Gateway Hierarchy Host_agent List Node Option Packet Policy Traffic

@@ -1,1 +1,1 @@
-lib/workload/scenarios.mli: Aitf_core Aitf_stats Aitf_topo Chain Config Gateway Hierarchy Host_agent Policy
+lib/workload/scenarios.mli: Aitf_core Aitf_obs Aitf_stats Aitf_topo Chain Config Gateway Hierarchy Host_agent Policy

@@ -94,3 +94,26 @@ let gateway_table gws =
         ])
     gws;
   t
+
+let metrics_table registry =
+  let t =
+    Table.create ~title:"metrics" ~columns:[ "metric"; "kind"; "value"; "unit" ]
+  in
+  let module M = Aitf_obs.Metrics in
+  List.iter
+    (fun (name, v) ->
+      let unit_ = Option.value ~default:"" (M.unit_of registry name) in
+      let kind, value =
+        match v with
+        | M.Counter v -> ("counter", Printf.sprintf "%.6g" v)
+        | M.Gauge v -> ("gauge", Printf.sprintf "%.6g" v)
+        | M.Histogram { count; sum; _ } ->
+          ( "histogram",
+            if count = 0 then "0 samples"
+            else
+              Printf.sprintf "%d samples, mean %.4g" count
+                (sum /. float_of_int count) )
+      in
+      Table.add_row t [ name; kind; value; unit_ ])
+    (M.snapshot registry);
+  t

@@ -51,6 +51,7 @@ type chain_result = {
   victim_rate : Series.t;
   escalations : int;
   requests_sent : int;
+  sampler : Aitf_obs.Sampler.t option;
 }
 
 let counter_total gws name =
@@ -109,6 +110,14 @@ let run_chain params =
              sample (t +. params.sample_period)))
   in
   sample params.sample_period;
+  (* When a metrics registry is attached, every component above has already
+     self-registered; the sampler adds the sim-level metrics and the
+     time-series half of the run report. *)
+  let sampler =
+    Option.map
+      (fun reg -> Aitf_obs.Sampler.start ~interval:params.sample_period sim reg)
+      (Aitf_obs.Metrics.attached ())
+  in
   Sim.run ~until:params.duration sim;
   let attack_offered_bytes =
     params.attack_rate *. (params.duration -. params.attack_start) /. 8.
@@ -137,6 +146,7 @@ let run_chain params =
     escalations = counter_total deployed.Chain.victim_gateways "escalated";
     requests_sent =
       Host_agent.Victim.requests_sent deployed.Chain.victim_agent;
+    sampler;
   }
 
 let time_to_suppress result ~threshold =
@@ -172,6 +182,7 @@ type flood_params = {
   legit_rate : float;
   attack_start : float;
   with_aitf : bool;
+  flood_sample_period : float;
 }
 
 let default_flood =
@@ -193,6 +204,7 @@ let default_flood =
     legit_rate = 2e5;
     attack_start = 1.;
     with_aitf = true;
+    flood_sample_period = 0.25;
   }
 
 type flood_result = {
@@ -205,6 +217,7 @@ type flood_result = {
   flood_attack_received_bytes : float;
   leaf_filters : int;
   isp_filters : int;
+  flood_sampler : Aitf_obs.Sampler.t option;
 }
 
 let run_flood p =
@@ -284,6 +297,12 @@ let run_flood p =
        done
      done
    with Invalid_argument _ -> ());
+  let flood_sampler =
+    Option.map
+      (fun reg ->
+        Aitf_obs.Sampler.start ~interval:p.flood_sample_period sim reg)
+      (Aitf_obs.Metrics.attached ())
+  in
   Sim.run ~until:p.flood_duration sim;
   let filters_at gws =
     Array.fold_left
@@ -315,4 +334,5 @@ let run_flood p =
     flood_attack_received_bytes = attack_received;
     leaf_filters;
     isp_filters;
+    flood_sampler;
   }

@@ -49,6 +49,9 @@ type chain_result = {
       (** windowed attack bandwidth (bits/s) at the victim over time *)
   escalations : int;  (** total across victim-side gateways *)
   requests_sent : int;  (** by the victim host *)
+  sampler : Aitf_obs.Sampler.t option;
+      (** started (at [sample_period]) iff a metrics registry was attached
+          via {!Aitf_obs.Metrics.attach} before the run *)
 }
 
 val run_chain : chain_params -> chain_result
@@ -80,6 +83,7 @@ type flood_params = {
   legit_rate : float;  (** bits/s each *)
   attack_start : float;
   with_aitf : bool;
+  flood_sample_period : float;  (** metric sampling period when attached *)
 }
 
 val default_flood : flood_params
@@ -98,6 +102,8 @@ type flood_result = {
       (** long-filter installs at enterprise gateways — one per zombie per
           T cycle while the attack lasts *)
   isp_filters : int;
+  flood_sampler : Aitf_obs.Sampler.t option;
+      (** started iff a metrics registry was attached before the run *)
 }
 
 val run_flood : flood_params -> flood_result

@@ -1,0 +1,1 @@
+test/test_obs.ml: Aitf_core Aitf_engine Aitf_obs Aitf_stats Aitf_workload Alcotest Float Fun List Option Result

@@ -320,6 +320,23 @@ let test_figure1_golden_trace () =
     [ "G_host"; "G_gw1"; "B_gw1"; "B_gw1" ]
     who
 
+(* The observability layer sees the same walk-through: with a registry
+   attached, the F1 scenario must leave a populated time-to-filter
+   histogram at the attacker's gateway — the handshake takes nonzero
+   virtual time, so the samples are strictly positive. *)
+let test_figure1_time_to_filter_observed () =
+  let module Metrics = Aitf_obs.Metrics in
+  let reg = Metrics.create () in
+  Metrics.attach reg;
+  Fun.protect ~finally:Metrics.detach (fun () ->
+      let r = Scenarios.run_chain { params with Scenarios.duration = 20. } in
+      ignore r;
+      match Metrics.value reg "gateway.B_gw1.time_to_filter" with
+      | Some (Metrics.Histogram { count; sum; _ }) ->
+        checkb "installs observed" true (count > 0);
+        checkb "handshake RTT is positive" true (sum > 0.)
+      | _ -> Alcotest.fail "time_to_filter not registered")
+
 (* --- Protocol-safety fuzz ------------------------------------------------------ *)
 
 (* Property (Section III-B): with the handshake enabled, no volley of forged
@@ -423,6 +440,8 @@ let () =
             test_lossy_control_channel_converges;
           Alcotest.test_case "figure-1 golden trace" `Quick
             test_figure1_golden_trace;
+          Alcotest.test_case "figure-1 time-to-filter observed" `Slow
+            test_figure1_time_to_filter_observed;
         ] );
       ("fuzz", [ QCheck_alcotest.to_alcotest forgery_never_installs ]);
     ]

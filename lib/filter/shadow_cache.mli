@@ -47,5 +47,18 @@ val peak_occupancy : 'a t -> int
 val inserts : 'a t -> int
 val rejected : 'a t -> int
 
+val hits : 'a t -> int
+(** {!match_packet} calls that found a live entry. *)
+
+val misses : 'a t -> int
+(** {!match_packet} calls that found nothing. *)
+
+val hit_rate : 'a t -> float
+(** [hits / (hits + misses)]; 0 before any lookup. *)
+
+val register_metrics : 'a t -> Aitf_obs.Metrics.t -> prefix:string -> unit
+(** Register occupancy/peak/hit-rate gauges and insert/rejection/hit/miss
+    counters under [prefix] (e.g. ["gateway.G_gw1.shadow"]). *)
+
 val iter : 'a t -> ('a entry -> unit) -> unit
 (** Visit all live entries. *)

@@ -7,6 +7,7 @@ type t = {
 let create ~title ~columns = { title; columns; rev_rows = [] }
 
 let title t = t.title
+let columns t = t.columns
 
 let add_row t cells =
   if List.length cells <> List.length t.columns then

@@ -8,6 +8,7 @@ type t
 val create : title:string -> columns:string list -> t
 
 val title : t -> string
+val columns : t -> string list
 
 val add_row : t -> string list -> unit
 (** Must have as many cells as there are columns.

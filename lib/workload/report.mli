@@ -18,3 +18,7 @@ val link_table : ?busy_only:bool -> Network.t -> Aitf_stats.Table.t
 val gateway_table : Aitf_core.Gateway.t list -> Aitf_stats.Table.t
 (** One row per gateway: filter occupancy/peak, shadow peak, requests
     received and the non-zero decision counters. *)
+
+val metrics_table : Aitf_obs.Metrics.t -> Aitf_stats.Table.t
+(** One row per registered metric (sorted by name) from a live snapshot:
+    name, kind, value (a histogram shows sample count and mean), unit. *)
