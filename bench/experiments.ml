@@ -1677,3 +1677,71 @@ let e14 () =
      operator eventually covers it, at one filter per identity). AITF\n\
      answers at protocol speed: each shape leaks only its detection window.\n\
      This is the introduction's case for automating filter propagation.\n"
+
+(* ----------------------------------------------------------------- E15 -- *)
+
+(* Control-plane reliability under loss. AITF's filtering requests and
+   handshake messages cross the very tail circuit the flood congests, so
+   the protocol must survive losing them (Section III's robustness
+   discussion). Sweep i.i.d. control-packet loss on the victim's tail from
+   0 to 30% and compare time-to-suppression with the classic single-shot
+   control plane against the retransmitting one (4 retries, 300 ms initial
+   RTO, exponential backoff). Single-shot recovery leans on detection
+   re-firing after min_report_gap; retransmission reacts at RTO speed and
+   should keep the time-to-filter near its lossless value. *)
+let e15 () =
+  let losses = [ 0.0; 0.05; 0.1; 0.2; 0.3 ] in
+  let run ~loss ~retries =
+    let r =
+      Scenarios.run_chain
+        {
+          chain_params with
+          Scenarios.duration = 60.;
+          attack_rate = 1e6;
+          config = { cfg with Config.ctrl_retries = retries; ctrl_rto = 0.3 };
+          ctrl_faults =
+            (if loss > 0. then [ Aitf_fault.Fault.Loss loss ] else []);
+        }
+    in
+    (Scenarios.time_to_suppress r ~threshold:0.05, r)
+  in
+  let table =
+    Table.create
+      ~title:
+        "E15  time-to-filter vs control-plane loss   (i.i.d. loss on the \
+         victim tail, single-shot vs 4 retries @ 300 ms RTO)"
+      ~columns:
+        [
+          "ctrl loss";
+          "drops injected";
+          "single-shot: suppressed (s)";
+          "retrans: suppressed (s)";
+          "retransmissions";
+        ]
+  in
+  let cell_ttf = function
+    | Some t -> Printf.sprintf "%.2f" t
+    | None -> "never"
+  in
+  List.iter
+    (fun loss ->
+      let ttf0, _ = run ~loss ~retries:0 in
+      let ttf4, r4 = run ~loss ~retries:4 in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f%%" (100. *. loss);
+          Table.cell_int r4.Scenarios.faults_injected;
+          cell_ttf ttf0;
+          cell_ttf ttf4;
+          Table.cell_int
+            (r4.Scenarios.requests_retransmitted
+            + r4.Scenarios.ctrl_retransmits);
+        ])
+    losses;
+  emit table;
+  print_endline
+    "Retransmission holds the time-to-filter near its lossless value across\n\
+     the sweep; the single-shot control plane recovers only at detection\n\
+     re-report speed (min_report_gap), and its tail latency grows with the\n\
+     loss rate. Either way the protocol converges: a lost request delays\n\
+     filtering, it does not defeat it.\n"

@@ -154,6 +154,7 @@ let experiments =
     ("e12", "random-topology robustness", Experiments.e12);
     ("e13", "transaction-level service quality", Experiments.e13);
     ("e14", "shape-shifting attack vs manual response", Experiments.e14);
+    ("e15", "time-to-filter vs control-plane loss", Experiments.e15);
     ("a1", "ablation: traceback mechanisms", Experiments.a1);
     ("a2", "ablation: shadow cache", Experiments.a2);
     ("a3", "ablation: wildcard aggregation", Experiments.a3);

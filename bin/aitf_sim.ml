@@ -25,6 +25,19 @@ open Cmdliner
 
 (* --- run ------------------------------------------------------------------ *)
 
+(* "A:B" float pairs, for --burst-loss and --flap. *)
+let pair_conv ~what =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> (
+      match (float_of_string_opt a, float_of_string_opt b) with
+      | Some a, Some b -> Ok (a, b)
+      | _ -> Error (`Msg (Printf.sprintf "%s expects FLOAT:FLOAT" what)))
+    | _ -> Error (`Msg (Printf.sprintf "%s expects FLOAT:FLOAT" what))
+  in
+  let print fmt (a, b) = Format.fprintf fmt "%g:%g" a b in
+  Arg.conv (parse, print)
+
 let strategy_conv =
   let parse = function
     | "complies" -> Ok Policy.Complies
@@ -120,9 +133,44 @@ let run_cmd =
              ~doc:"Traceback mechanism: in-packet route record, SPIE digest \
                    queries at the gateway, or probabilistic packet marking.")
   in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P"
+           ~doc:"I.i.d. loss probability for control packets crossing the \
+                 victim's tail circuit (both directions).")
+  in
+  let burst_loss =
+    Arg.(value & opt (some (pair_conv ~what:"--burst-loss")) None
+         & info [ "burst-loss" ] ~docv:"P_ENTER:P_EXIT"
+             ~doc:"Gilbert-Elliott burst loss on the victim-tail control \
+                   channel: per-packet probability of entering / leaving \
+                   the all-loss bad state.")
+  in
+  let dup =
+    Arg.(value & opt float 0. & info [ "dup" ] ~docv:"P"
+           ~doc:"Probability of duplicating a control packet on the \
+                 victim's tail circuit.")
+  in
+  let flap =
+    Arg.(value & opt (some (pair_conv ~what:"--flap")) None
+         & info [ "flap" ] ~docv:"PERIOD:DOWN"
+             ~doc:"Flap the victim's tail circuit: every PERIOD seconds, \
+                   take it down (both directions) for DOWN seconds.")
+  in
+  let ctrl_retries =
+    Arg.(value & opt int 0 & info [ "ctrl-retries" ] ~docv:"N"
+           ~doc:"Control-plane retransmissions per message beyond the \
+                 first transmission (0 = single-shot, the classic \
+                 protocol).")
+  in
+  let ctrl_rto =
+    Arg.(value & opt float 0.5 & info [ "ctrl-rto" ] ~docv:"SECONDS"
+           ~doc:"Initial control-plane retransmission timeout; doubles on \
+                 every retry.")
+  in
   let run duration t_filter t_tmp attack_rate legit_rate non_coop strategy td
       depth seed no_handshake disconnect trace csv stats metrics metrics_csv
-      metrics_interval traceback =
+      metrics_interval traceback loss burst_loss dup flap ctrl_retries
+      ctrl_rto =
     if trace then Trace.add_sink (Trace.printing_sink ());
     let registry =
       if metrics <> None || metrics_csv <> None then begin
@@ -141,7 +189,17 @@ let run_cmd =
         min_report_gap = Float.max 0.2 (t_filter /. 30.);
         handshake = not no_handshake;
         disconnect;
+        ctrl_retries;
+        ctrl_rto;
       }
+    in
+    let ctrl_faults =
+      let module F = Aitf_fault.Fault in
+      (if loss > 0. then [ F.Loss loss ] else [])
+      @ (match burst_loss with
+        | Some (p_enter, p_exit) -> [ F.burst ~p_enter ~p_exit () ]
+        | None -> [])
+      @ if dup > 0. then [ F.Duplicate dup ] else []
     in
     let params =
       {
@@ -163,6 +221,8 @@ let run_cmd =
         sample_period =
           (if metrics_interval > 0. then metrics_interval
            else Scenarios.default_chain.Scenarios.sample_period);
+        ctrl_faults;
+        tail_flap = flap;
       }
     in
     let r = Scenarios.run_chain params in
@@ -186,6 +246,16 @@ let run_cmd =
             r.Scenarios.good_offered_bytes));
     add "filtering requests sent" (string_of_int r.Scenarios.requests_sent);
     add "escalations" (string_of_int r.Scenarios.escalations);
+    if ctrl_faults <> [] || flap <> None || ctrl_retries > 0 then begin
+      add "control packets dropped by faults"
+        (string_of_int r.Scenarios.faults_injected);
+      add "victim request retransmissions"
+        (string_of_int r.Scenarios.requests_retransmitted);
+      add "gateway ctrl retransmissions"
+        (string_of_int r.Scenarios.ctrl_retransmits);
+      add "gateway retry budgets exhausted"
+        (string_of_int r.Scenarios.ctrl_gave_up)
+    end;
     (match Scenarios.time_to_suppress r ~threshold:0.05 with
     | Some t -> add "time to suppression (s)" (Printf.sprintf "%.2f" t)
     | None -> add "time to suppression (s)" "never");
@@ -251,7 +321,8 @@ let run_cmd =
       const run $ duration $ t_filter $ t_tmp $ attack_rate $ legit_rate
       $ non_coop $ strategy $ td $ depth $ seed $ no_handshake $ disconnect
       $ trace $ csv $ stats $ metrics $ metrics_csv $ metrics_interval
-      $ traceback)
+      $ traceback $ loss $ burst_loss $ dup $ flap $ ctrl_retries
+      $ ctrl_rto)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a single-attacker Figure-1 scenario.")

@@ -23,6 +23,9 @@ type t = {
   min_report_gap : float;
   aggregate_on_pressure : bool;
   filter_action : filter_action;
+  ctrl_retries : int;
+  ctrl_rto : float;
+  ctrl_backoff : float;
 }
 
 let default =
@@ -47,6 +50,9 @@ let default =
     min_report_gap = 1.0;
     aggregate_on_pressure = false;
     filter_action = Block;
+    ctrl_retries = 0;
+    ctrl_rto = 0.5;
+    ctrl_backoff = 2.0;
   }
 
 let with_timescale c k =

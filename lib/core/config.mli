@@ -56,6 +56,14 @@ type t = {
           failing — protection at the price of collateral damage *)
   filter_action : filter_action;
       (** what the attacker-side full-T filters do (default {!Block}) *)
+  ctrl_retries : int;
+      (** control-plane retransmissions per message beyond the first
+          transmission; [0] (the default) disables retransmission entirely
+          and reproduces single-shot behaviour bit-for-bit *)
+  ctrl_rto : float;
+      (** initial control-plane retransmission timeout (s); doubles (times
+          [ctrl_backoff]) on every retry *)
+  ctrl_backoff : float;  (** multiplicative backoff factor (default 2) *)
 }
 
 val default : t
@@ -69,6 +77,7 @@ val with_timescale : t -> float -> t
 (** Scale the protocol horizons (T, Ttmp, disconnection, report damping) by
     a factor — used to shrink T in long sweeps so simulations stay fast
     while preserving the ratios the formulas depend on. The handshake
-    timeout and grace period are left alone, and Ttmp and the report gap
+    timeout, control-plane RTO and grace period are left alone, and Ttmp
+    and the report gap
     are floored, because those are bounded below by network round trips,
     which a timescale change does not shrink. *)

@@ -20,9 +20,13 @@ type flow_entry = {
   mutable path : Addr.t list;
   mutable round : int;
   mutable phase : flow_phase;
-  mutable gen : int;  (* invalidates stale Ttmp-expiry events *)
+  mutable gen : int;  (* invalidates stale Ttmp-expiry and retry events *)
   mutable duration : float;
   mutable engaged_at : float;  (* when the current round was engaged *)
+  mutable temp_handle : Filter_table.handle option;
+      (* this round's temporary filter; its hit counter is the evidence the
+         control-plane retransmitter reads *)
+  mutable sent_hits : int;  (* temp-filter hits at the last transmission *)
   requestor : Addr.t;
 }
 
@@ -162,8 +166,11 @@ let disconnect_host t a =
 
 let install_temp t (e : flow_entry) =
   (match Filter_table.install t.filters e.flow ~duration:t.config.Config.t_tmp with
-  | Ok _ -> Counter.incr t.counters "filter-temp"
+  | Ok h ->
+    Counter.incr t.counters "filter-temp";
+    e.temp_handle <- Some h
   | Error `Table_full ->
+    e.temp_handle <- None;
     if t.config.Config.aggregate_on_pressure then begin
       (* Last-ditch protection: one wildcard filter covering every source
          towards this victim, evicting the exact filters it subsumes to
@@ -174,7 +181,11 @@ let install_temp t (e : flow_entry) =
         Filter_table.install t.filters aggregate
           ~duration:t.config.Config.t_tmp
       with
-      | Ok _ -> Counter.incr t.counters "filter-aggregated"
+      | Ok h ->
+        Counter.incr t.counters "filter-aggregated";
+        (* The aggregate's hits over-approximate this flow's leakage — good
+           enough for the silence detector, which only asks "still leaking?". *)
+        e.temp_handle <- Some h
       | Error `Table_full -> Counter.incr t.counters "filter-full"
     end
     else Counter.incr t.counters "filter-full");
@@ -219,6 +230,9 @@ let terminal t (e : flow_entry) =
     | Flow_label.Any | Flow_label.Net _ -> ()
   end
 
+let entry_hits (e : flow_entry) =
+  match e.temp_handle with Some h -> Filter_table.hits h | None -> 0
+
 (* Engage round [e.round]: protect the victim with a temporary filter and
    hand the request to this round's attacker-side gateway. *)
 let rec engage t (e : flow_entry) =
@@ -237,16 +251,23 @@ let rec engage t (e : flow_entry) =
       Counter.incr t.counters "req-propagated";
       trace t "round %d: asking %a to block %a" e.round Addr.pp gw
         Flow_label.pp e.flow;
-      send t ~dst:gw
-        (Message.Filtering_request
-           {
-             Message.flow = e.flow;
-             target = Message.To_attacker_gateway;
-             duration = e.duration;
-             path = e.path;
-             hops = e.round;
-             requestor = addr t;
-           })
+      let req =
+        {
+          Message.flow = e.flow;
+          target = Message.To_attacker_gateway;
+          duration = e.duration;
+          path = e.path;
+          hops = e.round;
+          requestor = addr t;
+        }
+      in
+      send t ~dst:gw (Message.Filtering_request req);
+      arm_ctrl_retry t e
+        ~resend:(fun () -> send t ~dst:gw (Message.Filtering_request req))
+        ~gave_up:(fun () ->
+          trace t "no response from %a for %a; escalating on silence"
+            Addr.pp gw Flow_label.pp e.flow;
+          escalate t e)
 
 (* A shadow hit while monitoring: the attacker's side did not take over
    (non-cooperation or an on-off game). Re-protect and escalate. *)
@@ -261,22 +282,83 @@ and escalate t (e : flow_entry) =
       e.phase <- Delegated;
       trace t "escalating %a to upstream %a (round %d)" Flow_label.pp e.flow
         Addr.pp up e.round;
-      send t ~dst:up
-        (Message.Filtering_request
-           {
-             Message.flow = e.flow;
-             target = Message.To_victim_gateway;
-             duration = e.duration;
-             path = e.path;
-             hops = e.round;
-             requestor = addr t;
-           })
+      let req =
+        {
+          Message.flow = e.flow;
+          target = Message.To_victim_gateway;
+          duration = e.duration;
+          path = e.path;
+          hops = e.round;
+          requestor = addr t;
+        }
+      in
+      send t ~dst:up (Message.Filtering_request req);
+      arm_ctrl_retry t e
+        ~resend:(fun () -> send t ~dst:up (Message.Filtering_request req))
+        ~gave_up:(fun () ->
+          (* The whole upstream direction is silent: nobody above us will
+             help, so keep a terminal filter ourselves. *)
+          trace t "upstream %a silent for %a; terminal filtering" Addr.pp up
+            Flow_label.pp e.flow;
+          terminal t e)
     | None ->
       (* Top-level gateway: play the next round ourselves. *)
       engage t e
 
+(* Control-plane loss tolerance (Section III under loss): after handing a
+   request to a counterpart, watch this round's temporary filter. New hits
+   after the transmission mean the flow is still arriving, i.e. the
+   counterpart has not taken over — the request (or its effect) was lost,
+   or the peer is unreachable. Resend with exponential backoff; when the
+   retry budget is exhausted and the flow still leaks, treat silence like
+   non-cooperation ([gave_up] escalates or goes terminal). A quiet filter
+   ends the schedule: either the counterpart complied or the attack
+   stopped, and in both cases there is nothing left to chase. [e.gen]
+   invalidates the schedule when a newer round re-engages the flow. *)
+and arm_ctrl_retry t (e : flow_entry) ~resend ~gave_up =
+  if t.config.Config.ctrl_retries > 0 then begin
+    let gen = e.gen in
+    e.sent_hits <- entry_hits e;
+    let rec arm rto attempt =
+      ignore
+        (Sim.after t.sim rto (fun () ->
+             if e.gen = gen then begin
+               let hits = entry_hits e in
+               if hits > e.sent_hits then
+                 if attempt <= t.config.Config.ctrl_retries then begin
+                   Counter.incr t.counters "ctrl-retransmit";
+                   e.sent_hits <- hits;
+                   resend ();
+                   arm (rto *. t.config.Config.ctrl_backoff) (attempt + 1)
+                 end
+                 else begin
+                   Counter.incr t.counters "ctrl-gave-up";
+                   gave_up ()
+                 end
+             end))
+    in
+    arm t.config.Config.ctrl_rto 1
+  end
+
 let victim_role t (req : Message.request) =
   Counter.incr t.counters "req-victim-role";
+  let duplicate_of =
+    (* A request for a flow we are already actively filtering is a
+       retransmission or a duplicated packet. Recognise it before touching
+       the requestor's contract: the reliability layer's retries must be
+       idempotent, and an acknowledged no-op must not double-bill R1. *)
+    match Shadow_cache.find t.shadow req.Message.flow with
+    | Some entry as found -> (
+      match (Shadow_cache.data entry).phase with
+      | Filtering | Awaiting_path -> found
+      | Monitoring | Delegated -> None)
+    | None -> None
+  in
+  match duplicate_of with
+  | Some entry ->
+    Shadow_cache.refresh t.shadow entry ~ttl:t.config.Config.t_filter;
+    Counter.incr t.counters "req-duplicate"
+  | None -> (
   let bucket = policer_for t req.Message.requestor in
   if not (Token_bucket.allow bucket ~now:(Sim.now t.sim)) then
     Counter.incr t.counters "req-policed"
@@ -292,16 +374,13 @@ let victim_role t (req : Message.request) =
   then Counter.incr t.counters "req-invalid"
   else
     match Shadow_cache.find t.shadow req.Message.flow with
-    | Some entry -> (
+    | Some entry ->
       let e = Shadow_cache.data entry in
       Shadow_cache.refresh t.shadow entry ~ttl:t.config.Config.t_filter;
-      match e.phase with
-      | Filtering | Awaiting_path -> Counter.incr t.counters "req-duplicate"
-      | Monitoring | Delegated ->
-        e.round <- Int.max e.round req.Message.hops;
-        if req.Message.path <> [] && List.length req.Message.path > List.length e.path
-        then e.path <- req.Message.path;
-        engage t e)
+      e.round <- Int.max e.round req.Message.hops;
+      if req.Message.path <> [] && List.length req.Message.path > List.length e.path
+      then e.path <- req.Message.path;
+      engage t e
     | None -> (
       let e =
         {
@@ -312,6 +391,8 @@ let victim_role t (req : Message.request) =
           gen = 0;
           duration = req.Message.duration;
           engaged_at = Sim.now t.sim;
+          temp_handle = None;
+          sent_hits = 0;
           requestor = req.Message.requestor;
         }
       in
@@ -330,7 +411,7 @@ let victim_role t (req : Message.request) =
           (* Nothing to propagate to; protect locally only. *)
           Counter.incr t.counters "req-no-path";
           install_temp t e
-        | _ :: _, _ -> engage t e))
+        | _ :: _, _ -> engage t e)))
 
 (* --- attacker's-gateway role -------------------------------------------- *)
 
@@ -380,7 +461,21 @@ let comply t ~received_at (req : Message.request) =
 let attacker_role t (req : Message.request) =
   Counter.incr t.counters "req-attacker-role";
   let received_at = Sim.now t.sim in
-  let bucket = policer_for t req.Message.requestor in
+  if Option.is_some (Filter_table.find t.filters req.Message.flow) then begin
+    (* Already blocking this flow; just refresh. Classified before the
+       policer so that a retransmitted request is a free no-op — the
+       reliability layer must not double-bill the requestor's contract. *)
+    ignore
+      (Filter_table.install t.filters req.Message.flow
+         ~duration:req.Message.duration);
+    Counter.incr t.counters "req-duplicate"
+  end
+  else if Hashtbl.mem t.verifying req.Message.flow then
+    (* A handshake for this flow is already in flight; the duplicate
+       neither starts a second one nor costs the requestor anything. *)
+    Counter.incr t.counters "req-duplicate"
+  else
+    let bucket = policer_for t req.Message.requestor in
   if not (Token_bucket.allow bucket ~now:(Sim.now t.sim)) then
     Counter.incr t.counters "req-policed"
   else if t.policy = Policy.Unresponsive then
@@ -393,34 +488,25 @@ let attacker_role t (req : Message.request) =
       | Flow_label.Host a -> in_cone t a
       | Flow_label.Any | Flow_label.Net _ -> false)
   then Counter.incr t.counters "req-not-on-path"
-  else if Option.is_some (Filter_table.find t.filters req.Message.flow) then begin
-    (* Already blocking this flow; just refresh. *)
-    ignore
-      (Filter_table.install t.filters req.Message.flow
-         ~duration:req.Message.duration);
-    Counter.incr t.counters "req-duplicate"
-  end
   else if not t.config.Config.handshake then comply t ~received_at req
-  else if Hashtbl.mem t.verifying req.Message.flow then
-    Counter.incr t.counters "req-duplicate"
   else
     match req.Message.flow.Flow_label.dst with
     | Flow_label.Host victim ->
       Hashtbl.replace t.verifying req.Message.flow ();
-      let nonce =
-        Handshake.start t.handshakes ~flow:req.Message.flow
-          ~on_result:(fun ok ->
-            Hashtbl.remove t.verifying req.Message.flow;
-            if ok then begin
-              Counter.incr t.counters "handshake-ok";
-              comply t ~received_at req
-            end
-            else Counter.incr t.counters "handshake-fail")
-      in
       trace t "verifying %a with %a" Flow_label.pp req.Message.flow Addr.pp
         victim;
-      send t ~dst:victim
-        (Message.Verification_query { flow = req.Message.flow; nonce })
+      ignore
+        (Handshake.start t.handshakes ~flow:req.Message.flow
+           ~send:(fun nonce ->
+             send t ~dst:victim
+               (Message.Verification_query { flow = req.Message.flow; nonce }))
+           ~on_result:(fun ok ->
+             Hashtbl.remove t.verifying req.Message.flow;
+             if ok then begin
+               Counter.incr t.counters "handshake-ok";
+               comply t ~received_at req
+             end
+             else Counter.incr t.counters "handshake-fail"))
     | Flow_label.Any | Flow_label.Net _ ->
       (* No single victim to query; treat as unverifiable. *)
       Counter.incr t.counters "handshake-unverifiable"
@@ -524,7 +610,9 @@ let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
       filters = Filter_table.create sim ~capacity:config.Config.filter_capacity;
       shadow = Shadow_cache.create sim ~capacity:config.Config.shadow_capacity;
       handshakes =
-        Handshake.create sim rng ~timeout:config.Config.handshake_timeout;
+        Handshake.create ~retries:config.Config.ctrl_retries
+          ~backoff:config.Config.ctrl_backoff sim rng
+          ~timeout:config.Config.handshake_timeout;
       rng;
       policers = Hashtbl.create 16;
       overflow_policer =
@@ -573,7 +661,26 @@ let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
             + Counter.get t.counters "filter-long-self"));
       register_gauge reg (p "tracked_requestors") ~unit_:"requestors"
         ~help:"Requestors with a dedicated policer bucket" (fun () ->
-          float_of_int (Hashtbl.length t.policers)));
+          float_of_int (Hashtbl.length t.policers));
+      register_counter reg (p "ctrl_retransmits") ~unit_:"messages"
+        ~help:
+          "Filtering requests retransmitted because the temporary filter \
+           kept taking hits after the previous transmission" (fun () ->
+          float_of_int (Counter.get t.counters "ctrl-retransmit"));
+      register_counter reg (p "ctrl_gave_up") ~unit_:"flows"
+        ~help:
+          "Flows whose counterpart stayed silent through the whole retry \
+           budget (escalated or filtered terminally on silence)" (fun () ->
+          float_of_int (Counter.get t.counters "ctrl-gave-up"));
+      register_counter reg (p "handshake_retransmits") ~unit_:"messages"
+        ~help:"Verification queries retransmitted after a timeout" (fun () ->
+          float_of_int (Handshake.retransmits t.handshakes));
+      register_counter reg (p "handshake_duplicate_replies")
+        ~unit_:"messages"
+        ~help:
+          "Replayed verification replies recognised as duplicates and \
+           ignored" (fun () ->
+          float_of_int (Handshake.duplicate_replies t.handshakes)));
   Node.add_hook node (hook t);
   let prev = node.Node.local_deliver in
   node.Node.local_deliver <- deliver t prev;

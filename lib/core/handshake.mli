@@ -1,4 +1,5 @@
-(** Nonce bookkeeping for the 3-way handshake (Section II-E).
+(** Nonce bookkeeping for the 3-way handshake (Section II-E), with
+    loss-tolerant retransmission.
 
     The attacker's gateway, before acting on a filtering request for a flow
     A → V, sends V a {!Message.Verification_query} carrying a fresh random
@@ -6,30 +7,57 @@
     and the nonce within the timeout counts as verification. An off-path
     forger never observes the nonce, so it cannot fabricate the reply.
 
-    This module owns the pending-verification table; actually sending the
-    query packet is the gateway's job (it gets the nonce from {!start}). *)
+    The query and its reply cross the congested links the protocol is
+    trying to relieve, so a single transmission can silently vanish. This
+    module therefore owns the (re)transmission schedule: {!start} takes a
+    [send] callback, fires it immediately, and — when created with
+    [retries > 0] — again on every timeout with exponential backoff, before
+    declaring failure exactly once. Receipt is idempotent: a replayed reply
+    to an already-verified nonce is counted as a duplicate and changes
+    nothing. *)
 
 open Aitf_filter
 
 type t
 
 val create :
-  Aitf_engine.Sim.t -> Aitf_engine.Rng.t -> timeout:float -> t
+  ?retries:int ->
+  ?backoff:float ->
+  Aitf_engine.Sim.t ->
+  Aitf_engine.Rng.t ->
+  timeout:float ->
+  t
+(** [timeout] is the per-attempt wait; [retries] (default 0: single-shot)
+    bounds retransmissions beyond the first send; each retry multiplies the
+    wait by [backoff] (default 2).
+    @raise Invalid_argument if [retries < 0] or [backoff < 1]. *)
 
 val start :
-  t -> flow:Flow_label.t -> on_result:(bool -> unit) -> int64
-(** Begin a verification; returns the nonce to put in the query.
-    [on_result true] fires when a matching reply arrives in time,
-    [on_result false] on timeout. Concurrent verifications of the same flow
-    are independent (distinct nonces). *)
+  t ->
+  flow:Flow_label.t ->
+  send:(int64 -> unit) ->
+  on_result:(bool -> unit) ->
+  int64
+(** Begin a verification; calls [send nonce] for the initial query and for
+    every retransmission, and returns the nonce. [on_result true] fires
+    when a matching reply arrives in time, [on_result false] when the last
+    attempt times out — exactly one of the two, exactly once. Concurrent
+    verifications of the same flow are independent (distinct nonces). *)
 
 val handle_reply : t -> flow:Flow_label.t -> nonce:int64 -> unit
 (** Feed a received reply; completes the matching pending verification, if
-    any. Replies with unknown nonces or mismatched flow labels are counted
-    and otherwise ignored. *)
+    any. A replay for a nonce that already verified (same flow) is counted
+    as a duplicate and otherwise ignored; replies with unknown nonces or
+    mismatched flow labels are counted as bogus, without consuming any
+    pending entry. *)
 
 val pending : t -> int
 val started : t -> int
 val verified : t -> int
 val timed_out : t -> int
+(** Verifications that exhausted every attempt — one per {!start}, however
+    many retransmissions it took. *)
+
 val bogus_replies : t -> int
+val retransmits : t -> int
+val duplicate_replies : t -> int

@@ -23,6 +23,11 @@ module Victim = struct
     bucket : Token_bucket.t;
     requested : (Flow_label.t, float) Hashtbl.t;  (* flow -> expiry *)
     awaiting_path : (Flow_label.t, unit) Hashtbl.t;
+    last_seen : (Flow_label.t, float) Hashtbl.t;
+        (* when an attack packet of this flow last arrived — the evidence
+           the retransmitter reads: still arriving => request had no effect *)
+    retrying : (Flow_label.t, unit) Hashtbl.t;
+        (* flows with an armed retransmission schedule, to avoid overlap *)
     attack_meter : Rate_meter.t;
     good_meter : Rate_meter.t;
     per_flow : (Flow_label.t, float ref) Hashtbl.t;
@@ -32,6 +37,8 @@ module Victim = struct
     mutable good_packets : int;
     mutable requests_sent : int;
     mutable requests_suppressed : int;
+    mutable requests_retransmitted : int;
+    mutable requests_gave_up : int;
     mutable queries_answered : int;
   }
 
@@ -52,22 +59,65 @@ module Victim = struct
       false
     | None -> false
 
+  let request_message t flow path =
+    Message.Filtering_request
+      {
+        Message.flow;
+        target = Message.To_victim_gateway;
+        duration = t.config.Config.t_filter;
+        path;
+        hops = 0;
+        requestor = t.node.Node.addr;
+      }
+
+  (* The request to the gateway crosses the very tail circuit the attack is
+     flooding, so it is the likeliest control message to drown. While the
+     flow keeps arriving after a request (evidence the request, or its
+     effect, was lost), resend with exponential backoff up to the retry
+     cap. Retransmissions consume the same R1 bucket as fresh requests —
+     reliability must not become a way around the contract. *)
+  let arm_retry t flow path =
+    if t.config.Config.ctrl_retries > 0 && not (Hashtbl.mem t.retrying flow)
+    then begin
+      Hashtbl.replace t.retrying flow ();
+      let sent_at = ref (Sim.now t.sim) in
+      let rec arm rto attempt =
+        ignore
+          (Sim.after t.sim rto (fun () ->
+               let still_arriving =
+                 match Hashtbl.find_opt t.last_seen flow with
+                 | Some ts -> ts > !sent_at
+                 | None -> false
+               in
+               if requested_live t flow && still_arriving then
+                 if attempt <= t.config.Config.ctrl_retries then begin
+                   if Token_bucket.allow t.bucket ~now:(Sim.now t.sim) then begin
+                     t.requests_retransmitted <- t.requests_retransmitted + 1;
+                     trace t "re-requesting block of %a (attempt %d)"
+                       Flow_label.pp flow (attempt + 1);
+                     send t ~dst:t.gateway (request_message t flow path)
+                   end
+                   else t.requests_suppressed <- t.requests_suppressed + 1;
+                   sent_at := Sim.now t.sim;
+                   arm (rto *. t.config.Config.ctrl_backoff) (attempt + 1)
+                 end
+                 else begin
+                   t.requests_gave_up <- t.requests_gave_up + 1;
+                   Hashtbl.remove t.retrying flow
+                 end
+               else Hashtbl.remove t.retrying flow))
+      in
+      arm t.config.Config.ctrl_rto 1
+    end
+
   let send_request t flow path =
     if Token_bucket.allow t.bucket ~now:(Sim.now t.sim) then begin
       t.requests_sent <- t.requests_sent + 1;
       Hashtbl.replace t.requested flow
         (Sim.now t.sim +. t.config.Config.t_filter);
       trace t "requesting block of %a" Flow_label.pp flow;
-      send t ~dst:t.gateway
-        (Message.Filtering_request
-           {
-             Message.flow;
-             target = Message.To_victim_gateway;
-             duration = t.config.Config.t_filter;
-             path;
-             hops = 0;
-             requestor = t.node.Node.addr;
-           })
+      send t ~dst:t.gateway (request_message t flow path);
+      arm_retry t flow path
     end
     else t.requests_suppressed <- t.requests_suppressed + 1
 
@@ -125,6 +175,7 @@ module Victim = struct
         c
     in
     cell := !cell +. float_of_int pkt.size;
+    Hashtbl.replace t.last_seen label now;
     (match t.path_source with
     | From_ppm collector ->
       Ppm.Collector.observe collector pkt;
@@ -165,6 +216,8 @@ module Victim = struct
             ~burst:config.Config.r1_burst;
         requested = Hashtbl.create 32;
         awaiting_path = Hashtbl.create 8;
+        last_seen = Hashtbl.create 32;
+        retrying = Hashtbl.create 8;
         attack_meter = Rate_meter.create ~window:1.0;
         good_meter = Rate_meter.create ~window:1.0;
         per_flow = Hashtbl.create 32;
@@ -174,6 +227,8 @@ module Victim = struct
         good_packets = 0;
         requests_sent = 0;
         requests_suppressed = 0;
+        requests_retransmitted = 0;
+        requests_gave_up = 0;
         queries_answered = 0;
       }
     in
@@ -192,6 +247,15 @@ module Victim = struct
         register_counter reg (p "requests_suppressed") ~unit_:"requests"
           ~help:"Requests withheld by the local R1 bucket" (fun () ->
             float_of_int t.requests_suppressed);
+        register_counter reg (p "requests_retransmitted") ~unit_:"requests"
+          ~help:
+            "Requests resent because the flow kept arriving after a \
+             transmission" (fun () ->
+            float_of_int t.requests_retransmitted);
+        register_counter reg (p "requests_gave_up") ~unit_:"flows"
+          ~help:
+            "Flows whose retry budget ran out with the attack still \
+             arriving" (fun () -> float_of_int t.requests_gave_up);
         register_counter reg (p "queries_answered") ~unit_:"queries"
           ~help:"Handshake verification queries confirmed" (fun () ->
             float_of_int t.queries_answered);
@@ -223,6 +287,8 @@ module Victim = struct
   let attack_flows_seen t = Hashtbl.length t.per_flow
   let requests_sent t = t.requests_sent
   let requests_suppressed t = t.requests_suppressed
+  let requests_retransmitted t = t.requests_retransmitted
+  let requests_gave_up t = t.requests_gave_up
   let queries_answered t = t.queries_answered
 end
 

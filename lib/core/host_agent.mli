@@ -58,6 +58,15 @@ module Victim : sig
   val requests_suppressed : t -> int
   (** Requests the agent wanted to send but withheld (R1 self-policing). *)
 
+  val requests_retransmitted : t -> int
+  (** Requests resent (with exponential backoff, up to the config's
+      [ctrl_retries]) because the flow kept arriving after a transmission —
+      evidence the request, or its effect, was lost. Retransmissions
+      consume the same R1 bucket as fresh requests. *)
+
+  val requests_gave_up : t -> int
+  (** Flows whose retry budget ran out with the attack still arriving. *)
+
   val queries_answered : t -> int
 end
 

@@ -3,33 +3,47 @@ type entry = {
   seq : int;
   action : unit -> unit;
   mutable cancelled : bool;
+  owner : t;
+}
+
+and t = {
+  heap : entry Heap.t;
+  mutable next_seq : int;
+  mutable cancelled_pending : int;
+      (* cancelled entries still sitting in the heap, so that [length] can
+         report live entries without scanning *)
 }
 
 type handle = entry
-
-type t = { heap : entry Heap.t; mutable next_seq : int }
 
 let cmp_entry a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create () = { heap = Heap.create ~cmp:cmp_entry; next_seq = 0 }
+let create () =
+  { heap = Heap.create ~cmp:cmp_entry; next_seq = 0; cancelled_pending = 0 }
 
 let schedule q ~time action =
   if not (Float.is_finite time) then
     invalid_arg "Event_queue.schedule: non-finite time";
-  let entry = { time; seq = q.next_seq; action; cancelled = false } in
+  let entry = { time; seq = q.next_seq; action; cancelled = false; owner = q } in
   q.next_seq <- q.next_seq + 1;
   Heap.push q.heap entry;
   entry
 
-let cancel h = h.cancelled <- true
+let cancel h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    h.owner.cancelled_pending <- h.owner.cancelled_pending + 1
+  end
+
 let is_cancelled h = h.cancelled
 
 let rec drop_cancelled q =
   match Heap.peek q.heap with
   | Some e when e.cancelled ->
     ignore (Heap.pop q.heap);
+    q.cancelled_pending <- q.cancelled_pending - 1;
     drop_cancelled q
   | _ -> ()
 
@@ -43,7 +57,7 @@ let pop q =
   | None -> None
   | Some e -> Some (e.time, e.action)
 
-let length q = Heap.length q.heap
+let length q = Heap.length q.heap - q.cancelled_pending
 
 let is_empty q =
   drop_cancelled q;

@@ -29,7 +29,8 @@ val pop : t -> (float * (unit -> unit)) option
     Cancelled events are discarded silently. *)
 
 val length : t -> int
-(** Number of queued entries, including not-yet-collected cancelled ones. *)
+(** Number of pending (non-cancelled) events — consistent with {!is_empty}:
+    [length q = 0] iff [is_empty q]. *)
 
 val is_empty : t -> bool
 (** [true] iff no pending (non-cancelled) events remain. *)

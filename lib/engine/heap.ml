@@ -20,6 +20,18 @@ let grow h x =
     h.data <- data
   end
 
+(* Halve the backing array once three quarters of it sit unused. Besides
+   keeping memory proportional to the live heap, reallocation discards every
+   stale alias beyond [size] — [grow]'s seed copies and [pop]'s vacated-slot
+   aliases — so a shrinking heap cannot pin long-popped elements. *)
+let shrink h =
+  let cap = Array.length h.data in
+  if h.size > 0 && h.size <= cap / 4 then begin
+    let data = Array.make (max 16 (cap / 2)) h.data.(0) in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
@@ -61,8 +73,17 @@ let pop h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
-      sift_down h 0
-    end;
+      (* Overwrite the vacated slot with an alias of a live element, so the
+         array does not retain the value that just moved out of it (nor,
+         transitively, the popped one) past its heap lifetime. *)
+      h.data.(h.size) <- h.data.(0);
+      sift_down h 0;
+      shrink h
+    end
+    else
+      (* Popped the last element: the array holds nothing but stale
+         references (including [grow]'s seed copies) — drop it wholesale. *)
+      h.data <- [||];
     Some top
   end
 

@@ -23,6 +23,7 @@ type t = {
   discipline : discipline;
   rng : Rng.t;
   mutable avg_queue : float;  (* EWMA of queued bytes, for RED *)
+  mutable idle_since : float option;  (* set while the transmitter is idle *)
   mutable early_drops : int;
 }
 
@@ -50,6 +51,7 @@ let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
       discipline;
       rng = Rng.create ~seed:(Hashtbl.hash name);
       avg_queue = 0.;
+      idle_since = Some 0.;
       early_drops = 0;
     }
   in
@@ -57,10 +59,10 @@ let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
       let open Aitf_obs.Metrics in
       let p metric = Printf.sprintf "link.%s.%s" name metric in
       register_counter reg (p "tx_packets") ~unit_:"packets"
-        ~help:"Packets fully serialised onto the wire" (fun () ->
+        ~help:"Packets delivered to the far end of the link" (fun () ->
           float_of_int t.tx_packets);
       register_counter reg (p "tx_bytes") ~unit_:"bytes"
-        ~help:"Bytes fully serialised onto the wire" (fun () ->
+        ~help:"Bytes delivered to the far end of the link" (fun () ->
           float_of_int t.tx_bytes);
       register_counter reg (p "dropped_packets") ~unit_:"packets"
         ~help:"Packets dropped (queue overflow, RED early drop, link down)"
@@ -78,37 +80,75 @@ let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
 
 let set_deliver t f = t.deliver <- Some f
 
+let wrap_deliver t f =
+  match t.deliver with
+  | None -> invalid_arg "Link.wrap_deliver: no deliver callback installed"
+  | Some d -> t.deliver <- Some (f d)
+
 let drop t (pkt : Packet.t) =
   t.dropped_packets <- t.dropped_packets + 1;
   t.dropped_bytes <- t.dropped_bytes + pkt.size
 
+let red_weight = 0.02
+
+(* EWMA maintenance for RED, run on every send and on every transmission
+   completion. An idle spell first decays the average as if [m] average-sized
+   packets had been serviced over it (the standard RED idle correction), so a
+   stale high average cannot early-drop the first packets after the link has
+   drained. *)
+let update_red_avg t =
+  match t.discipline with
+  | Drop_tail -> ()
+  | Red _ ->
+    (match t.idle_since with
+    | Some since ->
+      let idle = Sim.now t.sim -. since in
+      if idle > 0. then begin
+        let mean_pkt =
+          if t.tx_packets > 0 then
+            float_of_int t.tx_bytes /. float_of_int t.tx_packets
+          else 500.
+        in
+        let s = mean_pkt *. 8. /. t.bandwidth in
+        let m = idle /. Float.max s 1e-9 in
+        t.avg_queue <- t.avg_queue *. ((1. -. red_weight) ** m)
+      end
+    | None -> ());
+    t.avg_queue <-
+      ((1. -. red_weight) *. t.avg_queue)
+      +. (red_weight *. float_of_int t.queued_bytes)
+
 let rec start_transmission t =
   match Queue.take_opt t.queue with
-  | None -> t.busy <- false
+  | None ->
+    t.busy <- false;
+    t.idle_since <- Some (Sim.now t.sim)
   | Some pkt ->
     t.busy <- true;
+    t.idle_since <- None;
     t.queued_bytes <- t.queued_bytes - pkt.size;
     let serialization = float_of_int (pkt.size * 8) /. t.bandwidth in
     ignore
       (Sim.after t.sim serialization (fun () ->
-           t.tx_packets <- t.tx_packets + 1;
-           t.tx_bytes <- t.tx_bytes + pkt.size;
+           (* Whether the serialised packet counts as transmitted or dropped
+              is decided once, at delivery time — never both. *)
            ignore
              (Sim.after t.sim t.delay (fun () ->
                   match t.deliver with
-                  | Some f when t.is_up -> f pkt
+                  | Some f when t.is_up ->
+                    t.tx_packets <- t.tx_packets + 1;
+                    t.tx_bytes <- t.tx_bytes + pkt.size;
+                    f pkt
                   | Some _ | None -> drop t pkt));
+           update_red_avg t;
            start_transmission t))
 
-(* RED decision on enqueue: EWMA the backlog and drop probabilistically
-   between the thresholds. *)
+(* RED decision on enqueue: drop probabilistically between the thresholds.
+   The average itself is maintained by [update_red_avg]. *)
 let red_rejects t =
   match t.discipline with
   | Drop_tail -> false
   | Red { min_th; max_th; max_p } ->
-    let w = 0.02 in
-    t.avg_queue <-
-      ((1. -. w) *. t.avg_queue) +. (w *. float_of_int t.queued_bytes);
     if t.avg_queue <= float_of_int min_th then false
     else if t.avg_queue >= float_of_int max_th then true
     else
@@ -120,16 +160,19 @@ let red_rejects t =
 
 let send t pkt =
   if not t.is_up then drop t pkt
-  else if t.busy && t.queued_bytes + pkt.Packet.size > t.queue_capacity then
-    drop t pkt
-  else if t.busy && red_rejects t then begin
-    t.early_drops <- t.early_drops + 1;
-    drop t pkt
-  end
   else begin
-    Queue.add pkt t.queue;
-    t.queued_bytes <- t.queued_bytes + pkt.size;
-    if not t.busy then start_transmission t
+    update_red_avg t;
+    if t.busy && t.queued_bytes + pkt.Packet.size > t.queue_capacity then
+      drop t pkt
+    else if t.busy && red_rejects t then begin
+      t.early_drops <- t.early_drops + 1;
+      drop t pkt
+    end
+    else begin
+      Queue.add pkt t.queue;
+      t.queued_bytes <- t.queued_bytes + pkt.size;
+      if not t.busy then start_transmission t
+    end
   end
 
 let name t = t.name

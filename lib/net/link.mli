@@ -38,6 +38,14 @@ val set_deliver : t -> (Packet.t -> unit) -> unit
 (** Install the receive callback of the downstream node. Must be set before
     the first {!send}. *)
 
+val wrap_deliver : t -> ((Packet.t -> unit) -> Packet.t -> unit) -> unit
+(** [wrap_deliver l w] replaces the installed deliver callback [d] with
+    [w d] — the interposition seam fault injectors use to drop, delay or
+    duplicate packets between serialisation and receipt (see
+    {!Aitf_fault.Fault}). Wrappers compose; the innermost is the node's
+    original receive path.
+    @raise Invalid_argument if no deliver callback is installed yet. *)
+
 val send : t -> Packet.t -> unit
 (** Enqueue a packet for transmission; drops it (and counts the drop) if the
     queue cannot hold it. *)
@@ -58,7 +66,10 @@ val discipline : t -> discipline
 val early_drops : t -> int
 (** Packets dropped by RED before the queue was actually full. *)
 
-(** Cumulative statistics. *)
+(** Cumulative statistics. Every packet handed to {!send} is eventually
+    counted as {e exactly one} of transmitted (delivered to the far end) or
+    dropped (queue overflow, RED early drop, link down — including a link
+    that went down while the packet was in flight). *)
 
 val tx_packets : t -> int
 val tx_bytes : t -> int

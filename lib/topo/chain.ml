@@ -34,6 +34,7 @@ type t = {
   victim_gws : Node.t list;
   attacker_gws : Node.t list;
   victim_tail : Link.t;
+  victim_tail_up : Link.t;
 }
 
 (* One side of the chain: a host behind [depth] gateways. [base] is the
@@ -77,13 +78,13 @@ let build sim spec =
       | [ _ ] | [] -> ()
     in
     link gws;
-    fst tail_pair
+    tail_pair
   in
-  let victim_tail =
+  let victim_tail, victim_tail_up =
     connect_chain ~tail_bw:spec.tail_bw ~discipline:spec.tail_discipline
       victim victim_gws
   in
-  let (_ : Link.t) =
+  let (_ : Link.t * Link.t) =
     connect_chain ~tail_bw:spec.attacker_tail_bw ~discipline:Link.Drop_tail
       attacker attacker_gws
   in
@@ -102,7 +103,16 @@ let build sim spec =
        ~bandwidth:spec.core_bw ~delay:spec.hop_delay
        ~queue_capacity:spec.queue_capacity);
   Network.compute_routes net;
-  { net; victim; attacker; bystander; victim_gws; attacker_gws; victim_tail }
+  {
+    net;
+    victim;
+    attacker;
+    bystander;
+    victim_gws;
+    attacker_gws;
+    victim_tail;
+    victim_tail_up;
+  }
 
 type deployed = {
   topo : t;

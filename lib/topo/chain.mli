@@ -44,6 +44,10 @@ type t = {
   victim_gws : Node.t list;  (** closest to the victim first: G_gw1, … *)
   attacker_gws : Node.t list;  (** closest to the attacker first: B_gw1, … *)
   victim_tail : Link.t;  (** the G_gw1 → G_host link the attack congests *)
+  victim_tail_up : Link.t;
+      (** the reverse G_host → G_gw1 direction — the link the victim's
+          filtering requests must cross, and so the natural place to
+          inject control-plane faults *)
 }
 
 val build : Aitf_engine.Sim.t -> spec -> t

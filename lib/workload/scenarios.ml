@@ -21,6 +21,8 @@ type chain_params = {
   path_source : Host_agent.path_source;
   traceback : [ `Path_in_request | `Spie | `Ppm ];
   sample_period : float;
+  ctrl_faults : Aitf_fault.Fault.model list;
+  tail_flap : (float * float) option;
 }
 
 let default_chain =
@@ -38,6 +40,8 @@ let default_chain =
     path_source = Host_agent.From_route_record;
     traceback = `Path_in_request;
     sample_period = 0.1;
+    ctrl_faults = [];
+    tail_flap = None;
   }
 
 type chain_result = {
@@ -51,6 +55,10 @@ type chain_result = {
   victim_rate : Series.t;
   escalations : int;
   requests_sent : int;
+  requests_retransmitted : int;
+  ctrl_retransmits : int;
+  ctrl_gave_up : int;
+  faults_injected : int;
   sampler : Aitf_obs.Sampler.t option;
 }
 
@@ -82,6 +90,28 @@ let run_chain params =
       ~attacker_gw_policies:(Chain.non_cooperating params.n_non_coop_gws)
       ~victim_td:params.td ~path_source ~config ~rng topo
   in
+  (* Fault injection on the victim's tail circuit, the congested link every
+     control message must cross: [ctrl_faults] hits control packets in both
+     directions; [tail_flap] takes the whole circuit down on schedule. Only
+     touch the RNG when faults are requested, so fault-free runs replay the
+     exact pre-fault event sequence. *)
+  let injectors =
+    if params.ctrl_faults = [] then []
+    else
+      let fault_rng = Rng.split rng in
+      List.map
+        (fun link ->
+          Aitf_fault.Fault.inject ~only:Aitf_fault.Fault.ctrl_only
+            ~rng:fault_rng sim link params.ctrl_faults)
+        [ topo.Chain.victim_tail_up; topo.Chain.victim_tail ]
+  in
+  (match params.tail_flap with
+  | Some (period, down_for) ->
+    ignore
+      (Aitf_fault.Fault.flap sim
+         [ topo.Chain.victim_tail; topo.Chain.victim_tail_up ]
+         ~period ~down_for)
+  | None -> ());
   let attacker_agent = deployed.Chain.attacker_agent in
   let (_attack_source : Traffic.t) =
     Traffic.cbr
@@ -146,6 +176,20 @@ let run_chain params =
     escalations = counter_total deployed.Chain.victim_gateways "escalated";
     requests_sent =
       Host_agent.Victim.requests_sent deployed.Chain.victim_agent;
+    requests_retransmitted =
+      Host_agent.Victim.requests_retransmitted deployed.Chain.victim_agent;
+    ctrl_retransmits =
+      counter_total
+        (deployed.Chain.victim_gateways @ deployed.Chain.attacker_gateways)
+        "ctrl-retransmit";
+    ctrl_gave_up =
+      counter_total
+        (deployed.Chain.victim_gateways @ deployed.Chain.attacker_gateways)
+        "ctrl-gave-up";
+    faults_injected =
+      List.fold_left
+        (fun acc i -> acc + Aitf_fault.Fault.drops_injected i)
+        0 injectors;
     sampler;
   }
 

@@ -29,6 +29,13 @@ type chain_params = {
           on the topology and override [path_source] and the config's
           traceback mode accordingly. *)
   sample_period : float;  (** victim-rate sampling period *)
+  ctrl_faults : Aitf_fault.Fault.model list;
+      (** fault models injected on {e control} packets crossing the
+          victim's tail circuit, both directions (empty = pristine links;
+          the RNG is untouched then, so runs replay bit-identically) *)
+  tail_flap : (float * float) option;
+      (** [(period, down_for)]: flap the whole victim tail circuit on a
+          fixed schedule *)
 }
 
 val default_chain : chain_params
@@ -49,6 +56,15 @@ type chain_result = {
       (** windowed attack bandwidth (bits/s) at the victim over time *)
   escalations : int;  (** total across victim-side gateways *)
   requests_sent : int;  (** by the victim host *)
+  requests_retransmitted : int;  (** by the victim host, on silence *)
+  ctrl_retransmits : int;
+      (** filtering requests resent by gateways whose counterpart stayed
+          silent, summed over every gateway *)
+  ctrl_gave_up : int;
+      (** flows whose gateway exhausted its retry budget and escalated (or
+          filtered terminally) on silence *)
+  faults_injected : int;
+      (** control packets deliberately dropped by the [ctrl_faults] models *)
   sampler : Aitf_obs.Sampler.t option;
       (** started (at [sample_period]) iff a metrics registry was attached
           via {!Aitf_obs.Metrics.attach} before the run *)

@@ -58,7 +58,7 @@ let mk_handshake ?(timeout = 1.0) () =
 let test_handshake_success () =
   let sim, h = mk_handshake () in
   let result = ref None in
-  let nonce = Handshake.start h ~flow:flow_av ~on_result:(fun r -> result := Some r) in
+  let nonce = Handshake.start h ~flow:flow_av ~send:(fun _ -> ()) ~on_result:(fun r -> result := Some r) in
   ignore (Sim.at sim 0.5 (fun () -> Handshake.handle_reply h ~flow:flow_av ~nonce));
   Sim.run sim;
   checkb "verified" true (!result = Some true);
@@ -68,7 +68,7 @@ let test_handshake_success () =
 let test_handshake_timeout () =
   let sim, h = mk_handshake ~timeout:1.0 () in
   let result = ref None in
-  ignore (Handshake.start h ~flow:flow_av ~on_result:(fun r -> result := Some r));
+  ignore (Handshake.start h ~flow:flow_av ~send:(fun _ -> ()) ~on_result:(fun r -> result := Some r));
   Sim.run sim;
   checkb "failed" true (!result = Some false);
   checki "timed out" 1 (Handshake.timed_out h)
@@ -76,7 +76,7 @@ let test_handshake_timeout () =
 let test_handshake_wrong_nonce () =
   let sim, h = mk_handshake () in
   let result = ref None in
-  let nonce = Handshake.start h ~flow:flow_av ~on_result:(fun r -> result := Some r) in
+  let nonce = Handshake.start h ~flow:flow_av ~send:(fun _ -> ()) ~on_result:(fun r -> result := Some r) in
   ignore
     (Sim.at sim 0.5 (fun () ->
          Handshake.handle_reply h ~flow:flow_av ~nonce:(Int64.add nonce 1L)));
@@ -87,7 +87,7 @@ let test_handshake_wrong_nonce () =
 let test_handshake_wrong_flow () =
   let sim, h = mk_handshake () in
   let result = ref None in
-  let nonce = Handshake.start h ~flow:flow_av ~on_result:(fun r -> result := Some r) in
+  let nonce = Handshake.start h ~flow:flow_av ~send:(fun _ -> ()) ~on_result:(fun r -> result := Some r) in
   let other = Flow_label.host_pair (addr "9.0.0.9") (addr "2.0.0.2") in
   ignore (Sim.at sim 0.5 (fun () -> Handshake.handle_reply h ~flow:other ~nonce));
   Sim.run sim;
@@ -98,7 +98,7 @@ let test_handshake_reply_after_timeout_ignored () =
   let sim, h = mk_handshake ~timeout:0.5 () in
   let results = ref [] in
   let nonce =
-    Handshake.start h ~flow:flow_av ~on_result:(fun r -> results := r :: !results)
+    Handshake.start h ~flow:flow_av ~send:(fun _ -> ()) ~on_result:(fun r -> results := r :: !results)
   in
   ignore (Sim.at sim 1.0 (fun () -> Handshake.handle_reply h ~flow:flow_av ~nonce));
   Sim.run sim;
@@ -107,8 +107,8 @@ let test_handshake_reply_after_timeout_ignored () =
 let test_handshake_concurrent_independent () =
   let sim, h = mk_handshake () in
   let r1 = ref None and r2 = ref None in
-  let n1 = Handshake.start h ~flow:flow_av ~on_result:(fun r -> r1 := Some r) in
-  let n2 = Handshake.start h ~flow:flow_av ~on_result:(fun r -> r2 := Some r) in
+  let n1 = Handshake.start h ~flow:flow_av ~send:(fun _ -> ()) ~on_result:(fun r -> r1 := Some r) in
+  let n2 = Handshake.start h ~flow:flow_av ~send:(fun _ -> ()) ~on_result:(fun r -> r2 := Some r) in
   checkb "nonces differ" true (n1 <> n2);
   checki "both pending" 2 (Handshake.pending h);
   ignore (Sim.at sim 0.2 (fun () -> Handshake.handle_reply h ~flow:flow_av ~nonce:n2));
