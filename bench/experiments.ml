@@ -1745,3 +1745,94 @@ let e15 () =
      re-report speed (min_report_gap), and its tail latency grows with the\n\
      loss rate. Either way the protocol converges: a lost request delays\n\
      filtering, it does not defeat it.\n"
+
+(* ----------------------------------------------------------------- E16 -- *)
+
+(* Surviving an attack on AITF itself: a botnet rotates spoofed sources to
+   exhaust the victim gateway's nv = R1*Ttmp filter slots (Section III).
+   With the table 32 slots deep and only two gateways on the path, a pool
+   of 4x capacity overwhelms every exact-filter budget in the network; the
+   sweep compares the overload manager's watermark-driven prefix
+   aggregation + priority eviction against the plain refuse-installs
+   baseline, and prices the aggregates' collateral damage. *)
+let e16 () =
+  let capacity = 32 in
+  let run ~sources ~manager =
+    Scenarios.run_chain
+      {
+        chain_params with
+        Scenarios.spec =
+          { Chain.default_spec with Chain.depth = 1 };
+        config =
+          {
+            cfg with
+            Config.t_tmp = 0.5;
+            filter_capacity = capacity;
+            overload_manager = manager;
+            overload_low = 0.5;
+          };
+        duration = 30.;
+        attack_rate = 2e7;
+        legit_rate = 6e6;
+        in_pool_legit_rate = 5e5;
+        adversaries =
+          [ Aitf_adversary.Adversary.Slot_exhaustion { sources; rate = 2e7 } ];
+      }
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E16  filter-slot exhaustion vs the overload manager   (capacity \
+            %d, 20 Mbit/s rotating-spoof attack, 10 Mbit/s victim tail)"
+           capacity)
+      ~columns:
+        [
+          "spoofed sources";
+          "x capacity";
+          "off: goodput";
+          "off: attack leaked";
+          "on: goodput";
+          "on: attack leaked";
+          "aggregations";
+          "evictions";
+          "collateral (pkts)";
+        ]
+  in
+  List.iter
+    (fun sources ->
+      let off = run ~sources ~manager:false in
+      let on = run ~sources ~manager:true in
+      let goodput r =
+        Printf.sprintf "%.1f%%"
+          (pct r.Scenarios.good_received_bytes r.Scenarios.good_offered_bytes)
+      in
+      let leaked r =
+        Printf.sprintf "%.1f%%"
+          (pct r.Scenarios.attack_received_bytes
+             r.Scenarios.attack_offered_bytes)
+      in
+      Table.add_row table
+        [
+          Table.cell_int sources;
+          Printf.sprintf "%.0fx" (float_of_int sources /. float_of_int capacity);
+          goodput off;
+          leaked off;
+          goodput on;
+          leaked on;
+          Table.cell_int on.Scenarios.overload_aggregations;
+          Table.cell_int on.Scenarios.overload_evictions;
+          Table.cell_int on.Scenarios.collateral_packets;
+        ])
+    [ 32; 64; 128; 256 ];
+  emit table;
+  print_endline
+    "At 1-2x capacity the exact-filter budget still stretches across the\n\
+     path, so the manager's aggregates only add collateral and it slightly\n\
+     trails the baseline -- degraded mode is not free, which is why the\n\
+     watermarks keep it off until the table actually fills. From 4x on the\n\
+     baseline leaks double-digit shares of the attack through its full\n\
+     tables while the manager folds the spoof pool into a handful of prefix\n\
+     aggregates and keeps victim goodput strictly above the baseline; the\n\
+     price is the collateral column -- a legitimate host unlucky enough to\n\
+     live inside the spoofed prefix loses its traffic to the aggregate.\n"

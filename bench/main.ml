@@ -155,6 +155,7 @@ let experiments =
     ("e13", "transaction-level service quality", Experiments.e13);
     ("e14", "shape-shifting attack vs manual response", Experiments.e14);
     ("e15", "time-to-filter vs control-plane loss", Experiments.e15);
+    ("e16", "filter-slot exhaustion vs the overload manager", Experiments.e16);
     ("a1", "ablation: traceback mechanisms", Experiments.a1);
     ("a2", "ablation: shadow cache", Experiments.a2);
     ("a3", "ablation: wildcard aggregation", Experiments.a3);

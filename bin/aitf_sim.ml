@@ -38,6 +38,16 @@ let pair_conv ~what =
   let print fmt (a, b) = Format.fprintf fmt "%g:%g" a b in
   Arg.conv (parse, print)
 
+let adversary_conv =
+  let module Adversary = Aitf_adversary.Adversary in
+  let parse s =
+    match Adversary.playbook_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p = Format.pp_print_string fmt (Adversary.playbook_to_string p) in
+  Arg.conv (parse, print)
+
 let strategy_conv =
   let parse = function
     | "complies" -> Ok Policy.Complies
@@ -167,10 +177,28 @@ let run_cmd =
            ~doc:"Initial control-plane retransmission timeout; doubles on \
                  every retry.")
   in
+  let adversary =
+    Arg.(value & opt_all adversary_conv [] & info [ "adversary" ]
+           ~docv:"PLAYBOOK[:k=v,...]"
+           ~doc:"Launch an adversary playbook against the protocol itself \
+                 (repeatable): slot-exhaustion, shadow-exhaustion, \
+                 request-flood, reply-replay or route-forgery. See \
+                 docs/ADVERSARY.md for the knobs of each.")
+  in
+  let overload =
+    Arg.(value & flag & info [ "overload" ]
+           ~doc:"Enable the filter-table overload manager (watermark-driven \
+                 aggregation and priority eviction under slot pressure).")
+  in
+  let filter_capacity =
+    Arg.(value & opt int Config.default.Config.filter_capacity
+         & info [ "filter-capacity" ] ~docv:"SLOTS"
+             ~doc:"Wire-speed filter-table slots per gateway.")
+  in
   let run duration t_filter t_tmp attack_rate legit_rate non_coop strategy td
       depth seed no_handshake disconnect trace csv stats metrics metrics_csv
       metrics_interval traceback loss burst_loss dup flap ctrl_retries
-      ctrl_rto =
+      ctrl_rto adversary overload filter_capacity =
     if trace then Trace.add_sink (Trace.printing_sink ());
     let registry =
       if metrics <> None || metrics_csv <> None then begin
@@ -191,6 +219,8 @@ let run_cmd =
         disconnect;
         ctrl_retries;
         ctrl_rto;
+        filter_capacity;
+        overload_manager = overload;
       }
     in
     let ctrl_faults =
@@ -223,6 +253,8 @@ let run_cmd =
            else Scenarios.default_chain.Scenarios.sample_period);
         ctrl_faults;
         tail_flap = flap;
+        adversaries = adversary;
+        in_pool_legit_rate = (if adversary <> [] then legit_rate /. 10. else 0.);
       }
     in
     let r = Scenarios.run_chain params in
@@ -259,6 +291,22 @@ let run_cmd =
     (match Scenarios.time_to_suppress r ~threshold:0.05 with
     | Some t -> add "time to suppression (s)" (Printf.sprintf "%.2f" t)
     | None -> add "time to suppression (s)" "never");
+    List.iter
+      (fun h ->
+        let module A = Aitf_adversary.Adversary in
+        add
+          (Printf.sprintf "adversary %s" (A.kind (A.playbook h)))
+          (Printf.sprintf "pkts=%d reqs=%d replays=%d guesses=%d forged=%d"
+             (A.packets_sent h) (A.requests_sent h) (A.replays_sent h)
+             (A.guesses_sent h) (A.stamps_forged h)))
+      r.Scenarios.adversary_handles;
+    if overload then begin
+      add "overload aggregations" (string_of_int r.Scenarios.overload_aggregations);
+      add "overload evictions" (string_of_int r.Scenarios.overload_evictions);
+      add "collateral (pkts / bytes)"
+        (Printf.sprintf "%d / %d" r.Scenarios.collateral_packets
+           r.Scenarios.collateral_bytes)
+    end;
     Table.print table;
     if stats then begin
       Table.print
@@ -322,7 +370,7 @@ let run_cmd =
       $ non_coop $ strategy $ td $ depth $ seed $ no_handshake $ disconnect
       $ trace $ csv $ stats $ metrics $ metrics_csv $ metrics_interval
       $ traceback $ loss $ burst_loss $ dup $ flap $ ctrl_retries
-      $ ctrl_rto)
+      $ ctrl_rto $ adversary $ overload $ filter_capacity)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a single-attacker Figure-1 scenario.")

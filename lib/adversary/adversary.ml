@@ -1,0 +1,297 @@
+module Sim = Aitf_engine.Sim
+module Rng = Aitf_engine.Rng
+open Aitf_net
+open Aitf_filter
+open Aitf_core
+
+type playbook =
+  | Slot_exhaustion of { sources : int; rate : float }
+  | Shadow_exhaustion of { flows : int; rate : float }
+  | Request_flood of { rate : float }
+  | Reply_replay of { delay : float; guess_rate : float }
+  | Route_forgery of { innocent : Addr.t }
+
+type env = {
+  net : Network.t;
+  attacker : Node.t;
+  insider : Node.t;
+  tap : Node.t;
+  victim : Addr.t;
+  victim_gw : Addr.t;
+  spoof_base : Addr.t;
+}
+
+type t = {
+  sim : Sim.t;
+  playbook : playbook;
+  mutable halted : bool;
+  mutable packets_sent : int;
+  mutable requests_sent : int;
+  mutable replies_snooped : int;
+  mutable replays_sent : int;
+  mutable guesses_sent : int;
+  mutable stamps_forged : int;
+}
+
+let kind = function
+  | Slot_exhaustion _ -> "slot-exhaustion"
+  | Shadow_exhaustion _ -> "shadow-exhaustion"
+  | Request_flood _ -> "request-flood"
+  | Reply_replay _ -> "reply-replay"
+  | Route_forgery _ -> "route-forgery"
+
+let attack_pkt_size = 1000
+
+(* Periodic emission driven purely off the virtual clock; randomness, where
+   a playbook needs any, comes only from the seeded [rng] passed to
+   {!launch}, so identical seeds replay bit-identically. *)
+let every t ~start ~gap f =
+  let rec arm at =
+    ignore
+      (Sim.at t.sim at (fun () ->
+           if not t.halted then begin
+             f ();
+             arm (at +. gap)
+           end))
+  in
+  arm start
+
+(* Botnet rotating spoofed sources towards the victim: every packet is real
+   attack traffic, but the header source walks a pool of [sources]
+   addresses, so the victim's gateway needs one temporary filter per pool
+   member — pressure aimed at the nv = R1·Ttmp slot budget. *)
+let launch_slot_exhaustion t ~rng ~start env ~sources ~rate =
+  if sources < 1 then invalid_arg "Adversary: sources must be >= 1";
+  let gap = float_of_int (attack_pkt_size * 8) /. rate in
+  every t ~start ~gap (fun () ->
+      let spoofed = Addr.add env.spoof_base (Rng.int rng sources) in
+      t.packets_sent <- t.packets_sent + 1;
+      Network.originate env.net env.attacker
+        (Packet.make ~spoofed_src:spoofed ~src:env.attacker.Node.addr
+           ~dst:env.victim ~size:attack_pkt_size
+           (Packet.Data { flow_id = 900; attack = true })))
+
+(* A compromised client flooding its own gateway with filtering requests
+   for flows that do not exist. Each request names the insider itself as
+   requestor and destination, so it passes the cone check and burns the
+   insider's own R1 contract; the admitted residue costs the gateway one
+   shadow entry (TTL = T) and one temporary filter per distinct flow. *)
+let launch_request_flood t ~rng ~start env ~pool ~rate =
+  let gap = 1. /. rate in
+  every t ~start ~gap (fun () ->
+      let src = Addr.add env.spoof_base (Rng.int rng pool) in
+      let flow =
+        Flow_label.host_pair src env.insider.Node.addr
+      in
+      t.requests_sent <- t.requests_sent + 1;
+      Network.originate env.net env.insider
+        (Message.packet ~src:env.insider.Node.addr ~dst:env.victim_gw
+           (Message.Filtering_request
+              {
+                Message.flow;
+                target = Message.To_victim_gateway;
+                duration = 60.;
+                path = [];
+                hops = 0;
+                requestor = env.insider.Node.addr;
+              })))
+
+(* A compromised on-path router attacking the 3-way handshake: snoop
+   verification replies it forwards, replay each one [delay] seconds later
+   (spoofing the original source), and fire off replies with guessed nonces
+   at [guess_rate] for the flows it has seen queried. The handshake's nonce
+   table classifies the replays as duplicates and the guesses as bogus —
+   the defended-against cases; an on-path adversary who also injects the
+   requests remains outside AITF's threat model (see docs/ADVERSARY.md). *)
+let launch_reply_replay t ~rng ~start env ~delay ~guess_rate =
+  let seen_queries : (Flow_label.t * Addr.t) list ref = ref [] in
+  Node.add_hook env.tap (fun _node (pkt : Packet.t) ->
+      (match pkt.Packet.payload with
+      | Message.Verification_reply { flow; nonce } ->
+        t.replies_snooped <- t.replies_snooped + 1;
+        let src = pkt.Packet.src and dst = pkt.Packet.dst in
+        ignore
+          (Sim.after t.sim delay (fun () ->
+               if not t.halted then begin
+                 t.replays_sent <- t.replays_sent + 1;
+                 Network.originate env.net env.tap
+                   (Packet.make ~spoofed_src:src
+                      ~src:env.tap.Node.addr ~dst ~proto:Message.protocol_number
+                      ~size:Message.message_size
+                      (Message.Verification_reply { flow; nonce }))
+               end))
+      | Message.Verification_query { flow; _ } ->
+        if
+          not
+            (List.exists
+               (fun (f, _) -> Flow_label.equal f flow)
+               !seen_queries)
+        then seen_queries := (flow, pkt.Packet.src) :: !seen_queries
+      | _ -> ());
+      Node.Continue);
+  if guess_rate > 0. then
+    every t ~start ~gap:(1. /. guess_rate) (fun () ->
+        match !seen_queries with
+        | [] -> ()
+        | l ->
+          let flow, querier = List.nth l (Rng.int rng (List.length l)) in
+          t.guesses_sent <- t.guesses_sent + 1;
+          Network.originate env.net env.tap
+            (Packet.make ~spoofed_src:env.victim ~src:env.tap.Node.addr
+               ~dst:querier ~proto:Message.protocol_number
+               ~size:Message.message_size
+               (Message.Verification_reply { flow; nonce = Rng.nonce rng })))
+
+(* A compromised legacy router whose forwarding plane rewrites the route
+   record on attack packets, pointing the traceback at an innocent address.
+   Round 0 of the victim's response is then wasted on a gateway that never
+   answers; escalation climbs the honest remainder of the stamps and
+   protection lands victim-side instead of attacker-side. *)
+let launch_route_forgery t env ~innocent =
+  Node.add_hook env.tap (fun _node (pkt : Packet.t) ->
+      (match pkt.Packet.payload with
+      | Packet.Data { attack = true; _ } ->
+        t.stamps_forged <- t.stamps_forged + 1;
+        pkt.Packet.route_record <- [ innocent ]
+      | _ -> ());
+      Node.Continue)
+
+let register_metrics t =
+  Aitf_obs.Metrics.if_attached (fun reg ->
+      let open Aitf_obs.Metrics in
+      let p metric =
+        Printf.sprintf "adversary.%s.%s" (kind t.playbook) metric
+      in
+      register_counter reg (p "packets_sent") ~unit_:"packets"
+        ~help:"Attack data packets emitted by this playbook" (fun () ->
+          float_of_int t.packets_sent);
+      register_counter reg (p "requests_sent") ~unit_:"requests"
+        ~help:"Forged/abusive filtering requests emitted" (fun () ->
+          float_of_int t.requests_sent);
+      register_counter reg (p "replays_sent") ~unit_:"messages"
+        ~help:"Snooped verification replies replayed" (fun () ->
+          float_of_int t.replays_sent);
+      register_counter reg (p "guesses_sent") ~unit_:"messages"
+        ~help:"Verification replies sent with guessed nonces" (fun () ->
+          float_of_int t.guesses_sent);
+      register_counter reg (p "stamps_forged") ~unit_:"packets"
+        ~help:"Attack packets whose route record was rewritten" (fun () ->
+          float_of_int t.stamps_forged))
+
+let launch ?(start = 1.) ~rng env playbook =
+  let t =
+    {
+      sim = Network.sim env.net;
+      playbook;
+      halted = false;
+      packets_sent = 0;
+      requests_sent = 0;
+      replies_snooped = 0;
+      replays_sent = 0;
+      guesses_sent = 0;
+      stamps_forged = 0;
+    }
+  in
+  (match playbook with
+  | Slot_exhaustion { sources; rate } ->
+    launch_slot_exhaustion t ~rng ~start env ~sources ~rate
+  | Shadow_exhaustion { flows; rate } ->
+    launch_request_flood t ~rng ~start env ~pool:flows ~rate
+  | Request_flood { rate } ->
+    (* Fresh-looking flow per request with overwhelming probability: the
+       point is the R1 burn, not the shadow fill. *)
+    launch_request_flood t ~rng ~start env ~pool:1_000_000 ~rate
+  | Reply_replay { delay; guess_rate } ->
+    launch_reply_replay t ~rng ~start env ~delay ~guess_rate
+  | Route_forgery { innocent } -> launch_route_forgery t env ~innocent);
+  register_metrics t;
+  t
+
+let halt t = t.halted <- true
+let playbook t = t.playbook
+let packets_sent t = t.packets_sent
+let requests_sent t = t.requests_sent
+let replies_snooped t = t.replies_snooped
+let replays_sent t = t.replays_sent
+let guesses_sent t = t.guesses_sent
+let stamps_forged t = t.stamps_forged
+
+(* --- CLI spec parsing ----------------------------------------------------- *)
+
+let default_innocent = Addr.of_string "192.0.2.1"
+
+let playbook_of_string s =
+  let name, kvs =
+    match String.index_opt s ':' with
+    | None -> (s, [])
+    | Some i ->
+      ( String.sub s 0 i,
+        String.sub s (i + 1) (String.length s - i - 1)
+        |> String.split_on_char ','
+        |> List.filter (fun w -> w <> "")
+        |> List.map (fun kv ->
+               match String.index_opt kv '=' with
+               | None -> (kv, "")
+               | Some j ->
+                 ( String.sub kv 0 j,
+                   String.sub kv (j + 1) (String.length kv - j - 1) )) )
+  in
+  let num key default =
+    match List.assoc_opt key kvs with
+    | None -> Ok default
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "bad %s=%S" key v))
+  in
+  let ( let* ) = Result.bind in
+  let known allowed =
+    match List.find_opt (fun (k, _) -> not (List.mem k allowed)) kvs with
+    | Some (k, _) ->
+      Error (Printf.sprintf "unknown key %S for playbook %s" k name)
+    | None -> Ok ()
+  in
+  match name with
+  | "slot-exhaustion" ->
+    let* () = known [ "sources"; "rate" ] in
+    let* sources = num "sources" 128. in
+    let* rate = num "rate" 2e6 in
+    Ok (Slot_exhaustion { sources = int_of_float sources; rate })
+  | "shadow-exhaustion" ->
+    let* () = known [ "flows"; "rate" ] in
+    let* flows = num "flows" 4096. in
+    let* rate = num "rate" 200. in
+    Ok (Shadow_exhaustion { flows = int_of_float flows; rate })
+  | "request-flood" ->
+    let* () = known [ "rate" ] in
+    let* rate = num "rate" 1000. in
+    Ok (Request_flood { rate })
+  | "reply-replay" ->
+    let* () = known [ "delay"; "guess-rate" ] in
+    let* delay = num "delay" 0.5 in
+    let* guess_rate = num "guess-rate" 50. in
+    Ok (Reply_replay { delay; guess_rate })
+  | "route-forgery" -> (
+    let* () = known [ "innocent" ] in
+    match List.assoc_opt "innocent" kvs with
+    | None -> Ok (Route_forgery { innocent = default_innocent })
+    | Some v -> (
+      try Ok (Route_forgery { innocent = Addr.of_string v })
+      with Invalid_argument _ -> Error (Printf.sprintf "bad innocent=%S" v)))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown playbook %S (expected slot-exhaustion, shadow-exhaustion, \
+          request-flood, reply-replay or route-forgery)"
+         name)
+
+let playbook_to_string = function
+  | Slot_exhaustion { sources; rate } ->
+    Printf.sprintf "slot-exhaustion:sources=%d,rate=%g" sources rate
+  | Shadow_exhaustion { flows; rate } ->
+    Printf.sprintf "shadow-exhaustion:flows=%d,rate=%g" flows rate
+  | Request_flood { rate } -> Printf.sprintf "request-flood:rate=%g" rate
+  | Reply_replay { delay; guess_rate } ->
+    Printf.sprintf "reply-replay:delay=%g,guess-rate=%g" delay guess_rate
+  | Route_forgery { innocent } ->
+    Printf.sprintf "route-forgery:innocent=%s" (Addr.to_string innocent)

@@ -1,0 +1,73 @@
+(** Adversary playbooks: seeded attacks on the AITF protocol itself.
+
+    The paper's Section III argues AITF stays useful when the protocol —
+    not just the victim's link — is the target. These playbooks reproduce
+    that adversary: each one aims at a different piece of protocol state,
+    draws randomness only from the seeded [Aitf_engine.Rng] it is launched
+    with (identical seeds replay bit-identically), and exports what it did
+    through the metrics registry under ["adversary.<kind>.*"].
+
+    - {b slot-exhaustion}: a botnet rotating [sources] spoofed header
+      sources at [rate] bits/s towards the victim, forcing one temporary
+      filter per pool member — pressure on the nv = R1·Ttmp slot budget.
+      The {!Aitf_filter.Overload} manager is the countermeasure.
+    - {b shadow-exhaustion}: a compromised client in the victim's cone
+      requesting filters for [flows] distinct nonexistent flows, filling
+      the gateway's DRAM shadow (mv = R1·T entries, TTL = T each).
+    - {b request-flood}: the same client at full blast with
+      ever-fresh flows — burns its own R1 contract; the policer holds the
+      damage to R1 admitted requests per second.
+    - {b reply-replay}: a compromised on-path router replaying snooped
+      verification replies after [delay] and firing guessed nonces at
+      [guess_rate]; the handshake's nonce table classifies them as
+      duplicates and bogus respectively.
+    - {b route-forgery}: a compromised legacy router rewriting the route
+      record on attack packets to an [innocent] address; round 0 is wasted
+      on it, escalation recovers along the honest stamps. *)
+
+open Aitf_net
+
+type playbook =
+  | Slot_exhaustion of { sources : int; rate : float }  (** rate in bits/s *)
+  | Shadow_exhaustion of { flows : int; rate : float }
+      (** rate in requests/s *)
+  | Request_flood of { rate : float }  (** requests/s *)
+  | Reply_replay of { delay : float; guess_rate : float }
+  | Route_forgery of { innocent : Addr.t }
+
+type env = {
+  net : Network.t;
+  attacker : Node.t;  (** data-plane bot (slot exhaustion) *)
+  insider : Node.t;  (** compromised client inside the victim's cone *)
+  tap : Node.t;  (** compromised on-path router (replay/forgery) *)
+  victim : Addr.t;
+  victim_gw : Addr.t;  (** the gateway the insider's requests go to *)
+  spoof_base : Addr.t;  (** base of the spoofed-source pool *)
+}
+
+type t
+
+val launch : ?start:float -> rng:Aitf_engine.Rng.t -> env -> playbook -> t
+(** Start the playbook at virtual time [start] (default 1.0 s). All
+    randomness comes from [rng]; callers should pass a dedicated
+    [Rng.split] so launching an adversary does not perturb other streams. *)
+
+val halt : t -> unit
+val playbook : t -> playbook
+
+val packets_sent : t -> int
+val requests_sent : t -> int
+val replies_snooped : t -> int
+val replays_sent : t -> int
+val guesses_sent : t -> int
+val stamps_forged : t -> int
+
+val kind : playbook -> string
+
+val playbook_of_string : string -> (playbook, string) result
+(** Parse a CLI spec: ["<name>[:key=val,...]"], e.g.
+    ["slot-exhaustion:sources=128,rate=2e6"] or ["route-forgery"]. Unknown
+    names or keys are reported, not ignored. *)
+
+val playbook_to_string : playbook -> string
+(** Inverse of {!playbook_of_string} (canonical form). *)

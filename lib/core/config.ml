@@ -26,6 +26,10 @@ type t = {
   ctrl_retries : int;
   ctrl_rto : float;
   ctrl_backoff : float;
+  overload_manager : bool;
+  overload_high : float;
+  overload_low : float;
+  overload_max_per_requestor : int;
 }
 
 let default =
@@ -53,6 +57,10 @@ let default =
     ctrl_retries = 0;
     ctrl_rto = 0.5;
     ctrl_backoff = 2.0;
+    overload_manager = false;
+    overload_high = 0.9;
+    overload_low = 0.6;
+    overload_max_per_requestor = max_int;
   }
 
 let with_timescale c k =

@@ -64,6 +64,19 @@ type t = {
       (** initial control-plane retransmission timeout (s); doubles (times
           [ctrl_backoff]) on every retry *)
   ctrl_backoff : float;  (** multiplicative backoff factor (default 2) *)
+  overload_manager : bool;
+      (** wrap every gateway's filter table in the
+          {!Aitf_filter.Overload} manager: watermark-driven degraded mode
+          with prefix aggregation, per-requestor caps and priority eviction
+          instead of bare [`Table_full] refusals. Off (the default) keeps
+          installs byte-identical to the unmanaged table. *)
+  overload_high : float;
+      (** occupancy fraction that engages degraded mode (default 0.9) *)
+  overload_low : float;
+      (** occupancy fraction that disengages it (default 0.6) *)
+  overload_max_per_requestor : int;
+      (** outstanding filters one requestor may hold while degraded;
+          [max_int] (the default) disables the cap *)
 }
 
 val default : t

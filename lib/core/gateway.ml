@@ -39,6 +39,9 @@ type t = {
   upstream : Addr.t option;
   client_cone : unit Lpm.t;
   filters : Filter_table.t;
+  overload : Overload.t option;
+      (* graceful-degradation manager wrapped around [filters]; None keeps
+         raw-table behaviour bit-identical *)
   shadow : flow_entry Shadow_cache.t;
   handshakes : Handshake.t;
   rng : Rng.t;
@@ -62,6 +65,15 @@ let addr t = t.node.Node.addr
 let config t = t.config
 let policy t = t.policy
 let filters t = t.filters
+let overload t = t.overload
+
+(* Every protocol-driven filter install goes through here so the overload
+   manager (when configured) can apply its degradation moves; without one
+   this is exactly a plain table install. *)
+let filter_install ?rate_limit ?requestor t label ~duration =
+  match t.overload with
+  | Some mgr -> Overload.install ?rate_limit ?requestor mgr label ~duration
+  | None -> Filter_table.install ?rate_limit t.filters label ~duration
 let shadow_occupancy t = Shadow_cache.occupancy t.shadow
 let shadow_peak t = Shadow_cache.peak_occupancy t.shadow
 let counters t = t.counters
@@ -165,7 +177,10 @@ let disconnect_host t a =
 (* --- victim's-gateway role ---------------------------------------------- *)
 
 let install_temp t (e : flow_entry) =
-  (match Filter_table.install t.filters e.flow ~duration:t.config.Config.t_tmp with
+  (match
+     filter_install ~requestor:e.requestor t e.flow
+       ~duration:t.config.Config.t_tmp
+   with
   | Ok h ->
     Counter.incr t.counters "filter-temp";
     e.temp_handle <- Some h
@@ -203,8 +218,8 @@ let long_rate_limit t =
 
 let install_long t (e : flow_entry) =
   match
-    Filter_table.install ?rate_limit:(long_rate_limit t) t.filters e.flow
-      ~duration:e.duration
+    filter_install ?rate_limit:(long_rate_limit t) ~requestor:e.requestor t
+      e.flow ~duration:e.duration
   with
   | Ok _ -> Counter.incr t.counters "filter-long"
   | Error `Table_full -> Counter.incr t.counters "filter-full"
@@ -417,8 +432,9 @@ let victim_role t (req : Message.request) =
 
 let comply t ~received_at (req : Message.request) =
   match
-    Filter_table.install ?rate_limit:(long_rate_limit t) t.filters
-      req.Message.flow ~duration:req.Message.duration
+    filter_install ?rate_limit:(long_rate_limit t)
+      ~requestor:req.Message.requestor t req.Message.flow
+      ~duration:req.Message.duration
   with
   | Error `Table_full ->
     (* Out of filters: we cannot honor the request; escalation will route
@@ -464,10 +480,12 @@ let attacker_role t (req : Message.request) =
   if Option.is_some (Filter_table.find t.filters req.Message.flow) then begin
     (* Already blocking this flow; just refresh. Classified before the
        policer so that a retransmitted request is a free no-op — the
-       reliability layer must not double-bill the requestor's contract. *)
+       reliability layer must not double-bill the requestor's contract. The
+       refresh re-states the configured action so a rate-limited filter
+       keeps its limit across cycles. *)
     ignore
-      (Filter_table.install t.filters req.Message.flow
-         ~duration:req.Message.duration);
+      (Filter_table.install ?rate_limit:(long_rate_limit t) t.filters
+         req.Message.flow ~duration:req.Message.duration);
     Counter.incr t.counters "req-duplicate"
   end
   else if Hashtbl.mem t.verifying req.Message.flow then
@@ -545,11 +563,15 @@ let capture_for_traceback t (pkt : Packet.t) =
 
 let hook t (_node : Node.t) (pkt : Packet.t) =
   if blocklisted t pkt.src then Node.Drop "aitf-disconnected"
-  else if Filter_table.blocks t.filters pkt then begin
-    capture_for_traceback t pkt;
-    Node.Drop "aitf-filter"
-  end
-  else begin
+  else
+    match Filter_table.blocking_entry t.filters pkt with
+    | Some h ->
+      (match t.overload with
+      | Some mgr -> Overload.note_blocked mgr h pkt
+      | None -> ());
+      capture_for_traceback t pkt;
+      Node.Drop "aitf-filter"
+    | None -> begin
     (match Shadow_cache.match_packet t.shadow pkt with
     | Some entry -> (
       let e = Shadow_cache.data entry in
@@ -598,6 +620,23 @@ let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
         "Request receipt at this (attacker-side) gateway to long-filter \
          install; includes the handshake round-trip"
   in
+  let filters =
+    Filter_table.create sim ~capacity:config.Config.filter_capacity
+  in
+  let overload =
+    if config.Config.overload_manager then
+      Some
+        (Overload.create
+           ~policy:
+             {
+               Overload.high_watermark = config.Config.overload_high;
+               low_watermark = config.Config.overload_low;
+               max_per_requestor = config.Config.overload_max_per_requestor;
+               min_aggregate = 2;
+             }
+           sim filters)
+    else None
+  in
   let t =
     {
       net;
@@ -607,7 +646,8 @@ let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
       policy;
       upstream;
       client_cone = cone;
-      filters = Filter_table.create sim ~capacity:config.Config.filter_capacity;
+      filters;
+      overload;
       shadow = Shadow_cache.create sim ~capacity:config.Config.shadow_capacity;
       handshakes =
         Handshake.create ~retries:config.Config.ctrl_retries
@@ -632,6 +672,9 @@ let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
       let open Aitf_obs.Metrics in
       let p metric = prefix ^ "." ^ metric in
       Filter_table.register_metrics t.filters reg ~prefix:(p "filters");
+      (match t.overload with
+      | Some mgr -> Overload.register_metrics mgr reg ~prefix:(p "overload")
+      | None -> ());
       Shadow_cache.register_metrics t.shadow reg ~prefix:(p "shadow");
       register_counter reg (p "requests_received") ~unit_:"requests"
         ~help:"AITF filtering requests delivered to this gateway" (fun () ->

@@ -59,6 +59,11 @@ val set_client_contract : t -> client:Addr.t -> rate:float -> burst:float -> uni
     its clients; absent an override, the config's R2 applies. *)
 
 val filters : t -> Filter_table.t
+
+val overload : t -> Overload.t option
+(** The filter-table overload manager, present iff
+    [config.overload_manager] was set at creation. *)
+
 val shadow_occupancy : t -> int
 val shadow_peak : t -> int
 

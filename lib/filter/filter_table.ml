@@ -3,13 +3,14 @@ open Aitf_net
 
 type handle = {
   label : Flow_label.t;
+  installed_at : float;
   mutable expires_at : float;
   mutable alive : bool;
   mutable hits : int;
   mutable hit_bytes : int;
   mutable last_hit : float option;
   mutable expiry_event : Sim.handle option;
-  limiter : Token_bucket.t option;  (* None = block outright *)
+  mutable limiter : Token_bucket.t option;  (* None = block outright *)
 }
 
 type t = {
@@ -57,30 +58,62 @@ let arm_expiry t h =
   (match h.expiry_event with Some e -> Sim.cancel e | None -> ());
   h.expiry_event <- Some (Sim.at t.sim h.expires_at (fun () -> detach t h))
 
+let evict_subsumed t label =
+  let victims =
+    Hashtbl.fold
+      (fun _ h acc ->
+        if h.alive && Flow_label.subsumes label h.label then h :: acc else acc)
+      t.by_label []
+  in
+  List.iter (detach t) victims;
+  List.length victims
+
+(* One second of burst, floored at a packet. *)
+let make_limiter rate = Token_bucket.create ~rate ~burst:(Float.max rate 1500.)
+
+(* The wildcard scan goes most-specific-first, ties broken by the label's
+   total order — so a broad aggregate never shadows a narrower filter, and
+   the match is independent of install order. *)
+let wildcard_before a b =
+  let c =
+    Int.compare (Flow_label.specificity b.label) (Flow_label.specificity a.label)
+  in
+  (if c <> 0 then c else Flow_label.compare a.label b.label) <= 0
+
+let rec insert_wildcard h = function
+  | [] -> [ h ]
+  | x :: _ as l when wildcard_before h x -> h :: l
+  | x :: rest -> x :: insert_wildcard h rest
+
 let install ?rate_limit t label ~duration =
   let now = Sim.now t.sim in
   match Hashtbl.find_opt t.by_label label with
   | Some h ->
     h.expires_at <- Float.max h.expires_at (now +. duration);
+    (* A refresh that names a rate honors it (replacing a limiter only when
+       the rate changed, so conforming state survives a same-rate refresh);
+       a refresh without one keeps the original action. *)
+    (match (rate_limit, h.limiter) with
+    | None, _ -> ()
+    | Some rate, Some old when Token_bucket.rate old = rate -> ()
+    | Some rate, _ -> h.limiter <- Some (make_limiter rate));
     arm_expiry t h;
     t.installs <- t.installs + 1;
     Ok h
   | None ->
+    (* A full table is not final: a label subsuming live entries can make
+       its own room — the compaction move aggregation relies on. *)
+    if t.occupancy >= t.capacity then ignore (evict_subsumed t label);
     if t.occupancy >= t.capacity then begin
       t.rejected <- t.rejected + 1;
       Error `Table_full
     end
     else begin
-      let limiter =
-        match rate_limit with
-        | None -> None
-        | Some rate ->
-          (* one second of burst, floored at a packet *)
-          Some (Token_bucket.create ~rate ~burst:(Float.max rate 1500.))
-      in
+      let limiter = Option.map make_limiter rate_limit in
       let h =
         {
           label;
+          installed_at = now;
           expires_at = now +. duration;
           alive = true;
           hits = 0;
@@ -92,7 +125,7 @@ let install ?rate_limit t label ~duration =
       in
       Hashtbl.replace t.by_label label h;
       if Flow_label.is_exact label then Hashtbl.replace t.exact label h
-      else t.wildcards <- h :: t.wildcards;
+      else t.wildcards <- insert_wildcard h t.wildcards;
       t.occupancy <- t.occupancy + 1;
       if t.occupancy > t.peak then t.peak <- t.occupancy;
       t.installs <- t.installs + 1;
@@ -107,17 +140,12 @@ let find t label =
   | Some h when h.alive -> Some h
   | _ -> None
 
-let evict_subsumed t label =
-  let victims =
-    Hashtbl.fold
-      (fun _ h acc ->
-        if h.alive && Flow_label.subsumes label h.label then h :: acc else acc)
-      t.by_label []
-  in
-  List.iter (detach t) victims;
-  List.length victims
+let live_entries t =
+  Hashtbl.fold (fun _ h acc -> if h.alive then h :: acc else acc) t.by_label []
+  |> List.sort (fun a b -> Flow_label.compare a.label b.label)
 
 let label h = h.label
+let installed_at h = h.installed_at
 let expires_at h = h.expires_at
 let live h = h.alive
 let hits h = h.hits
@@ -144,9 +172,9 @@ let matching_entry t pkt =
       (fun h -> h.alive && Flow_label.matches h.label pkt)
       t.wildcards
 
-let blocks t pkt =
+let blocking_entry t pkt =
   match matching_entry t pkt with
-  | None -> false
+  | None -> None
   | Some h -> (
     let record_hit () =
       h.hits <- h.hits + 1;
@@ -158,16 +186,18 @@ let blocks t pkt =
     match h.limiter with
     | None ->
       record_hit ();
-      true
+      Some h
     | Some bucket ->
       if
         Token_bucket.allow bucket ~now:(Sim.now t.sim)
           ~cost:(float_of_int pkt.Packet.size)
-      then false
+      then None
       else begin
         record_hit ();
-        true
+        Some h
       end)
+
+let blocks t pkt = Option.is_some (blocking_entry t pkt)
 
 let would_block t pkt = Option.is_some (matching_entry t pkt)
 

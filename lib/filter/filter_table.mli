@@ -33,8 +33,14 @@ val install :
     By default the filter {e blocks} matching traffic. With [?rate_limit]
     (bytes/s) it rate-limits instead: conforming packets pass, the excess is
     dropped — the alternative the paper's footnote 10 argues against for
-    DoS traffic (and ablation A5 measures). A refresh keeps the original
-    action. *)
+    DoS traffic (and ablation A5 measures). A refresh without [?rate_limit]
+    keeps the original action; a refresh naming a rate honors it (the
+    limiter is replaced only when the rate actually changed, so token state
+    survives a same-rate refresh).
+
+    A full table first evicts live entries the new label subsumes — a
+    wildcard aggregate covering existing exact filters makes its own room —
+    and only then reports [`Table_full]. *)
 
 val remove : t -> handle -> unit
 (** Uninstall now; idempotent, harmless after expiry. *)
@@ -47,7 +53,12 @@ val evict_subsumed : t -> Flow_label.t -> int
     return how many were evicted — the compaction step used when a
     wildcard aggregate replaces the exact filters it covers. *)
 
+val live_entries : t -> handle list
+(** Every live entry, sorted by label — a deterministic snapshot for
+    occupancy-pressure policies (the overload manager's eviction scan). *)
+
 val label : handle -> Flow_label.t
+val installed_at : handle -> float
 val expires_at : handle -> float
 val live : handle -> bool
 
@@ -58,7 +69,14 @@ val last_hit : handle -> float option
 
 val blocks : t -> Packet.t -> bool
 (** [true] iff some live filter matches the packet. Updates hit counters —
-    call it once per packet from the forwarding hook. *)
+    call it once per packet from the forwarding hook. Wildcards are scanned
+    most-specific-first (ties broken by {!Flow_label.compare}), so a narrow
+    rate-limited filter is consulted before a broad aggregate. *)
+
+val blocking_entry : t -> Packet.t -> handle option
+(** Like {!blocks} but returns the filter that dropped the packet, so the
+    caller can attribute the drop (e.g. collateral-damage accounting for
+    aggregates). [None] means the packet passes. Updates hit counters. *)
 
 val would_block : t -> Packet.t -> bool
 (** Like {!blocks} but without touching counters (for tests/queries). *)

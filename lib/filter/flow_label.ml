@@ -61,6 +61,16 @@ let subsumes a b =
   && qual_subsumes a.sport b.sport
   && qual_subsumes a.dport b.dport
 
+let sel_specificity = function
+  | Any -> 0
+  | Net p -> (p : Addr.prefix).len
+  | Host _ -> 32
+
+let specificity t =
+  let qual = function None -> 0 | Some _ -> 1 in
+  sel_specificity t.src + sel_specificity t.dst + qual t.proto + qual t.sport
+  + qual t.dport
+
 let is_exact t =
   match (t.src, t.dst) with
   | Host _, Host _ -> t.sport = None && t.dport = None

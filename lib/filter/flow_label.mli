@@ -43,6 +43,13 @@ val subsumes : t -> t -> bool
 (** [subsumes a b] is [true] when every packet matching [b] also matches
     [a]. *)
 
+val specificity : t -> int
+(** How narrow the label is: the sum of the mask lengths of both selectors
+    ([Any] = 0, a prefix its length, a host 32) plus one per qualifier
+    present. If [subsumes a b] and [not (equal a b)] then
+    [specificity a <= specificity b]; higher = narrower. Used to order
+    wildcard scans most-specific-first. *)
+
 val is_exact : t -> bool
 (** Both endpoints are exact hosts and no port qualifiers — the cheap,
     hashable case (a protocol qualifier is still allowed: the fast path

@@ -23,6 +23,9 @@ type chain_params = {
   sample_period : float;
   ctrl_faults : Aitf_fault.Fault.model list;
   tail_flap : (float * float) option;
+  adversaries : Aitf_adversary.Adversary.playbook list;
+  adversary_start : float;
+  in_pool_legit_rate : float;
 }
 
 let default_chain =
@@ -42,6 +45,9 @@ let default_chain =
     sample_period = 0.1;
     ctrl_faults = [];
     tail_flap = None;
+    adversaries = [];
+    adversary_start = 1.;
+    in_pool_legit_rate = 0.;
   }
 
 type chain_result = {
@@ -59,6 +65,11 @@ type chain_result = {
   ctrl_retransmits : int;
   ctrl_gave_up : int;
   faults_injected : int;
+  adversary_handles : Aitf_adversary.Adversary.t list;
+  overload_aggregations : int;
+  overload_evictions : int;
+  collateral_packets : int;
+  collateral_bytes : int;
   sampler : Aitf_obs.Sampler.t option;
 }
 
@@ -112,6 +123,69 @@ let run_chain params =
          [ topo.Chain.victim_tail; topo.Chain.victim_tail_up ]
          ~period ~down_for)
   | None -> ());
+  (* Protocol-level adversaries. Everything here — the extra nodes, the
+     RNG split, the playbooks themselves — happens only when playbooks were
+     requested, so adversary-free runs replay the exact pre-adversary event
+     sequence. *)
+  let spoof_base = Addr.of_octets 20 66 0 0 in
+  let adversary_handles, in_pool_client =
+    if params.adversaries = [] then ([], None)
+    else begin
+      let adv_rng = Rng.split rng in
+      let net = topo.Chain.net in
+      let spec = params.spec in
+      let attach gw name addr as_id =
+        let n = Network.add_node net ~name ~addr ~as_id Node.Host in
+        ignore
+          (Network.connect net gw n ~bandwidth:spec.Chain.attacker_tail_bw
+             ~delay:spec.Chain.access_delay
+             ~queue_capacity:spec.Chain.queue_capacity);
+        n
+      in
+      let g_gw1 = List.hd topo.Chain.victim_gws in
+      let b_gw1 = List.hd topo.Chain.attacker_gws in
+      (* A compromised client inside the victim's /24 cone, for the
+         request-flood playbooks. *)
+      let insider = attach g_gw1 "G_insider" (Addr.of_octets 10 0 0 99) 1 in
+      (* A legitimate host whose address falls inside the spoofed-source
+         pool: the bystander that prefix aggregation can hit — its lost
+         traffic is what the collateral-damage estimate measures. *)
+      let in_pool =
+        if params.in_pool_legit_rate > 0. then
+          Some (attach b_gw1 "B_inpool" (Addr.add spoof_base 77) 101)
+        else None
+      in
+      Network.compute_routes net;
+      let tap =
+        List.nth topo.Chain.attacker_gws
+          (min 1 (List.length topo.Chain.attacker_gws - 1))
+      in
+      let env =
+        {
+          Aitf_adversary.Adversary.net;
+          attacker = topo.Chain.attacker;
+          insider;
+          tap;
+          victim = topo.Chain.victim.Node.addr;
+          victim_gw = g_gw1.Node.addr;
+          spoof_base;
+        }
+      in
+      ( List.map
+          (fun pb ->
+            Aitf_adversary.Adversary.launch ~start:params.adversary_start
+              ~rng:(Rng.split adv_rng) env pb)
+          params.adversaries,
+        in_pool )
+    end
+  in
+  let (_in_pool_source : Traffic.t option) =
+    Option.map
+      (fun node ->
+        Traffic.cbr ~start:0. ~flow_id:3 ~rate:params.in_pool_legit_rate
+          ~dst:topo.Chain.victim.Node.addr topo.Chain.net node)
+      in_pool_client
+  in
   let attacker_agent = deployed.Chain.attacker_agent in
   let (_attack_source : Traffic.t) =
     Traffic.cbr
@@ -156,9 +230,24 @@ let run_chain params =
     Host_agent.Victim.attack_bytes deployed.Chain.victim_agent
   in
   let good_offered_bytes =
-    match legit_source with
+    (match legit_source with
     | Some _ -> params.legit_rate *. params.duration /. 8.
+    | None -> 0.)
+    +.
+    match in_pool_client with
+    | Some _ -> params.in_pool_legit_rate *. params.duration /. 8.
     | None -> 0.
+  in
+  let all_gateways =
+    deployed.Chain.victim_gateways @ deployed.Chain.attacker_gateways
+  in
+  let overload_total f =
+    List.fold_left
+      (fun acc gw ->
+        match Gateway.overload gw with
+        | Some mgr -> acc + f mgr
+        | None -> acc)
+      0 all_gateways
   in
   {
     params;
@@ -190,6 +279,11 @@ let run_chain params =
       List.fold_left
         (fun acc i -> acc + Aitf_fault.Fault.drops_injected i)
         0 injectors;
+    adversary_handles;
+    overload_aggregations = overload_total Aitf_filter.Overload.aggregations;
+    overload_evictions = overload_total Aitf_filter.Overload.evictions;
+    collateral_packets = overload_total Aitf_filter.Overload.collateral_packets;
+    collateral_bytes = overload_total Aitf_filter.Overload.collateral_bytes;
     sampler;
   }
 

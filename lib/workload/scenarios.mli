@@ -36,6 +36,15 @@ type chain_params = {
   tail_flap : (float * float) option;
       (** [(period, down_for)]: flap the whole victim tail circuit on a
           fixed schedule *)
+  adversaries : Aitf_adversary.Adversary.playbook list;
+      (** protocol-level adversary playbooks to launch (empty = none; the
+          RNG and the topology are untouched then, so runs replay
+          bit-identically) *)
+  adversary_start : float;  (** when the playbooks open fire *)
+  in_pool_legit_rate : float;
+      (** bits/s from a legitimate host whose address sits inside the
+          spoofed-source pool — the collateral-damage witness; 0 disables
+          (the node is only added when adversaries are present) *)
 }
 
 val default_chain : chain_params
@@ -65,6 +74,15 @@ type chain_result = {
           filtered terminally) on silence *)
   faults_injected : int;
       (** control packets deliberately dropped by the [ctrl_faults] models *)
+  adversary_handles : Aitf_adversary.Adversary.t list;
+      (** one per launched playbook, in [adversaries] order *)
+  overload_aggregations : int;
+      (** exact-filter groups folded into prefix wildcards, summed over
+          every gateway's overload manager (0 without the manager) *)
+  overload_evictions : int;
+  collateral_packets : int;
+      (** legitimate packets dropped by manager-installed aggregates *)
+  collateral_bytes : int;
   sampler : Aitf_obs.Sampler.t option;
       (** started (at [sample_period]) iff a metrics registry was attached
           via {!Aitf_obs.Metrics.attach} before the run *)

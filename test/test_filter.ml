@@ -398,6 +398,328 @@ let table_soundness =
       Filter_table.would_block t probe
       = List.exists (fun l -> Flow_label.matches l probe) labels)
 
+(* --- Install under pressure, wildcard ordering, refresh semantics --------- *)
+
+let test_table_install_evicts_subsumed () =
+  (* A full table makes room for an aggregate by evicting what it covers
+     instead of answering Table_full. *)
+  let _sim, t = mk_table ~capacity:2 () in
+  ignore (Filter_table.install t l1 ~duration:10.);
+  ignore (Filter_table.install t l2 ~duration:10.);
+  let agg = Flow_label.v Flow_label.Any (Flow_label.Host (addr "2.0.0.2")) in
+  (match Filter_table.install t agg ~duration:10. with
+  | Ok _ -> ()
+  | Error `Table_full -> Alcotest.fail "aggregate must evict what it subsumes");
+  checki "occupancy" 1 (Filter_table.occupancy t);
+  checki "nothing rejected" 0 (Filter_table.rejected t);
+  checkb "aggregate blocks the old flows" true (Filter_table.blocks t (p1 ()))
+
+let test_table_install_full_no_subsumed () =
+  (* The eviction attempt is a no-op when the incoming label covers nothing;
+     the rejection is still counted. *)
+  let _sim, t = mk_table ~capacity:2 () in
+  ignore (Filter_table.install t l1 ~duration:10.);
+  ignore (Filter_table.install t l2 ~duration:10.);
+  (match
+     Filter_table.install t
+       (Flow_label.host_pair (addr "5.0.0.5") (addr "6.0.0.6"))
+       ~duration:10.
+   with
+  | Ok _ -> Alcotest.fail "expected Table_full"
+  | Error `Table_full -> ());
+  checki "rejected" 1 (Filter_table.rejected t);
+  checki "occupancy intact" 2 (Filter_table.occupancy t)
+
+let test_table_wildcard_most_specific_first () =
+  (* Whatever the install order, the narrowest matching wildcard takes the
+     hit — so its stats name the actual attack, not a catch-all. *)
+  let any = Flow_label.v Flow_label.Any (Flow_label.Host (addr "2.0.0.2")) in
+  let net8 =
+    Flow_label.from_net (Addr.prefix_of_string "1.0.0.0/8") (addr "2.0.0.2")
+  in
+  List.iter
+    (fun order ->
+      let _sim, t = mk_table () in
+      List.iter (fun l -> ignore (Filter_table.install t l ~duration:10.)) order;
+      match Filter_table.blocking_entry t (p1 ()) with
+      | None -> Alcotest.fail "must block"
+      | Some h ->
+        checkb "most specific wins" true
+          (Flow_label.equal (Filter_table.label h) net8);
+        checki "hit on the specific entry" 1 (Filter_table.hits h))
+    [ [ any; net8 ]; [ net8; any ] ]
+
+let test_table_wildcard_tie_deterministic () =
+  (* Equal specificity: the tie-break is the label total order, not install
+     recency, so replayed runs block with the same entry. *)
+  let a =
+    Flow_label.v
+      (Flow_label.Net (Addr.prefix_of_string "1.0.0.0/8"))
+      (Flow_label.Host (addr "2.0.0.2"))
+  in
+  let b =
+    Flow_label.v
+      (Flow_label.Host (addr "1.0.0.1"))
+      (Flow_label.Net (Addr.prefix_of_string "2.0.0.0/8"))
+  in
+  let winner order =
+    let _sim, t = mk_table () in
+    List.iter (fun l -> ignore (Filter_table.install t l ~duration:10.)) order;
+    match Filter_table.blocking_entry t (p1 ()) with
+    | Some h -> Filter_table.label h
+    | None -> Alcotest.fail "must block"
+  in
+  checkb "order-independent winner" true
+    (Flow_label.equal (winner [ a; b ]) (winner [ b; a ]))
+
+let test_table_refresh_applies_rate_limit () =
+  (* A refresh that asks for a rate limit converts the blocking entry into a
+     rate limiter (the filter_action=Rate_limit escalation path). *)
+  let _sim, t = mk_table ~capacity:1 () in
+  ignore (Filter_table.install t l1 ~duration:100.);
+  checkb "blocks before refresh" true (Filter_table.blocks t (p1 ()));
+  (match Filter_table.install ~rate_limit:2000. t l1 ~duration:100. with
+  | Ok _ -> ()
+  | Error `Table_full -> Alcotest.fail "refresh");
+  (* 2000 B/s with a 2000 B burst: two 1000 B packets conform, then drop. *)
+  checkb "conforming passes" false (Filter_table.blocks t (p1 ()));
+  checkb "still conforming" false (Filter_table.blocks t (p1 ()));
+  checkb "over budget drops" true (Filter_table.blocks t (p1 ()))
+
+let test_table_accounting_mixed () =
+  (* Occupancy / peak / rejected across a mixed install-evict-expire run. *)
+  let sim, t = mk_table ~capacity:3 () in
+  let a = Flow_label.host_pair (addr "1.0.0.1") (addr "2.0.0.2") in
+  let b = Flow_label.host_pair (addr "1.0.0.2") (addr "2.0.0.2") in
+  let c = Flow_label.host_pair (addr "1.0.0.3") (addr "2.0.0.2") in
+  let d = Flow_label.host_pair (addr "1.0.0.4") (addr "3.0.0.3") in
+  ignore (Filter_table.install t a ~duration:2.);
+  ignore (Filter_table.install t b ~duration:10.);
+  checki "peak after two" 2 (Filter_table.peak_occupancy t);
+  Sim.run ~until:3. sim;
+  checki "one expired" 1 (Filter_table.occupancy t);
+  ignore (Filter_table.install t c ~duration:10.);
+  ignore (Filter_table.install t d ~duration:10.);
+  checki "full" 3 (Filter_table.occupancy t);
+  checki "peak" 3 (Filter_table.peak_occupancy t);
+  (match
+     Filter_table.install t
+       (Flow_label.host_pair (addr "5.0.0.5") (addr "6.0.0.6"))
+       ~duration:10.
+   with
+  | Ok _ -> Alcotest.fail "expected Table_full"
+  | Error `Table_full -> ());
+  checki "rejected counted" 1 (Filter_table.rejected t);
+  let agg = Flow_label.v Flow_label.Any (Flow_label.Host (addr "2.0.0.2")) in
+  (match Filter_table.install t agg ~duration:10. with
+  | Ok _ -> ()
+  | Error `Table_full -> Alcotest.fail "subsumption frees b and c");
+  checki "b+c folded into the aggregate" 2 (Filter_table.occupancy t);
+  checki "peak unchanged by evictions" 3 (Filter_table.peak_occupancy t);
+  checkb "uncovered d survives" true
+    (Filter_table.would_block t
+       (data_packet ~src:(addr "1.0.0.4") ~dst:(addr "3.0.0.3") ()))
+
+(* --- Overload manager ------------------------------------------------------ *)
+
+let mk_overload ?policy ~capacity () =
+  let sim = Sim.create () in
+  let table = Filter_table.create sim ~capacity in
+  (sim, table, Overload.create ?policy sim table)
+
+let host_to src = Flow_label.host_pair (addr src) (addr "2.0.0.2")
+
+let ok = function
+  | Ok h -> h
+  | Error `Table_full -> Alcotest.fail "unexpected Table_full"
+
+let test_overload_transparent_below_watermark () =
+  let _sim, table, m = mk_overload ~capacity:10 () in
+  for i = 1 to 5 do
+    ignore (ok (Overload.install m (host_to (Printf.sprintf "1.0.0.%d" i)) ~duration:10.))
+  done;
+  checkb "not degraded" false (Overload.degraded m);
+  checki "no aggregation" 0 (Overload.aggregations m);
+  checki "no eviction" 0 (Overload.evictions m);
+  checki "plain occupancy" 5 (Filter_table.occupancy table)
+
+let test_overload_degraded_is_pure_read () =
+  (* Occupancy crosses the watermark, but transitions happen on installs
+     only — polling the gauge must never flip the mode. *)
+  let _sim, table, m =
+    mk_overload
+      ~policy:{ Overload.default_policy with Overload.high_watermark = 0.9 }
+      ~capacity:4 ()
+  in
+  for i = 1 to 4 do
+    ignore (ok (Overload.install m (host_to (Printf.sprintf "1.0.0.%d" i)) ~duration:10.))
+  done;
+  checki "table full" 4 (Filter_table.occupancy table);
+  for _ = 1 to 5 do
+    checkb "gauge stays put" false (Overload.degraded m)
+  done
+
+let test_overload_aggregates_under_pressure () =
+  let _sim, table, m =
+    mk_overload
+      ~policy:
+        {
+          Overload.high_watermark = 0.9;
+          (* low enough that the manager stays degraded after compaction, so
+             the covered-label shortcut below is exercised *)
+          low_watermark = 0.25;
+          max_per_requestor = max_int;
+          min_aggregate = 2;
+        }
+      ~capacity:4 ()
+  in
+  (* Sources 1.0.0.0-1.0.0.3 share a /30; filling the table then asking for
+     a fifth filter must fold them into that prefix. *)
+  for i = 0 to 3 do
+    ignore (ok (Overload.install m (host_to (Printf.sprintf "1.0.0.%d" i)) ~duration:10.))
+  done;
+  let h = ok (Overload.install m (host_to "1.0.0.4") ~duration:10.) in
+  checki "one aggregation" 1 (Overload.aggregations m);
+  checki "four evicted into it" 4 (Overload.evictions m);
+  checki "aggregate + newcomer" 2 (Filter_table.occupancy table);
+  checkb "newcomer got its own exact entry" true
+    (Flow_label.is_exact (Filter_table.label h));
+  List.iter
+    (fun s ->
+      checkb (s ^ " still blocked") true
+        (Filter_table.would_block table
+           (data_packet ~src:(addr s) ~dst:(addr "2.0.0.2") ())))
+    [ "1.0.0.0"; "1.0.0.1"; "1.0.0.2"; "1.0.0.3"; "1.0.0.4" ];
+  checkb "outside the prefix passes" false
+    (Filter_table.would_block table
+       (data_packet ~src:(addr "1.0.0.9") ~dst:(addr "2.0.0.2") ()));
+  (* A label the aggregate covers refreshes it rather than re-growing the
+     exact population. *)
+  let again = ok (Overload.install m (host_to "1.0.0.2") ~duration:10.) in
+  checkb "covered label reuses the aggregate" false
+    (Flow_label.is_exact (Filter_table.label again));
+  checki "no new entry" 2 (Filter_table.occupancy table)
+
+let test_overload_priority_eviction () =
+  (* Distinct destinations: nothing to aggregate, so the manager evicts the
+     entry with the lowest hit rate instead of refusing. *)
+  let sim, table, m =
+    mk_overload
+      ~policy:
+        {
+          Overload.high_watermark = 0.;
+          low_watermark = 0.;
+          max_per_requestor = max_int;
+          min_aggregate = 2;
+        }
+      ~capacity:2 ()
+  in
+  let a = ok (Overload.install m (Flow_label.host_pair (addr "1.0.0.1") (addr "8.0.0.1")) ~duration:10.) in
+  let b = ok (Overload.install m (Flow_label.host_pair (addr "1.0.0.2") (addr "8.0.0.2")) ~duration:10.) in
+  Sim.run ~until:1. sim;
+  (* b earns a hit; a blocks nothing. *)
+  ignore
+    (Filter_table.blocks table
+       (data_packet ~src:(addr "1.0.0.2") ~dst:(addr "8.0.0.2") ()));
+  let c = ok (Overload.install m (Flow_label.host_pair (addr "1.0.0.3") (addr "8.0.0.3")) ~duration:10.) in
+  checkb "useless entry evicted" false (Filter_table.live a);
+  checkb "working entry spared" true (Filter_table.live b);
+  checkb "newcomer live" true (Filter_table.live c);
+  checki "one eviction" 1 (Overload.evictions m)
+
+let test_overload_requestor_cap () =
+  (* A requestor at its cap pays with its own least valuable entry. *)
+  let _sim, table, m =
+    mk_overload
+      ~policy:
+        {
+          Overload.high_watermark = 0.;
+          low_watermark = 0.;
+          max_per_requestor = 2;
+          min_aggregate = 2;
+        }
+      ~capacity:8 ()
+  in
+  let req = addr "10.0.0.7" in
+  let inst s d =
+    ok
+      (Overload.install ~requestor:req m
+         (Flow_label.host_pair (addr s) (addr d))
+         ~duration:10.)
+  in
+  let a = inst "1.0.0.1" "8.0.0.1" in
+  let b = inst "1.0.0.2" "8.0.0.2" in
+  let c = inst "1.0.0.3" "8.0.0.3" in
+  checki "cap held at 2" 2 (Filter_table.occupancy table);
+  checki "own entry evicted" 1 (Overload.evictions m);
+  checkb "newcomer live" true (Filter_table.live c);
+  checkb "exactly one elder survived" true
+    (Filter_table.live a <> Filter_table.live b)
+
+let test_overload_collateral_accounting () =
+  let _sim, table, m =
+    mk_overload
+      ~policy:
+        {
+          Overload.high_watermark = 0.9;
+          low_watermark = 0.5;
+          max_per_requestor = max_int;
+          min_aggregate = 2;
+        }
+      ~capacity:4 ()
+  in
+  for i = 0 to 3 do
+    ignore (ok (Overload.install m (host_to (Printf.sprintf "1.0.0.%d" i)) ~duration:10.))
+  done;
+  ignore (ok (Overload.install m (host_to "1.0.0.4") ~duration:10.));
+  let agg =
+    match
+      Filter_table.blocking_entry table
+        (data_packet ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ())
+    with
+    | Some h -> h
+    | None -> Alcotest.fail "aggregate must block"
+  in
+  let legit =
+    Packet.make ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ~size:500
+      (Packet.Data { flow_id = 0; attack = false })
+  in
+  let attack =
+    Packet.make ~src:(addr "1.0.0.1") ~dst:(addr "2.0.0.2") ~size:500
+      (Packet.Data { flow_id = 0; attack = true })
+  in
+  Overload.note_blocked m agg legit;
+  Overload.note_blocked m agg attack;
+  checki "legit drop counted" 1 (Overload.collateral_packets m);
+  checki "bytes counted" 500 (Overload.collateral_bytes m);
+  (* Drops by an exact (non-aggregate) entry are the filter doing its job. *)
+  let exact =
+    match
+      Filter_table.blocking_entry table
+        (data_packet ~src:(addr "1.0.0.4") ~dst:(addr "2.0.0.2") ())
+    with
+    | Some h -> h
+    | None -> Alcotest.fail "exact must block"
+  in
+  Overload.note_blocked m exact legit;
+  checki "exact drops are not collateral" 1 (Overload.collateral_packets m)
+
+let test_overload_policy_validation () =
+  let sim = Sim.create () in
+  let table = Filter_table.create sim ~capacity:4 in
+  let bad policy =
+    try
+      ignore (Overload.create ~policy sim table);
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "inverted watermarks" true
+    (bad { Overload.default_policy with Overload.high_watermark = 0.3; low_watermark = 0.6 });
+  checkb "zero requestor cap" true
+    (bad { Overload.default_policy with Overload.max_per_requestor = 0 });
+  checkb "aggregate of one" true
+    (bad { Overload.default_policy with Overload.min_aggregate = 1 })
+
 (* --- Shadow cache ---------------------------------------------------------- *)
 
 let test_shadow_insert_find () =
@@ -575,7 +897,35 @@ let () =
             test_table_rate_limited_entry;
           Alcotest.test_case "block entry" `Quick
             test_table_block_entry_blocks_everything;
+          Alcotest.test_case "install evicts subsumed" `Quick
+            test_table_install_evicts_subsumed;
+          Alcotest.test_case "install full, nothing subsumed" `Quick
+            test_table_install_full_no_subsumed;
+          Alcotest.test_case "wildcard most-specific-first" `Quick
+            test_table_wildcard_most_specific_first;
+          Alcotest.test_case "wildcard tie deterministic" `Quick
+            test_table_wildcard_tie_deterministic;
+          Alcotest.test_case "refresh applies rate limit" `Quick
+            test_table_refresh_applies_rate_limit;
+          Alcotest.test_case "mixed accounting" `Quick
+            test_table_accounting_mixed;
           QCheck_alcotest.to_alcotest table_soundness;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "transparent below watermark" `Quick
+            test_overload_transparent_below_watermark;
+          Alcotest.test_case "degraded is a pure read" `Quick
+            test_overload_degraded_is_pure_read;
+          Alcotest.test_case "aggregates under pressure" `Quick
+            test_overload_aggregates_under_pressure;
+          Alcotest.test_case "priority eviction" `Quick
+            test_overload_priority_eviction;
+          Alcotest.test_case "requestor cap" `Quick test_overload_requestor_cap;
+          Alcotest.test_case "collateral accounting" `Quick
+            test_overload_collateral_accounting;
+          Alcotest.test_case "policy validation" `Quick
+            test_overload_policy_validation;
         ] );
       ( "shadow_cache",
         [
