@@ -156,6 +156,7 @@ let experiments =
     ("e14", "shape-shifting attack vs manual response", Experiments.e14);
     ("e15", "time-to-filter vs control-plane loss", Experiments.e15);
     ("e16", "filter-slot exhaustion vs the overload manager", Experiments.e16);
+    ("e17", "hybrid fluid/packet engine: agreement + population scaling", Experiments.e17);
     ("a1", "ablation: traceback mechanisms", Experiments.a1);
     ("a2", "ablation: shadow cache", Experiments.a2);
     ("a3", "ablation: wildcard aggregation", Experiments.a3);

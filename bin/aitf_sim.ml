@@ -195,10 +195,31 @@ let run_cmd =
          & info [ "filter-capacity" ] ~docv:"SLOTS"
              ~doc:"Wire-speed filter-table slots per gateway.")
   in
+  let engine =
+    Arg.(value
+         & opt (enum [ ("packet", Config.Packet); ("hybrid", Config.Hybrid) ])
+             Config.Packet
+         & info [ "engine" ] ~docv:"packet|hybrid"
+             ~doc:"Data-plane substrate: discrete packets end to end, or \
+                   the fluid rate-domain plane bridged to the packet-level \
+                   control plane by sampled probes (see docs/SIMULATOR.md).")
+  in
+  let hybrid_epoch =
+    Arg.(value & opt float Config.default.Config.hybrid_epoch
+         & info [ "hybrid-epoch" ] ~docv:"SECONDS"
+             ~doc:"Fluid-share recompute period under --engine hybrid.")
+  in
+  let probe_rate =
+    Arg.(value & opt float Config.default.Config.hybrid_probe_rate
+         & info [ "probe-rate" ] ~docv:"PKTS/S"
+             ~doc:"Probe packets materialised per aggregate under --engine \
+                   hybrid (0 = derive from the aggregate's own rate).")
+  in
   let run duration t_filter t_tmp attack_rate legit_rate non_coop strategy td
       depth seed no_handshake disconnect trace csv stats metrics metrics_csv
       metrics_interval traceback loss burst_loss dup flap ctrl_retries
-      ctrl_rto adversary overload filter_capacity =
+      ctrl_rto adversary overload filter_capacity engine hybrid_epoch
+      probe_rate =
     if trace then Trace.add_sink (Trace.printing_sink ());
     let registry =
       if metrics <> None || metrics_csv <> None then begin
@@ -221,6 +242,9 @@ let run_cmd =
         ctrl_rto;
         filter_capacity;
         overload_manager = overload;
+        engine;
+        hybrid_epoch;
+        hybrid_probe_rate = probe_rate;
       }
     in
     let ctrl_faults =
@@ -291,6 +315,15 @@ let run_cmd =
     (match Scenarios.time_to_suppress r ~threshold:0.05 with
     | Some t -> add "time to suppression (s)" (Printf.sprintf "%.2f" t)
     | None -> add "time to suppression (s)" "never");
+    add "events processed" (string_of_int r.Scenarios.events_processed);
+    (match r.Scenarios.fluid with
+    | Some eng ->
+      add "fluid aggregates / sources"
+        (Printf.sprintf "%d / %d"
+           (Scenarios.Fluid.aggregates eng)
+           (Scenarios.Fluid.total_sources eng));
+      add "fluid share recomputes" (string_of_int (Scenarios.Fluid.recomputes eng))
+    | None -> ());
     List.iter
       (fun h ->
         let module A = Aitf_adversary.Adversary in
@@ -370,7 +403,8 @@ let run_cmd =
       $ non_coop $ strategy $ td $ depth $ seed $ no_handshake $ disconnect
       $ trace $ csv $ stats $ metrics $ metrics_csv $ metrics_interval
       $ traceback $ loss $ burst_loss $ dup $ flap $ ctrl_retries
-      $ ctrl_rto $ adversary $ overload $ filter_capacity)
+      $ ctrl_rto $ adversary $ overload $ filter_capacity $ engine
+      $ hybrid_epoch $ probe_rate)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a single-attacker Figure-1 scenario.")
@@ -410,8 +444,15 @@ let flood_cmd =
     Arg.(value & opt float 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
            ~doc:"Metric sampling period (0 = the scenario default).")
   in
+  let engine =
+    Arg.(value
+         & opt (enum [ ("packet", Config.Packet); ("hybrid", Config.Hybrid) ])
+             Config.Packet
+         & info [ "engine" ] ~docv:"packet|hybrid"
+             ~doc:"Data-plane substrate (see docs/SIMULATOR.md).")
+  in
   let run isps nets hosts zombies rate duration seed no_aitf metrics
-      metrics_interval =
+      metrics_interval engine =
     let registry =
       if metrics <> None then begin
         let reg = Aitf_obs.Metrics.create () in
@@ -430,6 +471,11 @@ let flood_cmd =
               Aitf_topo.Hierarchy.isps;
               nets_per_isp = nets;
               hosts_per_net = hosts;
+            };
+          flood_config =
+            {
+              Scenarios.default_flood.Scenarios.flood_config with
+              Config.engine;
             };
           zombies;
           zombie_rate = rate;
@@ -463,6 +509,14 @@ let flood_cmd =
         (string_of_int r.Scenarios.leaf_filters);
       add "filters at ISP gateways" (string_of_int r.Scenarios.isp_filters)
     end;
+    add "events processed" (string_of_int r.Scenarios.flood_events);
+    (match r.Scenarios.flood_fluid with
+    | Some eng ->
+      add "fluid aggregates / sources"
+        (Printf.sprintf "%d / %d"
+           (Scenarios.Fluid.aggregates eng)
+           (Scenarios.Fluid.total_sources eng))
+    | None -> ());
     Table.print table;
     match (registry, metrics) with
     | Some reg, Some file ->
@@ -491,7 +545,7 @@ let flood_cmd =
   let term =
     Term.(
       const run $ isps $ nets $ hosts $ zombies $ rate $ duration $ seed
-      $ no_aitf $ metrics $ metrics_interval)
+      $ no_aitf $ metrics $ metrics_interval $ engine)
   in
   Cmd.v
     (Cmd.info "flood"

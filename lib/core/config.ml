@@ -2,6 +2,8 @@ type filter_action = Block | Rate_limit of float
 
 type traceback_mode = Path_in_request | Spie_query of Aitf_traceback.Spie.t
 
+type engine = Packet | Hybrid
+
 type t = {
   t_filter : float;
   t_tmp : float;
@@ -30,6 +32,9 @@ type t = {
   overload_high : float;
   overload_low : float;
   overload_max_per_requestor : int;
+  engine : engine;
+  hybrid_epoch : float;
+  hybrid_probe_rate : float;
 }
 
 let default =
@@ -61,6 +66,9 @@ let default =
     overload_high = 0.9;
     overload_low = 0.6;
     overload_max_per_requestor = max_int;
+    engine = Packet;
+    hybrid_epoch = 0.1;
+    hybrid_probe_rate = 0.0;
   }
 
 let with_timescale c k =

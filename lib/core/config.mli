@@ -29,6 +29,14 @@ type traceback_mode =
       (** the victim's gateway reconstructs the path itself by capturing a
           filtered packet and querying SPIE digests *)
 
+type engine =
+  | Packet  (** every data packet is a discrete event (the default) *)
+  | Hybrid
+      (** fluid data plane ([Aitf_flowsim]): aggregates carry byte rates,
+          links recompute drop-tail shares at epoch boundaries and on rate
+          changes; the AITF control plane stays packet-level, bridged by a
+          deterministic probe sampler *)
+
 type t = {
   t_filter : float;  (** T (s) *)
   t_tmp : float;  (** Ttmp (s) *)
@@ -77,6 +85,16 @@ type t = {
   overload_max_per_requestor : int;
       (** outstanding filters one requestor may hold while degraded;
           [max_int] (the default) disables the cap *)
+  engine : engine;
+      (** which data-plane substrate scenario runners build (default
+          {!Packet}; the choice never alters packet-engine behaviour) *)
+  hybrid_epoch : float;
+      (** fluid-share recompute period (s, default 0.1); recomputes also
+          happen immediately on any filter or rate change *)
+  hybrid_probe_rate : float;
+      (** representative packets materialised per aggregate (packets/s);
+          [0.] (the default) derives a rate from the aggregate's own packet
+          rate, capped so probe cost stays bounded *)
 }
 
 val default : t

@@ -13,6 +13,8 @@ type handle = {
   mutable limiter : Token_bucket.t option;  (* None = block outright *)
 }
 
+type change = Installed of handle | Removed of handle
+
 type t = {
   sim : Sim.t;
   capacity : int;
@@ -25,6 +27,7 @@ type t = {
   mutable rejected : int;
   mutable blocked_packets : int;
   mutable blocked_bytes : int;
+  mutable observers : (change -> unit) list;
 }
 
 let create sim ~capacity =
@@ -41,7 +44,11 @@ let create sim ~capacity =
     rejected = 0;
     blocked_packets = 0;
     blocked_bytes = 0;
+    observers = [];
   }
+
+let subscribe t f = t.observers <- f :: t.observers
+let notify t ev = List.iter (fun f -> f ev) t.observers
 
 let detach t h =
   if h.alive then begin
@@ -51,7 +58,8 @@ let detach t h =
     Hashtbl.remove t.by_label h.label;
     if Flow_label.is_exact h.label then Hashtbl.remove t.exact h.label
     else t.wildcards <- List.filter (fun w -> w != h) t.wildcards;
-    t.occupancy <- t.occupancy - 1
+    t.occupancy <- t.occupancy - 1;
+    notify t (Removed h)
   end
 
 let arm_expiry t h =
@@ -99,6 +107,9 @@ let install ?rate_limit t label ~duration =
     | Some rate, _ -> h.limiter <- Some (make_limiter rate));
     arm_expiry t h;
     t.installs <- t.installs + 1;
+    (* A refresh can change the action (block <-> rate-limit), so observers
+       hear about it too. *)
+    notify t (Installed h);
     Ok h
   | None ->
     (* A full table is not final: a label subsuming live entries can make
@@ -130,6 +141,7 @@ let install ?rate_limit t label ~duration =
       if t.occupancy > t.peak then t.peak <- t.occupancy;
       t.installs <- t.installs + 1;
       arm_expiry t h;
+      notify t (Installed h);
       Ok h
     end
 
@@ -145,6 +157,7 @@ let live_entries t =
   |> List.sort (fun a b -> Flow_label.compare a.label b.label)
 
 let label h = h.label
+let rate_limit h = Option.map Token_bucket.rate h.limiter
 let installed_at h = h.installed_at
 let expires_at h = h.expires_at
 let live h = h.alive

@@ -45,6 +45,16 @@ val install :
 val remove : t -> handle -> unit
 (** Uninstall now; idempotent, harmless after expiry. *)
 
+type change = Installed of handle | Removed of handle
+
+val subscribe : t -> (change -> unit) -> unit
+(** Observe the table: [Installed] fires on every successful {!install}
+    (refreshes included — a refresh can change the action), [Removed] fires
+    exactly once per entry however it leaves (explicit removal, expiry, or
+    subsumption eviction). The fluid engine uses this seam to mirror filter
+    state into the rate domain; with no subscribers the table's behaviour
+    and cost are unchanged. *)
+
 val find : t -> Flow_label.t -> handle option
 (** Live entry with exactly this label. *)
 
@@ -58,6 +68,10 @@ val live_entries : t -> handle list
     occupancy-pressure policies (the overload manager's eviction scan). *)
 
 val label : handle -> Flow_label.t
+
+val rate_limit : handle -> float option
+(** [Some rate] (bytes/s) when the filter rate-limits instead of blocking. *)
+
 val installed_at : handle -> float
 val expires_at : handle -> float
 val live : handle -> bool
@@ -80,6 +94,12 @@ val blocking_entry : t -> Packet.t -> handle option
 
 val would_block : t -> Packet.t -> bool
 (** Like {!blocks} but without touching counters (for tests/queries). *)
+
+val matching_entry : t -> Packet.t -> handle option
+(** The live entry that would act on the packet (most-specific-first, like
+    {!blocks}), without touching hit counters or limiter token state — the
+    query the fluid engine uses to mirror a source's fate into the rate
+    domain. *)
 
 val occupancy : t -> int
 val capacity : t -> int

@@ -25,6 +25,14 @@ type t = {
   mutable avg_queue : float;  (* EWMA of queued bytes, for RED *)
   mutable idle_since : float option;  (* set while the transmitter is idle *)
   mutable early_drops : int;
+  (* Fluid coupling (hybrid engine): the rate plane publishes how much
+     aggregate traffic is offered to / admitted by this link, and discrete
+     packets crossing it then compete with that load — dropped with the
+     fluid loss fraction and, under saturation, delayed by a full queue.
+     Both stay 0.0 in packet-only runs, leaving behaviour untouched. *)
+  mutable fluid_offered : float;  (* bits/s *)
+  mutable fluid_admitted : float;  (* bits/s *)
+  mutable fluid_drops : int;
 }
 
 let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
@@ -53,6 +61,9 @@ let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
       avg_queue = 0.;
       idle_since = Some 0.;
       early_drops = 0;
+      fluid_offered = 0.;
+      fluid_admitted = 0.;
+      fluid_drops = 0;
     }
   in
   Aitf_obs.Metrics.if_attached (fun reg ->
@@ -75,7 +86,13 @@ let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
         (fun () ->
           let now = Sim.now t.sim in
           if now <= 0. then 0.
-          else float_of_int (t.tx_bytes * 8) /. (t.bandwidth *. now)));
+          else float_of_int (t.tx_bytes * 8) /. (t.bandwidth *. now));
+      register_gauge reg (p "fluid_offered_bps") ~unit_:"bits/s"
+        ~help:"Fluid-aggregate load currently offered to the link" (fun () ->
+          t.fluid_offered);
+      register_gauge reg (p "fluid_admitted_bps") ~unit_:"bits/s"
+        ~help:"Fluid-aggregate load the link currently admits" (fun () ->
+          t.fluid_admitted));
   t
 
 let set_deliver t f = t.deliver <- Some f
@@ -128,12 +145,19 @@ let rec start_transmission t =
     t.idle_since <- None;
     t.queued_bytes <- t.queued_bytes - pkt.size;
     let serialization = float_of_int (pkt.size * 8) /. t.bandwidth in
+    (* Under fluid saturation the queue is full in steady state, so a packet
+       that does get through waits a full queue's worth of serialisation. *)
+    let fluid_wait =
+      if t.fluid_offered > t.bandwidth then
+        float_of_int (t.queue_capacity * 8) /. t.bandwidth
+      else 0.
+    in
     ignore
       (Sim.after t.sim serialization (fun () ->
            (* Whether the serialised packet counts as transmitted or dropped
               is decided once, at delivery time — never both. *)
            ignore
-             (Sim.after t.sim t.delay (fun () ->
+             (Sim.after t.sim (t.delay +. fluid_wait) (fun () ->
                   match t.deliver with
                   | Some f when t.is_up ->
                     t.tx_packets <- t.tx_packets + 1;
@@ -158,8 +182,26 @@ let red_rejects t =
       in
       Rng.bernoulli t.rng ~p:(max_p *. ramp)
 
+let fluid_loss t =
+  if t.fluid_offered <= 0. then 0.
+  else Float.max 0. (1. -. (t.fluid_admitted /. t.fluid_offered))
+
+let set_fluid t ~offered ~admitted =
+  t.fluid_offered <- offered;
+  t.fluid_admitted <- admitted
+
 let send t pkt =
   if not t.is_up then drop t pkt
+  else if
+    (* Discrete packets compete with the fluid load: a saturated link drops
+       them with the same loss fraction the aggregates suffer. [bernoulli]
+       consumes no randomness when p <= 0, so packet-only runs never touch
+       the RNG here and stay bit-identical. *)
+    Rng.bernoulli t.rng ~p:(fluid_loss t)
+  then begin
+    t.fluid_drops <- t.fluid_drops + 1;
+    drop t pkt
+  end
   else begin
     update_red_avg t;
     if t.busy && t.queued_bytes + pkt.Packet.size > t.queue_capacity then
@@ -175,6 +217,9 @@ let send t pkt =
     end
   end
 
+let fluid_offered t = t.fluid_offered
+let fluid_admitted t = t.fluid_admitted
+let fluid_drops t = t.fluid_drops
 let name t = t.name
 let bandwidth t = t.bandwidth
 let delay t = t.delay

@@ -78,3 +78,27 @@ val dropped_bytes : t -> int
 
 val utilization : t -> now:float -> float
 (** Fraction of capacity used so far: bits sent / (bandwidth * now). *)
+
+(** {2 Fluid coupling (hybrid engine)}
+
+    The fluid plane ({!Aitf_flowsim.Fluid}) publishes its per-link load
+    here so that discrete packets — the AITF control plane and the probe
+    samples — compete with the aggregates congesting the link: they are
+    dropped with the fluid loss fraction (deterministically, from the
+    link's own seeded RNG) and, when the link is saturated, delayed by a
+    full queue's worth of serialisation. With no fluid load attached
+    (both rates 0, the packet-only default) behaviour is bit-identical
+    to before. *)
+
+val set_fluid : t -> offered:float -> admitted:float -> unit
+(** Current fluid load in bits/s: what aggregates offer to this link and
+    what the link admits of it ([admitted <= offered]). *)
+
+val fluid_offered : t -> float
+val fluid_admitted : t -> float
+
+val fluid_loss : t -> float
+(** [1 - admitted/offered], or [0.] when no fluid load is attached. *)
+
+val fluid_drops : t -> int
+(** Discrete packets dropped by fluid contention. *)

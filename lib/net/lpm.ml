@@ -41,12 +41,36 @@ let insert t (p : Addr.prefix) v =
   in
   go t.root 0
 
-let remove t p =
-  match find_node t p with
+let remove t (p : Addr.prefix) =
+  (* Walk down recording the path so emptied branches can be pruned on the
+     way back up: a valueless, childless node serves no lookup and would
+     otherwise leak for the lifetime of the table under insert/remove churn. *)
+  let path = Array.make (p.len + 1) t.root in
+  let rec descend node depth =
+    path.(depth) <- node;
+    if depth = p.len then Some node
+    else
+      match child node (Addr.bit p.base depth) with
+      | None -> None
+      | Some c -> descend c (depth + 1)
+  in
+  match descend t.root 0 with
   | None -> ()
   | Some node ->
     if node.value <> None then t.size <- t.size - 1;
-    node.value <- None
+    node.value <- None;
+    let rec prune depth =
+      if depth > 0 then begin
+        let n = path.(depth) in
+        if n.value = None && n.zero = None && n.one = None then begin
+          let parent = path.(depth - 1) in
+          if Addr.bit p.base (depth - 1) then parent.one <- None
+          else parent.zero <- None;
+          prune (depth - 1)
+        end
+      end
+    in
+    prune p.len
 
 let exact t p =
   match find_node t p with None -> None | Some node -> node.value
@@ -66,8 +90,18 @@ let lookup_prefix t addr =
   in
   go t.root 0 None
 
+(* The forwarding fast path: same walk as [lookup_prefix] but tracks only
+   the best value, so a hit allocates nothing (no [Addr.prefix] built). *)
 let lookup t addr =
-  match lookup_prefix t addr with None -> None | Some (_, v) -> Some v
+  let rec go node depth best =
+    let best = match node.value with Some _ as v -> v | None -> best in
+    if depth = 32 then best
+    else
+      match child node (Addr.bit addr depth) with
+      | None -> best
+      | Some c -> go c (depth + 1) best
+  in
+  go t.root 0 None
 
 let iter t f =
   let rec go node prefix_bits depth =
@@ -86,6 +120,29 @@ let iter t f =
   go t.root 0l 0
 
 let size t = t.size
+
+let node_count t =
+  let rec go node acc =
+    let acc = acc + 1 in
+    let acc = match node.zero with Some c -> go c acc | None -> acc in
+    match node.one with Some c -> go c acc | None -> acc
+  in
+  go t.root 0
+
+let invariant t =
+  let values = ref 0 in
+  let ok = ref true in
+  let rec go ~root node =
+    (match node.value with Some _ -> incr values | None -> ());
+    (* A non-root leaf without a value is a dead chain [remove] should have
+       pruned. *)
+    if (not root) && node.value = None && node.zero = None && node.one = None
+    then ok := false;
+    (match node.zero with Some c -> go ~root:false c | None -> ());
+    match node.one with Some c -> go ~root:false c | None -> ()
+  in
+  go ~root:true t.root;
+  !ok && !values = t.size
 
 let clear t =
   t.root.value <- None;

@@ -14,10 +14,12 @@ val insert : 'a t -> Addr.prefix -> 'a -> unit
     same prefix. *)
 
 val remove : 'a t -> Addr.prefix -> unit
-(** Remove the binding of exactly this prefix, if any. *)
+(** Remove the binding of exactly this prefix, if any, pruning any trie
+    branch the removal leaves empty. *)
 
 val lookup : 'a t -> Addr.t -> 'a option
-(** Longest matching prefix's value, or [None]. *)
+(** Longest matching prefix's value, or [None]. Non-allocating on both hit
+    and miss — the forwarding fast path. *)
 
 val lookup_prefix : 'a t -> Addr.t -> (Addr.prefix * 'a) option
 (** Like {!lookup} but also returns the matching prefix. *)
@@ -27,6 +29,14 @@ val exact : 'a t -> Addr.prefix -> 'a option
 
 val size : 'a t -> int
 (** Number of bound prefixes. *)
+
+val node_count : 'a t -> int
+(** Trie nodes currently allocated, root included — a leak detector for
+    tests exercising insert/remove churn. *)
+
+val invariant : 'a t -> bool
+(** Structural health check: [size] equals the number of bound values, and
+    no dead chain survives (every non-root leaf holds a value). *)
 
 val clear : 'a t -> unit
 (** Remove every binding. *)

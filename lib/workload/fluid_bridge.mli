@@ -1,0 +1,28 @@
+(** Glue between the fluid plane and the packet-level AITF agents.
+
+    Lives in the workload layer because [Aitf_flowsim] cannot depend on the
+    protocol messages in [Aitf_core]. *)
+
+open Aitf_net
+open Aitf_core
+module Fluid = Aitf_flowsim.Fluid
+
+val attach_attacker_strategy :
+  Fluid.t -> Fluid.agg -> Host_agent.Attacker.t -> unit
+(** Mirror the attacker host's response strategy ([Complies] / [Ignores] /
+    [On_off]) onto the aggregate's stage 0 — the source's own gate. *)
+
+val absorb_pool_requests : Node.t -> int ref
+(** Hook a spoofed-source pool node so To_attacker filtering requests
+    routed into its advertised range are absorbed (returned counter) rather
+    than dropped on a missing route. *)
+
+type victim_meter
+
+val victim_meter : Fluid.t -> victim_meter
+
+val victim_attack_rate : victim_meter -> now:float -> float
+(** Attack rate (bits/s) reaching destinations, smoothed through the same
+    1-second window as the packet engine's victim meter — sample this into
+    the victim-rate series so [time_to_suppress] behaves identically under
+    both engines. *)

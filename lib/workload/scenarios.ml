@@ -3,6 +3,8 @@ module Rng = Aitf_engine.Rng
 module Series = Aitf_stats.Series
 module Rate_meter = Aitf_stats.Rate_meter
 module Counter = Aitf_stats.Counter
+module Fluid = Aitf_flowsim.Fluid
+module Sampler = Aitf_flowsim.Sampler
 open Aitf_net
 open Aitf_core
 open Aitf_topo
@@ -71,6 +73,8 @@ type chain_result = {
   collateral_packets : int;
   collateral_bytes : int;
   sampler : Aitf_obs.Sampler.t option;
+  fluid : Fluid.t option;
+  events_processed : int;
 }
 
 let counter_total gws name =
@@ -179,38 +183,104 @@ let run_chain params =
         in_pool )
     end
   in
-  let (_in_pool_source : Traffic.t option) =
-    Option.map
-      (fun node ->
-        Traffic.cbr ~start:0. ~flow_id:3 ~rate:params.in_pool_legit_rate
-          ~dst:topo.Chain.victim.Node.addr topo.Chain.net node)
-      in_pool_client
-  in
   let attacker_agent = deployed.Chain.attacker_agent in
-  let (_attack_source : Traffic.t) =
-    Traffic.cbr
-      ~gate:(Host_agent.Attacker.gate attacker_agent)
-      ~start:params.attack_start ~attack:true ~flow_id:1
-      ~rate:params.attack_rate ~dst:topo.Chain.victim.Node.addr topo.Chain.net
-      topo.Chain.attacker
-  in
-  let legit_source =
-    if params.legit_rate > 0. then
-      Some
-        (Traffic.cbr ~start:0. ~flow_id:2 ~rate:params.legit_rate
-           ~dst:topo.Chain.victim.Node.addr topo.Chain.net
-           topo.Chain.bystander)
+  let victim_addr = topo.Chain.victim.Node.addr in
+  (* Engine selection. Under [Hybrid], the data plane is fluid: each source
+     becomes a one-source aggregate, gateways' filter tables are mirrored
+     into the rate domain, and a deterministic sampler materialises probe
+     packets so the (unchanged, packet-level) control plane keeps seeing
+     traffic. The RNG is only split in hybrid mode, so packet runs replay
+     the exact pre-hybrid event sequence. *)
+  let fluid_ctx =
+    if params.config.Config.engine = Config.Hybrid then begin
+      let eng =
+        Fluid.create ~epoch:params.config.Config.hybrid_epoch topo.Chain.net
+      in
+      List.iter
+        (fun gw ->
+          Fluid.attach_table eng ~node:(Gateway.node gw) (Gateway.filters gw))
+        (deployed.Chain.victim_gateways @ deployed.Chain.attacker_gateways);
+      Some (eng, Rng.split rng)
+    end
     else None
   in
-  (* Sample the attack bandwidth the victim experiences. *)
+  let probe_rate =
+    let r = params.config.Config.hybrid_probe_rate in
+    if r > 0. then Some r else None
+  in
+  let fluid_agg ?flow_id eng node rate ~attack ~start =
+    Fluid.add_aggregate ?flow_id eng ~origin:node ~src_base:node.Node.addr
+      ~n:1 ~rate ~dst:victim_addr ~attack ~start
+  in
+  let (_in_pool_source : Traffic.t option) =
+    match fluid_ctx with
+    | None ->
+      Option.map
+        (fun node ->
+          Traffic.cbr ~start:0. ~flow_id:3 ~rate:params.in_pool_legit_rate
+            ~dst:victim_addr topo.Chain.net node)
+        in_pool_client
+    | Some (eng, _) ->
+      Option.iter
+        (fun node ->
+          ignore
+            (fluid_agg ~flow_id:3 eng node params.in_pool_legit_rate
+               ~attack:false ~start:0.))
+        in_pool_client;
+      None
+  in
+  let (_attack_source : Traffic.t option) =
+    match fluid_ctx with
+    | None ->
+      Some
+        (Traffic.cbr
+           ~gate:(Host_agent.Attacker.gate attacker_agent)
+           ~start:params.attack_start ~attack:true ~flow_id:1
+           ~rate:params.attack_rate ~dst:victim_addr topo.Chain.net
+           topo.Chain.attacker)
+    | Some (eng, frng) ->
+      let agg =
+        fluid_agg ~flow_id:1 eng topo.Chain.attacker params.attack_rate
+          ~attack:true ~start:params.attack_start
+      in
+      Fluid_bridge.attach_attacker_strategy eng agg attacker_agent;
+      ignore (Sampler.attach ?rate:probe_rate ~rng:(Rng.split frng) eng agg);
+      None
+  in
+  let legit_on = params.legit_rate > 0. in
+  let (_legit_source : Traffic.t option) =
+    if not legit_on then None
+    else
+      match fluid_ctx with
+      | None ->
+        Some
+          (Traffic.cbr ~start:0. ~flow_id:2 ~rate:params.legit_rate
+             ~dst:victim_addr topo.Chain.net topo.Chain.bystander)
+      | Some (eng, _) ->
+        ignore
+          (fluid_agg ~flow_id:2 eng topo.Chain.bystander params.legit_rate
+             ~attack:false ~start:0.);
+        None
+  in
+  (* Sample the attack bandwidth the victim experiences. In hybrid runs the
+     fluid delivery is pushed through the same 1-second window as the packet
+     engine's victim meter, so [time_to_suppress] sees identical smoothing
+     lag under both engines. *)
   let victim_rate = Series.create ~name:"victim-attack-rate" () in
   let meter = Host_agent.Victim.attack_meter deployed.Chain.victim_agent in
+  let vmeter =
+    Option.map (fun (eng, _) -> Fluid_bridge.victim_meter eng) fluid_ctx
+  in
   let rec sample t =
     if t <= params.duration then
       ignore
         (Sim.at sim t (fun () ->
-             Series.add victim_rate ~time:t
-               (8. *. Rate_meter.rate meter ~now:t);
+             let v =
+               match vmeter with
+               | Some m -> Fluid_bridge.victim_attack_rate m ~now:t
+               | None -> 8. *. Rate_meter.rate meter ~now:t
+             in
+             Series.add victim_rate ~time:t v;
              sample (t +. params.sample_period)))
   in
   sample params.sample_period;
@@ -227,12 +297,17 @@ let run_chain params =
     params.attack_rate *. (params.duration -. params.attack_start) /. 8.
   in
   let attack_received_bytes =
-    Host_agent.Victim.attack_bytes deployed.Chain.victim_agent
+    match fluid_ctx with
+    | Some (eng, _) -> Fluid.delivered_bits eng ~attack:true /. 8.
+    | None -> Host_agent.Victim.attack_bytes deployed.Chain.victim_agent
+  in
+  let good_received_bytes =
+    match fluid_ctx with
+    | Some (eng, _) -> Fluid.delivered_bits eng ~attack:false /. 8.
+    | None -> Host_agent.Victim.good_bytes deployed.Chain.victim_agent
   in
   let good_offered_bytes =
-    (match legit_source with
-    | Some _ -> params.legit_rate *. params.duration /. 8.
-    | None -> 0.)
+    (if legit_on then params.legit_rate *. params.duration /. 8. else 0.)
     +.
     match in_pool_client with
     | Some _ -> params.in_pool_legit_rate *. params.duration /. 8.
@@ -259,8 +334,7 @@ let run_chain params =
          attack_received_bytes /. attack_offered_bytes
        else 0.);
     good_offered_bytes;
-    good_received_bytes =
-      Host_agent.Victim.good_bytes deployed.Chain.victim_agent;
+    good_received_bytes;
     victim_rate;
     escalations = counter_total deployed.Chain.victim_gateways "escalated";
     requests_sent =
@@ -285,6 +359,8 @@ let run_chain params =
     collateral_packets = overload_total Aitf_filter.Overload.collateral_packets;
     collateral_bytes = overload_total Aitf_filter.Overload.collateral_bytes;
     sampler;
+    fluid = Option.map fst fluid_ctx;
+    events_processed = Sim.events_processed sim;
   }
 
 let time_to_suppress result ~threshold =
@@ -356,6 +432,8 @@ type flood_result = {
   leaf_filters : int;
   isp_filters : int;
   flood_sampler : Aitf_obs.Sampler.t option;
+  flood_fluid : Fluid.t option;
+  flood_events : int;
 }
 
 let run_flood p =
@@ -378,8 +456,29 @@ let run_flood p =
      wrapper was installed before any agent, so the agent runs first and
      swallows Data; count here only without AITF, through the agent
      otherwise. *)
+  (* Hybrid: the whole data plane is fluid; the control plane (when AITF is
+     deployed) is driven by per-zombie probe samplers. *)
+  let fluid_ctx =
+    if config.Config.engine = Config.Hybrid then begin
+      let eng = Fluid.create ~epoch:config.Config.hybrid_epoch t.Hierarchy.net in
+      (match deployed with
+      | Some d ->
+        let attach gw =
+          Fluid.attach_table eng ~node:(Gateway.node gw) (Gateway.filters gw)
+        in
+        Array.iter (fun row -> Array.iter attach row) d.Hierarchy.net_gateways;
+        Array.iter attach d.Hierarchy.isp_gateways
+      | None -> ());
+      Some (eng, Rng.split rng)
+    end
+    else None
+  in
+  let probe_rate =
+    let r = config.Config.hybrid_probe_rate in
+    if r > 0. then Some r else None
+  in
   let legit = ref 0. and attack = ref 0. in
-  (if not p.with_aitf then
+  (if (not p.with_aitf) && Option.is_none fluid_ctx then
      let prev = victim_node.Node.local_deliver in
      victim_node.Node.local_deliver <-
        (fun node (pkt : Packet.t) ->
@@ -399,10 +498,18 @@ let run_flood p =
            !placed_clients < p.legit_clients && not (net = 0 && host = 0)
          then begin
            incr placed_clients;
-           ignore
-             (Traffic.cbr ~start:0. ~flow_id:(2000 + !placed_clients)
-                ~rate:p.legit_rate ~dst:victim_node.Node.addr t.Hierarchy.net
-                (Hierarchy.host t ~isp:0 ~net ~host))
+           let src = Hierarchy.host t ~isp:0 ~net ~host in
+           match fluid_ctx with
+           | None ->
+             ignore
+               (Traffic.cbr ~start:0. ~flow_id:(2000 + !placed_clients)
+                  ~rate:p.legit_rate ~dst:victim_node.Node.addr t.Hierarchy.net
+                  src)
+           | Some (eng, _) ->
+             ignore
+               (Fluid.add_aggregate eng ~flow_id:(2000 + !placed_clients)
+                  ~origin:src ~src_base:src.Node.addr ~n:1 ~rate:p.legit_rate
+                  ~dst:victim_node.Node.addr ~attack:false ~start:0.)
          end
        done
      done
@@ -415,21 +522,38 @@ let run_flood p =
          for host = 0 to p.hierarchy.Hierarchy.hosts_per_net - 1 do
            if !placed < p.zombies then begin
              incr placed;
-             let gate =
-               match deployed with
-               | Some d ->
-                 let agent =
+             let agent =
+               Option.map
+                 (fun d ->
                    Hierarchy.attach_attacker ~strategy:p.zombie_strategy d
-                     ~config ~isp ~net ~host
-                 in
-                 Host_agent.Attacker.gate agent
-               | None -> fun _ -> true
+                     ~config ~isp ~net ~host)
+                 deployed
              in
-             ignore
-               (Traffic.cbr ~gate ~start:p.attack_start ~attack:true
-                  ~flow_id:(1000 + !placed) ~rate:p.zombie_rate
-                  ~dst:victim_node.Node.addr t.Hierarchy.net
-                  (Hierarchy.host t ~isp ~net ~host))
+             let src = Hierarchy.host t ~isp ~net ~host in
+             match fluid_ctx with
+             | None ->
+               let gate =
+                 match agent with
+                 | Some a -> Host_agent.Attacker.gate a
+                 | None -> fun _ -> true
+               in
+               ignore
+                 (Traffic.cbr ~gate ~start:p.attack_start ~attack:true
+                    ~flow_id:(1000 + !placed) ~rate:p.zombie_rate
+                    ~dst:victim_node.Node.addr t.Hierarchy.net src)
+             | Some (eng, frng) ->
+               let agg =
+                 Fluid.add_aggregate eng ~flow_id:(1000 + !placed)
+                   ~origin:src ~src_base:src.Node.addr ~n:1
+                   ~rate:p.zombie_rate ~dst:victim_node.Node.addr
+                   ~attack:true ~start:p.attack_start
+               in
+               Option.iter
+                 (fun a -> Fluid_bridge.attach_attacker_strategy eng agg a)
+                 agent;
+               ignore
+                 (Sampler.attach ?rate:probe_rate ~rng:(Rng.split frng) eng
+                    agg)
            end
          done
        done
@@ -457,9 +581,15 @@ let run_flood p =
         filters_at d.Hierarchy.isp_gateways )
   in
   let legit_received, attack_received =
-    match victim with
-    | Some v -> (Host_agent.Victim.good_bytes v, Host_agent.Victim.attack_bytes v)
-    | None -> (!legit, !attack)
+    match fluid_ctx with
+    | Some (eng, _) ->
+      ( Fluid.delivered_bits eng ~attack:false /. 8.,
+        Fluid.delivered_bits eng ~attack:true /. 8. )
+    | None -> (
+      match victim with
+      | Some v ->
+        (Host_agent.Victim.good_bytes v, Host_agent.Victim.attack_bytes v)
+      | None -> (!legit, !attack))
   in
   {
     flood_params = p;
@@ -473,4 +603,170 @@ let run_flood p =
     leaf_filters;
     isp_filters;
     flood_sampler;
+    flood_fluid = Option.map fst fluid_ctx;
+    flood_events = Sim.events_processed sim;
+  }
+
+(* --- Massive-swarm scenario (hybrid engine only) ------------------------ *)
+
+type swarm_params = {
+  swarm_spec : Chain.spec;
+  swarm_config : Config.t;
+  swarm_seed : int;
+  swarm_duration : float;
+  swarm_sources : int;
+  swarm_pools : int;
+  swarm_attack_rate : float;
+  swarm_legit_rate : float;
+  swarm_attack_start : float;
+  swarm_td : float;
+  swarm_sample_period : float;
+}
+
+let default_swarm =
+  {
+    swarm_spec = Chain.default_spec;
+    swarm_config = Config.default;
+    swarm_seed = 42;
+    swarm_duration = 30.;
+    swarm_sources = 1000;
+    swarm_pools = 4;
+    swarm_attack_rate = 20e6;
+    swarm_legit_rate = 1e6;
+    swarm_attack_start = 1.;
+    swarm_td = 0.1;
+    swarm_sample_period = 0.1;
+  }
+
+type swarm_result = {
+  swarm_params : swarm_params;
+  swarm_deployed : Chain.deployed;
+  swarm_fluid : Fluid.t;
+  swarm_good_offered_bytes : float;
+  swarm_good_received_bytes : float;
+  swarm_attack_received_bytes : float;
+  swarm_victim_rate : Series.t;
+  swarm_requests_sent : int;
+  swarm_filters : int;
+  swarm_absorbed : int;
+  swarm_events : int;
+  swarm_sampler : Aitf_obs.Sampler.t option;
+}
+
+(* Each pool advertises a /12 (room for 2^20 sources) from 32.0.0.0 up, so
+   pool j's aggregate can spread its sources over a contiguous range that
+   routes back to the pool node for the reverse control path. *)
+let pool_prefix j = Addr.prefix (Addr.of_octets 32 (16 * j) 0 0) 12
+
+let run_swarm p =
+  if p.swarm_pools < 1 || p.swarm_pools > 16 then
+    invalid_arg "run_swarm: swarm_pools must be in 1..16";
+  if p.swarm_sources < p.swarm_pools then
+    invalid_arg "run_swarm: need at least one source per pool";
+  if (p.swarm_sources / p.swarm_pools) + 1 > 1 lsl 20 then
+    invalid_arg "run_swarm: more than 2^20 sources per pool";
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:p.swarm_seed in
+  let topo = Chain.build sim p.swarm_spec in
+  let net = topo.Chain.net in
+  let spec = p.swarm_spec in
+  (* Pool nodes: one origin host per aggregate, hanging off the attacker-side
+     gateways round-robin. The pool uplinks are provisioned well above the
+     offered load so the victim's tail circuit stays the only bottleneck. *)
+  let attacker_gws = Array.of_list topo.Chain.attacker_gws in
+  let pool_bw = Float.max spec.Chain.core_bw (2. *. p.swarm_attack_rate) in
+  let pools =
+    Array.init p.swarm_pools (fun j ->
+        let n =
+          Network.add_node net
+            ~name:(Printf.sprintf "pool%d" j)
+            ~addr:(Addr.of_octets 31 0 0 (j + 1))
+            ~as_id:(5000 + j) Node.Host
+        in
+        n.Node.advertised <-
+          [ (Addr.host_prefix n.Node.addr, Node.Global);
+            (pool_prefix j, Node.Global);
+          ];
+        ignore
+          (Network.connect net
+             attacker_gws.(j mod Array.length attacker_gws)
+             n ~bandwidth:pool_bw ~delay:spec.Chain.access_delay
+             ~queue_capacity:spec.Chain.queue_capacity);
+        n)
+  in
+  Network.compute_routes net;
+  let config = p.swarm_config in
+  let deployed = Chain.deploy ~victim_td:p.swarm_td ~config ~rng topo in
+  let eng = Fluid.create ~epoch:config.Config.hybrid_epoch net in
+  List.iter
+    (fun gw ->
+      Fluid.attach_table eng ~node:(Gateway.node gw) (Gateway.filters gw))
+    (deployed.Chain.victim_gateways @ deployed.Chain.attacker_gateways);
+  let frng = Rng.split rng in
+  let probe_rate =
+    let r = config.Config.hybrid_probe_rate in
+    if r > 0. then Some r else None
+  in
+  let victim_addr = topo.Chain.victim.Node.addr in
+  let base = p.swarm_sources / p.swarm_pools in
+  let rem = p.swarm_sources mod p.swarm_pools in
+  let absorbed = ref [] in
+  Array.iteri
+    (fun j pool ->
+      let n = base + if j < rem then 1 else 0 in
+      let rate =
+        p.swarm_attack_rate *. float_of_int n /. float_of_int p.swarm_sources
+      in
+      let agg =
+        Fluid.add_aggregate eng ~flow_id:(1000 + j) ~origin:pool
+          ~src_base:(Addr.of_octets 32 (16 * j) 0 0)
+          ~n ~rate ~dst:victim_addr ~attack:true ~start:p.swarm_attack_start
+      in
+      absorbed := Fluid_bridge.absorb_pool_requests pool :: !absorbed;
+      ignore (Sampler.attach ?rate:probe_rate ~rng:(Rng.split frng) eng agg))
+    pools;
+  if p.swarm_legit_rate > 0. then
+    ignore
+      (Fluid.add_aggregate eng ~flow_id:2 ~origin:topo.Chain.bystander
+         ~src_base:topo.Chain.bystander.Node.addr ~n:1 ~rate:p.swarm_legit_rate
+         ~dst:victim_addr ~attack:false ~start:0.);
+  let swarm_victim_rate = Series.create ~name:"victim-attack-rate" () in
+  let vmeter = Fluid_bridge.victim_meter eng in
+  let rec sample t =
+    if t <= p.swarm_duration then
+      ignore
+        (Sim.at sim t (fun () ->
+             Series.add swarm_victim_rate ~time:t
+               (Fluid_bridge.victim_attack_rate vmeter ~now:t);
+             sample (t +. p.swarm_sample_period)))
+  in
+  sample p.swarm_sample_period;
+  let swarm_sampler =
+    Option.map
+      (fun reg ->
+        Aitf_obs.Sampler.start ~interval:p.swarm_sample_period sim reg)
+      (Aitf_obs.Metrics.attached ())
+  in
+  Sim.run ~until:p.swarm_duration sim;
+  let all_gws =
+    deployed.Chain.victim_gateways @ deployed.Chain.attacker_gateways
+  in
+  {
+    swarm_params = p;
+    swarm_deployed = deployed;
+    swarm_fluid = eng;
+    swarm_good_offered_bytes =
+      (if p.swarm_legit_rate > 0. then
+         p.swarm_legit_rate *. p.swarm_duration /. 8.
+       else 0.);
+    swarm_good_received_bytes = Fluid.delivered_bits eng ~attack:false /. 8.;
+    swarm_attack_received_bytes = Fluid.delivered_bits eng ~attack:true /. 8.;
+    swarm_victim_rate;
+    swarm_requests_sent =
+      Host_agent.Victim.requests_sent deployed.Chain.victim_agent;
+    swarm_filters =
+      counter_total all_gws "filter-temp" + counter_total all_gws "filter-long";
+    swarm_absorbed = List.fold_left (fun acc r -> acc + !r) 0 !absorbed;
+    swarm_events = Sim.events_processed sim;
+    swarm_sampler;
   }

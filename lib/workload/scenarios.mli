@@ -10,6 +10,7 @@
 open Aitf_core
 open Aitf_topo
 module Series = Aitf_stats.Series
+module Fluid = Aitf_flowsim.Fluid
 
 type chain_params = {
   spec : Chain.spec;
@@ -86,6 +87,10 @@ type chain_result = {
   sampler : Aitf_obs.Sampler.t option;
       (** started (at [sample_period]) iff a metrics registry was attached
           via {!Aitf_obs.Metrics.attach} before the run *)
+  fluid : Fluid.t option;
+      (** the fluid engine, iff the config selected {!Config.Hybrid} *)
+  events_processed : int;
+      (** discrete events executed — the engine-comparison cost metric *)
 }
 
 val run_chain : chain_params -> chain_result
@@ -138,6 +143,60 @@ type flood_result = {
   isp_filters : int;
   flood_sampler : Aitf_obs.Sampler.t option;
       (** started iff a metrics registry was attached before the run *)
+  flood_fluid : Fluid.t option;
+      (** the fluid engine, iff the config selected {!Config.Hybrid} *)
+  flood_events : int;
 }
 
 val run_flood : flood_params -> flood_result
+
+(** {1 Massive swarm (hybrid engine only)}
+
+    The scaling scenario: the Figure-1 chain augmented with spoofed-source
+    pool nodes, each advertising a /12 so one fluid aggregate can stand in
+    for up to 2^20 attacking sources. Runs the fluid data plane
+    unconditionally (the packet engine cannot represent these populations),
+    with the packet-level AITF control plane — detection, handshakes,
+    filters — driven by sampled probes exactly as in hybrid chain runs. *)
+
+type swarm_params = {
+  swarm_spec : Chain.spec;
+  swarm_config : Config.t;
+      (** [hybrid_epoch] and [hybrid_probe_rate] are honoured; the [engine]
+          field is ignored — this scenario is always hybrid *)
+  swarm_seed : int;
+  swarm_duration : float;
+  swarm_sources : int;  (** total attacking sources, split over the pools *)
+  swarm_pools : int;  (** aggregates / origin pool nodes (1..16) *)
+  swarm_attack_rate : float;  (** total bits/s across all sources *)
+  swarm_legit_rate : float;  (** bystander -> victim rate; 0 disables *)
+  swarm_attack_start : float;
+  swarm_td : float;
+  swarm_sample_period : float;
+}
+
+val default_swarm : swarm_params
+(** 1000 sources over 4 pools, 20 Mbit/s total against the 10 Mbit/s tail,
+    30 s horizon. *)
+
+type swarm_result = {
+  swarm_params : swarm_params;
+  swarm_deployed : Chain.deployed;
+  swarm_fluid : Fluid.t;
+  swarm_good_offered_bytes : float;
+  swarm_good_received_bytes : float;
+  swarm_attack_received_bytes : float;
+  swarm_victim_rate : Series.t;
+  swarm_requests_sent : int;  (** by the victim host *)
+  swarm_filters : int;
+      (** temp + long filter installs over every gateway *)
+  swarm_absorbed : int;
+      (** To_attacker requests absorbed at pool nodes (no hosts behind a
+          spoofed pool to deliver them to) *)
+  swarm_events : int;
+  swarm_sampler : Aitf_obs.Sampler.t option;
+}
+
+val run_swarm : swarm_params -> swarm_result
+(** @raise Invalid_argument when the pool/source counts are out of range
+    (pools in 1..16, at most 2^20 sources per pool). *)

@@ -18,6 +18,7 @@ type t = {
   arrival : arrival;
   stop : float;
   mutable halted : bool;
+  mutable pending : Sim.handle option;
   mutable sent_packets : int;
   mutable sent_bytes : int;
   mutable gated : int;
@@ -43,12 +44,14 @@ let emit t =
 
 let rec schedule t delay =
   let sim = Network.sim t.net in
-  ignore
-    (Sim.after sim delay (fun () ->
-         if (not t.halted) && Sim.now sim < t.stop then begin
-           emit t;
-           schedule t (next_gap t)
-         end))
+  t.pending <-
+    Some
+      (Sim.after sim delay (fun () ->
+           t.pending <- None;
+           if (not t.halted) && Sim.now sim < t.stop then begin
+             emit t;
+             schedule t (next_gap t)
+           end))
 
 let launch ?(gate = fun _ -> true) ?(spoof = fun () -> None) ~start
     ?(stop = infinity) ?(pkt_size = 1000) ?(attack = false) ~flow_id ~arrival
@@ -66,6 +69,7 @@ let launch ?(gate = fun _ -> true) ?(spoof = fun () -> None) ~start
       arrival;
       stop;
       halted = false;
+      pending = None;
       sent_packets = 0;
       sent_bytes = 0;
       gated = 0;
@@ -91,7 +95,16 @@ let poisson ?gate ?spoof ?(start = 0.) ?stop ?pkt_size ?attack ~rng ~flow_id
   launch ?gate ?spoof ~start ?stop ?pkt_size ?attack ~flow_id
     ~arrival:(Exponential (rng, pkt_rate)) ~dst net node
 
-let halt t = t.halted <- true
+let halt t =
+  t.halted <- true;
+  (* Also cancel the scheduled emission so halted sources don't leave a dead
+     closure per source in the event queue — at fleet scale that is millions
+     of events the heap would otherwise drag to their fire times. *)
+  match t.pending with
+  | Some h ->
+    Sim.cancel h;
+    t.pending <- None
+  | None -> ()
 let flow_id t = t.flow_id
 let sent_packets t = t.sent_packets
 let sent_bytes t = t.sent_bytes

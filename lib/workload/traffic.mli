@@ -49,7 +49,7 @@ val poisson :
 (** Poisson arrivals with mean rate [rate] bits/s. *)
 
 val halt : t -> unit
-(** Stop generating permanently. *)
+(** Stop generating permanently, cancelling the pending emission event. *)
 
 val flow_id : t -> int
 val sent_packets : t -> int

@@ -1,0 +1,315 @@
+(* Tests for the hybrid fluid/packet engine: fluid share arithmetic, filter
+   mirroring, probe sampling, and packet/hybrid agreement on the chain
+   scenario. *)
+
+module Sim = Aitf_engine.Sim
+module Rng = Aitf_engine.Rng
+open Aitf_net
+module Fluid = Aitf_flowsim.Fluid
+module Sampler = Aitf_flowsim.Sampler
+module Filter_table = Aitf_filter.Filter_table
+module Flow_label = Aitf_filter.Flow_label
+module Config = Aitf_core.Config
+module Scenarios = Aitf_workload.Scenarios
+module Traffic = Aitf_workload.Traffic
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let close ?(tol = 1e-6) msg expected got =
+  if abs_float (expected -. got) > tol *. Float.max 1. (abs_float expected)
+  then
+    Alcotest.failf "%s: expected %g, got %g" msg expected got
+
+(* A tiny line: src1, src2 -> router -> dst over a 10 Mbit/s bottleneck. *)
+let line_topo sim =
+  let net = Network.create sim in
+  let node name addr =
+    Network.add_node net ~name ~addr:(Addr.of_string addr) ~as_id:1
+      Node.Host
+  in
+  let router =
+    Network.add_node net ~name:"r" ~addr:(Addr.of_string "1.0.0.1") ~as_id:1
+      Node.Router
+  in
+  let s1 = node "s1" "2.0.0.1" in
+  let s2 = node "s2" "3.0.0.1" in
+  let dst = node "d" "4.0.0.1" in
+  let big = 1e9 and small = 10e6 in
+  ignore (Network.connect net s1 router ~bandwidth:big ~delay:0.001);
+  ignore (Network.connect net s2 router ~bandwidth:big ~delay:0.001);
+  ignore (Network.connect net router dst ~bandwidth:small ~delay:0.001);
+  Network.compute_routes net;
+  (net, s1, s2, dst)
+
+let test_proportional_share () =
+  let sim = Sim.create () in
+  let net, s1, s2, dst = line_topo sim in
+  let eng = Fluid.create net in
+  (* 15 + 5 Mbit/s into a 10 Mbit/s bottleneck: drop-tail shares are
+     proportional, 7.5 and 2.5. *)
+  let a =
+    Fluid.add_aggregate eng ~origin:s1 ~src_base:s1.Node.addr ~n:1 ~rate:15e6
+      ~dst:dst.Node.addr ~attack:true ~start:0.
+  in
+  let b =
+    Fluid.add_aggregate eng ~origin:s2 ~src_base:s2.Node.addr ~n:1 ~rate:5e6
+      ~dst:dst.Node.addr ~attack:false ~start:0.
+  in
+  Sim.run ~until:10. sim;
+  close "attack share" 7.5e6 (Fluid.delivered_rate a);
+  close "legit share" 2.5e6 (Fluid.delivered_rate b);
+  (* Delivery integrates from t = 0 over 10 s. *)
+  close ~tol:1e-3 "attack bits" 75e6 (Fluid.delivered_bits eng ~attack:true);
+  close ~tol:1e-3 "legit bits" 25e6 (Fluid.delivered_bits eng ~attack:false)
+
+let test_filter_mirroring () =
+  let sim = Sim.create () in
+  let net, s1, s2, dst = line_topo sim in
+  let eng = Fluid.create net in
+  let router = Option.get (Network.node_by_addr net (Addr.of_string "1.0.0.1")) in
+  let table = Filter_table.create sim ~capacity:64 in
+  Fluid.attach_table eng ~node:router table;
+  let a =
+    Fluid.add_aggregate eng ~origin:s1 ~src_base:s1.Node.addr ~n:1 ~rate:15e6
+      ~dst:dst.Node.addr ~attack:true ~start:0.
+  in
+  let b =
+    Fluid.add_aggregate eng ~origin:s2 ~src_base:s2.Node.addr ~n:1 ~rate:5e6
+      ~dst:dst.Node.addr ~attack:false ~start:0.
+  in
+  (* At t = 2 block the attack flow at the router; the legit aggregate
+     should recover the whole bottleneck. *)
+  ignore
+    (Sim.at sim 2. (fun () ->
+         ignore
+           (Filter_table.install table
+              (Flow_label.host_pair s1.Node.addr dst.Node.addr)
+              ~duration:1e6)));
+  Sim.run ~until:10. sim;
+  close "attack blocked" 0. (Fluid.delivered_rate a);
+  close "legit unthrottled" 5e6 (Fluid.delivered_rate b);
+  checki "one source blocked" 1 (Fluid.blocked_sources a);
+  (* 2 s of 7.5 Mbit/s then 8 s of nothing. *)
+  close ~tol:1e-3 "attack bits" 15e6 (Fluid.delivered_bits eng ~attack:true);
+  close ~tol:1e-3 "legit bits" (2. *. 2.5e6 +. 8. *. 5e6)
+    (Fluid.delivered_bits eng ~attack:false)
+
+let test_filter_expiry_unblocks () =
+  let sim = Sim.create () in
+  let net, s1, _, dst = line_topo sim in
+  let eng = Fluid.create net in
+  let router = Option.get (Network.node_by_addr net (Addr.of_string "1.0.0.1")) in
+  let table = Filter_table.create sim ~capacity:64 in
+  Fluid.attach_table eng ~node:router table;
+  let a =
+    Fluid.add_aggregate eng ~origin:s1 ~src_base:s1.Node.addr ~n:1 ~rate:4e6
+      ~dst:dst.Node.addr ~attack:true ~start:0.
+  in
+  ignore
+    (Sim.at sim 1. (fun () ->
+         ignore
+           (Filter_table.install table
+              (Flow_label.host_pair s1.Node.addr dst.Node.addr)
+              ~duration:2.)));
+  Sim.run ~until:10. sim;
+  (* Blocked from 1 to 3, flowing otherwise: 8 s at 4 Mbit/s. *)
+  close "flowing again" 4e6 (Fluid.delivered_rate a);
+  checki "unblocked" 0 (Fluid.blocked_sources a);
+  close ~tol:1e-3 "bits" 32e6 (Fluid.delivered_bits eng ~attack:true)
+
+let test_multi_source_range () =
+  let sim = Sim.create () in
+  let net, s1, _, dst = line_topo sim in
+  let eng = Fluid.create net in
+  let router = Option.get (Network.node_by_addr net (Addr.of_string "1.0.0.1")) in
+  let table = Filter_table.create sim ~capacity:64 in
+  Fluid.attach_table eng ~node:router table;
+  (* 100 sources sharing 8 Mbit/s; block one /32 -> 99% remains. *)
+  let a =
+    Fluid.add_aggregate eng ~origin:s1 ~src_base:s1.Node.addr ~n:100 ~rate:8e6
+      ~dst:dst.Node.addr ~attack:true ~start:0.
+  in
+  ignore
+    (Sim.at sim 1. (fun () ->
+         ignore
+           (Filter_table.install table
+              (Flow_label.host_pair
+                 (Fluid.source_addr a 7)
+                 dst.Node.addr)
+              ~duration:1e6)));
+  Sim.run ~until:2. sim;
+  checki "one of 100 blocked" 1 (Fluid.blocked_sources a);
+  close "99 sources' worth" (0.99 *. 8e6) (Fluid.delivered_rate a);
+  (* A prefix filter covering the whole range kills the rest. *)
+  ignore
+    (Filter_table.install table
+       (Flow_label.v
+          (Flow_label.Net (Addr.prefix s1.Node.addr 8))
+          (Flow_label.Host dst.Node.addr))
+       ~duration:1e6)
+  |> ignore;
+  Sim.run ~until:3. sim;
+  close "prefix blocks all" 0. (Fluid.delivered_rate a);
+  checki "all blocked" 100 (Fluid.blocked_sources a)
+
+let test_sampler_probes () =
+  let sim = Sim.create () in
+  let net, s1, _, dst = line_topo sim in
+  let eng = Fluid.create net in
+  let a =
+    Fluid.add_aggregate eng ~origin:s1 ~src_base:s1.Node.addr ~n:50 ~rate:8e6
+      ~dst:dst.Node.addr ~attack:true ~start:0.
+  in
+  let received = ref 0 in
+  dst.Node.local_deliver <- (fun _ _ -> incr received);
+  let s = Sampler.attach ~rate:20. ~rng:(Rng.create ~seed:7) eng a in
+  Sim.run ~until:5. sim;
+  (* ~20 probes/s for 5 s, modulo the randomised first tick. *)
+  checkb "probes sent" true (Sampler.sent s >= 90 && Sampler.sent s <= 101);
+  checkb "probes delivered" true (!received >= 90);
+  checkb "gap" true (abs_float (Sampler.probe_gap s -. 0.05) < 1e-9)
+
+(* The packet and hybrid engines must agree on the chain scenario within
+   the E17 tolerance (10%); here a fast smoke version of that bench. *)
+let test_engine_agreement () =
+  let cfg =
+    { (Config.with_timescale Config.default 0.1) with Config.grace = 0.3 }
+  in
+  let base =
+    {
+      Scenarios.default_chain with
+      Scenarios.config = cfg;
+      duration = 15.;
+      attack_rate = 20e6;
+      legit_rate = 1e6;
+    }
+  in
+  let packet = Scenarios.run_chain base in
+  let hybrid =
+    Scenarios.run_chain
+      {
+        base with
+        Scenarios.config = { cfg with Config.engine = Config.Hybrid };
+      }
+  in
+  checkb "hybrid ran fluid" true (hybrid.Scenarios.fluid <> None);
+  checkb "packet ran without fluid" true (packet.Scenarios.fluid = None);
+  let rel a b = abs_float (a -. b) /. Float.max 1. (abs_float a) in
+  checkb "goodput within 10%" true
+    (rel packet.Scenarios.good_received_bytes
+       hybrid.Scenarios.good_received_bytes
+    <= 0.10);
+  let tts r =
+    match Scenarios.time_to_suppress r ~threshold:0.05 with
+    | Some t -> t
+    | None -> base.Scenarios.duration
+  in
+  checkb "time-to-filter within 10%" true
+    (rel (tts packet) (tts hybrid) <= 0.10);
+  checkb "hybrid needs fewer events" true
+    (hybrid.Scenarios.events_processed < packet.Scenarios.events_processed)
+
+(* Same seed, same hybrid run: results must be bit-identical. *)
+let test_hybrid_determinism () =
+  let cfg =
+    {
+      (Config.with_timescale Config.default 0.1) with
+      Config.grace = 0.3;
+      engine = Config.Hybrid;
+    }
+  in
+  let params =
+    {
+      Scenarios.default_chain with
+      Scenarios.config = cfg;
+      duration = 12.;
+      attack_rate = 20e6;
+      legit_rate = 1e6;
+      attacker_strategy = Aitf_core.Policy.On_off { off_time = 1.5 };
+    }
+  in
+  let r1 = Scenarios.run_chain params in
+  let r2 = Scenarios.run_chain params in
+  checkb "byte counts identical" true
+    (r1.Scenarios.attack_received_bytes = r2.Scenarios.attack_received_bytes
+    && r1.Scenarios.good_received_bytes = r2.Scenarios.good_received_bytes);
+  checkb "event counts identical" true
+    (r1.Scenarios.events_processed = r2.Scenarios.events_processed);
+  checkb "victim series identical" true
+    (Aitf_stats.Series.points r1.Scenarios.victim_rate
+    = Aitf_stats.Series.points r2.Scenarios.victim_rate)
+
+(* The swarm scenario: spoofed pools, ground-truth suppression, absorbed
+   requests. Small population so it stays fast under alcotest. *)
+let test_swarm_runs () =
+  let cfg =
+    {
+      (Config.with_timescale Config.default 0.1) with
+      Config.grace = 0.3;
+      engine = Config.Hybrid;
+      overload_manager = true;
+      aggregate_on_pressure = true;
+      filter_capacity = 128;
+    }
+  in
+  let r =
+    Scenarios.run_swarm
+      {
+        Scenarios.default_swarm with
+        Scenarios.swarm_config = cfg;
+        swarm_sources = 5000;
+        swarm_pools = 4;
+        swarm_duration = 15.;
+      }
+  in
+  (* 5000 attacking sources plus the one-source legit aggregate. *)
+  checki "all sources materialised" 5001
+    (Fluid.total_sources r.Scenarios.swarm_fluid);
+  checkb "victim asked for filters" true (r.Scenarios.swarm_requests_sent > 0);
+  checkb "filters installed" true (r.Scenarios.swarm_filters > 0);
+  checkb "attack partially suppressed" true
+    (r.Scenarios.swarm_attack_received_bytes
+    < 20e6 *. 14. /. 8. *. 0.9)
+
+let test_traffic_halt_cancels () =
+  let sim = Sim.create () in
+  let net, s1, _, dst = line_topo sim in
+  let t =
+    Traffic.cbr ~flow_id:1 ~rate:8e5 ~dst:dst.Node.addr net s1
+  in
+  Sim.run ~until:1.0 sim;
+  let sent = Traffic.sent_packets t in
+  checkb "was sending" true (sent > 0);
+  Traffic.halt t;
+  (* No pending emission survives: the event queue drains without another
+     packet. *)
+  Sim.run sim;
+  checki "nothing after halt" sent (Traffic.sent_packets t)
+
+let () =
+  Alcotest.run "aitf_flowsim"
+    [
+      ( "fluid",
+        [
+          Alcotest.test_case "proportional shares" `Quick
+            test_proportional_share;
+          Alcotest.test_case "filter mirroring" `Quick test_filter_mirroring;
+          Alcotest.test_case "expiry unblocks" `Quick
+            test_filter_expiry_unblocks;
+          Alcotest.test_case "multi-source ranges" `Quick
+            test_multi_source_range;
+          Alcotest.test_case "sampler probes" `Quick test_sampler_probes;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "engine agreement" `Slow test_engine_agreement;
+          Alcotest.test_case "determinism" `Slow test_hybrid_determinism;
+          Alcotest.test_case "swarm scenario" `Slow test_swarm_runs;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "halt cancels pending" `Quick
+            test_traffic_halt_cancels;
+        ] );
+    ]

@@ -222,6 +222,93 @@ let lpm_vs_reference =
         prefixes;
       Lpm.lookup t a = Option.map snd !best)
 
+(* Structural check of remove's chain pruning: dead interior nodes must be
+   detached, so the trie shrinks back to exactly what the live prefixes
+   need. *)
+let test_lpm_prune () =
+  let t = Lpm.create () in
+  Lpm.insert t (Addr.prefix_of_string "10.0.0.0/8") 1;
+  checki "root + 8 bits" 9 (Lpm.node_count t);
+  Lpm.insert t (Addr.prefix_of_string "10.1.0.0/16") 2;
+  checki "extended to 16" 17 (Lpm.node_count t);
+  Lpm.remove t (Addr.prefix_of_string "10.1.0.0/16");
+  checki "chain pruned back" 9 (Lpm.node_count t);
+  checkb "invariant" true (Lpm.invariant t);
+  Lpm.remove t (Addr.prefix_of_string "10.0.0.0/8");
+  checki "root only" 1 (Lpm.node_count t);
+  checkb "invariant after full removal" true (Lpm.invariant t)
+
+(* Differential churn test: a seeded random mix of insert/remove/lookup
+   against an assoc-list oracle, checking size, lookups, iter contents and
+   the structural invariant after every batch, and full pruning at the
+   end. *)
+let lpm_churn_differential =
+  let module Rng = Aitf_engine.Rng in
+  let arb = QCheck.make QCheck.Gen.(int_bound 0xFFFF) in
+  QCheck.Test.make ~name:"lpm churn agrees with assoc-list oracle" ~count:40
+    arb (fun seed ->
+      let rng = Rng.create ~seed in
+      let t = Lpm.create () in
+      let oracle = ref [] in
+      let mem p = List.exists (fun (q, _) -> Addr.prefix_compare p q = 0) in
+      let random_prefix () =
+        (* A small universe so removes hit live prefixes often. *)
+        Addr.prefix
+          (Int32.of_int (Rng.int rng 0x40 * 0x40000))
+          (Rng.int rng 33)
+      in
+      let reference_lookup a =
+        List.fold_left
+          (fun best (p, v) ->
+            if Addr.prefix_mem p a then
+              match best with
+              | Some (len, _) when len >= (p : Addr.prefix).Addr.len -> best
+              | _ -> Some ((p : Addr.prefix).Addr.len, v)
+            else best)
+          None !oracle
+        |> Option.map snd
+      in
+      let agree_on a = Lpm.lookup t a = reference_lookup a in
+      let check_batch () =
+        if Lpm.size t <> List.length !oracle then failwith "size mismatch";
+        if not (Lpm.invariant t) then failwith "invariant broken";
+        let dump acc = List.sort compare acc in
+        let from_trie = ref [] in
+        Lpm.iter t (fun p v ->
+            from_trie := (Addr.prefix_to_string p, v) :: !from_trie);
+        let from_oracle =
+          List.map (fun (p, v) -> (Addr.prefix_to_string p, v)) !oracle
+        in
+        if dump !from_trie <> dump from_oracle then failwith "iter mismatch";
+        for _ = 1 to 20 do
+          if not (agree_on (Int32.of_int (Rng.int rng 0x1000000))) then
+            failwith "lookup mismatch"
+        done
+      in
+      for step = 1 to 400 do
+        let p = random_prefix () in
+        (if Rng.int rng 3 = 0 then begin
+           Lpm.remove t p;
+           oracle :=
+             List.filter (fun (q, _) -> Addr.prefix_compare p q <> 0) !oracle
+         end
+         else begin
+           Lpm.insert t p step;
+           oracle :=
+             (p, step)
+             :: List.filter
+                  (fun (q, _) -> Addr.prefix_compare p q <> 0)
+                  !oracle
+         end);
+        ignore (mem p []);
+        if step mod 50 = 0 then check_batch ()
+      done;
+      check_batch ();
+      (* Remove everything: the trie must prune back to the bare root. *)
+      List.iter (fun (p, _) -> Lpm.remove t p) !oracle;
+      oracle := [];
+      Lpm.size t = 0 && Lpm.node_count t = 1 && Lpm.invariant t)
+
 (* --- Link ---------------------------------------------------------------- *)
 
 let mk_packet ?(size = 1000) () =
@@ -656,7 +743,9 @@ let () =
           Alcotest.test_case "host route" `Quick test_lpm_host_route;
           Alcotest.test_case "lookup_prefix" `Quick test_lpm_lookup_prefix;
           Alcotest.test_case "iter/clear" `Quick test_lpm_iter_and_clear;
+          Alcotest.test_case "prune on remove" `Quick test_lpm_prune;
           QCheck_alcotest.to_alcotest lpm_vs_reference;
+          QCheck_alcotest.to_alcotest lpm_churn_differential;
         ] );
       ( "link",
         [
