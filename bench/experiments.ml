@@ -325,6 +325,7 @@ let e3 () =
       path = [ b_gw1_addr ];
       hops = 0;
       requestor = victim.Node.addr;
+      corr = 0;
     }
   in
   let (_ : Request_driver.t) =
@@ -393,6 +394,7 @@ let e4 () =
       path = [ b_gw1_node.Node.addr ];
       hops = 0;
       requestor = driver_node.Node.addr;
+      corr = 0;
     }
   in
   let (_ : Request_driver.t) =
@@ -457,6 +459,7 @@ let e5 () =
       path = [];
       hops = 0;
       requestor = gw_node.Node.addr;
+      corr = 0;
     }
   in
   let (_ : Request_driver.t) =
@@ -604,6 +607,7 @@ let e7 () =
         path = [ b_gw1_node.Node.addr ];
         hops = 0;
         requestor = m.Node.addr;
+        corr = 0;
       }
     in
     for i = 0 to 7 do

@@ -170,7 +170,13 @@ let list_targets () =
   Printf.printf "  %-6s %s\n" "micro" "Bechamel microbenchmarks";
   Printf.printf "  %-6s %s\n" "all" "everything (default)"
 
-let run_one id =
+(* Per-target cost accounting for the --json report: wall-clock seconds,
+   plus the engine profiler's event count and peak queue depth for the
+   experiments (micro is left unprofiled — the probe's per-event cost would
+   leak into the ns/op estimates it exists to measure). *)
+let target_costs : (string * (float * (int * int) option)) list ref = ref []
+
+let dispatch id =
   match List.find_opt (fun (k, _, _) -> k = id) experiments with
   | Some (_, desc, f) ->
     Printf.printf "\n#### %s — %s\n\n%!" (String.uppercase_ascii id) desc;
@@ -180,6 +186,32 @@ let run_one id =
     Printf.eprintf "unknown target %S\n" id;
     list_targets ();
     exit 1
+
+let run_one id =
+  if not !Experiments.collect_json then dispatch id
+  else begin
+    let profiler =
+      if id = "micro" then None
+      else begin
+        let p = Aitf_obs.Profile.create () in
+        Aitf_obs.Profile.attach p;
+        Some p
+      end
+    in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let wall = Unix.gettimeofday () -. t0 in
+        let engine =
+          Option.map
+            (fun p ->
+              Aitf_obs.Profile.detach ();
+              (Aitf_obs.Profile.events p, Aitf_obs.Profile.peak_pending p))
+            profiler
+        in
+        target_costs := (id, (wall, engine)) :: !target_costs)
+      (fun () -> dispatch id)
+  end
 
 (* --json FILE: everything the run printed, machine-readable — the emitted
    experiment tables plus the micro estimates (schema aitf.bench-report/1). *)
@@ -201,11 +233,26 @@ let write_json_report file targets =
   let micro_json (name, est) =
     Json.Obj [ ("name", Json.String name); ("ns_per_op", Json.Float est) ]
   in
+  let cost_json (id, (wall, engine)) =
+    Json.Obj
+      (("name", Json.String id)
+       :: ("wall_seconds", Json.Float wall)
+       ::
+       (match engine with
+       | Some (events, peak) ->
+         [
+           ("engine_events", Json.Int events);
+           ("peak_queue_depth", Json.Int peak);
+         ]
+       | None -> []))
+  in
   let report =
     Json.Obj
       [
         ("schema", Json.String "aitf.bench-report/1");
         ("targets", Json.List (List.map (fun t -> Json.String t) targets));
+        ( "experiments",
+          Json.List (List.rev_map cost_json !target_costs) );
         ("tables", Json.List (List.rev_map table_json !Experiments.json_tables));
         ( "micro",
           Json.List

@@ -5,12 +5,15 @@
                knob exposed as a flag; optionally dump the victim-rate
                series as CSV
      flood     a zombie army vs a server in a provider hierarchy
+     swarm     a spoofed-source swarm over fluid aggregates (hybrid engine)
      formulas  evaluate the paper's Section IV formulas for given
                parameters
 
    Examples:
      aitf_sim run --duration 60 --t-filter 6 --non-coop 1 --strategy onoff
      aitf_sim run --trace --duration 10
+     aitf_sim run --spans spans.json --flight-recorder 4096 --profile
+     aitf_sim swarm --sources 100000 --pools 8 --spans spans.json
      aitf_sim formulas --r1 100 --r2 1 --t-filter 60 --ttmp 0.6
 *)
 
@@ -61,6 +64,139 @@ let strategy_conv =
   in
   let print fmt s = Policy.pp_attacker fmt s in
   Arg.conv (parse, print)
+
+(* --- causal tracing / flight recorder / profiler -------------------------
+   One flag block shared by run, flood and swarm (docs/OBSERVABILITY.md,
+   "Causal tracing"). Everything is off by default and attached
+   process-globally before the scenario builds its topology, so the
+   gateways see the collectors at construction time. *)
+
+type obs_opts = {
+  spans_file : string option;
+  flight_capacity : int;
+  flight_dump : bool;
+  profile : bool;
+  slo : float option;
+}
+
+type obs_state = {
+  collector : Aitf_obs.Span.t option;
+  recorder : Aitf_obs.Flight.t option;
+  profiler : Aitf_obs.Profile.t option;
+}
+
+let obs_term =
+  let spans =
+    Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE"
+           ~doc:"Attach the causal span collector and write the span forest \
+                 as Chrome trace-event JSON (loadable in Perfetto); also \
+                 prints the per-stage critical-path summary. See \
+                 docs/OBSERVABILITY.md, section Causal tracing.")
+  in
+  let flight =
+    Arg.(value & opt int 0 & info [ "flight-recorder" ] ~docv:"N"
+           ~doc:"Arm the packet flight recorder: a ring buffer of the last \
+                 N per-hop link records (enqueue/dequeue/drop with queue \
+                 depth). 0 disables. Dumped automatically on an --slo \
+                 breach, or at the end of the run with --flight-dump.")
+  in
+  let flight_dump =
+    Arg.(value & flag & info [ "flight-dump" ]
+           ~doc:"Dump the retained flight-recorder records to stderr after \
+                 the run (on-demand counterpart to the --slo auto-dump).")
+  in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Profile the engine: wall-clock seconds per event category \
+                 plus the peak event-queue depth, printed after the run and \
+                 folded into the metrics report when --metrics is given. \
+                 Wall-clock figures are nondeterministic; the simulated \
+                 event sequence is unchanged.")
+  in
+  let slo =
+    Arg.(value & opt (some float) None & info [ "slo" ] ~docv:"SECONDS"
+           ~doc:"Latency objective for one filtering request (root opened \
+                 at the victim until the long filter lands). A request \
+                 completing later than this dumps the flight recorder. \
+                 Implies span collection even without --spans.")
+  in
+  Term.(
+    const (fun spans_file flight_capacity flight_dump profile slo ->
+        { spans_file; flight_capacity; flight_dump; profile; slo })
+    $ spans $ flight $ flight_dump $ profile $ slo)
+
+let obs_attach (o : obs_opts) =
+  let collector =
+    if o.spans_file <> None || o.slo <> None then begin
+      let t = Aitf_obs.Span.create () in
+      Aitf_obs.Span.attach t;
+      Some t
+    end
+    else None
+  in
+  let recorder =
+    if o.flight_capacity > 0 then begin
+      let f = Aitf_obs.Flight.create ~capacity:o.flight_capacity in
+      Aitf_obs.Flight.attach f;
+      Some f
+    end
+    else None
+  in
+  (match (collector, o.slo) with
+  | Some t, Some seconds ->
+    Aitf_obs.Span.set_slo t ~seconds (fun root ->
+        Format.eprintf "-- SLO breach: corr=%d flow=%s took %.3fs (> %gs) --@."
+          root.Aitf_obs.Span.corr root.Aitf_obs.Span.flow
+          (match root.Aitf_obs.Span.completed_at with
+          | Some c -> c -. root.Aitf_obs.Span.opened_at
+          | None -> nan)
+          seconds;
+        match recorder with
+        | Some f -> Aitf_obs.Flight.dump f
+        | None -> ())
+  | _ -> ());
+  let profiler =
+    if o.profile then begin
+      let p = Aitf_obs.Profile.create () in
+      Aitf_obs.Profile.attach p;
+      Some p
+    end
+    else None
+  in
+  { collector; recorder; profiler }
+
+(* Detach everything (reverse order), export the span forest, and surface
+   the profiler through the registry so the JSON run report written later
+   carries the hot-path buckets. *)
+let obs_finish (o : obs_opts) (st : obs_state) ~registry ~now =
+  (match st.profiler with
+  | None -> ()
+  | Some p ->
+    Aitf_obs.Profile.detach ();
+    (match registry with
+    | Some reg ->
+      Aitf_obs.Profile.register_metrics p reg ~prefix:"engine.profile"
+    | None -> ());
+    print_string (Aitf_obs.Profile.report p));
+  (match st.recorder with
+  | None -> ()
+  | Some f ->
+    Aitf_obs.Flight.detach ();
+    Printf.printf "flight recorder: %d record(s) seen, last %d retained\n"
+      (Aitf_obs.Flight.recorded f)
+      (List.length (Aitf_obs.Flight.records f));
+    if o.flight_dump then Aitf_obs.Flight.dump f);
+  match st.collector with
+  | None -> ()
+  | Some t ->
+    Aitf_obs.Span.detach ();
+    (match o.spans_file with
+    | None -> ()
+    | Some file ->
+      Aitf_obs.Report.write_json file (Aitf_obs.Span.to_chrome_trace ~now t);
+      Printf.printf "wrote %s (%d request(s) traced)\n" file
+        (List.length (Aitf_obs.Span.roots t)));
+    print_string (Aitf_obs.Span.summary t)
 
 let run_cmd =
   let duration =
@@ -219,7 +355,7 @@ let run_cmd =
       depth seed no_handshake disconnect trace csv stats metrics metrics_csv
       metrics_interval traceback loss burst_loss dup flap ctrl_retries
       ctrl_rto adversary overload filter_capacity engine hybrid_epoch
-      probe_rate =
+      probe_rate obs =
     if trace then Trace.add_sink (Trace.printing_sink ());
     let registry =
       if metrics <> None || metrics_csv <> None then begin
@@ -229,6 +365,7 @@ let run_cmd =
       end
       else None
     in
+    let obs_state = obs_attach obs in
     let config =
       {
         Config.default with
@@ -283,6 +420,7 @@ let run_cmd =
     in
     let r = Scenarios.run_chain params in
     Aitf_obs.Metrics.detach ();
+    obs_finish obs obs_state ~registry ~now:duration;
     if trace then Trace.clear_sinks ();
     let table =
       Table.create ~title:"scenario result" ~columns:[ "metric"; "value" ]
@@ -404,7 +542,7 @@ let run_cmd =
       $ trace $ csv $ stats $ metrics $ metrics_csv $ metrics_interval
       $ traceback $ loss $ burst_loss $ dup $ flap $ ctrl_retries
       $ ctrl_rto $ adversary $ overload $ filter_capacity $ engine
-      $ hybrid_epoch $ probe_rate)
+      $ hybrid_epoch $ probe_rate $ obs_term)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a single-attacker Figure-1 scenario.")
@@ -452,7 +590,7 @@ let flood_cmd =
              ~doc:"Data-plane substrate (see docs/SIMULATOR.md).")
   in
   let run isps nets hosts zombies rate duration seed no_aitf metrics
-      metrics_interval engine =
+      metrics_interval engine obs =
     let registry =
       if metrics <> None then begin
         let reg = Aitf_obs.Metrics.create () in
@@ -461,6 +599,7 @@ let flood_cmd =
       end
       else None
     in
+    let obs_state = obs_attach obs in
     let r =
       Scenarios.run_flood
         {
@@ -488,6 +627,7 @@ let flood_cmd =
         }
     in
     Aitf_obs.Metrics.detach ();
+    obs_finish obs obs_state ~registry ~now:duration;
     let table =
       Table.create ~title:"flood result" ~columns:[ "metric"; "value" ]
     in
@@ -545,11 +685,152 @@ let flood_cmd =
   let term =
     Term.(
       const run $ isps $ nets $ hosts $ zombies $ rate $ duration $ seed
-      $ no_aitf $ metrics $ metrics_interval $ engine)
+      $ no_aitf $ metrics $ metrics_interval $ engine $ obs_term)
   in
   Cmd.v
     (Cmd.info "flood"
        ~doc:"Simulate a zombie army flooding a server in a provider hierarchy.")
+    term
+
+(* --- swarm ------------------------------------------------------------------ *)
+
+let swarm_cmd =
+  let sources =
+    Arg.(value & opt int 1000 & info [ "sources" ] ~docv:"N"
+           ~doc:"Total attacking sources across the spoofed pools.")
+  in
+  let pools =
+    Arg.(value & opt int 4 & info [ "pools" ] ~docv:"N"
+           ~doc:"Origin pool nodes (1..16), one fluid aggregate each.")
+  in
+  let attack_rate =
+    Arg.(value & opt float 20e6 & info [ "attack-rate" ] ~docv:"BITS/S"
+           ~doc:"Total attack rate summed over every source.")
+  in
+  let legit_rate =
+    Arg.(value & opt float 1e6 & info [ "legit-rate" ] ~docv:"BITS/S"
+           ~doc:"Bystander rate sharing the victim tail (0 = none).")
+  in
+  let duration =
+    Arg.(value & opt float 30. & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated duration.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
+  in
+  let td =
+    Arg.(value & opt float 0.1 & info [ "td" ] ~docv:"SECONDS"
+           ~doc:"Victim detection delay Td for a new flow.")
+  in
+  let hybrid_epoch =
+    Arg.(value & opt float Config.default.Config.hybrid_epoch
+         & info [ "hybrid-epoch" ] ~docv:"SECONDS"
+             ~doc:"Fluid-share recompute period (the scenario is always \
+                   hybrid).")
+  in
+  let probe_rate =
+    Arg.(value & opt float Config.default.Config.hybrid_probe_rate
+         & info [ "probe-rate" ] ~docv:"PKTS/S"
+             ~doc:"Probe packets materialised per aggregate (0 = derive \
+                   from the aggregate's own rate).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Attach a metrics registry and write a JSON run report \
+                 (schema aitf.run-report/1).")
+  in
+  let metrics_interval =
+    Arg.(value & opt float 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
+           ~doc:"Metric sampling period (0 = the scenario default).")
+  in
+  let run sources pools attack_rate legit_rate duration seed td hybrid_epoch
+      probe_rate metrics metrics_interval obs =
+    let registry =
+      if metrics <> None then begin
+        let reg = Aitf_obs.Metrics.create () in
+        Aitf_obs.Metrics.attach reg;
+        Some reg
+      end
+      else None
+    in
+    let obs_state = obs_attach obs in
+    let r =
+      Scenarios.run_swarm
+        {
+          Scenarios.default_swarm with
+          Scenarios.swarm_config =
+            {
+              Scenarios.default_swarm.Scenarios.swarm_config with
+              Config.hybrid_epoch;
+              hybrid_probe_rate = probe_rate;
+            };
+          swarm_seed = seed;
+          swarm_duration = duration;
+          swarm_sources = sources;
+          swarm_pools = pools;
+          swarm_attack_rate = attack_rate;
+          swarm_legit_rate = legit_rate;
+          swarm_td = td;
+          swarm_sample_period =
+            (if metrics_interval > 0. then metrics_interval
+             else Scenarios.default_swarm.Scenarios.swarm_sample_period);
+        }
+    in
+    Aitf_obs.Metrics.detach ();
+    obs_finish obs obs_state ~registry ~now:duration;
+    let table =
+      Table.create ~title:"swarm result" ~columns:[ "metric"; "value" ]
+    in
+    let add k v = Table.add_row table [ k; v ] in
+    add "sources / pools" (Printf.sprintf "%d / %d" sources pools);
+    add "legit received / offered"
+      (Printf.sprintf "%.0f / %.0f" r.Scenarios.swarm_good_received_bytes
+         r.Scenarios.swarm_good_offered_bytes);
+    add "attack bytes reaching victim"
+      (Printf.sprintf "%.0f" r.Scenarios.swarm_attack_received_bytes);
+    add "filtering requests sent" (string_of_int r.Scenarios.swarm_requests_sent);
+    add "filter installs (all gateways)" (string_of_int r.Scenarios.swarm_filters);
+    add "requests absorbed at pools" (string_of_int r.Scenarios.swarm_absorbed);
+    add "fluid aggregates / sources"
+      (Printf.sprintf "%d / %d"
+         (Scenarios.Fluid.aggregates r.Scenarios.swarm_fluid)
+         (Scenarios.Fluid.total_sources r.Scenarios.swarm_fluid));
+    add "events processed" (string_of_int r.Scenarios.swarm_events);
+    Table.print table;
+    match (registry, metrics) with
+    | Some reg, Some file ->
+      let module Json = Aitf_obs.Json in
+      let series =
+        match r.Scenarios.swarm_sampler with
+        | Some s -> Aitf_obs.Sampler.series s
+        | None -> []
+      in
+      let meta =
+        [
+          ("scenario", Json.String "swarm");
+          ("seed", Json.Int seed);
+          ("duration", Json.Float duration);
+          ("sources", Json.Int sources);
+          ("pools", Json.Int pools);
+          ("attack_rate", Json.Float attack_rate);
+        ]
+      in
+      Aitf_obs.Report.write_json file
+        (Aitf_obs.Report.make ~meta ~series ~now:duration reg);
+      Printf.printf "wrote %s (%d metrics, %d series)\n" file
+        (Aitf_obs.Metrics.size reg) (List.length series)
+    | _ -> ()
+  in
+  let term =
+    Term.(
+      const run $ sources $ pools $ attack_rate $ legit_rate $ duration
+      $ seed $ td $ hybrid_epoch $ probe_rate $ metrics $ metrics_interval
+      $ obs_term)
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:"Scale a spoofed-source swarm over fluid aggregates against the \
+             Figure-1 chain (hybrid engine).")
     term
 
 (* --- formulas --------------------------------------------------------------- *)
@@ -590,4 +871,4 @@ let () =
     Cmd.info "aitf_sim" ~version:"1.0.0"
       ~doc:"Active Internet Traffic Filtering simulator (Argyraki & Cheriton)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; flood_cmd; formulas_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; flood_cmd; swarm_cmd; formulas_cmd ]))

@@ -56,6 +56,7 @@ let run ~handshake =
       path = [ b_gw1_node.Node.addr ];
       hops = 0;
       requestor = m.Node.addr;
+      corr = 0;
     }
   in
   for i = 0 to 7 do

@@ -94,6 +94,9 @@ let launch_request_flood t ~rng ~start env ~pool ~rate =
                 path = [];
                 hops = 0;
                 requestor = env.insider.Node.addr;
+                (* forged: carries no correlation id, so span tracing sees
+                   nothing — exactly like a pre-AITF sender *)
+                corr = 0;
               })))
 
 (* A compromised on-path router attacking the 3-way handshake: snoop

@@ -36,7 +36,9 @@ let observe t (pkt : Packet.t) =
   | None ->
     let state = ref Pending in
     Hashtbl.replace t.flows label state;
-    ignore (Sim.after t.sim t.td (fun () -> report t label pkt state))
+    ignore
+      (Sim.after ~label:"detection-td" t.sim t.td (fun () ->
+           report t label pkt state))
   | Some ({ contents = Pending } as _state) -> ()
   | Some ({ contents = Reported last } as state) ->
     (* Reappearance: instant re-detection, damped. *)

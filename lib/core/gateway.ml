@@ -3,6 +3,7 @@ module Rng = Aitf_engine.Rng
 module Trace = Aitf_engine.Trace
 module Counter = Aitf_stats.Counter
 module Spie = Aitf_traceback.Spie
+module Span = Aitf_obs.Span
 open Aitf_net
 open Aitf_filter
 
@@ -28,6 +29,7 @@ type flow_entry = {
          control-plane retransmitter reads *)
   mutable sent_hits : int;  (* temp-filter hits at the last transmission *)
   requestor : Addr.t;
+  corr : int;  (* correlation id of the originating request (span tracing) *)
 }
 
 type t = {
@@ -70,10 +72,11 @@ let overload t = t.overload
 (* Every protocol-driven filter install goes through here so the overload
    manager (when configured) can apply its degradation moves; without one
    this is exactly a plain table install. *)
-let filter_install ?rate_limit ?requestor t label ~duration =
+let filter_install ?rate_limit ?corr ?requestor t label ~duration =
   match t.overload with
-  | Some mgr -> Overload.install ?rate_limit ?requestor mgr label ~duration
-  | None -> Filter_table.install ?rate_limit t.filters label ~duration
+  | Some mgr ->
+    Overload.install ?rate_limit ?corr ?requestor mgr label ~duration
+  | None -> Filter_table.install ?rate_limit ?corr t.filters label ~duration
 let shadow_occupancy t = Shadow_cache.occupancy t.shadow
 let shadow_peak t = Shadow_cache.peak_occupancy t.shadow
 let counters t = t.counters
@@ -177,8 +180,12 @@ let disconnect_host t a =
 (* --- victim's-gateway role ---------------------------------------------- *)
 
 let install_temp t (e : flow_entry) =
+  let now = Sim.now t.sim in
+  (* A re-engage supersedes the previous round's temp-filter span. *)
+  Span.finish ~node:t.node.Node.name ~corr:e.corr ~stage:Span.Temp_filter ~now
+    ();
   (match
-     filter_install ~requestor:e.requestor t e.flow
+     filter_install ~requestor:e.requestor ~corr:e.corr t e.flow
        ~duration:t.config.Config.t_tmp
    with
   | Ok h ->
@@ -204,12 +211,22 @@ let install_temp t (e : flow_entry) =
       | Error `Table_full -> Counter.incr t.counters "filter-full"
     end
     else Counter.incr t.counters "filter-full");
+  (match e.temp_handle with
+  | Some _ ->
+    Span.start ~corr:e.corr ~stage:Span.Temp_filter ~node:t.node.Node.name
+      ~now
+  | None ->
+    Span.event ~node:t.node.Node.name ~corr:e.corr ~now "filter-full");
   e.gen <- e.gen + 1;
   e.phase <- Filtering;
   let gen = e.gen in
   ignore
-    (Sim.after t.sim t.config.Config.t_tmp (fun () ->
-         if e.gen = gen && e.phase = Filtering then e.phase <- Monitoring))
+    (Sim.after ~label:"gw-ttmp-expiry" t.sim t.config.Config.t_tmp (fun () ->
+         if e.gen = gen then begin
+           Span.finish ~node:t.node.Node.name ~corr:e.corr
+             ~stage:Span.Temp_filter ~now:(Sim.now t.sim) ();
+           if e.phase = Filtering then e.phase <- Monitoring
+         end))
 
 let long_rate_limit t =
   match t.config.Config.filter_action with
@@ -218,11 +235,21 @@ let long_rate_limit t =
 
 let install_long t (e : flow_entry) =
   match
-    filter_install ?rate_limit:(long_rate_limit t) ~requestor:e.requestor t
-      e.flow ~duration:e.duration
+    filter_install ?rate_limit:(long_rate_limit t) ~requestor:e.requestor
+      ~corr:e.corr t e.flow ~duration:e.duration
   with
-  | Ok _ -> Counter.incr t.counters "filter-long"
-  | Error `Table_full -> Counter.incr t.counters "filter-full"
+  | Ok _ ->
+    Counter.incr t.counters "filter-long";
+    let now = Sim.now t.sim in
+    Span.start ~corr:e.corr ~stage:Span.Permanent_filter
+      ~node:t.node.Node.name ~now;
+    (* A victim-side long filter ends the request's story even when nobody
+       closer to the attacker cooperated. No-op if comply already fired. *)
+    Span.complete ~corr:e.corr ~now
+  | Error `Table_full ->
+    Counter.incr t.counters "filter-full";
+    Span.event ~node:t.node.Node.name ~corr:e.corr ~now:(Sim.now t.sim)
+      "filter-full"
 
 (* Last resort: nobody closer to the attacker will filter. Keep a full-T
    filter ourselves and, when enforcement is on, disconnect the peering
@@ -274,6 +301,7 @@ let rec engage t (e : flow_entry) =
           path = e.path;
           hops = e.round;
           requestor = addr t;
+          corr = e.corr;
         }
       in
       send t ~dst:gw (Message.Filtering_request req);
@@ -289,6 +317,8 @@ let rec engage t (e : flow_entry) =
 and escalate t (e : flow_entry) =
   e.round <- e.round + 1;
   Counter.incr t.counters "escalated";
+  Span.event ~node:t.node.Node.name ~corr:e.corr ~now:(Sim.now t.sim)
+    "escalate";
   if e.round >= t.config.Config.max_rounds then terminal t e
   else
     match t.upstream with
@@ -305,6 +335,7 @@ and escalate t (e : flow_entry) =
           path = e.path;
           hops = e.round;
           requestor = addr t;
+          corr = e.corr;
         }
       in
       send t ~dst:up (Message.Filtering_request req);
@@ -336,18 +367,22 @@ and arm_ctrl_retry t (e : flow_entry) ~resend ~gave_up =
     e.sent_hits <- entry_hits e;
     let rec arm rto attempt =
       ignore
-        (Sim.after t.sim rto (fun () ->
+        (Sim.after ~label:"gw-ctrl-retry" t.sim rto (fun () ->
              if e.gen = gen then begin
                let hits = entry_hits e in
                if hits > e.sent_hits then
                  if attempt <= t.config.Config.ctrl_retries then begin
                    Counter.incr t.counters "ctrl-retransmit";
+                   Span.event ~node:t.node.Node.name ~corr:e.corr
+                     ~now:(Sim.now t.sim) "ctrl-retransmit";
                    e.sent_hits <- hits;
                    resend ();
                    arm (rto *. t.config.Config.ctrl_backoff) (attempt + 1)
                  end
                  else begin
                    Counter.incr t.counters "ctrl-gave-up";
+                   Span.event ~node:t.node.Node.name ~corr:e.corr
+                     ~now:(Sim.now t.sim) "ctrl-gave-up";
                    gave_up ()
                  end
              end))
@@ -357,6 +392,10 @@ and arm_ctrl_retry t (e : flow_entry) ~resend ~gave_up =
 
 let victim_role t (req : Message.request) =
   Counter.incr t.counters "req-victim-role";
+  (* The request reached a victim's gateway: the Request leg is over,
+     whatever we decide to do with it. No-op on duplicates. *)
+  Span.finish ~corr:req.Message.corr ~stage:Span.Request ~now:(Sim.now t.sim)
+    ();
   let duplicate_of =
     (* A request for a flow we are already actively filtering is a
        retransmission or a duplicated packet. Recognise it before touching
@@ -375,8 +414,11 @@ let victim_role t (req : Message.request) =
     Counter.incr t.counters "req-duplicate"
   | None -> (
   let bucket = policer_for t req.Message.requestor in
-  if not (Token_bucket.allow bucket ~now:(Sim.now t.sim)) then
-    Counter.incr t.counters "req-policed"
+  if not (Token_bucket.allow bucket ~now:(Sim.now t.sim)) then begin
+    Counter.incr t.counters "req-policed";
+    Span.event ~node:t.node.Node.name ~corr:req.Message.corr
+      ~now:(Sim.now t.sim) "req-policed"
+  end
   else if
     (* Trivial verification via ingress filtering: the requestor and the
        flow's target must both be our customers. *)
@@ -409,6 +451,7 @@ let victim_role t (req : Message.request) =
           temp_handle = None;
           sent_hits = 0;
           requestor = req.Message.requestor;
+          corr = req.Message.corr;
         }
       in
       match
@@ -432,19 +475,32 @@ let victim_role t (req : Message.request) =
 
 let comply t ~received_at (req : Message.request) =
   match
-    filter_install ?rate_limit:(long_rate_limit t)
+    filter_install ?rate_limit:(long_rate_limit t) ~corr:req.Message.corr
       ~requestor:req.Message.requestor t req.Message.flow
       ~duration:req.Message.duration
   with
   | Error `Table_full ->
     (* Out of filters: we cannot honor the request; escalation will route
        around us. *)
-    Counter.incr t.counters "filter-full"
+    Counter.incr t.counters "filter-full";
+    let now = Sim.now t.sim in
+    Span.event ~node:t.node.Node.name ~corr:req.Message.corr ~now
+      "filter-full";
+    Span.finish ~node:t.node.Node.name ~corr:req.Message.corr
+      ~stage:Span.Verification ~now ()
   | Ok handle ->
     Counter.incr t.counters "filter-long";
+    let now = Sim.now t.sim in
     (match t.ttf with
-    | Some tm -> Aitf_obs.Metrics.observe tm (Sim.now t.sim -. received_at)
+    | Some tm -> Aitf_obs.Metrics.observe tm (now -. received_at)
     | None -> ());
+    (* The Verification span runs receipt -> install, so its duration is
+       by construction the time-to-filter observation above. *)
+    Span.finish ~node:t.node.Node.name ~corr:req.Message.corr
+      ~stage:Span.Verification ~now ();
+    Span.start ~corr:req.Message.corr ~stage:Span.Permanent_filter
+      ~node:t.node.Node.name ~now;
+    Span.complete ~corr:req.Message.corr ~now;
     trace t "blocking %a for %gs" Flow_label.pp req.Message.flow
       req.Message.duration;
     (match req.Message.flow.Flow_label.src with
@@ -452,20 +508,26 @@ let comply t ~received_at (req : Message.request) =
       let bucket = client_policer_for t client in
       if Token_bucket.allow bucket ~now:(Sim.now t.sim) then begin
         Counter.incr t.counters "req-to-attacker";
+        Span.start ~corr:req.Message.corr ~stage:Span.Counter_request
+          ~node:t.node.Node.name ~now:(Sim.now t.sim);
         send t ~dst:client
           (Message.Filtering_request
              { req with Message.target = Message.To_attacker; requestor = addr t })
       end
-      else Counter.incr t.counters "req-policed-client";
+      else begin
+        Counter.incr t.counters "req-policed-client";
+        Span.event ~node:t.node.Node.name ~corr:req.Message.corr
+          ~now:(Sim.now t.sim) "req-policed-client"
+      end;
       (* Compliance monitoring: a client still hitting the filter after the
          grace period gets disconnected. *)
       if t.config.Config.disconnect then begin
         let grace = t.config.Config.grace in
         ignore
-          (Sim.after t.sim grace (fun () ->
+          (Sim.after ~label:"gw-grace" t.sim grace (fun () ->
                let hits_at_grace = Filter_table.hits handle in
                ignore
-                 (Sim.after t.sim grace (fun () ->
+                 (Sim.after ~label:"gw-grace" t.sim grace (fun () ->
                       if
                         Filter_table.live handle
                         && Filter_table.hits handle > hits_at_grace
@@ -494,8 +556,11 @@ let attacker_role t (req : Message.request) =
     Counter.incr t.counters "req-duplicate"
   else
     let bucket = policer_for t req.Message.requestor in
-  if not (Token_bucket.allow bucket ~now:(Sim.now t.sim)) then
-    Counter.incr t.counters "req-policed"
+  if not (Token_bucket.allow bucket ~now:(Sim.now t.sim)) then begin
+    Counter.incr t.counters "req-policed";
+    Span.event ~node:t.node.Node.name ~corr:req.Message.corr
+      ~now:(Sim.now t.sim) "req-policed"
+  end
   else if t.policy = Policy.Unresponsive then
     Counter.incr t.counters "ignored-unresponsive"
   else if
@@ -506,16 +571,30 @@ let attacker_role t (req : Message.request) =
       | Flow_label.Host a -> in_cone t a
       | Flow_label.Any | Flow_label.Net _ -> false)
   then Counter.incr t.counters "req-not-on-path"
-  else if not t.config.Config.handshake then comply t ~received_at req
+  else if not t.config.Config.handshake then begin
+    Span.start ~corr:req.Message.corr ~stage:Span.Verification
+      ~node:t.node.Node.name ~now:received_at;
+    comply t ~received_at req
+  end
   else
     match req.Message.flow.Flow_label.dst with
     | Flow_label.Host victim ->
       Hashtbl.replace t.verifying req.Message.flow ();
       trace t "verifying %a with %a" Flow_label.pp req.Message.flow Addr.pp
         victim;
+      Span.start ~corr:req.Message.corr ~stage:Span.Verification
+        ~node:t.node.Node.name ~now:received_at;
+      let first_tx = ref true in
       ignore
         (Handshake.start t.handshakes ~flow:req.Message.flow
            ~send:(fun nonce ->
+             if !first_tx then begin
+               first_tx := false;
+               Span.bind_nonce ~corr:req.Message.corr ~nonce
+             end
+             else
+               Span.event ~node:t.node.Node.name ~corr:req.Message.corr
+                 ~now:(Sim.now t.sim) "handshake-retransmit";
              send t ~dst:victim
                (Message.Verification_query { flow = req.Message.flow; nonce }))
            ~on_result:(fun ok ->
@@ -524,7 +603,14 @@ let attacker_role t (req : Message.request) =
                Counter.incr t.counters "handshake-ok";
                comply t ~received_at req
              end
-             else Counter.incr t.counters "handshake-fail"))
+             else begin
+               Counter.incr t.counters "handshake-fail";
+               let now = Sim.now t.sim in
+               Span.event ~node:t.node.Node.name ~corr:req.Message.corr ~now
+                 "handshake-fail";
+               Span.finish ~node:t.node.Node.name ~corr:req.Message.corr
+                 ~stage:Span.Verification ~now ()
+             end))
     | Flow_label.Any | Flow_label.Net _ ->
       (* No single victim to query; treat as unverifiable. *)
       Counter.incr t.counters "handshake-unverifiable"
@@ -552,7 +638,7 @@ let capture_for_traceback t (pkt : Packet.t) =
       e.phase <- Filtering;
       let path, latency = Spie.reconstruct spie ~from:t.node pkt in
       ignore
-        (Sim.after t.sim latency (fun () ->
+        (Sim.after ~label:"gw-traceback" t.sim latency (fun () ->
              if path = [] then Counter.incr t.counters "traceback-failed"
              else begin
                Counter.incr t.counters "traceback-done";
@@ -668,6 +754,21 @@ let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
       ttf;
     }
   in
+  (* Close Permanent_filter spans when the filter actually leaves the table
+     (explicit removal, expiry, or eviction). Subscribing to the table keeps
+     this engine-agnostic: the hybrid engine's fluid mirror watches the same
+     seam, so both engines close the same spans. Only when a collector is
+     attached at build time, so untraced runs pay nothing. *)
+  if Span.enabled () then
+    Filter_table.subscribe filters (fun change ->
+        match change with
+        | Filter_table.Removed h -> (
+          match Filter_table.corr h with
+          | Some corr ->
+            Span.finish ~node:node.Node.name ~corr
+              ~stage:Span.Permanent_filter ~now:(Sim.now sim) ()
+          | None -> ())
+        | Filter_table.Installed _ -> ());
   Aitf_obs.Metrics.if_attached (fun reg ->
       let open Aitf_obs.Metrics in
       let p metric = prefix ^ "." ^ metric in

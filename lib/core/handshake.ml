@@ -57,7 +57,7 @@ let rec fresh_nonce t =
 let rec arm t nonce (p : pending) rto =
   p.timeout_event <-
     Some
-      (Sim.after t.sim rto (fun () ->
+      (Sim.after ~label:"handshake-rto" t.sim rto (fun () ->
            if Hashtbl.mem t.table nonce then begin
              if p.attempts - 1 < t.retries then begin
                t.retransmits <- t.retransmits + 1;

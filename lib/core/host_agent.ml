@@ -2,6 +2,7 @@ module Sim = Aitf_engine.Sim
 module Trace = Aitf_engine.Trace
 module Rate_meter = Aitf_stats.Rate_meter
 module Ppm = Aitf_traceback.Ppm
+module Span = Aitf_obs.Span
 open Aitf_net
 open Aitf_filter
 
@@ -31,6 +32,11 @@ module Victim = struct
     attack_meter : Rate_meter.t;
     good_meter : Rate_meter.t;
     per_flow : (Flow_label.t, float ref) Hashtbl.t;
+    corrs : (Flow_label.t, int) Hashtbl.t;
+        (* correlation id minted per attack flow — the key every span of the
+           flow's filtering request hangs from. Minted unconditionally (a
+           plain counter, no randomness) so traced and untraced runs make
+           identical random/scheduling decisions. *)
     mutable last_ppm_path : Addr.t list option;
     mutable ppm_stable : int;
     mutable attack_packets : int;
@@ -59,6 +65,9 @@ module Victim = struct
       false
     | None -> false
 
+  let corr_of t flow =
+    match Hashtbl.find_opt t.corrs flow with Some c -> c | None -> 0
+
   let request_message t flow path =
     Message.Filtering_request
       {
@@ -68,6 +77,7 @@ module Victim = struct
         path;
         hops = 0;
         requestor = t.node.Node.addr;
+        corr = corr_of t flow;
       }
 
   (* The request to the gateway crosses the very tail circuit the attack is
@@ -83,7 +93,7 @@ module Victim = struct
       let sent_at = ref (Sim.now t.sim) in
       let rec arm rto attempt =
         ignore
-          (Sim.after t.sim rto (fun () ->
+          (Sim.after ~label:"victim-retry" t.sim rto (fun () ->
                let still_arriving =
                  match Hashtbl.find_opt t.last_seen flow with
                  | Some ts -> ts > !sent_at
@@ -93,16 +103,24 @@ module Victim = struct
                  if attempt <= t.config.Config.ctrl_retries then begin
                    if Token_bucket.allow t.bucket ~now:(Sim.now t.sim) then begin
                      t.requests_retransmitted <- t.requests_retransmitted + 1;
+                     Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+                       "victim-retransmit";
                      trace t "re-requesting block of %a (attempt %d)"
                        Flow_label.pp flow (attempt + 1);
                      send t ~dst:t.gateway (request_message t flow path)
                    end
-                   else t.requests_suppressed <- t.requests_suppressed + 1;
+                   else begin
+                     t.requests_suppressed <- t.requests_suppressed + 1;
+                     Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+                       "request-suppressed"
+                   end;
                    sent_at := Sim.now t.sim;
                    arm (rto *. t.config.Config.ctrl_backoff) (attempt + 1)
                  end
                  else begin
                    t.requests_gave_up <- t.requests_gave_up + 1;
+                   Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+                     "victim-gave-up";
                    Hashtbl.remove t.retrying flow
                  end
                else Hashtbl.remove t.retrying flow))
@@ -116,10 +134,16 @@ module Victim = struct
       Hashtbl.replace t.requested flow
         (Sim.now t.sim +. t.config.Config.t_filter);
       trace t "requesting block of %a" Flow_label.pp flow;
+      Span.start ~corr:(corr_of t flow) ~stage:Span.Request
+        ~node:t.node.Node.name ~now:(Sim.now t.sim);
       send t ~dst:t.gateway (request_message t flow path);
       arm_retry t flow path
     end
-    else t.requests_suppressed <- t.requests_suppressed + 1
+    else begin
+      t.requests_suppressed <- t.requests_suppressed + 1;
+      Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+        "request-suppressed"
+    end
 
   (* PPM reconstructions start as prefixes of the true path (the victim-
      nearest edges converge first), so a path is only trusted once it has
@@ -139,6 +163,8 @@ module Victim = struct
   (* Detection fired (first time after Td, or instantly on reappearance):
      assemble the attack path per the configured traceback source. *)
   let on_detect t flow (pkt : Packet.t) =
+    Span.finish ~node:t.node.Node.name ~corr:(corr_of t flow)
+      ~stage:Span.Detect ~now:(Sim.now t.sim) ();
     match t.path_source with
     | From_route_record -> send_request t flow pkt.route_record
     | Gateway_traceback -> send_request t flow []
@@ -172,6 +198,16 @@ module Victim = struct
       | None ->
         let c = ref 0. in
         Hashtbl.replace t.per_flow label c;
+        (* First attack packet of this flow: mint the flow's correlation id
+           and open its request tree. Detection starts counting here. *)
+        let corr = Span.mint () in
+        Hashtbl.replace t.corrs label corr;
+        if Span.enabled () then begin
+          Span.root ~corr
+            ~flow:(Format.asprintf "%a" Flow_label.pp label)
+            ~victim:t.node.Node.name ~now;
+          Span.start ~corr ~stage:Span.Detect ~node:t.node.Node.name ~now
+        end;
         c
     in
     cell := !cell +. float_of_int pkt.size;
@@ -195,6 +231,8 @@ module Victim = struct
       (* "Do you really not want this flow?" — confirm iff we asked. *)
       if requested_live t flow then begin
         t.queries_answered <- t.queries_answered + 1;
+        Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+          "victim-confirmed";
         send t ~dst:pkt.src (Message.Verification_reply { flow; nonce })
       end
     | _ -> prev node pkt
@@ -221,6 +259,7 @@ module Victim = struct
         attack_meter = Rate_meter.create ~window:1.0;
         good_meter = Rate_meter.create ~window:1.0;
         per_flow = Hashtbl.create 32;
+        corrs = Hashtbl.create 32;
         last_ppm_path = None;
         ppm_stable = 0;
         attack_packets = 0;
@@ -324,6 +363,10 @@ module Attacker = struct
 
   let on_request t (req : Message.request) =
     t.requests_received <- t.requests_received + 1;
+    (* The counter-request reached the attacking host — however it responds,
+       the Counter_request leg (gateway -> attacker) is over. *)
+    Span.finish ~corr:req.Message.corr ~stage:Span.Counter_request
+      ~now:(Sim.now t.sim) ();
     match t.strategy with
     | Policy.Ignores -> ()
     | Policy.Complies -> (

@@ -11,6 +11,9 @@ type t = {
   detection : Detection.t option ref;
   bucket : Token_bucket.t;
   requested : (Flow_label.t, float) Hashtbl.t;  (* flow -> expiry *)
+  corrs : (Flow_label.t, int) Hashtbl.t;
+      (* per-flow correlation id for span tracing, minted on first request
+         since the proxy fills the victim's role for a legacy host *)
   mutable requests_sent : int;
   mutable queries_answered : int;
 }
@@ -40,8 +43,22 @@ let on_detect t flow (pkt : Packet.t) =
     let config = Gateway.config t.gateway in
     t.requests_sent <- t.requests_sent + 1;
     Hashtbl.replace t.requested flow (Sim.now t.sim +. config.Config.t_filter);
+    let corr =
+      match Hashtbl.find_opt t.corrs flow with
+      | Some c -> c
+      | None ->
+        let c = Aitf_obs.Span.mint () in
+        Hashtbl.replace t.corrs flow c;
+        if Aitf_obs.Span.enabled () then
+          Aitf_obs.Span.root ~corr:c
+            ~flow:(Format.asprintf "%a" Flow_label.pp flow)
+            ~victim:(node t).Node.name ~now:(Sim.now t.sim);
+        c
+    in
     Trace.emitf ~time:(Sim.now t.sim) ~category:(node t).Node.name
       "requesting block of %a on behalf of a legacy host" Flow_label.pp flow;
+    Aitf_obs.Span.start ~corr ~stage:Aitf_obs.Span.Request
+      ~node:(node t).Node.name ~now:(Sim.now t.sim);
     send t ~dst:(node t).Node.addr
       (Message.Filtering_request
          {
@@ -51,6 +68,7 @@ let on_detect t flow (pkt : Packet.t) =
            path = pkt.route_record;
            hops = 0;
            requestor = (node t).Node.addr;
+           corr;
          })
   end
 
@@ -87,6 +105,7 @@ let attach ?(td = 0.1) ~protect ~gateway net =
       bucket =
         Token_bucket.create ~rate:config.Config.r1 ~burst:config.Config.r1_burst;
       requested = Hashtbl.create 32;
+      corrs = Hashtbl.create 32;
       requests_sent = 0;
       queries_answered = 0;
     }

@@ -10,6 +10,7 @@ type request = {
   path : Addr.t list;
   hops : int;
   requestor : Addr.t;
+  corr : int;
 }
 
 type Packet.payload +=

@@ -28,7 +28,7 @@ let label_size l = sel_size l.Flow_label.src + sel_size l.Flow_label.dst + quals
 let encoded_size = function
   | Message.Filtering_request r ->
     Some
-      (2 + label_size r.Message.flow + 1 + 8 + 1 + 4 + 1
+      (2 + label_size r.Message.flow + 1 + 8 + 1 + 4 + 4 + 1
       + (4 * List.length r.Message.path))
   | Message.Verification_query { flow; _ } | Message.Verification_reply { flow; _ }
     ->
@@ -89,6 +89,8 @@ let encode payload =
       let pos = pos + 8 in
       let pos = put_u8 b pos r.Message.hops in
       let pos = put_addr b pos r.Message.requestor in
+      Bytes.set_int32_be b pos (Int32.of_int r.Message.corr);
+      let pos = pos + 4 in
       let pos = put_u8 b pos (List.length r.Message.path) in
       let final =
         List.fold_left (fun pos a -> put_addr b pos a) pos r.Message.path
@@ -183,11 +185,13 @@ let decode buf =
         let duration = Int64.float_of_bits (get_u64 c) in
         let hops = get_u8 c in
         let requestor = get_addr c in
+        (* u32; ids are minted from a small counter, so to_int is exact *)
+        let corr = Int32.to_int (get_addr c) land 0xFFFFFFFF in
         let n = get_u8 c in
         let path = List.init n (fun _ -> get_addr c) in
         Ok
           (Message.Filtering_request
-             { Message.flow; target; duration; path; hops; requestor })
+             { Message.flow; target; duration; path; hops; requestor; corr })
       | 2 ->
         let flow = get_label c in
         let nonce = get_u64 c in

@@ -2,6 +2,7 @@ type entry = {
   time : float;
   seq : int;
   action : unit -> unit;
+  label : string option;
   mutable cancelled : bool;
   owner : t;
 }
@@ -12,6 +13,10 @@ and t = {
   mutable cancelled_pending : int;
       (* cancelled entries still sitting in the heap, so that [length] can
          report live entries without scanning *)
+  mutable total_cancelled : int;
+      (* monotone count of every [cancel] that took effect *)
+  mutable max_length : int;
+      (* peak live (non-cancelled) length ever observed *)
 }
 
 type handle = entry
@@ -21,20 +26,31 @@ let cmp_entry a b =
   if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () =
-  { heap = Heap.create ~cmp:cmp_entry; next_seq = 0; cancelled_pending = 0 }
+  {
+    heap = Heap.create ~cmp:cmp_entry;
+    next_seq = 0;
+    cancelled_pending = 0;
+    total_cancelled = 0;
+    max_length = 0;
+  }
 
-let schedule q ~time action =
+let schedule ?label q ~time action =
   if not (Float.is_finite time) then
     invalid_arg "Event_queue.schedule: non-finite time";
-  let entry = { time; seq = q.next_seq; action; cancelled = false; owner = q } in
+  let entry =
+    { time; seq = q.next_seq; action; label; cancelled = false; owner = q }
+  in
   q.next_seq <- q.next_seq + 1;
   Heap.push q.heap entry;
+  let live = Heap.length q.heap - q.cancelled_pending in
+  if live > q.max_length then q.max_length <- live;
   entry
 
 let cancel h =
   if not h.cancelled then begin
     h.cancelled <- true;
-    h.owner.cancelled_pending <- h.owner.cancelled_pending + 1
+    h.owner.cancelled_pending <- h.owner.cancelled_pending + 1;
+    h.owner.total_cancelled <- h.owner.total_cancelled + 1
   end
 
 let is_cancelled h = h.cancelled
@@ -55,10 +71,14 @@ let pop q =
   drop_cancelled q;
   match Heap.pop q.heap with
   | None -> None
-  | Some e -> Some (e.time, e.action)
+  | Some e -> Some (e.time, e.label, e.action)
 
 let length q = Heap.length q.heap - q.cancelled_pending
 
 let is_empty q =
   drop_cancelled q;
   Heap.is_empty q.heap
+
+let total_scheduled q = q.next_seq
+let total_cancelled q = q.total_cancelled
+let max_length q = q.max_length

@@ -12,9 +12,10 @@ type handle
 
 val create : unit -> t
 
-val schedule : t -> time:float -> (unit -> unit) -> handle
+val schedule : ?label:string -> t -> time:float -> (unit -> unit) -> handle
 (** [schedule q ~time f] arranges for [f ()] to run when the queue is drained
-    past [time]. [time] must be finite. *)
+    past [time]. [time] must be finite. [?label] names the event's category
+    for the opt-in profiler; it never affects ordering or execution. *)
 
 val cancel : handle -> unit
 (** Cancel the event if it has not fired yet; idempotent. *)
@@ -24,9 +25,9 @@ val is_cancelled : handle -> bool
 val next_time : t -> float option
 (** Timestamp of the earliest pending (non-cancelled) event. *)
 
-val pop : t -> (float * (unit -> unit)) option
-(** Remove and return the earliest pending event with its timestamp.
-    Cancelled events are discarded silently. *)
+val pop : t -> (float * string option * (unit -> unit)) option
+(** Remove and return the earliest pending event with its timestamp and
+    category label. Cancelled events are discarded silently. *)
 
 val length : t -> int
 (** Number of pending (non-cancelled) events — consistent with {!is_empty}:
@@ -34,3 +35,13 @@ val length : t -> int
 
 val is_empty : t -> bool
 (** [true] iff no pending (non-cancelled) events remain. *)
+
+val total_scheduled : t -> int
+(** Monotone count of every event ever scheduled on this queue. *)
+
+val total_cancelled : t -> int
+(** Monotone count of every cancellation that took effect (at most once per
+    handle). With {!total_scheduled} this yields the cancelled fraction. *)
+
+val max_length : t -> int
+(** Peak live (non-cancelled) queue length observed so far. *)

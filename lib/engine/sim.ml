@@ -8,6 +8,16 @@ type t = {
   mutable events_processed : int;
 }
 
+(* Opt-in profiler hook (installed by [Aitf_obs.Profile], which sits above
+   this library in the dependency graph). Like [Trace.sinks]: a global slot,
+   one branch per event when empty. Receives the event's category label, its
+   wall-clock CPU cost in seconds, and the queue depth after it ran. *)
+let profile_hook : (string option -> float -> int -> unit) option ref =
+  ref None
+
+let set_profile_hook f = profile_hook := Some f
+let clear_profile_hook () = profile_hook := None
+
 let create () =
   {
     queue = Event_queue.create ();
@@ -19,25 +29,30 @@ let create () =
 
 let now sim = sim.now
 
-let at sim time f =
+let at ?label sim time f =
   if time < sim.now then
     invalid_arg
       (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time sim.now);
-  Event_queue.schedule sim.queue ~time f
+  Event_queue.schedule ?label sim.queue ~time f
 
-let after sim delay f =
+let after ?label sim delay f =
   let delay = if delay < 0. then 0. else delay in
-  Event_queue.schedule sim.queue ~time:(sim.now +. delay) f
+  Event_queue.schedule ?label sim.queue ~time:(sim.now +. delay) f
 
 let cancel = Event_queue.cancel
 
 let step sim =
   match Event_queue.pop sim.queue with
   | None -> false
-  | Some (time, action) ->
+  | Some (time, label, action) ->
     sim.now <- time;
     sim.events_processed <- sim.events_processed + 1;
-    action ();
+    (match !profile_hook with
+    | None -> action ()
+    | Some probe ->
+      let t0 = Sys.time () in
+      action ();
+      probe label (Sys.time () -. t0) (Event_queue.length sim.queue));
     true
 
 let run ?until ?max_events sim =
@@ -68,3 +83,6 @@ let run ?until ?max_events sim =
 let stop sim = sim.stop_requested <- true
 let events_processed sim = sim.events_processed
 let pending sim = Event_queue.length sim.queue
+let peak_pending sim = Event_queue.max_length sim.queue
+let total_scheduled sim = Event_queue.total_scheduled sim.queue
+let total_cancelled sim = Event_queue.total_cancelled sim.queue

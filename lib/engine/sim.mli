@@ -18,11 +18,13 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time in seconds. *)
 
-val at : t -> float -> (unit -> unit) -> handle
-(** [at sim time f] schedules [f] at absolute [time].
+val at : ?label:string -> t -> float -> (unit -> unit) -> handle
+(** [at sim time f] schedules [f] at absolute [time]. [?label] names the
+    event's category for the opt-in profiler (see {!set_profile_hook}); it
+    never affects ordering or execution.
     @raise Invalid_argument if [time] is in the past or not finite. *)
 
-val after : t -> float -> (unit -> unit) -> handle
+val after : ?label:string -> t -> float -> (unit -> unit) -> handle
 (** [after sim delay f] schedules [f] at [now sim +. delay]. A negative
     [delay] is clamped to [0.] (fires "immediately", after already-queued
     events at the current instant). *)
@@ -49,3 +51,24 @@ val events_processed : t -> int
 
 val pending : t -> int
 (** Number of events still queued (including cancelled, uncollected ones). *)
+
+val peak_pending : t -> int
+(** Peak live (non-cancelled) event-queue length observed so far. *)
+
+val total_scheduled : t -> int
+(** Monotone count of every event ever scheduled. *)
+
+val total_cancelled : t -> int
+(** Monotone count of cancellations that took effect; with
+    {!total_scheduled} this yields the cancelled fraction. *)
+
+val set_profile_hook : (string option -> float -> int -> unit) -> unit
+(** Install the global per-event profiler probe: after each event executes,
+    the probe receives its category label, its wall-clock CPU cost in
+    seconds and the live queue depth. One branch per event when no probe is
+    installed. Timing uses the process clock, so anything derived from it
+    is nondeterministic — the probe must never feed back into simulation
+    state. *)
+
+val clear_profile_hook : unit -> unit
+(** Remove the profiler probe (used between runs and test cases). *)

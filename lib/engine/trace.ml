@@ -15,9 +15,11 @@ let emit ~time ~category message =
     List.iter (fun s -> s e) l
 
 let emitf ~time ~category fmt =
-  Format.kasprintf
-    (fun message -> emit ~time ~category message)
-    fmt
+  (* The mli promises the message is only built when a sink is registered;
+     [kasprintf] would format eagerly, so bail to [ikfprintf] when idle. *)
+  if enabled () then
+    Format.kasprintf (fun message -> emit ~time ~category message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let printing_sink ?(out = Format.std_formatter) () e =
   Format.fprintf out "%10.4f  [%-12s] %s@." e.time e.category e.message

@@ -70,9 +70,27 @@ let decide t =
   in
   go t.models 0. 1
 
+(* A dropped control message is exactly the moment a span tree goes quiet;
+   annotate the right request so the trace explains the retransmission that
+   follows. Requests carry their correlation id; handshake messages only
+   carry the nonce, resolved through the binding the gateway registered. *)
+let note_ctrl_drop t (pkt : Packet.t) =
+  let module Message = Aitf_core.Message in
+  let now = Sim.now t.sim in
+  match pkt.Packet.payload with
+  | Message.Filtering_request req when req.Message.corr <> 0 ->
+    Aitf_obs.Span.event ~corr:req.Message.corr ~now "fault-dropped-request"
+  | Message.Verification_query { nonce; _ } ->
+    Aitf_obs.Span.event_by_nonce ~nonce ~now "fault-dropped-query"
+  | Message.Verification_reply { nonce; _ } ->
+    Aitf_obs.Span.event_by_nonce ~nonce ~now "fault-dropped-reply"
+  | _ -> ()
+
 let process t next pkt =
   match decide t with
-  | Dropped -> t.drops_injected <- t.drops_injected + 1
+  | Dropped ->
+    t.drops_injected <- t.drops_injected + 1;
+    if Aitf_obs.Span.enabled () then note_ctrl_drop t pkt
   | Deliver { extra_delay; copies } ->
     if copies > 1 then t.dups_injected <- t.dups_injected + (copies - 1);
     if extra_delay > 0. then begin

@@ -11,6 +11,10 @@ type handle = {
   mutable last_hit : float option;
   mutable expiry_event : Sim.handle option;
   mutable limiter : Token_bucket.t option;  (* None = block outright *)
+  mutable corr : int option;
+      (* correlation id of the filtering request that installed this entry;
+         carried so table observers (span tracing, fluid mirroring) can
+         attribute install/removal to the right request *)
 }
 
 type change = Installed of handle | Removed of handle
@@ -62,9 +66,13 @@ let detach t h =
     notify t (Removed h)
   end
 
+(* Hoisted: one [Some] shared by every armed expiry. *)
+let expiry_label = Some "filter-expiry"
+
 let arm_expiry t h =
   (match h.expiry_event with Some e -> Sim.cancel e | None -> ());
-  h.expiry_event <- Some (Sim.at t.sim h.expires_at (fun () -> detach t h))
+  h.expiry_event <-
+    Some (Sim.at ?label:expiry_label t.sim h.expires_at (fun () -> detach t h))
 
 let evict_subsumed t label =
   let victims =
@@ -93,11 +101,12 @@ let rec insert_wildcard h = function
   | x :: _ as l when wildcard_before h x -> h :: l
   | x :: rest -> x :: insert_wildcard h rest
 
-let install ?rate_limit t label ~duration =
+let install ?rate_limit ?corr t label ~duration =
   let now = Sim.now t.sim in
   match Hashtbl.find_opt t.by_label label with
   | Some h ->
     h.expires_at <- Float.max h.expires_at (now +. duration);
+    (match corr with Some _ -> h.corr <- corr | None -> ());
     (* A refresh that names a rate honors it (replacing a limiter only when
        the rate changed, so conforming state survives a same-rate refresh);
        a refresh without one keeps the original action. *)
@@ -132,6 +141,7 @@ let install ?rate_limit t label ~duration =
           last_hit = None;
           expiry_event = None;
           limiter;
+          corr;
         }
       in
       Hashtbl.replace t.by_label label h;
@@ -157,6 +167,7 @@ let live_entries t =
   |> List.sort (fun a b -> Flow_label.compare a.label b.label)
 
 let label h = h.label
+let corr h = h.corr
 let rate_limit h = Option.map Token_bucket.rate h.limiter
 let installed_at h = h.installed_at
 let expires_at h = h.expires_at

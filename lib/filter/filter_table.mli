@@ -22,6 +22,7 @@ val create : Aitf_engine.Sim.t -> capacity:int -> t
 
 val install :
   ?rate_limit:float ->
+  ?corr:int ->
   t ->
   Flow_label.t ->
   duration:float ->
@@ -40,7 +41,12 @@ val install :
 
     A full table first evicts live entries the new label subsumes — a
     wildcard aggregate covering existing exact filters makes its own room —
-    and only then reports [`Table_full]. *)
+    and only then reports [`Table_full].
+
+    [?corr] stamps the entry with the correlation id of the filtering
+    request that installed it (see {!Aitf_obs.Span}); a refresh naming one
+    updates the stamp, a refresh without one keeps it. Purely
+    observational. *)
 
 val remove : t -> handle -> unit
 (** Uninstall now; idempotent, harmless after expiry. *)
@@ -68,6 +74,9 @@ val live_entries : t -> handle list
     occupancy-pressure policies (the overload manager's eviction scan). *)
 
 val label : handle -> Flow_label.t
+
+val corr : handle -> int option
+(** Correlation id of the installing request, when it carried one. *)
 
 val rate_limit : handle -> float option
 (** [Some rate] (bytes/s) when the filter rate-limits instead of blocking. *)

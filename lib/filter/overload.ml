@@ -89,10 +89,19 @@ let eviction_candidate ?sparing t =
            if c < 0 then Some h else best)
        None
 
+(* Span-trace the eviction against the request that installed the filter,
+   so the victim's trace shows who paid for the table pressure. *)
+let note_eviction t reason h =
+  match Filter_table.corr h with
+  | Some corr ->
+    Aitf_obs.Span.event ~corr ~now:(Sim.now t.sim) reason
+  | None -> ()
+
 let priority_evict ?sparing t =
   match eviction_candidate ?sparing t with
   | None -> false
   | Some h ->
+    note_eviction t "overload-evict" h;
     Filter_table.remove t.table h;
     t.evictions <- t.evictions + 1;
     true
@@ -235,15 +244,17 @@ let enforce_requestor_cap t requestor =
     in
     match victim with
     | Some h ->
+      note_eviction t "overload-evict-requestor-cap" h;
       Filter_table.remove t.table h;
       t.evictions <- t.evictions + 1;
       cell := List.filter Filter_table.live !cell
     | None -> ()
   end
 
-let install ?rate_limit ?requestor t label ~duration =
+let install ?rate_limit ?corr ?requestor t label ~duration =
   refresh_mode t;
-  if not t.degraded then Filter_table.install ?rate_limit t.table label ~duration
+  if not t.degraded then
+    Filter_table.install ?rate_limit ?corr t.table label ~duration
   else begin
     Option.iter (enforce_requestor_cap t) requestor;
     let record h =
@@ -263,7 +274,9 @@ let install ?rate_limit ?requestor t label ~duration =
         (Filter_table.install t.table (Filter_table.label agg) ~duration);
       record agg
     | None -> (
-      let plain () = Filter_table.install ?rate_limit t.table label ~duration in
+      let plain () =
+        Filter_table.install ?rate_limit ?corr t.table label ~duration
+      in
       match plain () with
       | Ok h -> record h
       | Error `Table_full -> (

@@ -46,6 +46,7 @@ val create : ?policy:policy -> Aitf_engine.Sim.t -> Filter_table.t -> t
 
 val install :
   ?rate_limit:float ->
+  ?corr:int ->
   ?requestor:Addr.t ->
   t ->
   Flow_label.t ->
@@ -55,7 +56,9 @@ val install :
     return the handle of a covering aggregate instead of an exact entry,
     and works through its degradation moves before ever reporting
     [`Table_full]. [?requestor] attributes the entry for the per-requestor
-    cap. Below the high watermark this is exactly a plain table install. *)
+    cap; [?corr] stamps it for span tracing (evictions under pressure emit
+    an [overload-evict] span event against the installing request). Below
+    the high watermark this is exactly a plain table install. *)
 
 val note_blocked : t -> Filter_table.handle -> Packet.t -> unit
 (** Tell the manager a filter dropped a packet (call from the forwarding

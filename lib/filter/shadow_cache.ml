@@ -53,7 +53,10 @@ let detach t e =
 
 let arm t e =
   (match e.expiry_event with Some ev -> Sim.cancel ev | None -> ());
-  e.expiry_event <- Some (Sim.at t.sim e.expires_at (fun () -> detach t e))
+  e.expiry_event <-
+    Some
+      (Sim.at ~label:"shadow-expiry" t.sim e.expires_at (fun () ->
+           detach t e))
 
 let insert t label ~ttl data =
   let now = Sim.now t.sim in

@@ -164,7 +164,7 @@ let mark_dirty t =
     (* after 0.: runs once the current event cascade settles, coalescing a
        burst of filter changes into one recompute *)
     ignore
-      (Sim.after t.sim 0. (fun () ->
+      (Sim.after ~label:"fluid-recompute" t.sim 0. (fun () ->
            t.dirty <- false;
            recompute t))
   end
@@ -268,6 +268,18 @@ let on_change t node_id change =
     match change with
     | Filter_table.Installed h | Filter_table.Removed h -> h
   in
+  (* The rate domain reacted to this filter: annotate the owning request's
+     span tree so hybrid traces show the mirror kept pace. The spans
+     themselves are closed by the gateway's own table subscription — the
+     same seam — so both engines close identical span sets. *)
+  (if Aitf_obs.Span.enabled () then
+     match Filter_table.corr h with
+     | Some corr ->
+       Aitf_obs.Span.event ~corr ~now:(Sim.now t.sim)
+         (match change with
+         | Filter_table.Installed _ -> "fluid-mirror-install"
+         | Filter_table.Removed _ -> "fluid-mirror-remove")
+     | None -> ());
   let label = Filter_table.label h in
   match Hashtbl.find_opt t.subs node_id with
   | None -> ()
@@ -316,9 +328,9 @@ let create ?(epoch = 0.1) net =
   in
   let rec tick () =
     recompute t;
-    ignore (Sim.after t.sim t.epoch tick)
+    ignore (Sim.after ~label:"fluid-epoch" t.sim t.epoch tick)
   in
-  ignore (Sim.after t.sim t.epoch tick);
+  ignore (Sim.after ~label:"fluid-epoch" t.sim t.epoch tick);
   Aitf_obs.Metrics.if_attached (fun reg ->
       let open Aitf_obs.Metrics in
       let rate_of ~attack () =

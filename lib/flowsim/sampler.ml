@@ -67,11 +67,11 @@ let attach ?rate ~rng fluid agg =
   let sim = Network.sim (Fluid.network fluid) in
   let rec tick () =
     if Fluid.active t.agg then probe t;
-    ignore (Sim.after sim t.gap tick)
+    ignore (Sim.after ~label:"fluid-sampler" sim t.gap tick)
   in
   (* Desynchronise aggregates deterministically: the first tick lands at a
      seeded random fraction of the gap. *)
-  ignore (Sim.after sim (Rng.float rng t.gap) tick);
+  ignore (Sim.after ~label:"fluid-sampler" sim (Rng.float rng t.gap) tick);
   t
 
 let sent t = t.sent

@@ -8,6 +8,7 @@ type discipline =
 type t = {
   sim : Sim.t;
   name : string;
+  tx_node : string;  (* transmitting endpoint, parsed from "A->B" names *)
   bandwidth : float;
   delay : float;
   queue_capacity : int;
@@ -40,10 +41,17 @@ let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay < 0. then invalid_arg "Link.create: negative delay";
   if queue_capacity < 0 then invalid_arg "Link.create: negative queue capacity";
+  let tx_node =
+    match String.index_opt name '-' with
+    | Some i when i + 1 < String.length name && name.[i + 1] = '>' ->
+      String.sub name 0 i
+    | _ -> name
+  in
   let t =
     {
       sim;
       name;
+      tx_node;
       bandwidth;
       delay;
       queue_capacity;
@@ -102,9 +110,13 @@ let wrap_deliver t f =
   | None -> invalid_arg "Link.wrap_deliver: no deliver callback installed"
   | Some d -> t.deliver <- Some (f d)
 
-let drop t (pkt : Packet.t) =
+let drop t reason (pkt : Packet.t) =
   t.dropped_packets <- t.dropped_packets + 1;
-  t.dropped_bytes <- t.dropped_bytes + pkt.size
+  t.dropped_bytes <- t.dropped_bytes + pkt.size;
+  if Aitf_obs.Flight.enabled () then
+    Aitf_obs.Flight.note ~time:(Sim.now t.sim) ~node:t.tx_node ~link:t.name
+      ~kind:(Aitf_obs.Flight.Drop reason) ~size:pkt.size
+      ~queue_depth:t.queued_bytes
 
 let red_weight = 0.02
 
@@ -135,6 +147,10 @@ let update_red_avg t =
       ((1. -. red_weight) *. t.avg_queue)
       +. (red_weight *. float_of_int t.queued_bytes)
 
+(* Hoisted so the hot path does not allocate a [Some] per event. *)
+let tx_label = Some "link-tx"
+let delivery_label = Some "link-delivery"
+
 let rec start_transmission t =
   match Queue.take_opt t.queue with
   | None ->
@@ -144,6 +160,8 @@ let rec start_transmission t =
     t.busy <- true;
     t.idle_since <- None;
     t.queued_bytes <- t.queued_bytes - pkt.size;
+    Aitf_obs.Flight.note ~time:(Sim.now t.sim) ~node:t.tx_node ~link:t.name
+      ~kind:Aitf_obs.Flight.Dequeue ~size:pkt.size ~queue_depth:t.queued_bytes;
     let serialization = float_of_int (pkt.size * 8) /. t.bandwidth in
     (* Under fluid saturation the queue is full in steady state, so a packet
        that does get through waits a full queue's worth of serialisation. *)
@@ -153,17 +171,18 @@ let rec start_transmission t =
       else 0.
     in
     ignore
-      (Sim.after t.sim serialization (fun () ->
+      (Sim.after ?label:tx_label t.sim serialization (fun () ->
            (* Whether the serialised packet counts as transmitted or dropped
               is decided once, at delivery time — never both. *)
            ignore
-             (Sim.after t.sim (t.delay +. fluid_wait) (fun () ->
+             (Sim.after ?label:delivery_label t.sim (t.delay +. fluid_wait)
+                (fun () ->
                   match t.deliver with
                   | Some f when t.is_up ->
                     t.tx_packets <- t.tx_packets + 1;
                     t.tx_bytes <- t.tx_bytes + pkt.size;
                     f pkt
-                  | Some _ | None -> drop t pkt));
+                  | Some _ | None -> drop t "link-down" pkt));
            update_red_avg t;
            start_transmission t))
 
@@ -191,7 +210,7 @@ let set_fluid t ~offered ~admitted =
   t.fluid_admitted <- admitted
 
 let send t pkt =
-  if not t.is_up then drop t pkt
+  if not t.is_up then drop t "link-down" pkt
   else if
     (* Discrete packets compete with the fluid load: a saturated link drops
        them with the same loss fraction the aggregates suffer. [bernoulli]
@@ -200,19 +219,22 @@ let send t pkt =
     Rng.bernoulli t.rng ~p:(fluid_loss t)
   then begin
     t.fluid_drops <- t.fluid_drops + 1;
-    drop t pkt
+    drop t "fluid-loss" pkt
   end
   else begin
     update_red_avg t;
     if t.busy && t.queued_bytes + pkt.Packet.size > t.queue_capacity then
-      drop t pkt
+      drop t "queue-overflow" pkt
     else if t.busy && red_rejects t then begin
       t.early_drops <- t.early_drops + 1;
-      drop t pkt
+      drop t "red-early-drop" pkt
     end
     else begin
       Queue.add pkt t.queue;
       t.queued_bytes <- t.queued_bytes + pkt.size;
+      Aitf_obs.Flight.note ~time:(Sim.now t.sim) ~node:t.tx_node ~link:t.name
+        ~kind:Aitf_obs.Flight.Enqueue ~size:pkt.size
+        ~queue_depth:t.queued_bytes;
       if not t.busy then start_transmission t
     end
   end

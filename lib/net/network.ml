@@ -190,7 +190,7 @@ let compute_routes t =
 let originate t (node : Node.t) (pkt : Packet.t) =
   if Addr.equal pkt.dst node.Node.addr then
     ignore
-      (Sim.after t.sim 0. (fun () ->
+      (Sim.after ~label:"local-deliver" t.sim 0. (fun () ->
            node.Node.delivered_packets <- node.Node.delivered_packets + 1;
            node.Node.local_deliver node pkt))
   else forward node pkt

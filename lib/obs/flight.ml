@@ -1,0 +1,65 @@
+type kind = Enqueue | Dequeue | Drop of string
+
+type record = {
+  time : float;
+  node : string;
+  link : string;
+  kind : kind;
+  size : int;
+  queue_depth : int;
+}
+
+type t = {
+  buf : record option array;
+  mutable next : int;  (* write cursor *)
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; total = 0 }
+
+let capacity t = Array.length t.buf
+
+let current : t option ref = ref None
+
+let attach t = current := Some t
+let detach () = current := None
+let attached () = !current
+let enabled () = Option.is_some !current
+
+let note ~time ~node ~link ~kind ~size ~queue_depth =
+  match !current with
+  | None -> ()
+  | Some t ->
+    t.buf.(t.next) <- Some { time; node; link; kind; size; queue_depth };
+    t.next <- (t.next + 1) mod Array.length t.buf;
+    t.total <- t.total + 1
+
+let records t =
+  let n = Array.length t.buf in
+  let acc = ref [] in
+  (* Oldest record sits at the write cursor once the ring has wrapped. *)
+  for i = n - 1 downto 0 do
+    match t.buf.((t.next + i) mod n) with
+    | Some r -> acc := r :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let recorded t = t.total
+
+let kind_name = function
+  | Enqueue -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Drop reason -> "drop:" ^ reason
+
+let pp_record fmt r =
+  Format.fprintf fmt "%10.6f  %-12s %-16s %-18s %5dB q=%dB" r.time r.node
+    r.link (kind_name r.kind) r.size r.queue_depth
+
+let dump ?(out = Format.err_formatter) t =
+  let rs = records t in
+  Format.fprintf out "== flight recorder: last %d of %d record(s) ==@."
+    (List.length rs) t.total;
+  List.iter (fun r -> Format.fprintf out "%a@." pp_record r) rs

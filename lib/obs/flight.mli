@@ -1,0 +1,68 @@
+(** Packet flight recorder: a bounded ring buffer of per-hop records.
+
+    When a span tree shows {e that} a request stalled, the flight
+    recorder shows {e where}: each record captures one link-level moment
+    (enqueue, dequeue for transmission, or drop with its reason) together
+    with the node, link, packet size and queue depth at that instant.
+    The buffer holds the last N records — cheap enough to leave armed for
+    a whole run — and is dumped on demand or automatically when a span
+    breaches its latency SLO (see {!Span.set_slo}).
+
+    Attachment is process-global and off by default, mirroring
+    {!Metrics}: the network layer's recording sites cost one branch when
+    no recorder is attached. Recording never perturbs the run. *)
+
+type kind =
+  | Enqueue  (** packet accepted into the link queue *)
+  | Dequeue  (** packet starts transmission *)
+  | Drop of string  (** dropped, with the link's reason *)
+
+type record = {
+  time : float;  (** virtual seconds *)
+  node : string;  (** transmitting node *)
+  link : string;
+  kind : kind;
+  size : int;  (** packet bytes *)
+  queue_depth : int;  (** queued bytes after this action *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** A recorder holding the last [capacity] records.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+(** {1 Process-global attachment} *)
+
+val attach : t -> unit
+val detach : unit -> unit
+val attached : unit -> t option
+val enabled : unit -> bool
+
+(** {1 Recording} *)
+
+val note :
+  time:float ->
+  node:string ->
+  link:string ->
+  kind:kind ->
+  size:int ->
+  queue_depth:int ->
+  unit
+(** Append a record to the attached recorder; one branch when none. *)
+
+(** {1 Reading back} *)
+
+val records : t -> record list
+(** Oldest first; at most [capacity] records. *)
+
+val recorded : t -> int
+(** Total records ever written (may exceed [capacity]). *)
+
+val pp_record : Format.formatter -> record -> unit
+
+val dump : ?out:Format.formatter -> t -> unit
+(** Print every retained record, oldest first (default
+    [Format.err_formatter]). *)

@@ -79,6 +79,10 @@ let attach t = current := Some t
 let detach () = current := None
 let attached () = !current
 
+let with_attached t f =
+  attach t;
+  Fun.protect ~finally:detach f
+
 let if_attached f = match !current with None -> () | Some t -> f t
 
 let timer_if_attached ?unit_ ?help ?bounds name =

@@ -86,6 +86,12 @@ val detach : unit -> unit
 
 val attached : unit -> t option
 
+val with_attached : t -> (unit -> 'a) -> 'a
+(** [with_attached t f] attaches [t], runs [f] and detaches again even when
+    [f] raises — the exception-safe form every scenario driver should use:
+    a raise mid-build must not leave the registry attached to poison the
+    next run in the same process. *)
+
 val if_attached : (t -> unit) -> unit
 (** Run the registration block iff a registry is attached. *)
 

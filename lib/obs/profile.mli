@@ -1,0 +1,50 @@
+(** Opt-in engine profiler: wall-clock accounting per event category.
+
+    Installs the {!Aitf_engine.Sim.set_profile_hook} probe and buckets
+    the wall-clock CPU cost of every executed event by its scheduling
+    label ([Sim.at ~label] / [Sim.after ~label]; unlabelled events land
+    in ["other"]), while tracking the peak live event-queue depth it
+    observed. Together with the queue's own scheduled/cancelled totals
+    this attributes a run's hot path: which event category burned the
+    time, and how deep the queue got.
+
+    Everything here is wall-clock and therefore {e nondeterministic}; the
+    profiler only reads simulation state (one branch per event when not
+    attached) and never feeds back into it, so a profiled run executes
+    the same event sequence as an unprofiled one. *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> unit
+(** Install [t] as the engine's profiler probe (replacing any other). *)
+
+val detach : unit -> unit
+(** Remove the probe. *)
+
+val attached : unit -> t option
+val enabled : unit -> bool
+
+(** {1 Results} *)
+
+val events : t -> int
+(** Events timed while attached. *)
+
+val seconds : t -> float
+(** Total wall-clock seconds across all buckets. *)
+
+val peak_pending : t -> int
+(** Highest live event-queue depth observed by the probe. *)
+
+val buckets : t -> (string * (int * float)) list
+(** [(label, (events, seconds))], sorted by seconds, costliest first. *)
+
+val report : t -> string
+(** Human-readable per-bucket table. *)
+
+val register_metrics : t -> Metrics.t -> prefix:string -> unit
+(** Register pull-based gauges/counters over this profiler under
+    [prefix]: [<prefix>.events], [<prefix>.seconds],
+    [<prefix>.peak_pending] — how `bench --json` and the run report gain
+    hot-path attribution. Values are wall-clock and nondeterministic. *)

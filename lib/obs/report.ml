@@ -123,6 +123,27 @@ let values_of_json json =
 
 (* --- CSV -------------------------------------------------------------------- *)
 
+(* RFC 4180 quoting for free-form fields (metric names, units): a field
+   containing a comma, quote or newline is wrapped in double quotes with
+   embedded quotes doubled. Plain fields pass through untouched, so the
+   common case produces byte-identical output to the unquoted writer. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let series_csv series =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "metric,time,value\n";
@@ -131,7 +152,7 @@ let series_csv series =
       List.iter
         (fun (t, v) ->
           Buffer.add_string buf
-            (Printf.sprintf "%s,%.6g,%.8g\n" name t v))
+            (Printf.sprintf "%s,%.6g,%.8g\n" (csv_field name) t v))
         (Series.points s))
     series;
   Buffer.contents buf
@@ -139,22 +160,27 @@ let series_csv series =
 let snapshot_csv registry =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "metric,kind,value,unit\n";
-  let unit_of name = Option.value ~default:"" (Metrics.unit_of registry name) in
+  let unit_of name =
+    csv_field (Option.value ~default:"" (Metrics.unit_of registry name))
+  in
   List.iter
     (fun (name, v) ->
       match v with
       | Metrics.Counter v ->
         Buffer.add_string buf
-          (Printf.sprintf "%s,counter,%.8g,%s\n" name v (unit_of name))
+          (Printf.sprintf "%s,counter,%.8g,%s\n" (csv_field name) v
+             (unit_of name))
       | Metrics.Gauge v ->
         Buffer.add_string buf
-          (Printf.sprintf "%s,gauge,%.8g,%s\n" name v (unit_of name))
+          (Printf.sprintf "%s,gauge,%.8g,%s\n" (csv_field name) v
+             (unit_of name))
       | Metrics.Histogram { count; sum; _ } ->
         Buffer.add_string buf
-          (Printf.sprintf "%s,histogram,%d,%s\n" name count (unit_of name));
+          (Printf.sprintf "%s,histogram,%d,%s\n" (csv_field name) count
+             (unit_of name));
         if count > 0 then
           Buffer.add_string buf
-            (Printf.sprintf "%s.mean,gauge,%.8g,%s\n" name
+            (Printf.sprintf "%s.mean,gauge,%.8g,%s\n" (csv_field name)
                (sum /. float_of_int count)
                (unit_of name)))
     (Metrics.snapshot registry);

@@ -67,6 +67,12 @@ let start ?(interval = 0.1) ?(profile = false) sim registry =
   Metrics.register_gauge registry "sim.pending_events" ~unit_:"events"
     ~help:"Event-queue depth (including cancelled, uncollected entries)"
     (fun () -> float_of_int (Sim.pending sim));
+  Metrics.register_gauge registry "sim.peak_pending_events" ~unit_:"events"
+    ~help:"Peak live event-queue depth observed so far" (fun () ->
+      float_of_int (Sim.peak_pending sim));
+  Metrics.register_counter registry "sim.cancelled_events" ~unit_:"events"
+    ~help:"Scheduled events cancelled before firing" (fun () ->
+      float_of_int (Sim.total_cancelled sim));
   if profile then
     Metrics.register_gauge registry "sim.wall_events_per_sec" ~unit_:"events/s"
       ~help:

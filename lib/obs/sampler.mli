@@ -12,6 +12,8 @@
 
     - [sim.events_processed] (counter) — events executed so far;
     - [sim.pending_events] (gauge) — event-queue depth;
+    - [sim.peak_pending_events] (gauge) — peak live queue depth;
+    - [sim.cancelled_events] (counter) — events cancelled before firing;
     - [sim.wall_events_per_sec] (gauge, with [~profile:true] only) —
       events executed per CPU-second between the last two ticks. This is
       a wall-clock profiling hook: it is {e not} deterministic, which is

@@ -1,0 +1,426 @@
+type stage =
+  | Detect
+  | Request
+  | Temp_filter
+  | Verification
+  | Counter_request
+  | Permanent_filter
+
+let stage_name = function
+  | Detect -> "detect"
+  | Request -> "request"
+  | Temp_filter -> "temp-filter"
+  | Verification -> "verification"
+  | Counter_request -> "counter-request"
+  | Permanent_filter -> "permanent-filter"
+
+let all_stages =
+  [ Detect; Request; Temp_filter; Verification; Counter_request; Permanent_filter ]
+
+type event = { at : float; label : string }
+
+type span = {
+  span_corr : int;
+  stage : stage;
+  node : string;
+  started_at : float;
+  mutable finished_at : float option;
+  mutable span_events : event list;
+}
+
+type root = {
+  corr : int;
+  flow : string;
+  victim : string;
+  opened_at : float;
+  mutable completed_at : float option;
+  mutable spans : span list;
+  mutable root_events : event list;
+}
+
+type t = {
+  tbl : (int, root) Hashtbl.t;
+  open_spans : (int * stage, span list ref) Hashtbl.t;
+      (* stack of still-open spans per (corr, stage); several can be open
+         at once on different nodes during escalation *)
+  nonces : (int64, int) Hashtbl.t;
+  mutable slo : (float * (root -> unit)) option;
+}
+
+let create () =
+  {
+    tbl = Hashtbl.create 64;
+    open_spans = Hashtbl.create 64;
+    nonces = Hashtbl.create 32;
+    slo = None;
+  }
+
+(* Correlation ids are minted unconditionally (protocol messages carry one
+   whether or not a collector is attached), off a plain counter — no
+   randomness, so traced and untraced runs see identical protocol state. *)
+let minter = ref 0
+
+let mint () =
+  incr minter;
+  !minter
+
+let current : t option ref = ref None
+
+let attach t = current := Some t
+let detach () = current := None
+let attached () = !current
+let enabled () = Option.is_some !current
+
+let with_t f = match !current with None -> () | Some t -> f t
+
+let root ~corr ~flow ~victim ~now =
+  with_t (fun t ->
+      if not (Hashtbl.mem t.tbl corr) then
+        Hashtbl.replace t.tbl corr
+          {
+            corr;
+            flow;
+            victim;
+            opened_at = now;
+            completed_at = None;
+            spans = [];
+            root_events = [];
+          })
+
+let start ~corr ~stage ~node ~now =
+  with_t (fun t ->
+      match Hashtbl.find_opt t.tbl corr with
+      | None -> ()
+      | Some r ->
+        let s =
+          {
+            span_corr = corr;
+            stage;
+            node;
+            started_at = now;
+            finished_at = None;
+            span_events = [];
+          }
+        in
+        r.spans <- s :: r.spans;
+        let stack =
+          match Hashtbl.find_opt t.open_spans (corr, stage) with
+          | Some st -> st
+          | None ->
+            let st = ref [] in
+            Hashtbl.replace t.open_spans (corr, stage) st;
+            st
+        in
+        stack := s :: !stack)
+
+let pop_open t ?node ~corr ~stage () =
+  match Hashtbl.find_opt t.open_spans (corr, stage) with
+  | None -> None
+  | Some stack -> (
+    let matches s =
+      match node with None -> true | Some n -> String.equal s.node n
+    in
+    match List.find_opt matches !stack with
+    | None -> None
+    | Some s ->
+      stack := List.filter (fun x -> x != s) !stack;
+      Some s)
+
+let finish ?node ~corr ~stage ~now () =
+  with_t (fun t ->
+      match pop_open t ?node ~corr ~stage () with
+      | None -> ()
+      | Some s -> s.finished_at <- Some now)
+
+let peek_open t ?node ~corr ~stage () =
+  match Hashtbl.find_opt t.open_spans (corr, stage) with
+  | None -> None
+  | Some stack ->
+    let matches s =
+      match node with None -> true | Some n -> String.equal s.node n
+    in
+    List.find_opt matches !stack
+
+(* Newest open span for this corr on any stage (on [node] when given). *)
+let newest_open t ?node ~corr () =
+  List.fold_left
+    (fun best stage ->
+      match peek_open t ?node ~corr ~stage () with
+      | None -> best
+      | Some s -> (
+        match best with
+        | Some b when b.started_at >= s.started_at -> best
+        | _ -> Some s))
+    None all_stages
+
+let event ?node ~corr ~now label =
+  with_t (fun t ->
+      let e = { at = now; label } in
+      match newest_open t ?node ~corr () with
+      | Some s -> s.span_events <- e :: s.span_events
+      | None -> (
+        match Hashtbl.find_opt t.tbl corr with
+        | Some r -> r.root_events <- e :: r.root_events
+        | None -> ()))
+
+let stage_event ?node ~corr ~stage ~now label =
+  with_t (fun t ->
+      let e = { at = now; label } in
+      match peek_open t ?node ~corr ~stage () with
+      | Some s -> s.span_events <- e :: s.span_events
+      | None -> (
+        match Hashtbl.find_opt t.tbl corr with
+        | Some r -> r.root_events <- e :: r.root_events
+        | None -> ()))
+
+let bind_nonce ~corr ~nonce =
+  with_t (fun t -> Hashtbl.replace t.nonces nonce corr)
+
+let corr_of_nonce ~nonce =
+  match !current with
+  | None -> None
+  | Some t -> Hashtbl.find_opt t.nonces nonce
+
+let event_by_nonce ~nonce ~now label =
+  match corr_of_nonce ~nonce with
+  | None -> ()
+  | Some corr -> event ~corr ~now label
+
+let complete ~corr ~now =
+  with_t (fun t ->
+      match Hashtbl.find_opt t.tbl corr with
+      | None -> ()
+      | Some r ->
+        if r.completed_at = None then begin
+          r.completed_at <- Some now;
+          match t.slo with
+          | Some (slo, on_breach) when now -. r.opened_at > slo -> on_breach r
+          | Some _ | None -> ()
+        end)
+
+let set_slo t ~seconds f = t.slo <- Some (seconds, f)
+
+(* --- queries ---------------------------------------------------------------- *)
+
+let roots t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.tbl []
+  |> List.sort (fun a b -> Int.compare a.corr b.corr)
+
+let find_root t corr = Hashtbl.find_opt t.tbl corr
+let spans_of r = List.rev r.spans
+let events_of s = List.rev s.span_events
+
+let duration s =
+  match s.finished_at with None -> None | Some f -> Some (f -. s.started_at)
+
+let completed_roots t =
+  List.filter (fun r -> r.completed_at <> None) (roots t)
+
+(* --- Chrome trace-event export ---------------------------------------------- *)
+
+(* https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+   One trace "process" per simulated node, one "thread" per flow (the
+   thread id is the correlation id). Durations are complete ("X") events
+   in microseconds; point annotations become instant ("i") events. *)
+
+let us t = Json.Float (t *. 1e6)
+
+let to_chrome_trace ~now t =
+  let rs = roots t in
+  (* Deterministic pid assignment: nodes sorted by name, 1-based. *)
+  let node_names = Hashtbl.create 16 in
+  let note_node n = if not (Hashtbl.mem node_names n) then Hashtbl.replace node_names n () in
+  List.iter
+    (fun r ->
+      note_node r.victim;
+      List.iter (fun s -> note_node s.node) r.spans)
+    rs;
+  let sorted_nodes =
+    Hashtbl.fold (fun k () acc -> k :: acc) node_names []
+    |> List.sort String.compare
+  in
+  let pids = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace pids n (i + 1)) sorted_nodes;
+  let pid n = Json.Int (Hashtbl.find pids n) in
+  let meta =
+    List.concat_map
+      (fun n ->
+        [
+          Json.Obj
+            [
+              ("name", Json.String "process_name");
+              ("ph", Json.String "M");
+              ("pid", pid n);
+              ("args", Json.Obj [ ("name", Json.String n) ]);
+            ];
+        ])
+      sorted_nodes
+  in
+  let thread_meta =
+    (* Name the (pid, tid) lanes after the flow they trace. *)
+    List.concat_map
+      (fun r ->
+        let nodes =
+          List.sort_uniq String.compare
+            (r.victim :: List.map (fun s -> s.node) r.spans)
+        in
+        List.map
+          (fun n ->
+            Json.Obj
+              [
+                ("name", Json.String "thread_name");
+                ("ph", Json.String "M");
+                ("pid", pid n);
+                ("tid", Json.Int r.corr);
+                ("args", Json.Obj [ ("name", Json.String r.flow) ]);
+              ])
+          nodes)
+      rs
+  in
+  let complete ~name ~node ~tid ~start ~stop ~args =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("cat", Json.String "aitf");
+        ("ph", Json.String "X");
+        ("ts", us start);
+        ("dur", us (Float.max 0. (stop -. start)));
+        ("pid", pid node);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj args);
+      ]
+  in
+  let instant ~name ~node ~tid ~at =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("cat", Json.String "aitf");
+        ("ph", Json.String "i");
+        ("ts", us at);
+        ("pid", pid node);
+        ("tid", Json.Int tid);
+        ("s", Json.String "t");
+      ]
+  in
+  let per_root r =
+    let stop = Option.value ~default:now r.completed_at in
+    let root_ev =
+      complete ~name:"filtering-request" ~node:r.victim ~tid:r.corr
+        ~start:r.opened_at ~stop
+        ~args:
+          [
+            ("corr", Json.Int r.corr);
+            ("flow", Json.String r.flow);
+            ( "completed",
+              Json.Bool (Option.is_some r.completed_at) );
+          ]
+    in
+    let span_evs =
+      List.concat_map
+        (fun s ->
+          let stop = Option.value ~default:now s.finished_at in
+          complete ~name:(stage_name s.stage) ~node:s.node ~tid:r.corr
+            ~start:s.started_at ~stop
+            ~args:
+              [
+                ("corr", Json.Int r.corr);
+                ("flow", Json.String r.flow);
+                ("open", Json.Bool (s.finished_at = None));
+              ]
+          :: List.map
+               (fun (e : event) ->
+                 instant ~name:e.label ~node:s.node ~tid:r.corr ~at:e.at)
+               (events_of s))
+        (spans_of r)
+    in
+    let root_point_evs =
+      List.rev_map
+        (fun (e : event) ->
+          instant ~name:e.label ~node:r.victim ~tid:r.corr ~at:e.at)
+        r.root_events
+    in
+    (root_ev :: span_evs) @ root_point_evs
+  in
+  let events = meta @ thread_meta @ List.concat_map per_root rs in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* --- critical-path summary --------------------------------------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.round rank) in
+    sorted.(Int.min (n - 1) (Int.max 0 lo))
+  end
+
+let summary ?(percentiles = [ 50.; 90.; 99. ]) t =
+  let rs = roots t in
+  let completed = List.length (completed_roots t) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== span summary: %d request(s), %d completed ==\n"
+       (List.length rs) completed);
+  let stage_durs stage =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun s -> if s.stage = stage then duration s else None)
+          r.spans)
+      rs
+    |> List.sort Float.compare |> Array.of_list
+  in
+  let cols = List.map (fun p -> Printf.sprintf "p%g" p) percentiles in
+  Buffer.add_string buf
+    (Printf.sprintf "%-18s %6s %s %10s\n" "stage" "count"
+       (String.concat " "
+          (List.map (fun c -> Printf.sprintf "%10s" c) cols))
+       "max");
+  let by_stage =
+    List.map (fun stage -> (stage, stage_durs stage)) all_stages
+  in
+  List.iter
+    (fun (stage, durs) ->
+      let n = Array.length durs in
+      let cells =
+        List.map
+          (fun p ->
+            if n = 0 then Printf.sprintf "%10s" "-"
+            else Printf.sprintf "%10.4f" (percentile durs p))
+          percentiles
+      in
+      let mx =
+        if n = 0 then Printf.sprintf "%10s" "-"
+        else Printf.sprintf "%10.4f" durs.(n - 1)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %6d %s %s\n" (stage_name stage) n
+           (String.concat " " cells) mx))
+    by_stage;
+  (* Which stage dominates time-to-filter at each percentile. *)
+  List.iter
+    (fun p ->
+      let dominant =
+        List.fold_left
+          (fun best (stage, durs) ->
+            if Array.length durs = 0 then best
+            else
+              let v = percentile durs p in
+              match best with
+              | Some (_, bv) when bv >= v -> best
+              | _ -> Some (stage, v))
+          None by_stage
+      in
+      match dominant with
+      | None -> ()
+      | Some (stage, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "dominant stage at p%g: %s (%.4f s)\n" p
+             (stage_name stage) v))
+    percentiles;
+  Buffer.contents buf

@@ -1,0 +1,160 @@
+(** Causal span tracing for filtering requests.
+
+    Aggregate metrics (registry histograms) answer "how long does
+    time-to-filter take overall"; this module answers "why did {e this}
+    request take 740 ms, and at which gateway did it stall". Every
+    filtering request is keyed by a small integer correlation id minted
+    at the victim ({!mint}) and carried inside {!Aitf_core.Message}'s
+    request record; each protocol layer opens a child span per stage
+    (detect, request, temp-filter, verification, counter-request,
+    permanent-filter) and attaches point events for retransmissions,
+    drops, policing rejections and overload evictions. A run yields a
+    queryable forest of span trees, exportable to Chrome trace-event
+    JSON (loadable in Perfetto) plus a human-readable critical-path
+    summary.
+
+    Like {!Aitf_engine.Trace} and {!Metrics}, collection is off by
+    default and attached process-globally ({!attach}); every recording
+    entry point is a single branch when no collector is attached.
+    Recording never schedules events and never consumes randomness, and
+    {!mint} runs unconditionally off a plain counter, so a traced run is
+    bit-identical to an untraced one (same seed, same event sequence). *)
+
+(** Protocol stages of one filtering request, in causal order. *)
+type stage =
+  | Detect  (** first attack packet at the victim → detection fires *)
+  | Request  (** victim sends the request → victim's gateway receives it *)
+  | Temp_filter  (** temporary (Ttmp) filter installed → expiry *)
+  | Verification
+      (** request receipt at the attacker-side gateway → handshake result
+          (equals the registry's time-to-filter when it verifies) *)
+  | Counter_request
+      (** gateway's to-attacker request sent → attacker host receives it *)
+  | Permanent_filter  (** long (T) filter installed → removed/expired *)
+
+val stage_name : stage -> string
+(** Kebab-case name, e.g. ["temp-filter"]. *)
+
+type event = { at : float; label : string }
+(** A point annotation inside a span or at the root. *)
+
+type span = {
+  span_corr : int;
+  stage : stage;
+  node : string;  (** node that opened the span *)
+  started_at : float;
+  mutable finished_at : float option;  (** [None] while still open *)
+  mutable span_events : event list;  (** newest first *)
+}
+
+type root = {
+  corr : int;
+  flow : string;  (** printed flow label *)
+  victim : string;  (** node that minted the id *)
+  opened_at : float;
+  mutable completed_at : float option;
+      (** when the long filter was installed at the attacker side — the
+          "request succeeded" moment; [None] for unfinished requests *)
+  mutable spans : span list;  (** newest first *)
+  mutable root_events : event list;  (** newest first *)
+}
+
+type t
+(** A span collector — one per traced run. *)
+
+val create : unit -> t
+
+(** {1 Correlation ids} *)
+
+val mint : unit -> int
+(** Next correlation id (1, 2, ...). Deterministic and independent of
+    attachment: protocol code mints unconditionally so that message
+    contents do not depend on whether tracing is on. *)
+
+(** {1 Process-global attachment} *)
+
+val attach : t -> unit
+val detach : unit -> unit
+val attached : unit -> t option
+
+val enabled : unit -> bool
+(** [true] iff a collector is attached. *)
+
+(** {1 Recording (no-ops when detached)} *)
+
+val root : corr:int -> flow:string -> victim:string -> now:float -> unit
+(** Open the root span for [corr] (first writer wins). *)
+
+val start : corr:int -> stage:stage -> node:string -> now:float -> unit
+(** Open a child span. Ignored when no root for [corr] exists (e.g. a
+    forged request with corr 0). *)
+
+val finish :
+  ?node:string -> corr:int -> stage:stage -> now:float -> unit -> unit
+(** Close the most recently opened still-open span for [(corr, stage)] —
+    restricted to spans opened by [node] when given (a stage can be open
+    on several nodes at once during escalation). No-op when none is
+    open: receivers close spans openers may never have started. *)
+
+val event : ?node:string -> corr:int -> now:float -> string -> unit
+(** Attach a point event: to the newest open span of [corr] (on [node]
+    when given), else to the root. *)
+
+val stage_event :
+  ?node:string -> corr:int -> stage:stage -> now:float -> string -> unit
+(** Attach a point event to the newest open [(corr, stage)] span,
+    falling back to the root when none is open. *)
+
+val bind_nonce : corr:int -> nonce:int64 -> unit
+(** Remember that a handshake [nonce] belongs to [corr], so layers that
+    only see the query/reply (the fault injector) can annotate the right
+    tree. *)
+
+val corr_of_nonce : nonce:int64 -> int option
+
+val event_by_nonce : nonce:int64 -> now:float -> string -> unit
+(** {!event} via {!corr_of_nonce}; no-op for unknown nonces. *)
+
+val complete : corr:int -> now:float -> unit
+(** Mark the request completed (long filter installed). Fires the SLO
+    breach callback ({!set_slo}) when [now - opened_at] exceeds the
+    objective. First completion wins. *)
+
+val set_slo : t -> seconds:float -> (root -> unit) -> unit
+(** Latency objective: a root completing after more than [seconds] since
+    it opened invokes the callback (used to auto-dump the
+    {!Flight} recorder on anomalies). *)
+
+(** {1 Queries} *)
+
+val roots : t -> root list
+(** All roots, sorted by correlation id. *)
+
+val find_root : t -> int -> root option
+
+val spans_of : root -> span list
+(** Child spans in opening order. *)
+
+val events_of : span -> event list
+(** Span events in emission order. *)
+
+val duration : span -> float option
+(** [finished_at - started_at] when closed. *)
+
+val completed_roots : t -> root list
+(** Roots with [completed_at] set, sorted by correlation id. *)
+
+(** {1 Export} *)
+
+val to_chrome_trace : now:float -> t -> Json.t
+(** Chrome trace-event JSON ([{"traceEvents": [...]}]), loadable in
+    Perfetto: one "process" per node, one "thread" per flow
+    (tid = correlation id). Durations are complete ("X") events in
+    microseconds; span/root events become instant ("i") events; spans
+    still open are closed at [now] for display. Output is sorted and
+    deterministic. *)
+
+val summary : ?percentiles:float list -> t -> string
+(** Human-readable critical-path summary: per-stage duration
+    percentiles across all roots (default p50/p90/p99) plus, per
+    percentile, which stage dominated time-to-filter. *)

@@ -42,11 +42,14 @@ let emit t =
   end
   else t.gated <- t.gated + 1
 
+(* Hoisted: one [Some] shared by every scheduled packet. *)
+let traffic_label = Some "traffic"
+
 let rec schedule t delay =
   let sim = Network.sim t.net in
   t.pending <-
     Some
-      (Sim.after sim delay (fun () ->
+      (Sim.after ?label:traffic_label sim delay (fun () ->
            t.pending <- None;
            if (not t.halted) && Sim.now sim < t.stop then begin
              emit t;

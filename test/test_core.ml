@@ -369,6 +369,7 @@ let test_protocol_handshake_blocks_forgery () =
       path = [ (List.hd topo.Chain.attacker_gws).Node.addr ];
       hops = 0;
       requestor = m.Node.addr;
+      corr = 0;
     }
   in
   ignore
@@ -421,6 +422,7 @@ let test_protocol_forgery_succeeds_without_handshake () =
                    path = [ (List.hd topo.Chain.attacker_gws).Node.addr ];
                    hops = 0;
                    requestor = m.Node.addr;
+                   corr = 0;
                  }))));
   Sim.run ~until:4.0 sim;
   let bgw1 = List.hd d.Chain.attacker_gateways in
@@ -476,6 +478,7 @@ let test_protocol_gateway_polices_remote_requests () =
       path = [ (List.hd r.topo.Chain.attacker_gws).Node.addr ];
       hops = 0;
       requestor = vgw_node.Node.addr;
+      corr = 0;
     }
   in
   ignore
@@ -509,6 +512,7 @@ let test_protocol_invalid_requestor_rejected () =
                    path = [];
                    hops = 0;
                    requestor = outsider.Node.addr;
+                   corr = 0;
                  }))));
   Sim.run ~until:0.4 r.sim;
   checki "rejected as invalid" 1 (gw_counter (victim_gw r) "req-invalid")
@@ -534,6 +538,7 @@ let test_protocol_not_on_path_rejected () =
                    path = [ addr "88.0.0.1" ];
                    hops = 0;
                    requestor = vgw_node.Node.addr;
+                   corr = 0;
                  }))));
   Sim.run ~until:0.4 r.sim;
   checki "refused" 1 (gw_counter bgw1 "req-not-on-path")
@@ -584,6 +589,7 @@ let test_protocol_client_policer_r2 () =
       path = [ (List.hd topo.Chain.attacker_gws).Node.addr ];
       hops = 0;
       requestor = vgw_node.Node.addr;
+      corr = 0;
     }
   in
   let (_ : Aitf_workload.Request_driver.t) =
@@ -717,6 +723,7 @@ let sample_request =
     path = [ addr "20.0.0.1"; addr "20.1.0.1" ];
     hops = 1;
     requestor = addr "10.0.0.1";
+    corr = 7;
   }
 
 let roundtrip payload =
@@ -827,6 +834,7 @@ let wire_roundtrip_property =
             path = List.map Int32.of_int path;
             hops = hops mod 256;
             requestor = Int32.of_int requestor;
+            corr = requestor;
           })
         wire_label_gen
         (pair small_nat small_nat)
@@ -1080,6 +1088,7 @@ let test_protocol_policer_table_bounded () =
                      path = [ bgw1_node.Node.addr ];
                      hops = 0;
                      requestor = Addr.add (addr "40.0.0.0") i;
+                     corr = 0;
                    }))))
   done;
   Sim.run ~until:1.5 r.sim;
@@ -1254,6 +1263,7 @@ let test_protocol_replay_after_t_rejected () =
       path = [ (List.hd r.topo.Chain.attacker_gws).Node.addr ];
       hops = 0;
       requestor = (List.hd r.topo.Chain.victim_gws).Node.addr;
+      corr = 0;
     }
   in
   (* Well past T (6 s) + the victim's memory of the request. The attacker

@@ -86,7 +86,7 @@ let drain_queue q =
   let rec go () =
     match Event_queue.pop q with
     | None -> ()
-    | Some (_, f) ->
+    | Some (_, _, f) ->
       f ();
       go ()
   in

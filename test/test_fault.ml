@@ -254,6 +254,7 @@ let request ~flow ~target ~path ~requestor =
     path;
     hops = 0;
     requestor;
+    corr = 0;
   }
 
 let test_victim_gateway_duplicate_free () =
@@ -431,7 +432,7 @@ let test_event_queue_length_ignores_cancelled () =
   checki "length counts live entries only" 1 (Event_queue.length q);
   checkb "not empty while one lives" false (Event_queue.is_empty q);
   checkb "pop skips the cancelled" true
-    (match Event_queue.pop q with Some (t, _) -> t = 3.0 | None -> false);
+    (match Event_queue.pop q with Some (t, _, _) -> t = 3.0 | None -> false);
   checki "drained" 0 (Event_queue.length q);
   checkb "empty and length agree" true (Event_queue.is_empty q)
 

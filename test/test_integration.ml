@@ -392,6 +392,7 @@ let forgery_never_installs =
               requestor =
                 (if i mod 2 = 0 then m.Node.addr
                  else (List.hd topo.Chain.victim_gws).Node.addr);
+              corr = 0;
             }
           in
           ignore

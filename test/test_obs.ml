@@ -74,6 +74,19 @@ let test_attach_detach () =
       checkb "timer named" true (Metrics.registered reg "t"));
   checkb "detached again" true (Metrics.attached () = None)
 
+let test_with_attached_detaches_on_raise () =
+  Metrics.detach ();
+  let reg = Metrics.create () in
+  let v = Metrics.with_attached reg (fun () -> Metrics.attached () <> None) in
+  checkb "attached inside" true v;
+  checkb "detached after return" true (Metrics.attached () = None);
+  (* the reason with_attached exists: a raise mid-build must not leave the
+     registry attached to poison the next run in the same process *)
+  (try
+     Metrics.with_attached reg (fun () -> failwith "mid-build explosion")
+   with Failure _ -> ());
+  checkb "detached after raise" true (Metrics.attached () = None)
+
 (* --- JSON codec ------------------------------------------------------------ *)
 
 let test_json_print_and_escape () =
@@ -199,6 +212,52 @@ let test_report_csv () =
   checks "series csv" "metric,time,value\nc,0.5,1.5\n"
     (Report.series_csv [ ("c", s) ])
 
+let test_csv_escaping () =
+  (* RFC 4180: fields with commas/quotes/newlines are quoted, embedded
+     quotes doubled; plain fields stay byte-identical to the bare writer *)
+  let s = Series.create () in
+  Series.add s ~time:1. 2.;
+  checks "comma quoted" "metric,time,value\n\"a,b\",1,2\n"
+    (Report.series_csv [ ("a,b", s) ]);
+  checks "quote doubled" "metric,time,value\n\"say \"\"hi\"\"\",1,2\n"
+    (Report.series_csv [ ("say \"hi\"", s) ]);
+  checks "newline quoted" "metric,time,value\n\"a\nb\",1,2\n"
+    (Report.series_csv [ ("a\nb", s) ]);
+  let reg = Metrics.create () in
+  Metrics.register_gauge reg "g,auge" ~unit_:"m\"s" (fun () -> 1.);
+  checks "snapshot csv escapes name and unit"
+    "metric,kind,value,unit\n\"g,auge\",gauge,1,\"m\"\"s\"\n"
+    (Report.snapshot_csv reg)
+
+let test_report_deterministic () =
+  (* the same registry state must serialise to byte-identical JSON and CSV:
+     reports are diffed across runs by external tooling *)
+  let build () =
+    let reg = Metrics.create () in
+    Metrics.register_counter reg "b.count" (fun () -> 3.);
+    Metrics.register_gauge reg "a.level" (fun () -> 0.1);
+    let tm = Metrics.timer reg "ttf" in
+    Metrics.observe tm 0.25;
+    Metrics.observe tm 0.5;
+    let s = Series.create () in
+    Series.add s ~time:0.1 1.;
+    let json =
+      Report.make ~meta:[ ("seed", Json.Int 1) ] ~series:[ ("a.level", s) ]
+        ~now:1. reg
+    in
+    (Json.to_string json, Report.snapshot_csv reg, Report.series_csv [ ("a.level", s) ])
+  in
+  let j1, snap1, ser1 = build () in
+  let j2, snap2, ser2 = build () in
+  checks "json deterministic" j1 j2;
+  checks "snapshot csv deterministic" snap1 snap2;
+  checks "series csv deterministic" ser1 ser2;
+  (* and the JSON side still round-trips through the parser *)
+  match Json.parse j1 with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    checkb "parses back" true (Report.values_of_json parsed |> Result.is_ok)
+
 let () =
   Alcotest.run "aitf_obs"
     [
@@ -210,6 +269,8 @@ let () =
             test_double_registration_raises;
           Alcotest.test_case "timer observe" `Quick test_timer_observe;
           Alcotest.test_case "attach/detach" `Quick test_attach_detach;
+          Alcotest.test_case "with_attached detaches on raise" `Quick
+            test_with_attached_detaches_on_raise;
         ] );
       ( "json",
         [
@@ -228,5 +289,8 @@ let () =
         [
           Alcotest.test_case "json round trip" `Quick test_report_round_trip;
           Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "csv escaping (rfc 4180)" `Quick test_csv_escaping;
+          Alcotest.test_case "byte-identical serialisation" `Quick
+            test_report_deterministic;
         ] );
     ]

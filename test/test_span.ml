@@ -1,0 +1,346 @@
+(* Tests for causal span tracing, the packet flight recorder and the engine
+   profiler — plus the PR's acceptance criteria: a traced two-gateway chain
+   yields a span forest whose stages cover the request's life, the
+   Verification span equals the registry's time-to-filter observation, the
+   Chrome export is valid JSON, and a traced run is bit-identical to an
+   untraced one. *)
+
+module Span = Aitf_obs.Span
+module Flight = Aitf_obs.Flight
+module Profile = Aitf_obs.Profile
+module Json = Aitf_obs.Json
+module Metrics = Aitf_obs.Metrics
+module Sim = Aitf_engine.Sim
+module Scenarios = Aitf_workload.Scenarios
+module Chain = Aitf_topo.Chain
+open Aitf_core
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+let checkf = check (Alcotest.float 1e-9)
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+let contains ~sub s =
+  let ls = String.length s and lx = String.length sub in
+  let rec go i = i + lx <= ls && (String.sub s i lx = sub || go (i + 1)) in
+  go 0
+
+(* --- span collector mechanics ---------------------------------------------- *)
+
+let with_collector f =
+  let t = Span.create () in
+  Span.attach t;
+  Fun.protect ~finally:Span.detach (fun () -> f t)
+
+let test_mint_monotone () =
+  let a = Span.mint () in
+  let b = Span.mint () in
+  checkb "minting increments" true (b = a + 1);
+  (* minting is independent of attachment *)
+  with_collector (fun _ -> ());
+  let c = Span.mint () in
+  checkb "still monotone" true (c = b + 1)
+
+let test_span_lifecycle () =
+  with_collector (fun t ->
+      let corr = Span.mint () in
+      Span.root ~corr ~flow:"a -> v" ~victim:"V" ~now:1.0;
+      Span.start ~corr ~stage:Span.Detect ~node:"V" ~now:1.0;
+      Span.event ~corr ~now:1.05 "spotted";
+      Span.finish ~corr ~stage:Span.Detect ~now:1.1 ();
+      Span.start ~corr ~stage:Span.Request ~node:"V" ~now:1.1;
+      Span.finish ~corr ~stage:Span.Request ~now:1.2 ();
+      Span.complete ~corr ~now:1.5;
+      (* a corr with no root (forged request, corr 0) records nothing *)
+      Span.start ~corr:0 ~stage:Span.Request ~node:"X" ~now:9.;
+      Span.finish ~corr:0 ~stage:Span.Request ~now:9.1 ();
+      Span.event ~corr:0 ~now:9.2 "ignored";
+      checki "one root" 1 (List.length (Span.roots t));
+      let r = Option.get (Span.find_root t corr) in
+      checks "flow" "a -> v" r.Span.flow;
+      checkf "completed" 1.5 (Option.get r.Span.completed_at);
+      let spans = Span.spans_of r in
+      checki "two spans" 2 (List.length spans);
+      let d = List.hd spans in
+      checks "opening order" "detect" (Span.stage_name d.Span.stage);
+      checkf "duration" 0.1 (Option.get (Span.duration d));
+      checki "one event" 1 (List.length (Span.events_of d));
+      checki "completed roots" 1 (List.length (Span.completed_roots t)))
+
+let test_finish_is_node_scoped () =
+  with_collector (fun t ->
+      let corr = Span.mint () in
+      Span.root ~corr ~flow:"f" ~victim:"V" ~now:0.;
+      (* the same stage open on two nodes at once, as during escalation *)
+      Span.start ~corr ~stage:Span.Temp_filter ~node:"G1" ~now:0.;
+      Span.start ~corr ~stage:Span.Temp_filter ~node:"G2" ~now:1.;
+      Span.finish ~node:"G1" ~corr ~stage:Span.Temp_filter ~now:2. ();
+      let r = Option.get (Span.find_root t corr) in
+      let by_node n =
+        List.find (fun s -> s.Span.node = n) (Span.spans_of r)
+      in
+      checkb "G1 closed" true ((by_node "G1").Span.finished_at = Some 2.);
+      checkb "G2 still open" true ((by_node "G2").Span.finished_at = None);
+      (* finishing a stage nobody opened is a no-op, not an error *)
+      Span.finish ~corr ~stage:Span.Verification ~now:3. ())
+
+let test_nonce_binding () =
+  with_collector (fun t ->
+      let corr = Span.mint () in
+      Span.root ~corr ~flow:"f" ~victim:"V" ~now:0.;
+      Span.bind_nonce ~corr ~nonce:77L;
+      checkb "nonce resolves" true (Span.corr_of_nonce ~nonce:77L = Some corr);
+      checkb "unknown nonce" true (Span.corr_of_nonce ~nonce:1L = None);
+      Span.event_by_nonce ~nonce:77L ~now:0.5 "fault-dropped-query";
+      Span.event_by_nonce ~nonce:1L ~now:0.5 "ignored";
+      let r = Option.get (Span.find_root t corr) in
+      checki "event landed at root" 1 (List.length r.Span.root_events))
+
+let test_slo_fires_on_breach () =
+  with_collector (fun t ->
+      let breached = ref [] in
+      Span.set_slo t ~seconds:1.0 (fun r -> breached := r.Span.corr :: !breached);
+      let fast = Span.mint () in
+      Span.root ~corr:fast ~flow:"fast" ~victim:"V" ~now:0.;
+      Span.complete ~corr:fast ~now:0.5;
+      let slow = Span.mint () in
+      Span.root ~corr:slow ~flow:"slow" ~victim:"V" ~now:0.;
+      Span.complete ~corr:slow ~now:2.0;
+      Span.complete ~corr:slow ~now:9.0;
+      (* duplicate completion: first wins, no second callback *)
+      checkb "only the slow root breached" true (!breached = [ slow ]);
+      let r = Option.get (Span.find_root t slow) in
+      checkf "first completion wins" 2.0 (Option.get r.Span.completed_at))
+
+(* --- flight recorder -------------------------------------------------------- *)
+
+let test_flight_ring_bounds () =
+  let f = Flight.create ~capacity:4 in
+  Flight.attach f;
+  Fun.protect ~finally:Flight.detach (fun () ->
+      for i = 1 to 10 do
+        Flight.note ~time:(float_of_int i) ~node:"A" ~link:"A->B"
+          ~kind:(if i mod 2 = 0 then Flight.Enqueue else Flight.Dequeue)
+          ~size:1000 ~queue_depth:i
+      done);
+  checki "total recorded" 10 (Flight.recorded f);
+  let rs = Flight.records f in
+  checki "ring keeps last 4" 4 (List.length rs);
+  checkf "oldest retained is #7" 7. (List.hd rs).Flight.time;
+  checkf "newest is #10" 10. (List.nth rs 3).Flight.time
+
+let test_flight_note_without_recorder () =
+  Flight.detach ();
+  checkb "disabled" false (Flight.enabled ());
+  (* one branch, no crash *)
+  Flight.note ~time:0. ~node:"A" ~link:"A->B" ~kind:(Flight.Drop "full")
+    ~size:1 ~queue_depth:0
+
+(* --- engine profiler -------------------------------------------------------- *)
+
+let test_profiler_buckets_by_label () =
+  let p = Profile.create () in
+  Profile.attach p;
+  Fun.protect ~finally:Profile.detach (fun () ->
+      let sim = Sim.create () in
+      for i = 1 to 5 do
+        ignore (Sim.after ~label:"tick" sim (float_of_int i) ignore)
+      done;
+      ignore (Sim.after sim 0.5 ignore);
+      Sim.run ~until:10. sim);
+  checki "all events timed" 6 (Profile.events p);
+  checkb "peak queue depth seen" true (Profile.peak_pending p >= 5);
+  let labels = List.map fst (Profile.buckets p) in
+  checkb "tick bucket" true (List.mem "tick" labels);
+  checkb "unlabelled lands in other" true (List.mem "other" labels);
+  let tick_events = fst (List.assoc "tick" (Profile.buckets p)) in
+  checki "tick count" 5 tick_events;
+  checkb "report mentions tick" true (contains ~sub:"tick" (Profile.report p))
+
+(* --- the traced two-gateway chain ------------------------------------------- *)
+
+let two_gw_params =
+  {
+    Scenarios.default_chain with
+    Scenarios.spec = { Chain.default_spec with Chain.depth = 1 };
+    config = Config.with_timescale Config.default 0.1;
+    duration = 6.;
+    attacker_strategy = Policy.Complies;
+  }
+
+let run_traced ?(params = two_gw_params) () =
+  let t = Span.create () in
+  Span.attach t;
+  let r =
+    Fun.protect ~finally:Span.detach (fun () -> Scenarios.run_chain params)
+  in
+  (t, r)
+
+let stage_names root =
+  List.map (fun s -> Span.stage_name s.Span.stage) (Span.spans_of root)
+
+let test_chain_span_forest () =
+  let t, _r = run_traced () in
+  let completed = Span.completed_roots t in
+  checkb "at least one completed request" true (completed <> []);
+  let root = List.hd completed in
+  let names = stage_names root in
+  List.iter
+    (fun stage -> checkb ("has " ^ stage) true (List.mem stage names))
+    [
+      "detect";
+      "request";
+      "temp-filter";
+      "verification";
+      "counter-request";
+      "permanent-filter";
+    ];
+  (* every span belongs to a real node and respects causality *)
+  List.iter
+    (fun s ->
+      checkb "node named" true (s.Span.node <> "");
+      checkb "starts after root opened" true
+        (s.Span.started_at >= root.Span.opened_at);
+      match Span.duration s with
+      | Some d -> checkb "non-negative duration" true (d >= 0.)
+      | None -> ())
+    (Span.spans_of root);
+  (* completion = the long filter landing at the attacker side *)
+  checkb "completed after opening" true
+    (Option.get root.Span.completed_at > root.Span.opened_at)
+
+let test_verification_equals_time_to_filter () =
+  (* run with both a registry and the collector attached: the sum of
+     Verification span durations must equal the sum of every
+     gateway.*.time_to_filter observation *)
+  let reg = Metrics.create () in
+  let t, _r =
+    Metrics.with_attached reg (fun () -> run_traced ())
+  in
+  let ttf_count, ttf_sum =
+    List.fold_left
+      (fun (c, s) name ->
+        if has_suffix ~suffix:".time_to_filter" name then
+          match Metrics.value reg name with
+          | Some (Metrics.Histogram { count; sum; _ }) -> (c + count, s +. sum)
+          | _ -> (c, s)
+        else (c, s))
+      (0, 0.) (Metrics.names reg)
+  in
+  checkb "registry observed time-to-filter" true (ttf_count > 0);
+  let ver_durations =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun s ->
+            if s.Span.stage = Span.Verification then Span.duration s else None)
+          (Span.spans_of r))
+      (Span.roots t)
+  in
+  checki "one span per observation" ttf_count (List.length ver_durations);
+  checkf "verification duration = time-to-filter" ttf_sum
+    (List.fold_left ( +. ) 0. ver_durations)
+
+let test_chrome_trace_is_valid_json () =
+  let t, r = run_traced () in
+  let json = Span.to_chrome_trace ~now:r.Scenarios.params.Scenarios.duration t in
+  let s = Json.to_string json in
+  match Json.parse s with
+  | Error e -> Alcotest.fail ("export does not parse: " ^ e)
+  | Ok parsed ->
+    let events =
+      Option.get (Json.get_list (Option.get (Json.member "traceEvents" parsed)))
+    in
+    checkb "has events" true (events <> []);
+    List.iter
+      (fun e ->
+        let field name = Json.member name e in
+        checkb "ph present" true
+          (match field "ph" with
+          | Some (Json.String ("X" | "i" | "M")) -> true
+          | _ -> false);
+        checkb "pid present" true (field "pid" <> None);
+        match field "ph" with
+        | Some (Json.String "X") ->
+          checkb "complete event has ts+dur" true
+            (field "ts" <> None && field "dur" <> None)
+        | _ -> ())
+      events
+
+let digest (r : Scenarios.chain_result) =
+  ( r.Scenarios.events_processed,
+    r.Scenarios.attack_received_bytes,
+    r.Scenarios.attack_offered_bytes,
+    r.Scenarios.r_measured,
+    r.Scenarios.requests_sent,
+    r.Scenarios.escalations,
+    r.Scenarios.faults_injected )
+
+let test_tracing_does_not_perturb () =
+  (* faults + retries exercise the nonce-annotation and retransmit event
+     paths; the traced run must execute the same event sequence anyway *)
+  let params =
+    {
+      two_gw_params with
+      Scenarios.duration = 8.;
+      ctrl_faults = [ Aitf_fault.Fault.Loss 0.3 ];
+      config = { two_gw_params.Scenarios.config with Config.ctrl_retries = 2 };
+    }
+  in
+  let untraced = Scenarios.run_chain params in
+  let t, traced = run_traced ~params () in
+  let flight = Flight.create ~capacity:64 in
+  Flight.attach flight;
+  let traced_and_recorded =
+    Fun.protect ~finally:Flight.detach (fun () ->
+        let t2 = Span.create () in
+        Span.attach t2;
+        Fun.protect ~finally:Span.detach (fun () -> Scenarios.run_chain params))
+  in
+  checkb "span forest non-trivial" true (Span.roots t <> []);
+  checkb "flight recorder saw traffic" true (Flight.recorded flight > 0);
+  checkb "traced = untraced" true (digest untraced = digest traced);
+  checkb "traced+flight = untraced" true
+    (digest untraced = digest traced_and_recorded)
+
+let () =
+  Alcotest.run "aitf_span"
+    [
+      ( "collector",
+        [
+          Alcotest.test_case "mint monotone" `Quick test_mint_monotone;
+          Alcotest.test_case "lifecycle" `Quick test_span_lifecycle;
+          Alcotest.test_case "finish is node-scoped" `Quick
+            test_finish_is_node_scoped;
+          Alcotest.test_case "nonce binding" `Quick test_nonce_binding;
+          Alcotest.test_case "slo fires on breach" `Quick
+            test_slo_fires_on_breach;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring bounds" `Quick test_flight_ring_bounds;
+          Alcotest.test_case "note without recorder" `Quick
+            test_flight_note_without_recorder;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "buckets by label" `Quick
+            test_profiler_buckets_by_label;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "span forest covers the stages" `Slow
+            test_chain_span_forest;
+          Alcotest.test_case "verification = time-to-filter" `Slow
+            test_verification_equals_time_to_filter;
+          Alcotest.test_case "chrome trace is valid json" `Slow
+            test_chrome_trace_is_valid_json;
+          Alcotest.test_case "tracing does not perturb the run" `Slow
+            test_tracing_does_not_perturb;
+        ] );
+    ]

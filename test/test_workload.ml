@@ -142,6 +142,7 @@ let test_driver_rate_and_indices () =
       path = [];
       hops = 0;
       requestor = a.Node.addr;
+      corr = 0;
     }
   in
   let d =
@@ -171,6 +172,7 @@ let test_driver_answers_queries () =
       path = [];
       hops = 0;
       requestor = a.Node.addr;
+      corr = 0;
     }
   in
   let d =
