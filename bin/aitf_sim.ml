@@ -6,6 +6,8 @@
                series as CSV
      flood     a zombie army vs a server in a provider hierarchy
      swarm     a spoofed-source swarm over fluid aggregates (hybrid engine)
+     internet  a generated AS-level Internet under DDoS, with a pluggable
+               filter-placement policy (docs/TOPOLOGY.md, docs/PLACEMENT.md)
      formulas  evaluate the paper's Section IV formulas for given
                parameters
 
@@ -14,6 +16,7 @@
      aitf_sim run --trace --duration 10
      aitf_sim run --spans spans.json --flight-recorder 4096 --profile
      aitf_sim swarm --sources 100000 --pools 8 --spans spans.json
+     aitf_sim internet --sources 1000000 --placement optimal
      aitf_sim formulas --r1 100 --r2 1 --t-filter 60 --ttmp 0.6
 *)
 
@@ -833,6 +836,222 @@ let swarm_cmd =
              Figure-1 chain (hybrid engine).")
     term
 
+(* --- internet --------------------------------------------------------------- *)
+
+let placement_conv =
+  let parse s =
+    match Placement.policy_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p = Format.pp_print_string fmt (Placement.policy_to_string p) in
+  Arg.conv (parse, print)
+
+let internet_cmd =
+  let module As_graph = Aitf_topo.As_graph in
+  let module As_scenario = Aitf_workload.As_scenario in
+  let module Placement_ctl = Aitf_workload.Placement_ctl in
+  let domains =
+    Arg.(value & opt int 1000 & info [ "domains" ] ~docv:"N"
+           ~doc:"Gateway domains in the generated AS graph (<= 16384).")
+  in
+  let tier1 =
+    Arg.(value & opt int As_graph.default_spec.As_graph.tier1
+         & info [ "tier1" ] ~docv:"N"
+             ~doc:"Fully-meshed tier-1 providers at the top of the graph.")
+  in
+  let multihome =
+    Arg.(value & opt int As_graph.default_spec.As_graph.multihome
+         & info [ "multihome" ] ~docv:"N"
+             ~doc:"Provider uplinks per non-tier-1 domain.")
+  in
+  let peer_p =
+    Arg.(value & opt float As_graph.default_spec.As_graph.peer_p
+         & info [ "peer-p" ] ~docv:"P"
+             ~doc:"Probability a new domain adds one lateral peer link.")
+  in
+  let placement =
+    Arg.(value & opt placement_conv Placement.Vanilla
+         & info [ "placement" ] ~docv:"POLICY"
+             ~doc:"Filter-placement policy: $(b,vanilla) (classic AITF \
+                   escalate-upstream), $(b,optimal) (per-epoch optimal \
+                   filter selection) or $(b,adaptive) (feedback-driven \
+                   frontier walking). See docs/PLACEMENT.md.")
+  in
+  let placement_epoch =
+    Arg.(value & opt float Config.default.Config.placement_epoch
+         & info [ "placement-epoch" ] ~docv:"SECONDS"
+             ~doc:"Managed-placement controller decision period.")
+  in
+  let sources =
+    Arg.(value & opt int 100_000 & info [ "sources" ] ~docv:"N"
+           ~doc:"Total attack sources spread over the attack domains.")
+  in
+  let attack_domains =
+    Arg.(value & opt int 40 & info [ "attack-domains" ] ~docv:"N"
+           ~doc:"Domains hosting an attack source pool.")
+  in
+  let legit_sources =
+    Arg.(value & opt int 10_000 & info [ "legit-sources" ] ~docv:"N"
+           ~doc:"Total legitimate sources spread over the legit domains.")
+  in
+  let legit_domains =
+    Arg.(value & opt int 10 & info [ "legit-domains" ] ~docv:"N"
+           ~doc:"Domains hosting a legitimate source pool.")
+  in
+  let attack_rate =
+    Arg.(value & opt float 200e6 & info [ "attack-rate" ] ~docv:"BITS/S"
+           ~doc:"Total attack rate summed over every source.")
+  in
+  let legit_rate =
+    Arg.(value & opt float 5e6 & info [ "legit-rate" ] ~docv:"BITS/S"
+           ~doc:"Total legitimate rate towards the victim.")
+  in
+  let duration =
+    Arg.(value & opt float 30. & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated duration.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed (graph, pools and placement).")
+  in
+  let td =
+    Arg.(value & opt float 0.1 & info [ "td" ] ~docv:"SECONDS"
+           ~doc:"Victim detection delay Td for a new flow.")
+  in
+  let overload =
+    Arg.(value & flag & info [ "overload" ]
+           ~doc:"Enable the filter-table overload manager (watermarks, \
+                 prefix aggregation, priority eviction) on every gateway.")
+  in
+  let filter_capacity =
+    Arg.(value & opt int Config.default.Config.filter_capacity
+         & info [ "filter-capacity" ] ~docv:"N"
+             ~doc:"Per-gateway filter-table slots.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Attach a metrics registry and write a JSON run report \
+                 (schema aitf.run-report/1).")
+  in
+  let run domains tier1 multihome peer_p placement placement_epoch sources
+      attack_domains legit_sources legit_domains attack_rate legit_rate
+      duration seed td overload filter_capacity metrics obs =
+    let registry =
+      if metrics <> None then begin
+        let reg = Aitf_obs.Metrics.create () in
+        Aitf_obs.Metrics.attach reg;
+        Some reg
+      end
+      else None
+    in
+    let obs_state = obs_attach obs in
+    let r =
+      As_scenario.run
+        {
+          As_scenario.default with
+          As_scenario.as_spec =
+            {
+              As_graph.default_spec with
+              As_graph.domains;
+              tier1;
+              multihome;
+              peer_p;
+            };
+          as_config =
+            {
+              Config.default with
+              Config.engine = Config.Hybrid;
+              placement;
+              placement_epoch;
+              overload_manager = overload;
+              aggregate_on_pressure = overload;
+              filter_capacity;
+            };
+          as_seed = seed;
+          as_duration = duration;
+          as_sources = sources;
+          as_attack_domains = attack_domains;
+          as_legit_domains = legit_domains;
+          as_legit_sources = legit_sources;
+          as_attack_rate = attack_rate;
+          as_legit_rate = legit_rate;
+          as_td = td;
+        }
+    in
+    Aitf_obs.Metrics.detach ();
+    obs_finish obs obs_state ~registry ~now:duration;
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "internet result (%s placement)"
+             (Placement.policy_to_string placement))
+        ~columns:[ "metric"; "value" ]
+    in
+    let add k v = Table.add_row table [ k; v ] in
+    add "domains / attack / legit"
+      (Printf.sprintf "%d / %d / %d" domains attack_domains legit_domains);
+    add "sources (attack / legit)"
+      (Printf.sprintf "%d / %d" sources legit_sources);
+    add "victim domain" (string_of_int r.As_scenario.r_victim_domain);
+    add "time-to-filter (s)"
+      (match r.As_scenario.r_time_to_filter with
+      | Some t -> Printf.sprintf "%.2f" t
+      | None -> "never");
+    add "collateral damage"
+      (Printf.sprintf "%.1f%%" (100. *. r.As_scenario.r_collateral_fraction));
+    add "legit received / offered (MB)"
+      (Printf.sprintf "%.2f / %.2f"
+         (r.As_scenario.r_good_received_bytes /. 1e6)
+         (r.As_scenario.r_good_offered_bytes /. 1e6));
+    add "attack bytes reaching victim (MB)"
+      (Printf.sprintf "%.2f" (r.As_scenario.r_attack_received_bytes /. 1e6));
+    add "filter slots (peak, all gateways)"
+      (string_of_int r.As_scenario.r_slots_peak);
+    add "filter installs (all gateways)"
+      (string_of_int r.As_scenario.r_filters_installed);
+    add "filtering requests sent" (string_of_int r.As_scenario.r_requests_sent);
+    (match r.As_scenario.r_ctl with
+    | Some ctl ->
+      add "placement reports" (string_of_int (Placement_ctl.evidence ctl));
+      add "placement installs" (string_of_int (Placement_ctl.installs ctl));
+      add "placement reclaims" (string_of_int (Placement_ctl.reclaims ctl));
+      add "placement frontier pushes" (string_of_int (Placement_ctl.pushes ctl))
+    | None -> add "requests absorbed at pools" (string_of_int r.As_scenario.r_absorbed));
+    add "events processed" (string_of_int r.As_scenario.r_events);
+    Table.print table;
+    match (registry, metrics) with
+    | Some reg, Some file ->
+      let module Json = Aitf_obs.Json in
+      let meta =
+        [
+          ("scenario", Json.String "internet");
+          ("placement", Json.String (Placement.policy_to_string placement));
+          ("seed", Json.Int seed);
+          ("duration", Json.Float duration);
+          ("domains", Json.Int domains);
+          ("sources", Json.Int sources);
+          ("attack_rate", Json.Float attack_rate);
+        ]
+      in
+      Aitf_obs.Report.write_json file
+        (Aitf_obs.Report.make ~meta ~series:[] ~now:duration reg);
+      Printf.printf "wrote %s (%d metrics)\n" file (Aitf_obs.Metrics.size reg)
+    | _ -> ()
+  in
+  let term =
+    Term.(
+      const run $ domains $ tier1 $ multihome $ peer_p $ placement
+      $ placement_epoch $ sources $ attack_domains $ legit_sources
+      $ legit_domains $ attack_rate $ legit_rate $ duration $ seed $ td
+      $ overload $ filter_capacity $ metrics $ obs_term)
+  in
+  Cmd.v
+    (Cmd.info "internet"
+       ~doc:"DDoS a victim on a generated AS-level Internet (power-law \
+             degree, valley-free routing, fluid source pools) under a \
+             pluggable filter-placement policy.")
+    term
+
 (* --- formulas --------------------------------------------------------------- *)
 
 let formulas_cmd =
@@ -871,4 +1090,7 @@ let () =
     Cmd.info "aitf_sim" ~version:"1.0.0"
       ~doc:"Active Internet Traffic Filtering simulator (Argyraki & Cheriton)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; flood_cmd; swarm_cmd; formulas_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; flood_cmd; swarm_cmd; internet_cmd; formulas_cmd ]))

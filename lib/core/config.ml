@@ -35,6 +35,8 @@ type t = {
   engine : engine;
   hybrid_epoch : float;
   hybrid_probe_rate : float;
+  placement : Placement.policy;
+  placement_epoch : float;
 }
 
 let default =
@@ -69,6 +71,8 @@ let default =
     engine = Packet;
     hybrid_epoch = 0.1;
     hybrid_probe_rate = 0.0;
+    placement = Placement.Vanilla;
+    placement_epoch = 0.5;
   }
 
 let with_timescale c k =

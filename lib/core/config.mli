@@ -95,6 +95,12 @@ type t = {
       (** representative packets materialised per aggregate (packets/s);
           [0.] (the default) derives a rate from the aggregate's own packet
           rate, capped so probe cost stays bounded *)
+  placement : Placement.policy;
+      (** which filter-placement policy scenario runners wire up (default
+          {!Placement.Vanilla}, today's escalate-upstream propagation;
+          the choice never alters vanilla gateway behaviour) *)
+  placement_epoch : float;
+      (** managed-placement controller decision period (s, default 0.5) *)
 }
 
 val default : t

@@ -39,6 +39,10 @@ type t = {
   config : Config.t;
   policy : Policy.gateway_policy;
   upstream : Addr.t option;
+  placement : Placement.t option;
+      (* managed handle: report evidence to a placement controller instead
+         of propagating/escalating; None (or a Vanilla handle) keeps the
+         propagation paths bit-identical *)
   client_cone : unit Lpm.t;
   filters : Filter_table.t;
   overload : Overload.t option;
@@ -275,6 +279,28 @@ let terminal t (e : flow_entry) =
 let entry_hits (e : flow_entry) =
   match e.temp_handle with Some h -> Filter_table.hits h | None -> 0
 
+(* The placement handle, iff it actually takes over long-filter placement
+   (Optimal/Adaptive). A Vanilla handle is inert by construction. *)
+let managed_placement t =
+  match t.placement with
+  | Some p when Placement.managed p -> Some p
+  | Some _ | None -> None
+
+(* Hand the flow to the placement controller: the gateway keeps only its
+   temporary local protection; the controller owns the long filters. *)
+let delegate_to_placement t (e : flow_entry) p =
+  Counter.incr t.counters "placement-report";
+  e.phase <- Delegated;
+  trace t "reporting %a to the placement controller" Flow_label.pp e.flow;
+  Placement.report p
+    {
+      Placement.flow = e.flow;
+      path = e.path;
+      duration = e.duration;
+      reporter = addr t;
+      at = Sim.now t.sim;
+    }
+
 (* Engage round [e.round]: protect the victim with a temporary filter and
    hand the request to this round's attacker-side gateway. *)
 let rec engage t (e : flow_entry) =
@@ -289,7 +315,10 @@ let rec engage t (e : flow_entry) =
       Counter.incr t.counters "filter-long-self";
       install_long t e;
       e.phase <- Delegated
-    | Some gw ->
+    | Some gw -> (
+      match managed_placement t with
+      | Some p -> delegate_to_placement t e p
+      | None ->
       Counter.incr t.counters "req-propagated";
       trace t "round %d: asking %a to block %a" e.round Addr.pp gw
         Flow_label.pp e.flow;
@@ -310,7 +339,7 @@ let rec engage t (e : flow_entry) =
         ~gave_up:(fun () ->
           trace t "no response from %a for %a; escalating on silence"
             Addr.pp gw Flow_label.pp e.flow;
-          escalate t e)
+          escalate t e))
 
 (* A shadow hit while monitoring: the attacker's side did not take over
    (non-cooperation or an on-off game). Re-protect and escalate. *)
@@ -321,6 +350,13 @@ and escalate t (e : flow_entry) =
     "escalate";
   if e.round >= t.config.Config.max_rounds then terminal t e
   else
+    match managed_placement t with
+    | Some p ->
+      (* The flow reappeared while the controller owned it: re-protect
+         locally and re-report — fresh evidence for the next epoch. *)
+      install_temp t e;
+      delegate_to_placement t e p
+    | None -> (
     match t.upstream with
     | Some up ->
       install_temp t e;
@@ -349,7 +385,7 @@ and escalate t (e : flow_entry) =
           terminal t e)
     | None ->
       (* Top-level gateway: play the next round ourselves. *)
-      engage t e
+      engage t e)
 
 (* Control-plane loss tolerance (Section III under loss): after handing a
    request to a counterpart, watch this round's temporary filter. New hits
@@ -692,8 +728,8 @@ let deliver t prev (node : Node.t) (pkt : Packet.t) =
       send t ~dst:pkt.src (Message.Verification_reply { flow; nonce })
   | _ -> prev node pkt
 
-let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
-    node =
+let create ?(policy = Policy.Cooperative) ?upstream ?placement ~clients
+    ~config ~rng net node =
   let sim = Network.sim net in
   let cone = Lpm.create () in
   List.iter (fun p -> Lpm.insert cone p ()) clients;
@@ -731,6 +767,7 @@ let create ?(policy = Policy.Cooperative) ?upstream ~clients ~config ~rng net
       config;
       policy;
       upstream;
+      placement;
       client_cone = cone;
       filters;
       overload;

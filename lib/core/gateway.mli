@@ -33,6 +33,7 @@ type t
 val create :
   ?policy:Policy.gateway_policy ->
   ?upstream:Addr.t ->
+  ?placement:Placement.t ->
   clients:Addr.prefix list ->
   config:Config.t ->
   rng:Aitf_engine.Rng.t ->
@@ -43,7 +44,16 @@ val create :
     filter check → shadow watch → route-record stamp) and takes over
     AITF-message delivery. [clients] is the customer cone — every prefix
     this gateway is responsible for. [upstream] is the provider gateway
-    used for escalation (absent for a top-level/core gateway). *)
+    used for escalation (absent for a top-level/core gateway).
+
+    [placement] is the filter-placement seam: with a {e managed} handle
+    ({!Placement.Optimal} or {!Placement.Adaptive}) the gateway keeps its
+    local roles — policing, shadow logging, temporary Ttmp protection —
+    but reports attack evidence through {!Placement.report} instead of
+    propagating requests along the path or escalating upstream; the
+    placement controller then owns long-filter installation. Absent, or
+    with a {!Placement.Vanilla} handle, behaviour is exactly the classic
+    escalate-upstream propagation, bit for bit. *)
 
 val node : t -> Node.t
 val addr : t -> Addr.t

@@ -1,0 +1,46 @@
+open Aitf_net
+open Aitf_filter
+
+type policy = Vanilla | Optimal | Adaptive
+
+let all_policies = [ Vanilla; Optimal; Adaptive ]
+
+let policy_to_string = function
+  | Vanilla -> "vanilla"
+  | Optimal -> "optimal"
+  | Adaptive -> "adaptive"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "vanilla" -> Ok Vanilla
+  | "optimal" -> Ok Optimal
+  | "adaptive" -> Ok Adaptive
+  | other ->
+    Error
+      (Printf.sprintf "unknown placement policy %S (expected %s)" other
+         (String.concat "|" (List.map policy_to_string all_policies)))
+
+type evidence = {
+  flow : Flow_label.t;
+  path : Addr.t list;
+  duration : float;
+  reporter : Addr.t;
+  at : float;
+}
+
+type t = {
+  policy : policy;
+  report_fn : evidence -> unit;
+  mutable reports : int;
+}
+
+let create ~policy ~report = { policy; report_fn = report; reports = 0 }
+let vanilla = { policy = Vanilla; report_fn = ignore; reports = 0 }
+let policy t = t.policy
+let managed t = match t.policy with Vanilla -> false | Optimal | Adaptive -> true
+
+let report t ev =
+  t.reports <- t.reports + 1;
+  t.report_fn ev
+
+let reports t = t.reports

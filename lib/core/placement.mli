@@ -1,0 +1,68 @@
+(** The filter-placement seam: {e where} should a filter sit?
+
+    Vanilla AITF answers implicitly — the victim's gateway asks the
+    attack path's round-appropriate gateway and escalates upstream on
+    non-cooperation. That answer is wired through {!Gateway.engage}. This
+    module turns it into a first-class decision: a gateway created with a
+    {e managed} placement handle keeps its local roles (policing, shadow
+    logging, temporary Ttmp protection) but, instead of propagating the
+    request along the path, {e reports} the attack evidence to a placement
+    controller, which decides where long filters go and installs them
+    directly into the chosen gateways' tables.
+
+    Three policies ship (see docs/PLACEMENT.md):
+    - {!Vanilla} — unmanaged; gateways behave exactly as without a handle
+      (same code paths, bit-identical runs);
+    - {!Optimal} — per-epoch knapsack-style optimal filter selection from
+      the attack-source set (El Defrawy/Markopoulou/Argyraki, PAPERS.md);
+    - {!Adaptive} — feedback-driven re-placement using filter hit counters,
+      the {!Aitf_filter.Filter_table.subscribe} change feed and the
+      overload manager's collateral accounting (Li et al., PAPERS.md).
+
+    The controllers themselves live in the workload layer
+    ([Aitf_workload.Placement_ctl]); this module only defines the policy
+    names, the evidence record crossing the seam, and the handle gateways
+    hold. *)
+
+open Aitf_net
+open Aitf_filter
+
+type policy = Vanilla | Optimal | Adaptive
+
+val all_policies : policy list
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> (policy, string) result
+(** Case-insensitive; [Error] carries a usage message listing the valid
+    names. *)
+
+type evidence = {
+  flow : Flow_label.t;  (** the undesired flow, as requested by the victim *)
+  path : Addr.t list;
+      (** gateway path from the request, attacker side first *)
+  duration : float;  (** requested filter lifetime T *)
+  reporter : Addr.t;  (** the gateway that reported instead of propagating *)
+  at : float;  (** simulation time of the report *)
+}
+
+type t
+
+val create : policy:policy -> report:(evidence -> unit) -> t
+(** A placement handle delivering evidence to [report]. A [Vanilla] handle
+    is inert: {!managed} is [false] and gateways holding it behave exactly
+    like gateways created without one. *)
+
+val vanilla : t
+(** The inert handle — convenience for CLI plumbing. *)
+
+val policy : t -> policy
+
+val managed : t -> bool
+(** [true] for [Optimal] and [Adaptive]: the controller owns long-filter
+    placement and gateways suppress request propagation/escalation. *)
+
+val report : t -> evidence -> unit
+
+val reports : t -> int
+(** Evidence reports delivered so far. *)

@@ -485,8 +485,11 @@ let agg_delivered_bits t agg =
   integrate t;
   agg.delivered_bits
 
+let iter_aggregates t f = List.iter f t.aggs
+let stage_nodes agg = Array.to_list agg.fnodes
 let n_sources agg = agg.n
 let origin agg = agg.origin
+let src_base agg = agg.src_base
 let dst agg = agg.dst
 let attack agg = agg.attack
 let flow_id agg = agg.flow_id

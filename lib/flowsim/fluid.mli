@@ -88,8 +88,24 @@ val blocked_sources : agg -> int
 
 val network : t -> Network.t
 val epoch : t -> float
+
+val iter_aggregates : t -> (agg -> unit) -> unit
+(** Visit every aggregate in insertion (aid) order — the deterministic
+    enumeration placement controllers plan from. *)
+
+val stage_nodes : agg -> Node.t list
+(** The aggregate's filter-stage nodes in path order: element 0 is the
+    origin (the source's own gate), the last element is the destination's
+    last-hop router. Placement controllers use this to know which gateways
+    an aggregate's traffic crosses. *)
+
 val n_sources : agg -> int
 val origin : agg -> Node.t
+
+val src_base : agg -> Addr.t
+(** First address of the aggregate's contiguous source range
+    (= [source_addr agg 0]). *)
+
 val dst : agg -> Addr.t
 val attack : agg -> bool
 val flow_id : agg -> int

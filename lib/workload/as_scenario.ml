@@ -1,0 +1,254 @@
+module Sim = Aitf_engine.Sim
+module Rng = Aitf_engine.Rng
+module Series = Aitf_stats.Series
+module Fluid = Aitf_flowsim.Fluid
+module Sampler = Aitf_flowsim.Sampler
+module Filter_table = Aitf_filter.Filter_table
+open Aitf_net
+open Aitf_core
+open Aitf_topo
+
+type params = {
+  as_spec : As_graph.spec;
+  as_config : Config.t;
+  as_seed : int;
+  as_duration : float;
+  as_sources : int;
+  as_attack_domains : int;
+  as_legit_domains : int;
+  as_legit_sources : int;
+  as_attack_rate : float;
+  as_legit_rate : float;
+  as_attack_start : float;
+  as_td : float;
+  as_sample_period : float;
+}
+
+let default =
+  {
+    as_spec = As_graph.default_spec;
+    as_config = Config.default;
+    as_seed = 42;
+    as_duration = 30.;
+    as_sources = 100_000;
+    as_attack_domains = 40;
+    as_legit_domains = 10;
+    as_legit_sources = 10_000;
+    as_attack_rate = 200e6;
+    as_legit_rate = 5e6;
+    as_attack_start = 1.;
+    as_td = 0.1;
+    as_sample_period = 0.1;
+  }
+
+type result = {
+  r_params : params;
+  r_graph : As_graph.t;
+  r_gateways : Gateway.t array;
+  r_fluid : Fluid.t;
+  r_ctl : Placement_ctl.t option;
+  r_victim_domain : int;
+  r_good_offered_bytes : float;
+  r_good_received_bytes : float;
+  r_attack_received_bytes : float;
+  r_collateral_fraction : float;
+  r_victim_rate : Series.t;
+  r_time_to_filter : float option;
+  r_slots_peak : int;
+  r_filters_installed : int;
+  r_requests_sent : int;
+  r_reports : int;
+  r_absorbed : int;
+  r_events : int;
+}
+
+(* Per-domain pool sub-ranges inside the /16: the attack pool owns the top
+   half (/17 at +0x8000), the legitimate pool a quarter (/18 at +0x4000) —
+   both clear of the infrastructure addresses at the bottom. *)
+let attack_off = 0x8000
+let legit_off = 0x4000
+
+let run p =
+  let spec = p.as_spec in
+  let n = spec.As_graph.domains in
+  if p.as_attack_domains < 1 || p.as_legit_domains < 1 then
+    invalid_arg "As_scenario.run: need at least one pool domain of each kind";
+  if (p.as_sources + p.as_attack_domains - 1) / p.as_attack_domains > 1 lsl 15
+  then
+    invalid_arg
+      "As_scenario.run: more than 2^15 attack sources per domain (raise \
+       as_attack_domains)";
+  if
+    (p.as_legit_sources + p.as_legit_domains - 1) / p.as_legit_domains
+    > 1 lsl 14
+  then
+    invalid_arg
+      "As_scenario.run: more than 2^14 legitimate sources per domain (raise \
+       as_legit_domains)";
+  if p.as_attack_domains + p.as_legit_domains > n - 1 - spec.As_graph.tier1
+  then invalid_arg "As_scenario.run: not enough non-tier-1 domains for pools";
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:p.as_seed in
+  let graph = As_graph.build sim rng spec in
+  let net = As_graph.net graph in
+  (* The last domain never acquired customers (providers are always chosen
+     among earlier domains), so it is guaranteed to be a stub — the victim
+     lives there, behind its bottleneck access link. *)
+  let vdom = n - 1 in
+  let victim_node = As_graph.attach_host graph ~domain:vdom in
+  (* Distinct uniform domain picks among non-tier-1, non-victim domains. *)
+  let pick k avoid =
+    let lo = spec.As_graph.tier1 and hi = n - 2 in
+    let seen = Hashtbl.create (4 * k) in
+    List.iter (fun d -> Hashtbl.replace seen d ()) avoid;
+    let out = ref [] and got = ref 0 in
+    while !got < k do
+      let d = lo + Rng.int rng (hi - lo + 1) in
+      if not (Hashtbl.mem seen d) then begin
+        Hashtbl.replace seen d ();
+        out := d :: !out;
+        incr got
+      end
+    done;
+    List.rev !out
+  in
+  let attack_domains = pick p.as_attack_domains [] in
+  let legit_domains = pick p.as_legit_domains attack_domains in
+  let base_of d = (As_graph.domain_prefix d).Addr.base in
+  let attach off len d =
+    let range = Addr.prefix (Addr.add (base_of d) off) len in
+    (d, As_graph.attach_pool graph ~domain:d ~range)
+  in
+  let attack_pools = List.map (attach attack_off 17) attack_domains in
+  let legit_pools = List.map (attach legit_off 18) legit_domains in
+  let config = p.as_config in
+  let eng = Fluid.create ~epoch:config.Config.hybrid_epoch net in
+  let ctl =
+    match config.Config.placement with
+    | Placement.Vanilla -> None
+    | (Placement.Optimal | Placement.Adaptive) as policy ->
+      (* Threshold between the per-domain attack rate and any plausible
+         legitimate pool rate, with a floor for tiny runs. *)
+      let suspect_rate =
+        Float.max 1e6
+          (0.5 *. p.as_attack_rate /. float_of_int p.as_attack_domains)
+      in
+      Some (Placement_ctl.create ~suspect_rate ~policy ~fluid:eng config)
+  in
+  let deployed =
+    As_graph.deploy
+      ?placement:(Option.map Placement_ctl.handle ctl)
+      ~config ~rng graph
+  in
+  let gws = deployed.As_graph.gateways in
+  Option.iter (fun c -> Placement_ctl.register_gateways c gws) ctl;
+  Array.iter
+    (fun gw ->
+      Fluid.attach_table eng ~node:(Gateway.node gw) (Gateway.filters gw))
+    gws;
+  let victim =
+    Host_agent.Victim.create ~td:p.as_td
+      ~gateway:(As_graph.router graph vdom).Node.addr
+      ~config net victim_node
+  in
+  let victim_addr = victim_node.Node.addr in
+  let frng = Rng.split rng in
+  let probe_rate =
+    let r = config.Config.hybrid_probe_rate in
+    if r > 0. then Some r else None
+  in
+  let absorbed = ref [] in
+  let add_pools pools ~off ~total_sources ~total_rate ~attack ~start ~fid0 =
+    let k = List.length pools in
+    let base_n = total_sources / k and rem = total_sources mod k in
+    List.iteri
+      (fun j (d, pool) ->
+        let cnt = base_n + if j < rem then 1 else 0 in
+        if cnt > 0 then begin
+          let rate =
+            total_rate *. float_of_int cnt /. float_of_int total_sources
+          in
+          let agg =
+            Fluid.add_aggregate eng ~flow_id:(fid0 + j) ~origin:pool
+              ~src_base:(Addr.add (base_of d) off)
+              ~n:cnt ~rate ~dst:victim_addr ~attack ~start
+          in
+          if attack then begin
+            absorbed := Fluid_bridge.absorb_pool_requests pool :: !absorbed;
+            ignore (Sampler.attach ?rate:probe_rate ~rng:(Rng.split frng) eng agg)
+          end
+        end)
+      pools
+  in
+  add_pools attack_pools ~off:attack_off ~total_sources:p.as_sources
+    ~total_rate:p.as_attack_rate ~attack:true ~start:p.as_attack_start
+    ~fid0:1000;
+  add_pools legit_pools ~off:legit_off ~total_sources:p.as_legit_sources
+    ~total_rate:p.as_legit_rate ~attack:false ~start:0. ~fid0:2000;
+  let series = Series.create ~name:"victim-attack-rate" () in
+  let vmeter = Fluid_bridge.victim_meter eng in
+  let rec sample t =
+    if t <= p.as_duration then
+      ignore
+        (Sim.at sim t (fun () ->
+             Series.add series ~time:t
+               (Fluid_bridge.victim_attack_rate vmeter ~now:t);
+             sample (t +. p.as_sample_period)))
+  in
+  sample p.as_sample_period;
+  Sim.run ~until:p.as_duration sim;
+  let slots_peak =
+    Array.fold_left
+      (fun acc gw -> acc + Filter_table.peak_occupancy (Gateway.filters gw))
+      0 gws
+  in
+  let installed =
+    Array.fold_left
+      (fun acc gw -> acc + Filter_table.installs (Gateway.filters gw))
+      0 gws
+  in
+  let good_offered = p.as_legit_rate *. p.as_duration /. 8. in
+  let good_received = Fluid.delivered_bits eng ~attack:false /. 8. in
+  let time_to_filter =
+    (* Seconds from attack start until the victim's attack rate falls below
+       5% of the offered rate and stays there; [None] if it is still above
+       at the end of the run. *)
+    let thresh = 0.05 *. p.as_attack_rate in
+    let pts =
+      List.filter (fun (t, _) -> t >= p.as_attack_start) (Series.points series)
+    in
+    let last_high =
+      List.fold_left
+        (fun acc (t, v) -> if v > thresh then Some t else acc)
+        None pts
+    in
+    match last_high with
+    | None -> Some 0.  (* suppressed within the first sample *)
+    | Some th -> (
+      match List.find_opt (fun (t, _) -> t > th) pts with
+      | Some (t, _) -> Some (t -. p.as_attack_start)
+      | None -> None (* still above threshold when the run ended *))
+  in
+  {
+    r_params = p;
+    r_graph = graph;
+    r_gateways = gws;
+    r_fluid = eng;
+    r_ctl = ctl;
+    r_victim_domain = vdom;
+    r_good_offered_bytes = good_offered;
+    r_good_received_bytes = good_received;
+    r_attack_received_bytes = Fluid.delivered_bits eng ~attack:true /. 8.;
+    r_collateral_fraction =
+      (if good_offered > 0. then
+         Float.max 0. (1. -. (good_received /. good_offered))
+       else 0.);
+    r_victim_rate = series;
+    r_time_to_filter = time_to_filter;
+    r_slots_peak = slots_peak;
+    r_filters_installed = installed;
+    r_requests_sent = Host_agent.Victim.requests_sent victim;
+    r_reports = (match ctl with Some c -> Placement_ctl.evidence c | None -> 0);
+    r_absorbed = List.fold_left (fun acc r -> acc + !r) 0 !absorbed;
+    r_events = Sim.events_processed sim;
+  }

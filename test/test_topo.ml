@@ -356,6 +356,155 @@ let test_random_deploy_protocol () =
        "filter-long"
     >= 1)
 
+(* --- As_graph ---------------------------------------------------------------- *)
+
+let as_spec = { As_graph.default_spec with As_graph.domains = 200 }
+
+let test_as_structure () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:7 in
+  let t = As_graph.build sim rng as_spec in
+  checki "domains" 200 (As_graph.n_domains t);
+  (* Tier-1s: no providers, mutually peered. *)
+  for i = 0 to as_spec.As_graph.tier1 - 1 do
+    checki "tier-1 has no providers" 0 (List.length (As_graph.providers t i));
+    checki "tier-1 clique" (as_spec.As_graph.tier1 - 1)
+      (List.length
+         (List.filter (fun p -> p < as_spec.As_graph.tier1) (As_graph.peers t i)))
+  done;
+  (* Everyone below tier-1 is multihomed as specified. *)
+  for d = as_spec.As_graph.tier1 to 199 do
+    checki
+      (Printf.sprintf "as%d multihomed" d)
+      (Int.min as_spec.As_graph.multihome d)
+      (List.length (As_graph.providers t d))
+  done
+
+let test_as_deterministic () =
+  let fingerprint seed =
+    let sim = Sim.create () in
+    let rng = Rng.create ~seed in
+    let t = As_graph.build sim rng as_spec in
+    List.init (As_graph.n_domains t) (fun d ->
+        (As_graph.providers t d, As_graph.peers t d))
+  in
+  checkb "same seed same graph" true (fingerprint 11 = fingerprint 11);
+  checkb "different seeds differ" true (fingerprint 11 <> fingerprint 12)
+
+let test_as_degree_distribution () =
+  (* Power-law shape, not a regular mesh: a heavy hub exists while most
+     domains keep the minimum degree. Deterministic for the fixed seed. *)
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:7 in
+  let t = As_graph.build sim rng as_spec in
+  let degrees = List.init 200 (fun d -> As_graph.degree t d) in
+  let max_deg = List.fold_left Int.max 0 degrees in
+  let small = List.length (List.filter (fun g -> g <= 4) degrees) in
+  checkb "hub emerges" true (max_deg >= 15);
+  checkb "most domains stay small" true (small >= 120);
+  (* Handshake: the sum of degrees is twice the edge count. *)
+  let sum = List.fold_left ( + ) 0 degrees in
+  checki "degree sum even" 0 (sum mod 2)
+
+let test_as_valley_free_routes () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:7 in
+  let t = As_graph.build sim rng as_spec in
+  let pairs =
+    [ (5, 199); (199, 5); (42, 137); (137, 42); (0, 150); (150, 0);
+      (17, 18); (99, 100); (196, 3); (77, 191) ]
+  in
+  List.iter
+    (fun (src, dst) ->
+      match As_graph.route t ~src ~dst with
+      | None -> Alcotest.failf "no route as%d -> as%d" src dst
+      | Some path ->
+        checkb
+          (Printf.sprintf "as%d -> as%d valley-free" src dst)
+          true
+          (As_graph.valley_free t path))
+    pairs
+
+let test_as_valley_free_rejects_valleys () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:7 in
+  let t = As_graph.build sim rng as_spec in
+  (* A provider->customer step followed by customer->provider is a valley. *)
+  let d =
+    (* first non-tier-1 domain with a customer of its own *)
+    let rec find d =
+      if As_graph.is_stub t d || d < as_spec.As_graph.tier1 then find (d + 1)
+      else d
+    in
+    find as_spec.As_graph.tier1
+  in
+  let c = List.hd (As_graph.customers t d) in
+  let p = List.hd (As_graph.providers t d) in
+  checkb "down-then-up rejected" false (As_graph.valley_free t [ p; d; c; d; p ]);
+  checkb "down-then-up rejected (short)" false (As_graph.valley_free t [ d; c; d ])
+
+let test_as_fib_aggregation () =
+  (* Stub routers route the whole 200-domain Internet with a handful of
+     explicit entries plus one default — BGP-style aggregation. *)
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:7 in
+  let t = As_graph.build sim rng as_spec in
+  let stub =
+    let rec find d = if As_graph.is_stub t d then d else find (d + 1) in
+    find as_spec.As_graph.tier1
+  in
+  checkb "stub fib small" true (Lpm.size (As_graph.router t stub).Node.fib < 20)
+
+let test_as_host_reachability () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:7 in
+  let t = As_graph.build sim rng as_spec in
+  let a = As_graph.attach_host t ~domain:150 in
+  let b = As_graph.attach_host t ~domain:42 in
+  checki "cross-domain delivery" 1
+    (deliver_count sim (As_graph.net t) ~src:a ~dst:b);
+  checki "reverse delivery" 1
+    (deliver_count sim (As_graph.net t) ~src:b ~dst:a)
+
+let test_as_deploy_protocol () =
+  (* One attacker host in a far domain floods a victim host; vanilla AITF
+     on the generated graph must end with the attacker's own domain
+     gateway holding the long filter. *)
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:3 in
+  let t = As_graph.build sim rng as_spec in
+  let config =
+    {
+      (Config.with_timescale Config.default 0.1) with
+      Config.t_tmp = 0.5;
+      grace = 0.3;
+    }
+  in
+  let victim = As_graph.attach_host t ~domain:150 in
+  let attacker = As_graph.attach_host t ~domain:42 in
+  let d = As_graph.deploy ~config ~rng t in
+  let vagent =
+    Host_agent.Victim.create ~td:0.05
+      ~gateway:(As_graph.router t 150).Node.addr ~config (As_graph.net t)
+      victim
+  in
+  let agent =
+    Host_agent.Attacker.create ~strategy:Policy.Ignores ~config
+      (As_graph.net t) attacker
+  in
+  let (_ : Aitf_workload.Traffic.t) =
+    Aitf_workload.Traffic.cbr
+      ~gate:(Host_agent.Attacker.gate agent)
+      ~start:0.5 ~attack:true ~flow_id:1 ~rate:4e5 ~dst:victim.Node.addr
+      (As_graph.net t) attacker
+  in
+  Sim.run ~until:3.0 sim;
+  checkb "victim requested" true (Host_agent.Victim.requests_sent vagent >= 1);
+  checkb "attacker's domain gateway filters" true
+    (Aitf_stats.Counter.get (Gateway.counters d.As_graph.gateways.(42))
+       "filter-long"
+    >= 1)
+
 let () =
   Alcotest.run "aitf_topo"
     [
@@ -401,5 +550,21 @@ let () =
             test_random_multihoming_survives_link_loss;
           Alcotest.test_case "deploy + protocol" `Quick
             test_random_deploy_protocol;
+        ] );
+      ( "as_graph",
+        [
+          Alcotest.test_case "structure" `Quick test_as_structure;
+          Alcotest.test_case "deterministic" `Quick test_as_deterministic;
+          Alcotest.test_case "degree distribution" `Quick
+            test_as_degree_distribution;
+          Alcotest.test_case "valley-free routes" `Quick
+            test_as_valley_free_routes;
+          Alcotest.test_case "valley detector" `Quick
+            test_as_valley_free_rejects_valleys;
+          Alcotest.test_case "fib aggregation" `Quick test_as_fib_aggregation;
+          Alcotest.test_case "host reachability" `Quick
+            test_as_host_reachability;
+          Alcotest.test_case "deploy + protocol" `Quick
+            test_as_deploy_protocol;
         ] );
     ]
