@@ -2111,3 +2111,76 @@ let e18 () =
           Placement.all_policies)
     [ 100_000; 1_000_000 ];
   emit table
+
+(* The golden-trace differential matrix as a perf trajectory
+   (lib/workload/matrix.ml, docs/GOLDENS.md). Every cell of the
+   topology x engine x fault x adversary x placement matrix runs
+   instrumented — wall-clock, GC-allocated bytes, peak event-queue
+   depth, events executed — and the per-cell trajectory lands in
+   BENCH_E19.json (schema aitf.matrix-bench/1), the artifact CI uploads
+   per commit and diffs against the previous run for >20% wall-clock
+   regressions. Golden status is reported per cell (drift details via
+   `aitf_sim matrix`, intentional changes via `--bless`); the agreement
+   rows extend E17's 10% packet-vs-hybrid gate across every pristine
+   engine pair in the matrix.
+
+   E19_SMOKE=1 restricts to the reduced CI cell set; E19_GOLDENS
+   overrides the goldens directory (default test/goldens, resolved
+   against the working directory — run from the repo root). *)
+
+let e19 () =
+  let module Matrix = Aitf_workload.Matrix in
+  let smoke = Sys.getenv_opt "E19_SMOKE" <> None in
+  let goldens_dir =
+    match Sys.getenv_opt "E19_GOLDENS" with
+    | Some d -> d
+    | None -> "test/goldens"
+  in
+  let s = Matrix.run ~clock:Unix.gettimeofday ~smoke ~goldens_dir () in
+  let table =
+    Table.create
+      ~title:"E19  golden-trace matrix: perf trajectory per cell"
+      ~columns:
+        [ "cell"; "golden"; "wall (s)"; "alloc MB"; "peak queue"; "events" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.Matrix.cr_cell.Matrix.id;
+          (match r.Matrix.cr_status with
+          | Matrix.Match -> "match"
+          | Matrix.Drift -> "DRIFT"
+          | Matrix.Missing -> "missing"
+          | Matrix.Blessed -> "blessed");
+          Printf.sprintf "%.3f" r.Matrix.cr_perf.Matrix.wall;
+          Printf.sprintf "%.1f" (r.Matrix.cr_perf.Matrix.alloc_bytes /. 1e6);
+          string_of_int r.Matrix.cr_perf.Matrix.peak_queue;
+          string_of_int r.Matrix.cr_perf.Matrix.engine_events;
+        ])
+    s.Matrix.s_results;
+  emit table;
+  let agree =
+    Table.create
+      ~title:"E19  matrix-wide engine agreement   (E17 gate, 10% on goodput)"
+      ~columns:[ "pair"; "metric"; "packet"; "hybrid"; "diff %"; "verdict" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row agree
+        [
+          p.Matrix.pr_base;
+          p.Matrix.pr_metric;
+          Printf.sprintf "%.0f" p.Matrix.pr_packet;
+          Printf.sprintf "%.0f" p.Matrix.pr_hybrid;
+          Printf.sprintf "%.1f" (100. *. p.Matrix.pr_diff);
+          (if not p.Matrix.pr_gated then "info"
+           else if p.Matrix.pr_ok then "AGREE"
+           else "DISAGREE");
+        ])
+    s.Matrix.s_pairs;
+  emit agree;
+  Aitf_obs.Report.write_json "BENCH_E19.json" (Matrix.bench_json s);
+  Printf.printf "wrote BENCH_E19.json  (%d cells, %d drifted, %d gated disagreements)\n"
+    (List.length s.Matrix.s_results)
+    s.Matrix.s_drifted s.Matrix.s_disagreements

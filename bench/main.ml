@@ -158,6 +158,7 @@ let experiments =
     ("e16", "filter-slot exhaustion vs the overload manager", Experiments.e16);
     ("e17", "hybrid fluid/packet engine: agreement + population scaling", Experiments.e17);
     ("e18", "filter placement at Internet scale: vanilla vs optimal vs adaptive", Experiments.e18);
+    ("e19", "golden-trace matrix: perf trajectory + engine agreement", Experiments.e19);
     ("a1", "ablation: traceback mechanisms", Experiments.a1);
     ("a2", "ablation: shadow cache", Experiments.a2);
     ("a3", "ablation: wildcard aggregation", Experiments.a3);

@@ -8,8 +8,17 @@
      swarm     a spoofed-source swarm over fluid aggregates (hybrid engine)
      internet  a generated AS-level Internet under DDoS, with a pluggable
                filter-placement policy (docs/TOPOLOGY.md, docs/PLACEMENT.md)
+     matrix    the golden-trace differential matrix: every topology x
+               engine x fault x adversary x placement cell byte-compared
+               against checked-in goldens (docs/GOLDENS.md)
+     replay    drive a trace-driven attack (synthesized or from a file)
+               through either engine (docs/GOLDENS.md)
      formulas  evaluate the paper's Section IV formulas for given
                parameters
+
+   Numeric flags are validated up front: a malformed value (nan, an
+   out-of-range probability, a zero count) is rejected with the flag
+   named and the CLI-error exit code, never absorbed by a default.
 
    Examples:
      aitf_sim run --duration 60 --t-filter 6 --non-coop 1 --strategy onoff
@@ -17,6 +26,8 @@
      aitf_sim run --spans spans.json --flight-recorder 4096 --profile
      aitf_sim swarm --sources 100000 --pools 8 --spans spans.json
      aitf_sim internet --sources 1000000 --placement optimal
+     aitf_sim matrix --smoke --bench-json BENCH_E19.json
+     aitf_sim replay --shape carpet --seed 7 --emit-trace
      aitf_sim formulas --r1 100 --r2 1 --t-filter 60 --ttmp 0.6
 *)
 
@@ -31,13 +42,64 @@ open Cmdliner
 
 (* --- run ------------------------------------------------------------------ *)
 
-(* "A:B" float pairs, for --burst-loss and --flap. *)
-let pair_conv ~what =
+(* Strict numeric flag values. [Arg.float] happily accepts "nan", "inf"
+   and out-of-range numbers, which then propagate silently into the
+   scenario (a nan duration runs forever, a loss of 1.5 is a certainty).
+   Every numeric flag goes through one of these validated converters, so
+   a malformed value names the offending flag and exits non-zero. *)
+let finite what s =
+  match float_of_string_opt s with
+  | None ->
+    Error (`Msg (Printf.sprintf "%s: expected a number, got %S" what s))
+  | Some v when not (Float.is_finite v) ->
+    Error (`Msg (Printf.sprintf "%s: must be finite, got %S" what s))
+  | Some v -> Ok v
+
+let float_print fmt v = Format.fprintf fmt "%g" v
+
+let float_conv what ~check ~expect =
+  let parse s =
+    Result.bind (finite what s) (fun v ->
+        if check v then Ok v
+        else
+          Error (`Msg (Printf.sprintf "%s: must be %s, got %g" what expect v)))
+  in
+  Arg.conv (parse, float_print)
+
+let pos_float what = float_conv what ~check:(fun v -> v > 0.) ~expect:"> 0"
+
+let nonneg_float what =
+  float_conv what ~check:(fun v -> v >= 0.) ~expect:">= 0"
+
+let prob_float what =
+  float_conv what
+    ~check:(fun v -> v >= 0. && v <= 1.)
+    ~expect:"a probability in [0, 1]"
+
+let min_int what lo =
+  let parse s =
+    match int_of_string_opt s with
+    | None ->
+      Error (`Msg (Printf.sprintf "%s: expected an integer, got %S" what s))
+    | Some v when v < lo ->
+      Error (`Msg (Printf.sprintf "%s: must be >= %d, got %d" what lo v))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+(* "A:B" float pairs, for --burst-loss and --flap; both components are
+   validated by [check]/[expect] like the scalar converters. *)
+let pair_conv ~what ?(check = Float.is_finite) ?(expect = "finite") () =
   let parse s =
     match String.split_on_char ':' s with
     | [ a; b ] -> (
       match (float_of_string_opt a, float_of_string_opt b) with
-      | Some a, Some b -> Ok (a, b)
+      | Some a, Some b ->
+        if check a && check b then Ok (a, b)
+        else
+          Error
+            (`Msg
+               (Printf.sprintf "%s: both components must be %s" what expect))
       | _ -> Error (`Msg (Printf.sprintf "%s expects FLOAT:FLOAT" what)))
     | _ -> Error (`Msg (Printf.sprintf "%s expects FLOAT:FLOAT" what))
   in
@@ -97,7 +159,7 @@ let obs_term =
                  docs/OBSERVABILITY.md, section Causal tracing.")
   in
   let flight =
-    Arg.(value & opt int 0 & info [ "flight-recorder" ] ~docv:"N"
+    Arg.(value & opt (min_int "--flight-recorder" 0) 0 & info [ "flight-recorder" ] ~docv:"N"
            ~doc:"Arm the packet flight recorder: a ring buffer of the last \
                  N per-hop link records (enqueue/dequeue/drop with queue \
                  depth). 0 disables. Dumped automatically on an --slo \
@@ -117,7 +179,7 @@ let obs_term =
                  event sequence is unchanged.")
   in
   let slo =
-    Arg.(value & opt (some float) None & info [ "slo" ] ~docv:"SECONDS"
+    Arg.(value & opt (some (pos_float "--slo")) None & info [ "slo" ] ~docv:"SECONDS"
            ~doc:"Latency objective for one filtering request (root opened \
                  at the victim until the long filter lands). A request \
                  completing later than this dumps the flight recorder. \
@@ -203,27 +265,27 @@ let obs_finish (o : obs_opts) (st : obs_state) ~registry ~now =
 
 let run_cmd =
   let duration =
-    Arg.(value & opt float 60. & info [ "duration" ] ~docv:"SECONDS"
+    Arg.(value & opt (pos_float "--duration") 60. & info [ "duration" ] ~docv:"SECONDS"
            ~doc:"Simulated duration.")
   in
   let t_filter =
-    Arg.(value & opt float 6. & info [ "t-filter"; "T" ] ~docv:"SECONDS"
+    Arg.(value & opt (pos_float "--t-filter") 6. & info [ "t-filter"; "T" ] ~docv:"SECONDS"
            ~doc:"The blocking interval T every request asks for.")
   in
   let t_tmp =
-    Arg.(value & opt float 0.5 & info [ "ttmp" ] ~docv:"SECONDS"
+    Arg.(value & opt (pos_float "--ttmp") 0.5 & info [ "ttmp" ] ~docv:"SECONDS"
            ~doc:"Ttmp, the victim gateway's temporary-filter horizon.")
   in
   let attack_rate =
-    Arg.(value & opt float 1e6 & info [ "attack-rate" ] ~docv:"BITS/S"
+    Arg.(value & opt (nonneg_float "--attack-rate") 1e6 & info [ "attack-rate" ] ~docv:"BITS/S"
            ~doc:"Undesired flow rate.")
   in
   let legit_rate =
-    Arg.(value & opt float 0. & info [ "legit-rate" ] ~docv:"BITS/S"
+    Arg.(value & opt (nonneg_float "--legit-rate") 0. & info [ "legit-rate" ] ~docv:"BITS/S"
            ~doc:"Bystander flow rate sharing the victim tail (0 = none).")
   in
   let non_coop =
-    Arg.(value & opt int 0 & info [ "non-coop" ] ~docv:"K"
+    Arg.(value & opt (min_int "--non-coop" 0) 0 & info [ "non-coop" ] ~docv:"K"
            ~doc:"Number of unresponsive attacker-side gateways.")
   in
   let strategy =
@@ -232,11 +294,11 @@ let run_cmd =
            ~doc:"Attacker host behaviour on a filtering request.")
   in
   let td =
-    Arg.(value & opt float 0.1 & info [ "td" ] ~docv:"SECONDS"
+    Arg.(value & opt (nonneg_float "--td") 0.1 & info [ "td" ] ~docv:"SECONDS"
            ~doc:"Victim detection delay Td for a new flow.")
   in
   let depth =
-    Arg.(value & opt int 3 & info [ "depth" ] ~docv:"N"
+    Arg.(value & opt (min_int "--depth" 1) 3 & info [ "depth" ] ~docv:"N"
            ~doc:"Gateways per side of the chain.")
   in
   let seed =
@@ -273,7 +335,7 @@ let run_cmd =
                  (metric,time,value).")
   in
   let metrics_interval =
-    Arg.(value & opt float 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
+    Arg.(value & opt (nonneg_float "--metrics-interval") 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
            ~doc:"Metric sampling period (0 = the scenario default).")
   in
   let traceback =
@@ -283,36 +345,38 @@ let run_cmd =
                    queries at the gateway, or probabilistic packet marking.")
   in
   let loss =
-    Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P"
+    Arg.(value & opt (prob_float "--loss") 0. & info [ "loss" ] ~docv:"P"
            ~doc:"I.i.d. loss probability for control packets crossing the \
                  victim's tail circuit (both directions).")
   in
   let burst_loss =
-    Arg.(value & opt (some (pair_conv ~what:"--burst-loss")) None
+    Arg.(value & opt (some (pair_conv ~what:"--burst-loss"
+                 ~check:(fun v -> v >= 0. && v <= 1.)
+                 ~expect:"a probability in [0, 1]" ())) None
          & info [ "burst-loss" ] ~docv:"P_ENTER:P_EXIT"
              ~doc:"Gilbert-Elliott burst loss on the victim-tail control \
                    channel: per-packet probability of entering / leaving \
                    the all-loss bad state.")
   in
   let dup =
-    Arg.(value & opt float 0. & info [ "dup" ] ~docv:"P"
+    Arg.(value & opt (prob_float "--dup") 0. & info [ "dup" ] ~docv:"P"
            ~doc:"Probability of duplicating a control packet on the \
                  victim's tail circuit.")
   in
   let flap =
-    Arg.(value & opt (some (pair_conv ~what:"--flap")) None
+    Arg.(value & opt (some (pair_conv ~what:"--flap" ~check:(fun v -> v > 0.) ~expect:"> 0" ())) None
          & info [ "flap" ] ~docv:"PERIOD:DOWN"
              ~doc:"Flap the victim's tail circuit: every PERIOD seconds, \
                    take it down (both directions) for DOWN seconds.")
   in
   let ctrl_retries =
-    Arg.(value & opt int 0 & info [ "ctrl-retries" ] ~docv:"N"
+    Arg.(value & opt (min_int "--ctrl-retries" 0) 0 & info [ "ctrl-retries" ] ~docv:"N"
            ~doc:"Control-plane retransmissions per message beyond the \
                  first transmission (0 = single-shot, the classic \
                  protocol).")
   in
   let ctrl_rto =
-    Arg.(value & opt float 0.5 & info [ "ctrl-rto" ] ~docv:"SECONDS"
+    Arg.(value & opt (pos_float "--ctrl-rto") 0.5 & info [ "ctrl-rto" ] ~docv:"SECONDS"
            ~doc:"Initial control-plane retransmission timeout; doubles on \
                  every retry.")
   in
@@ -330,7 +394,7 @@ let run_cmd =
                  aggregation and priority eviction under slot pressure).")
   in
   let filter_capacity =
-    Arg.(value & opt int Config.default.Config.filter_capacity
+    Arg.(value & opt (min_int "--filter-capacity" 1) Config.default.Config.filter_capacity
          & info [ "filter-capacity" ] ~docv:"SLOTS"
              ~doc:"Wire-speed filter-table slots per gateway.")
   in
@@ -344,7 +408,7 @@ let run_cmd =
                    control plane by sampled probes (see docs/SIMULATOR.md).")
   in
   let hybrid_epoch =
-    Arg.(value & opt float Config.default.Config.hybrid_epoch
+    Arg.(value & opt (pos_float "--hybrid-epoch") Config.default.Config.hybrid_epoch
          & info [ "hybrid-epoch" ] ~docv:"SECONDS"
              ~doc:"Fluid-share recompute period under --engine hybrid.")
   in
@@ -554,22 +618,22 @@ let run_cmd =
 (* --- flood ------------------------------------------------------------------ *)
 
 let flood_cmd =
-  let isps = Arg.(value & opt int 3 & info [ "isps" ] ~doc:"Number of ISPs.") in
+  let isps = Arg.(value & opt (min_int "--isps" 1) 3 & info [ "isps" ] ~doc:"Number of ISPs.") in
   let nets =
-    Arg.(value & opt int 3 & info [ "nets" ] ~doc:"Enterprise networks per ISP.")
+    Arg.(value & opt (min_int "--nets" 1) 3 & info [ "nets" ] ~doc:"Enterprise networks per ISP.")
   in
   let hosts =
-    Arg.(value & opt int 3 & info [ "hosts" ] ~doc:"Hosts per enterprise.")
+    Arg.(value & opt (min_int "--hosts" 1) 3 & info [ "hosts" ] ~doc:"Hosts per enterprise.")
   in
   let zombies =
-    Arg.(value & opt int 12 & info [ "zombies" ] ~doc:"Size of the zombie army.")
+    Arg.(value & opt (min_int "--zombies" 0) 12 & info [ "zombies" ] ~doc:"Size of the zombie army.")
   in
   let rate =
-    Arg.(value & opt float 1e6 & info [ "zombie-rate" ] ~docv:"BITS/S"
+    Arg.(value & opt (nonneg_float "--zombie-rate") 1e6 & info [ "zombie-rate" ] ~docv:"BITS/S"
            ~doc:"Per-zombie attack rate.")
   in
   let duration =
-    Arg.(value & opt float 20. & info [ "duration" ] ~docv:"SECONDS"
+    Arg.(value & opt (pos_float "--duration") 20. & info [ "duration" ] ~docv:"SECONDS"
            ~doc:"Simulated duration.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
@@ -582,7 +646,7 @@ let flood_cmd =
                  (schema aitf.run-report/1).")
   in
   let metrics_interval =
-    Arg.(value & opt float 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
+    Arg.(value & opt (nonneg_float "--metrics-interval") 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
            ~doc:"Metric sampling period (0 = the scenario default).")
   in
   let engine =
@@ -699,34 +763,34 @@ let flood_cmd =
 
 let swarm_cmd =
   let sources =
-    Arg.(value & opt int 1000 & info [ "sources" ] ~docv:"N"
+    Arg.(value & opt (min_int "--sources" 1) 1000 & info [ "sources" ] ~docv:"N"
            ~doc:"Total attacking sources across the spoofed pools.")
   in
   let pools =
-    Arg.(value & opt int 4 & info [ "pools" ] ~docv:"N"
+    Arg.(value & opt (min_int "--pools" 1) 4 & info [ "pools" ] ~docv:"N"
            ~doc:"Origin pool nodes (1..16), one fluid aggregate each.")
   in
   let attack_rate =
-    Arg.(value & opt float 20e6 & info [ "attack-rate" ] ~docv:"BITS/S"
+    Arg.(value & opt (nonneg_float "--attack-rate") 20e6 & info [ "attack-rate" ] ~docv:"BITS/S"
            ~doc:"Total attack rate summed over every source.")
   in
   let legit_rate =
-    Arg.(value & opt float 1e6 & info [ "legit-rate" ] ~docv:"BITS/S"
+    Arg.(value & opt (nonneg_float "--legit-rate") 1e6 & info [ "legit-rate" ] ~docv:"BITS/S"
            ~doc:"Bystander rate sharing the victim tail (0 = none).")
   in
   let duration =
-    Arg.(value & opt float 30. & info [ "duration" ] ~docv:"SECONDS"
+    Arg.(value & opt (pos_float "--duration") 30. & info [ "duration" ] ~docv:"SECONDS"
            ~doc:"Simulated duration.")
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
   in
   let td =
-    Arg.(value & opt float 0.1 & info [ "td" ] ~docv:"SECONDS"
+    Arg.(value & opt (nonneg_float "--td") 0.1 & info [ "td" ] ~docv:"SECONDS"
            ~doc:"Victim detection delay Td for a new flow.")
   in
   let hybrid_epoch =
-    Arg.(value & opt float Config.default.Config.hybrid_epoch
+    Arg.(value & opt (pos_float "--hybrid-epoch") Config.default.Config.hybrid_epoch
          & info [ "hybrid-epoch" ] ~docv:"SECONDS"
              ~doc:"Fluid-share recompute period (the scenario is always \
                    hybrid).")
@@ -743,7 +807,7 @@ let swarm_cmd =
                  (schema aitf.run-report/1).")
   in
   let metrics_interval =
-    Arg.(value & opt float 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
+    Arg.(value & opt (nonneg_float "--metrics-interval") 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
            ~doc:"Metric sampling period (0 = the scenario default).")
   in
   let run sources pools attack_rate legit_rate duration seed td hybrid_epoch
@@ -852,21 +916,21 @@ let internet_cmd =
   let module As_scenario = Aitf_workload.As_scenario in
   let module Placement_ctl = Aitf_workload.Placement_ctl in
   let domains =
-    Arg.(value & opt int 1000 & info [ "domains" ] ~docv:"N"
+    Arg.(value & opt (min_int "--domains" 3) 1000 & info [ "domains" ] ~docv:"N"
            ~doc:"Gateway domains in the generated AS graph (<= 16384).")
   in
   let tier1 =
-    Arg.(value & opt int As_graph.default_spec.As_graph.tier1
+    Arg.(value & opt (min_int "--tier1" 2) As_graph.default_spec.As_graph.tier1
          & info [ "tier1" ] ~docv:"N"
              ~doc:"Fully-meshed tier-1 providers at the top of the graph.")
   in
   let multihome =
-    Arg.(value & opt int As_graph.default_spec.As_graph.multihome
+    Arg.(value & opt (min_int "--multihome" 1) As_graph.default_spec.As_graph.multihome
          & info [ "multihome" ] ~docv:"N"
              ~doc:"Provider uplinks per non-tier-1 domain.")
   in
   let peer_p =
-    Arg.(value & opt float As_graph.default_spec.As_graph.peer_p
+    Arg.(value & opt (prob_float "--peer-p") As_graph.default_spec.As_graph.peer_p
          & info [ "peer-p" ] ~docv:"P"
              ~doc:"Probability a new domain adds one lateral peer link.")
   in
@@ -879,43 +943,43 @@ let internet_cmd =
                    frontier walking). See docs/PLACEMENT.md.")
   in
   let placement_epoch =
-    Arg.(value & opt float Config.default.Config.placement_epoch
+    Arg.(value & opt (pos_float "--placement-epoch") Config.default.Config.placement_epoch
          & info [ "placement-epoch" ] ~docv:"SECONDS"
              ~doc:"Managed-placement controller decision period.")
   in
   let sources =
-    Arg.(value & opt int 100_000 & info [ "sources" ] ~docv:"N"
+    Arg.(value & opt (min_int "--sources" 1) 100_000 & info [ "sources" ] ~docv:"N"
            ~doc:"Total attack sources spread over the attack domains.")
   in
   let attack_domains =
-    Arg.(value & opt int 40 & info [ "attack-domains" ] ~docv:"N"
+    Arg.(value & opt (min_int "--attack-domains" 1) 40 & info [ "attack-domains" ] ~docv:"N"
            ~doc:"Domains hosting an attack source pool.")
   in
   let legit_sources =
-    Arg.(value & opt int 10_000 & info [ "legit-sources" ] ~docv:"N"
+    Arg.(value & opt (min_int "--legit-sources" 0) 10_000 & info [ "legit-sources" ] ~docv:"N"
            ~doc:"Total legitimate sources spread over the legit domains.")
   in
   let legit_domains =
-    Arg.(value & opt int 10 & info [ "legit-domains" ] ~docv:"N"
+    Arg.(value & opt (min_int "--legit-domains" 1) 10 & info [ "legit-domains" ] ~docv:"N"
            ~doc:"Domains hosting a legitimate source pool.")
   in
   let attack_rate =
-    Arg.(value & opt float 200e6 & info [ "attack-rate" ] ~docv:"BITS/S"
+    Arg.(value & opt (nonneg_float "--attack-rate") 200e6 & info [ "attack-rate" ] ~docv:"BITS/S"
            ~doc:"Total attack rate summed over every source.")
   in
   let legit_rate =
-    Arg.(value & opt float 5e6 & info [ "legit-rate" ] ~docv:"BITS/S"
+    Arg.(value & opt (nonneg_float "--legit-rate") 5e6 & info [ "legit-rate" ] ~docv:"BITS/S"
            ~doc:"Total legitimate rate towards the victim.")
   in
   let duration =
-    Arg.(value & opt float 30. & info [ "duration" ] ~docv:"SECONDS"
+    Arg.(value & opt (pos_float "--duration") 30. & info [ "duration" ] ~docv:"SECONDS"
            ~doc:"Simulated duration.")
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed (graph, pools and placement).")
   in
   let td =
-    Arg.(value & opt float 0.1 & info [ "td" ] ~docv:"SECONDS"
+    Arg.(value & opt (nonneg_float "--td") 0.1 & info [ "td" ] ~docv:"SECONDS"
            ~doc:"Victim detection delay Td for a new flow.")
   in
   let overload =
@@ -924,7 +988,7 @@ let internet_cmd =
                  prefix aggregation, priority eviction) on every gateway.")
   in
   let filter_capacity =
-    Arg.(value & opt int Config.default.Config.filter_capacity
+    Arg.(value & opt (min_int "--filter-capacity" 1) Config.default.Config.filter_capacity
          & info [ "filter-capacity" ] ~docv:"N"
              ~doc:"Per-gateway filter-table slots.")
   in
@@ -1055,13 +1119,13 @@ let internet_cmd =
 (* --- formulas --------------------------------------------------------------- *)
 
 let formulas_cmd =
-  let r1 = Arg.(value & opt float 100. & info [ "r1" ] ~doc:"Client->provider request rate R1 (1/s).") in
-  let r2 = Arg.(value & opt float 1. & info [ "r2" ] ~doc:"Provider->client request rate R2 (1/s).") in
-  let t_filter = Arg.(value & opt float 60. & info [ "t-filter"; "T" ] ~doc:"Blocking interval T (s).") in
-  let t_tmp = Arg.(value & opt float 0.6 & info [ "ttmp" ] ~doc:"Temporary filter horizon Ttmp (s).") in
-  let td = Arg.(value & opt float 0. & info [ "td" ] ~doc:"Detection delay Td (s).") in
-  let tr = Arg.(value & opt float 0.05 & info [ "tr" ] ~doc:"Victim->gateway one-way delay Tr (s).") in
-  let n = Arg.(value & opt int 1 & info [ "n" ] ~doc:"Non-cooperating AITF nodes on the path.") in
+  let r1 = Arg.(value & opt (nonneg_float "--r1") 100. & info [ "r1" ] ~doc:"Client->provider request rate R1 (1/s).") in
+  let r2 = Arg.(value & opt (nonneg_float "--r2") 1. & info [ "r2" ] ~doc:"Provider->client request rate R2 (1/s).") in
+  let t_filter = Arg.(value & opt (pos_float "--t-filter") 60. & info [ "t-filter"; "T" ] ~doc:"Blocking interval T (s).") in
+  let t_tmp = Arg.(value & opt (pos_float "--ttmp") 0.6 & info [ "ttmp" ] ~doc:"Temporary filter horizon Ttmp (s).") in
+  let td = Arg.(value & opt (nonneg_float "--td") 0. & info [ "td" ] ~doc:"Detection delay Td (s).") in
+  let tr = Arg.(value & opt (nonneg_float "--tr") 0.05 & info [ "tr" ] ~doc:"Victim->gateway one-way delay Tr (s).") in
+  let n = Arg.(value & opt (min_int "--n" 0) 1 & info [ "n" ] ~doc:"Non-cooperating AITF nodes on the path.") in
   let show r1 r2 t_filter t_tmp td tr n =
     let table =
       Table.create ~title:"Section IV formulas" ~columns:[ "quantity"; "value" ]
@@ -1085,6 +1149,187 @@ let formulas_cmd =
   let term = Term.(const show $ r1 $ r2 $ t_filter $ t_tmp $ td $ tr $ n) in
   Cmd.v (Cmd.info "formulas" ~doc:"Evaluate the paper's closed-form model.") term
 
+(* --- matrix ----------------------------------------------------------------- *)
+
+let matrix_cmd =
+  let module Matrix = Aitf_workload.Matrix in
+  let goldens =
+    Arg.(value & opt string "test/goldens" & info [ "goldens" ] ~docv:"DIR"
+           ~doc:"Directory holding the checked-in golden documents.")
+  in
+  let bless =
+    Arg.(value & flag & info [ "bless" ]
+           ~doc:"Regenerate the goldens from this run instead of comparing \
+                 (the intentional-change path; see docs/GOLDENS.md).")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Run only the reduced CI cell set.")
+  in
+  let only =
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"CELL"
+           ~doc:"Run only the named cell (repeatable).")
+  in
+  let bench_json =
+    Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE"
+           ~doc:"Write the per-cell perf trajectory (wall-clock, allocated \
+                 bytes, peak queue depth, engine events; schema \
+                 aitf.matrix-bench/1) — what CI uploads as BENCH_E19.json.")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the cell ids and exit.")
+  in
+  let run goldens bless smoke only bench_json list =
+    if list then
+      List.iter
+        (fun c ->
+          Printf.printf "%s%s\n" c.Matrix.id
+            (if c.Matrix.smoke then "  [smoke]" else ""))
+        Matrix.cells
+    else begin
+      let s =
+        Matrix.run ~clock:Unix.gettimeofday ~only ~smoke ~bless
+          ~goldens_dir:goldens ()
+      in
+      Matrix.print_summary s;
+      Option.iter
+        (fun file ->
+          Aitf_obs.Report.write_json file (Matrix.bench_json s);
+          Printf.printf "wrote %s\n" file)
+        bench_json;
+      if s.Matrix.s_drifted > 0 || s.Matrix.s_disagreements > 0 then exit 1
+    end
+  in
+  let term =
+    Term.(const run $ goldens $ bless $ smoke $ only $ bench_json $ list)
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:"Run the golden-trace differential matrix: every topology x \
+             engine x fault x adversary x placement cell, byte-compared \
+             against checked-in goldens, with the packet-vs-hybrid \
+             agreement gate. Exits non-zero on golden drift or a gated \
+             disagreement.")
+    term
+
+(* --- replay ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let module Replay = Aitf_workload.Replay in
+  let shape =
+    Arg.(value
+         & opt (enum [ ("pulse", `Pulse); ("churn", `Churn);
+                       ("booter", `Booter); ("carpet", `Carpet) ]) `Pulse
+         & info [ "shape" ] ~docv:"pulse|churn|booter|carpet"
+             ~doc:"Attack shape the trace synthesizer generates (ignored \
+                   with --trace-in).")
+  in
+  let trace_in =
+    Arg.(value & opt (some string) None & info [ "trace-in" ] ~docv:"FILE"
+           ~doc:"Replay this trace file instead of synthesizing one.")
+  in
+  let emit =
+    Arg.(value & flag & info [ "emit-trace" ]
+           ~doc:"Print the canonical trace to stdout and exit without \
+                 running it.")
+  in
+  let engine =
+    Arg.(value
+         & opt (enum [ ("packet", `Packet); ("hybrid", `Hybrid) ]) `Packet
+         & info [ "engine" ] ~docv:"packet|hybrid"
+             ~doc:"Engine the trace is driven through.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Synthesizer seed.")
+  in
+  let duration =
+    Arg.(value & opt (pos_float "--duration") 30. & info [ "duration" ]
+           ~docv:"SECONDS" ~doc:"Synthesized trace horizon.")
+  in
+  let rate =
+    Arg.(value & opt (nonneg_float "--rate") 20e6 & info [ "rate" ]
+           ~docv:"BITS/S" ~doc:"Total attack rate per pool.")
+  in
+  let n =
+    Arg.(value & opt (min_int "--sources" 1) 64 & info [ "n"; "sources" ]
+           ~docv:"K" ~doc:"Sources per pool.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Write the victim-observed attack-rate series as CSV.")
+  in
+  let run shape trace_in emit engine seed duration rate n csv =
+    let trace =
+      match trace_in with
+      | Some file ->
+        let ic = open_in_bin file in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        (match Replay.parse text with
+        | Ok t -> t
+        | Error e ->
+          Printf.eprintf "aitf_sim replay: %s: %s\n" file e;
+          exit 1)
+      | None -> (
+        match shape with
+        | `Pulse -> Replay.synth_pulse ~seed ~duration ~rate ~n ()
+        | `Churn -> Replay.synth_churn ~seed ~duration ~rate ~n ()
+        | `Booter -> Replay.synth_booter ~seed ~duration ~rate ~n ()
+        | `Carpet -> Replay.synth_carpet ~seed ~duration ~rate ~n ())
+    in
+    if emit then print_string (Replay.to_string trace)
+    else begin
+      let r = Replay.run ~engine trace in
+      let table =
+        Table.create ~title:"replay result" ~columns:[ "quantity"; "value" ]
+      in
+      let add k v = Table.add_row table [ k; v ] in
+      let engine_name =
+        match engine with `Packet -> "packet" | `Hybrid -> "hybrid"
+      in
+      add "engine" engine_name;
+      add "pools" (string_of_int (List.length trace.Replay.tr_pools));
+      add "events" (string_of_int (List.length trace.Replay.tr_events));
+      add "attack offered (MB)"
+        (Printf.sprintf "%.2f" (r.Replay.rr_attack_offered_bytes /. 1e6));
+      add "attack received (MB)"
+        (Printf.sprintf "%.2f" (r.Replay.rr_attack_received_bytes /. 1e6));
+      add "good offered (MB)"
+        (Printf.sprintf "%.2f" (r.Replay.rr_good_offered_bytes /. 1e6));
+      add "good received (MB)"
+        (Printf.sprintf "%.2f" (r.Replay.rr_good_received_bytes /. 1e6));
+      add "requests sent" (string_of_int r.Replay.rr_requests_sent);
+      add "filters installed" (string_of_int r.Replay.rr_filters);
+      add "requests absorbed" (string_of_int r.Replay.rr_absorbed);
+      add "engine events" (string_of_int r.Replay.rr_events);
+      Table.print table;
+      Option.iter
+        (fun file ->
+          let oc = open_out file in
+          output_string oc "time,attack_bits_per_s\n";
+          List.iter
+            (fun (t, v) -> Printf.fprintf oc "%g,%g\n" t v)
+            (Series.points r.Replay.rr_victim_rate);
+          close_out oc;
+          Printf.printf "wrote %s\n" file)
+        csv
+    end
+  in
+  let term =
+    Term.(
+      const run $ shape $ trace_in $ emit $ engine $ seed $ duration $ rate
+      $ n $ csv)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Drive a trace-driven attack (pulsing, churn, booter bursts, \
+             carpet bombing — synthesized or from a file) through either \
+             engine.")
+    term
+
 let () =
   let info =
     Cmd.info "aitf_sim" ~version:"1.0.0"
@@ -1093,4 +1338,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; flood_cmd; swarm_cmd; internet_cmd; formulas_cmd ]))
+          [
+            run_cmd; flood_cmd; swarm_cmd; internet_cmd; matrix_cmd;
+            replay_cmd; formulas_cmd;
+          ]))

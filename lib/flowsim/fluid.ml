@@ -73,7 +73,13 @@ let integrate t =
 
 let refresh_scratch agg =
   agg.new_delivered <- 0.;
-  agg.lims <- Hashtbl.fold (fun i caps acc -> (i, caps) :: acc) agg.limited [];
+  (* Sorted by source index: Hashtbl.fold order depends on hash-bucket
+     layout, and [lims] order decides the float-accumulation order of the
+     per-source offered rates in [walk_agg] — unsorted, the fixed point's
+     rounding (and so every golden) would vary across OCaml hash seeds. *)
+  agg.lims <-
+    Hashtbl.fold (fun i caps acc -> (i, caps) :: acc) agg.limited []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b);
   let k = Array.length agg.link_idx in
   Array.fill agg.lim_pass 0 k 0;
   List.iter

@@ -24,6 +24,11 @@ val to_string : ?minify:bool -> t -> string
     line. Floats print with the fewest digits that parse back to the
     identical bit pattern. *)
 
+val float_repr : float -> string
+(** The float formatting {!to_string} uses — integers as [x.0], the rest
+    with the fewest digits that round-trip. Exposed so other textual
+    formats (the replay-trace codec) inherit the same byte stability. *)
+
 val pp : Format.formatter -> t -> unit
 (** [to_string ~minify:true] onto a formatter. *)
 

@@ -64,6 +64,11 @@ let mint () =
   incr minter;
   !minter
 
+(* Harness hook: independent scenarios run back-to-back in one process
+   (the golden matrix, bench) rewind the counter so cell N's corr ids do
+   not depend on cells 0..N-1. *)
+let reset_mint () = minter := 0
+
 let current : t option ref = ref None
 
 let attach t = current := Some t

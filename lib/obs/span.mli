@@ -71,6 +71,15 @@ val mint : unit -> int
     attachment: protocol code mints unconditionally so that message
     contents do not depend on whether tracing is on. *)
 
+val reset_mint : unit -> unit
+(** Rewind the process-global correlation-id counter to 0, so the next
+    {!mint} returns 1 again. The counter otherwise runs for the whole
+    process, which makes a scenario's corr ids (and any serialized span
+    digest) depend on how many scenarios ran before it. Harnesses that
+    execute several independent scenarios in one process — the golden
+    matrix, the bench driver — call this before each one; a single
+    scenario never needs it. *)
+
 (** {1 Process-global attachment} *)
 
 val attach : t -> unit

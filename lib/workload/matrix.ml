@@ -1,0 +1,576 @@
+module Json = Aitf_obs.Json
+module Span = Aitf_obs.Span
+module Profile = Aitf_obs.Profile
+module Series = Aitf_stats.Series
+module Fault = Aitf_fault.Fault
+module Adversary = Aitf_adversary.Adversary
+open Aitf_core
+
+type cell = {
+  id : string;
+  topo : string;
+  engine : string;
+  fault : string;
+  adversary : string;
+  placement : string;
+  smoke : bool;
+}
+
+let agreement_threshold = 0.10
+
+let mk ?(fault = "pristine") ?(adversary = "calm") ?(placement = "vanilla")
+    ?(smoke = false) topo engine =
+  {
+    id = String.concat "-" [ topo; engine; fault; adversary; placement ];
+    topo;
+    engine;
+    fault;
+    adversary;
+    placement;
+    smoke;
+  }
+
+(* The matrix. Chain cells sweep faults and adversaries under both
+   engines; flood covers the hierarchy topology; swarm and internet are
+   hybrid-only (their populations are out of the packet engine's reach);
+   the replay cells drive each synthesized attack shape through both
+   engines from the same trace. *)
+let cells =
+  [
+    mk ~smoke:true "chain" "packet";
+    mk ~smoke:true "chain" "hybrid";
+    mk ~fault:"loss" "chain" "packet";
+    mk ~fault:"loss" "chain" "hybrid";
+    mk ~fault:"burst" "chain" "packet";
+    mk ~fault:"burst" "chain" "hybrid";
+    mk ~adversary:"slotx" "chain" "packet";
+    mk ~adversary:"slotx" "chain" "hybrid";
+    mk "flood" "packet";
+    mk "flood" "hybrid";
+    mk ~smoke:true "swarm" "hybrid";
+    mk "internet" "hybrid";
+    mk ~placement:"optimal" "internet" "hybrid";
+    mk ~placement:"adaptive" "internet" "hybrid";
+    mk ~smoke:true "replay-pulse" "packet";
+    mk ~smoke:true "replay-pulse" "hybrid";
+    mk "replay-churn" "packet";
+    mk "replay-churn" "hybrid";
+    mk "replay-booter" "packet";
+    mk "replay-booter" "hybrid";
+    mk "replay-carpet" "packet";
+    mk "replay-carpet" "hybrid";
+  ]
+
+(* --- per-cell scenarios ---------------------------------------------------- *)
+
+let config_engine = function
+  | "packet" -> Config.Packet
+  | "hybrid" -> Config.Hybrid
+  | e -> invalid_arg ("Matrix: unknown engine " ^ e)
+
+let cell_faults = function
+  | "pristine" -> []
+  | "loss" -> [ Fault.Loss 0.25 ]
+  | "burst" -> [ Fault.burst ~p_enter:0.1 ~p_exit:0.4 () ]
+  | f -> invalid_arg ("Matrix: unknown fault " ^ f)
+
+let cell_adversaries = function
+  | "calm" -> []
+  | "slotx" -> [ Adversary.Slot_exhaustion { sources = 32; rate = 4e6 } ]
+  | a -> invalid_arg ("Matrix: unknown adversary " ^ a)
+
+let cell_placement = function
+  | "vanilla" -> Placement.Vanilla
+  | "optimal" -> Placement.Optimal
+  | "adaptive" -> Placement.Adaptive
+  | p -> invalid_arg ("Matrix: unknown placement " ^ p)
+
+(* A cell's scenario body returns the outcome fields (canonical order —
+   they are serialized as given) and the victim-rate series. Outcome keys
+   are shared across topologies where the quantity is the same thing
+   (attack/good received bytes), so engine pairing can compare them. *)
+
+let fl x = Json.Float x
+let it n = Json.Int n
+
+let run_chain_cell cell () =
+  let open Scenarios in
+  let p =
+    {
+      default_chain with
+      config = { Config.default with Config.engine = config_engine cell.engine };
+      seed = 11;
+      duration = 12.;
+      attack_rate = 20e6;
+      legit_rate = 1e6;
+      td = 0.1;
+      sample_period = 0.5;
+      ctrl_faults = cell_faults cell.fault;
+      adversaries = cell_adversaries cell.adversary;
+      adversary_start = 1.;
+      in_pool_legit_rate = (if cell.adversary = "calm" then 0. else 5e5);
+    }
+  in
+  let r = run_chain p in
+  let gws =
+    r.deployed.Aitf_topo.Chain.victim_gateways
+    @ r.deployed.Aitf_topo.Chain.attacker_gateways
+  in
+  ( [
+      ("attack_offered_bytes", fl r.attack_offered_bytes);
+      ("attack_received_bytes", fl r.attack_received_bytes);
+      ("good_offered_bytes", fl r.good_offered_bytes);
+      ("good_received_bytes", fl r.good_received_bytes);
+      ("r_measured", fl r.r_measured);
+      ("escalations", it r.escalations);
+      ("requests_sent", it r.requests_sent);
+      ("filters", it (counter_total gws "filter-temp"
+                      + counter_total gws "filter-long"));
+      ("faults_injected", it r.faults_injected);
+      ("collateral_packets", it r.collateral_packets);
+      ("events", it r.events_processed);
+    ],
+    r.victim_rate )
+
+let run_flood_cell cell () =
+  let open Scenarios in
+  let p =
+    {
+      default_flood with
+      flood_config =
+        {
+          (Config.with_timescale Config.default 0.1) with
+          Config.engine = config_engine cell.engine;
+        };
+      flood_duration = 10.;
+      zombies = 6;
+      flood_sample_period = 0.5;
+    }
+  in
+  let r = run_flood p in
+  ( [
+      ("attack_received_bytes", fl r.flood_attack_received_bytes);
+      ("good_offered_bytes", fl r.legit_offered_bytes);
+      ("good_received_bytes", fl r.legit_received_bytes);
+      ("zombies_placed", it r.zombies_placed);
+      ("leaf_filters", it r.leaf_filters);
+      ("isp_filters", it r.isp_filters);
+      ("events", it r.flood_events);
+    ],
+    Series.create ~name:"victim-attack-rate" () )
+
+let run_swarm_cell _cell () =
+  let open Scenarios in
+  let p =
+    {
+      default_swarm with
+      swarm_duration = 10.;
+      swarm_sources = 512;
+      swarm_pools = 2;
+      swarm_sample_period = 0.5;
+    }
+  in
+  let r = run_swarm p in
+  ( [
+      ("attack_received_bytes", fl r.swarm_attack_received_bytes);
+      ("good_offered_bytes", fl r.swarm_good_offered_bytes);
+      ("good_received_bytes", fl r.swarm_good_received_bytes);
+      ("requests_sent", it r.swarm_requests_sent);
+      ("filters", it r.swarm_filters);
+      ("absorbed", it r.swarm_absorbed);
+      ("events", it r.swarm_events);
+    ],
+    r.swarm_victim_rate )
+
+let run_internet_cell cell () =
+  let open As_scenario in
+  let p =
+    {
+      default with
+      as_spec =
+        {
+          Aitf_topo.As_graph.default_spec with
+          Aitf_topo.As_graph.domains = 150;
+          tier1 = 3;
+        };
+      as_config =
+        {
+          Config.default with
+          Config.engine = Config.Hybrid;
+          placement = cell_placement cell.placement;
+        };
+      as_seed = 9;
+      as_duration = 10.;
+      as_sources = 20_000;
+      as_attack_domains = 8;
+      as_legit_domains = 4;
+      as_legit_sources = 2_000;
+      as_sample_period = 0.5;
+    }
+  in
+  let r = run p in
+  ( [
+      ("attack_received_bytes", fl r.r_attack_received_bytes);
+      ("good_offered_bytes", fl r.r_good_offered_bytes);
+      ("good_received_bytes", fl r.r_good_received_bytes);
+      ("collateral_fraction", fl r.r_collateral_fraction);
+      ( "time_to_filter",
+        match r.r_time_to_filter with Some t -> fl t | None -> Json.Null );
+      ("slots_peak", it r.r_slots_peak);
+      ("filters_installed", it r.r_filters_installed);
+      ("requests_sent", it r.r_requests_sent);
+      ("reports", it r.r_reports);
+      ("absorbed", it r.r_absorbed);
+      ("events", it r.r_events);
+    ],
+    r.r_victim_rate )
+
+(* Synthesized traces carry only attack pools; splice in a constant
+   1 Mbit/s legit pool so the engine-agreement gate below has the same
+   goodput observable E17 uses. *)
+let with_legit trace =
+  let legit =
+    {
+      Replay.p_id = "legit";
+      p_base = Aitf_net.Addr.of_octets 200 0 0 0;
+      p_n = 4;
+      p_rate = 250e3;
+      p_attack = false;
+    }
+  in
+  {
+    trace with
+    Replay.tr_pools = trace.Replay.tr_pools @ [ legit ];
+    tr_events =
+      { Replay.ev_time = 0.; ev_pool = "legit"; ev_action = Replay.On }
+      :: trace.Replay.tr_events;
+  }
+
+let replay_trace shape =
+  with_legit
+    (match shape with
+    | "replay-pulse" ->
+      Replay.synth_pulse ~pools:2 ~seed:5 ~duration:12. ~rate:20e6 ~n:32 ()
+    | "replay-churn" ->
+      Replay.synth_churn ~seed:5 ~duration:12. ~rate:20e6 ~n:64 ()
+    | "replay-booter" ->
+      Replay.synth_booter ~seed:5 ~duration:12. ~rate:25e6 ~n:48 ()
+    | "replay-carpet" ->
+      Replay.synth_carpet ~seed:5 ~duration:12. ~rate:20e6 ~n:16 ()
+    | t -> invalid_arg ("Matrix: unknown replay shape " ^ t))
+
+let run_replay_cell cell () =
+  let trace = replay_trace cell.topo in
+  let engine =
+    match cell.engine with "packet" -> `Packet | _ -> `Hybrid
+  in
+  let r = Replay.run ~engine trace in
+  ( [
+      ("trace", Json.String (Replay.to_string trace));
+      ("attack_offered_bytes", fl r.Replay.rr_attack_offered_bytes);
+      ("attack_received_bytes", fl r.Replay.rr_attack_received_bytes);
+      ("good_offered_bytes", fl r.Replay.rr_good_offered_bytes);
+      ("good_received_bytes", fl r.Replay.rr_good_received_bytes);
+      ("requests_sent", it r.Replay.rr_requests_sent);
+      ("filters", it r.Replay.rr_filters);
+      ("absorbed", it r.Replay.rr_absorbed);
+      ("events", it r.Replay.rr_events);
+    ],
+    r.Replay.rr_victim_rate )
+
+let cell_body cell =
+  match cell.topo with
+  | "chain" -> run_chain_cell cell
+  | "flood" -> run_flood_cell cell
+  | "swarm" -> run_swarm_cell cell
+  | "internet" -> run_internet_cell cell
+  | t when String.length t > 7 && String.sub t 0 7 = "replay-" ->
+    run_replay_cell cell
+  | t -> invalid_arg ("Matrix: unknown topology " ^ t)
+
+(* --- documents ------------------------------------------------------------- *)
+
+let span_digest sp =
+  let roots = Span.roots sp in
+  let completed = Span.completed_roots sp in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  let detail (r : Span.root) =
+    Json.Obj
+      [
+        ("corr", it r.Span.corr);
+        ("flow", Json.String r.Span.flow);
+        ("opened_at", fl r.Span.opened_at);
+        ( "completed_at",
+          match r.Span.completed_at with Some t -> fl t | None -> Json.Null );
+        ("spans", it (List.length (Span.spans_of r)));
+      ]
+  in
+  Json.Obj
+    [
+      ("roots", it (List.length roots));
+      ("completed", it (List.length completed));
+      ("detail", Json.List (List.map detail (take 20 roots)));
+    ]
+
+let doc_of cell outcome series sp =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "aitf.matrix-cell/1");
+        ("id", Json.String cell.id);
+        ( "dims",
+          Json.Obj
+            [
+              ("topo", Json.String cell.topo);
+              ("engine", Json.String cell.engine);
+              ("fault", Json.String cell.fault);
+              ("adversary", Json.String cell.adversary);
+              ("placement", Json.String cell.placement);
+            ] );
+        ("outcome", Json.Obj outcome);
+        ( "victim_rate",
+          Json.List
+            (List.map
+               (fun (t, v) -> Json.List [ fl t; fl v ])
+               (Series.points series)) );
+        ("spans", span_digest sp);
+      ]
+  in
+  Json.to_string doc ^ "\n"
+
+(* --- execution ------------------------------------------------------------- *)
+
+type perf = {
+  wall : float;
+  alloc_bytes : float;
+  peak_queue : int;
+  engine_events : int;
+}
+
+type status = Match | Drift | Missing | Blessed
+
+type cell_result = {
+  cr_cell : cell;
+  cr_doc : string;
+  cr_outcome : (string * Json.t) list;
+  cr_perf : perf;
+  cr_status : status;
+}
+
+type pair = {
+  pr_base : string;
+  pr_metric : string;
+  pr_packet : float;
+  pr_hybrid : float;
+  pr_diff : float;
+  pr_gated : bool;
+  pr_ok : bool;
+}
+
+type summary = {
+  s_results : cell_result list;
+  s_pairs : pair list;
+  s_drifted : int;
+  s_disagreements : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* One cell, instrumented: fresh span collector (corr ids rewound so the
+   digest is order-independent), the engine profiler for queue depth and
+   event count, GC delta and the caller's clock for the perf trajectory. *)
+let run_cell ~clock cell =
+  Span.reset_mint ();
+  let sp = Span.create () in
+  Span.attach sp;
+  let prof = Profile.create () in
+  Profile.attach prof;
+  let a0 = Gc.allocated_bytes () in
+  let t0 = clock () in
+  let outcome, series =
+    Fun.protect
+      ~finally:(fun () ->
+        Profile.detach ();
+        Span.detach ())
+      (cell_body cell)
+  in
+  let wall = clock () -. t0 in
+  let alloc_bytes = Gc.allocated_bytes () -. a0 in
+  let doc = doc_of cell outcome series sp in
+  {
+    cr_cell = cell;
+    cr_doc = doc;
+    cr_outcome = outcome;
+    cr_perf =
+      {
+        wall;
+        alloc_bytes;
+        peak_queue = Profile.peak_pending prof;
+        engine_events = Profile.events prof;
+      };
+    cr_status = Match (* provisional; the golden compare overwrites it *);
+  }
+
+let outcome_float result key =
+  match List.assoc_opt key result.cr_outcome with
+  | Some j -> Json.get_float j
+  | None -> None
+
+(* Engine pairs: cells identical in every dimension but the engine. As
+   in E17, the gate counts goodput — the attack transient before filters
+   install is a few packets wide and intrinsically engine-sensitive, so
+   attack bytes are reported but informational. The gate also only
+   counts pristine, adversary-free pairs: fault draws ride
+   engine-specific packet streams, so faulted pairs are informational
+   too. *)
+let pair_up results =
+  let find id = List.find_opt (fun r -> r.cr_cell.id = id) results in
+  List.concat_map
+    (fun r ->
+      let c = r.cr_cell in
+      if c.engine <> "packet" then []
+      else
+        let sibling =
+          String.concat "-"
+            [ c.topo; "hybrid"; c.fault; c.adversary; c.placement ]
+        in
+        match find sibling with
+        | None -> []
+        | Some h ->
+          let pristine = c.fault = "pristine" && c.adversary = "calm" in
+          List.filter_map
+            (fun metric ->
+              match (outcome_float r metric, outcome_float h metric) with
+              | Some p, Some hv ->
+                let denom = Float.max (Float.abs p) (Float.abs hv) in
+                let diff =
+                  if denom <= 0. then 0. else Float.abs (p -. hv) /. denom
+                in
+                let gated = pristine && metric = "good_received_bytes" in
+                Some
+                  {
+                    pr_base =
+                      String.concat "-" [ c.topo; c.fault; c.adversary;
+                                          c.placement ];
+                    pr_metric = metric;
+                    pr_packet = p;
+                    pr_hybrid = hv;
+                    pr_diff = diff;
+                    pr_gated = gated;
+                    pr_ok = (not gated) || diff <= agreement_threshold;
+                  }
+              | _ -> None)
+            [ "good_received_bytes"; "attack_received_bytes" ])
+    results
+
+let run ?(clock = Sys.time) ?(only = []) ?(smoke = false) ?(bless = false)
+    ~goldens_dir () =
+  let selected =
+    List.filter
+      (fun c ->
+        (only = [] || List.mem c.id only) && ((not smoke) || c.smoke))
+      cells
+  in
+  if bless && not (Sys.file_exists goldens_dir) then Sys.mkdir goldens_dir 0o755;
+  let results =
+    List.map
+      (fun c ->
+        let r = run_cell ~clock c in
+        let path = Filename.concat goldens_dir (c.id ^ ".json") in
+        let status =
+          if bless then begin
+            write_file path r.cr_doc;
+            Blessed
+          end
+          else if not (Sys.file_exists path) then Missing
+          else if read_file path = r.cr_doc then Match
+          else Drift
+        in
+        { r with cr_status = status })
+      selected
+  in
+  let pairs = pair_up results in
+  {
+    s_results = results;
+    s_pairs = pairs;
+    s_drifted =
+      List.length
+        (List.filter
+           (fun r -> r.cr_status = Drift || r.cr_status = Missing)
+           results);
+    s_disagreements =
+      List.length (List.filter (fun p -> p.pr_gated && not p.pr_ok) pairs);
+  }
+
+(* --- reporting ------------------------------------------------------------- *)
+
+let status_name = function
+  | Match -> "match"
+  | Drift -> "DRIFT"
+  | Missing -> "MISSING"
+  | Blessed -> "blessed"
+
+let print_summary s =
+  Printf.printf "%-42s %-8s %9s %9s %7s %9s\n" "cell" "golden" "wall (s)"
+    "alloc MB" "peak q" "events";
+  List.iter
+    (fun r ->
+      Printf.printf "%-42s %-8s %9.2f %9.1f %7d %9d\n" r.cr_cell.id
+        (status_name r.cr_status) r.cr_perf.wall
+        (r.cr_perf.alloc_bytes /. 1e6)
+        r.cr_perf.peak_queue r.cr_perf.engine_events)
+    s.s_results;
+  if s.s_pairs <> [] then begin
+    Printf.printf "\n%-34s %-22s %12s %12s %7s %s\n" "engine pair" "metric"
+      "packet" "hybrid" "diff %" "verdict";
+    List.iter
+      (fun p ->
+        Printf.printf "%-34s %-22s %12.0f %12.0f %7.1f %s\n" p.pr_base
+          p.pr_metric p.pr_packet p.pr_hybrid (100. *. p.pr_diff)
+          (if not p.pr_gated then "info"
+           else if p.pr_ok then "AGREE"
+           else "DISAGREE"))
+      s.s_pairs
+  end;
+  Printf.printf "\n%d cells, %d drifted, %d disagreements\n"
+    (List.length s.s_results) s.s_drifted s.s_disagreements
+
+let bench_json s =
+  Json.Obj
+    [
+      ("schema", Json.String "aitf.matrix-bench/1");
+      ( "cells",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("id", Json.String r.cr_cell.id);
+                   ("wall_seconds", fl r.cr_perf.wall);
+                   ("alloc_bytes", fl r.cr_perf.alloc_bytes);
+                   ("peak_queue_depth", it r.cr_perf.peak_queue);
+                   ("engine_events", it r.cr_perf.engine_events);
+                   ("golden", Json.String (status_name r.cr_status));
+                 ])
+             s.s_results) );
+      ( "total_wall_seconds",
+        fl
+          (List.fold_left
+             (fun acc r -> acc +. r.cr_perf.wall)
+             0. s.s_results) );
+      ("drifted", it s.s_drifted);
+      ("disagreements", it s.s_disagreements);
+    ]

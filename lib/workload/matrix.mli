@@ -1,0 +1,102 @@
+(** The golden-trace differential matrix.
+
+    One cell per supported topology x engine x fault x adversary x
+    placement combination, each a small, fast, fully deterministic
+    scenario. Running a cell produces a canonical JSON document (schema
+    [aitf.matrix-cell/1], serialized with the byte-stable
+    {!Aitf_obs.Json} codec): the cell's dimensions, its outcome scalars,
+    the victim-rate series, and a causal-span digest. Documents are
+    byte-compared against checked-in goldens under [test/goldens/] — any
+    behaviour change anywhere in the stack shows up as a drift diff, and
+    intentional changes are re-blessed with [aitf_sim matrix --bless].
+
+    Cells that differ only in engine are also paired and their received
+    byte counts compared, extending E17's 10% packet-vs-hybrid agreement
+    gate from two chain scenarios to the whole matrix. As in E17, the
+    gate counts victim goodput; attack bytes — a few-packet transient
+    before filters install, intrinsically engine-sensitive — are
+    reported but informational. Pairs whose cell injects faults or
+    adversaries are not gated either: the fault realizations ride
+    engine-specific packet streams, so the two engines see different
+    (equally valid) draws.
+
+    See docs/GOLDENS.md for the cell list and the blessing procedure. *)
+
+type cell = {
+  id : string;  (** [<topo>-<engine>-<fault>-<adversary>-<placement>] *)
+  topo : string;
+      (** [chain], [flood], [swarm], [internet], or [replay-<shape>] *)
+  engine : string;  (** [packet] or [hybrid] *)
+  fault : string;  (** [pristine], [loss] or [burst] *)
+  adversary : string;  (** [calm] or [slotx] *)
+  placement : string;  (** [vanilla], [optimal] or [adaptive] *)
+  smoke : bool;  (** in the reduced CI set *)
+}
+
+val cells : cell list
+(** Every cell, in canonical (execution) order. *)
+
+val agreement_threshold : float
+(** Relative packet-vs-hybrid difference gated on — 0.10, as in E17. *)
+
+type perf = {
+  wall : float;  (** seconds, by the caller's clock *)
+  alloc_bytes : float;  (** GC-allocated bytes during the cell *)
+  peak_queue : int;  (** peak event-queue depth (engine profiler) *)
+  engine_events : int;  (** discrete events executed *)
+}
+
+type status =
+  | Match  (** document byte-identical to the checked-in golden *)
+  | Drift  (** document differs from the golden *)
+  | Missing  (** no golden on disk (and not blessing) *)
+  | Blessed  (** golden (re)written by this run *)
+
+type cell_result = {
+  cr_cell : cell;
+  cr_doc : string;  (** the serialized cell document *)
+  cr_outcome : (string * Aitf_obs.Json.t) list;
+  cr_perf : perf;
+  cr_status : status;
+}
+
+type pair = {
+  pr_base : string;  (** cell id with the engine dimension elided *)
+  pr_metric : string;  (** outcome key compared *)
+  pr_packet : float;
+  pr_hybrid : float;
+  pr_diff : float;  (** relative difference *)
+  pr_gated : bool;
+      (** counts against the gate (goodput on pristine + calm pairs) *)
+  pr_ok : bool;  (** within {!agreement_threshold}, or ungated *)
+}
+
+type summary = {
+  s_results : cell_result list;
+  s_pairs : pair list;
+  s_drifted : int;  (** cells with [Drift] or [Missing] status *)
+  s_disagreements : int;  (** gated pairs over the threshold *)
+}
+
+val run :
+  ?clock:(unit -> float) ->
+  ?only:string list ->
+  ?smoke:bool ->
+  ?bless:bool ->
+  goldens_dir:string ->
+  unit ->
+  summary
+(** Execute the matrix (all cells, the [?smoke] subset, or just [?only]
+    ids) and byte-compare each document against
+    [goldens_dir/<id>.json]. [?bless] writes the documents instead of
+    comparing (creating the directory if needed). [?clock] supplies
+    wall-clock readings for {!perf} (default {!Sys.time}; the CLI passes
+    a real-time clock). Correlation-id minting is reset before every
+    cell, so each document is independent of execution order. *)
+
+val print_summary : summary -> unit
+(** Human-readable cell table, agreement table and verdict on stdout. *)
+
+val bench_json : summary -> Aitf_obs.Json.t
+(** Per-cell perf trajectory (schema [aitf.matrix-bench/1]) — what CI
+    uploads as [BENCH_E19.json]. *)

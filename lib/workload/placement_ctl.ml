@@ -44,6 +44,18 @@ let evictions_observed t = t.evictions_observed
 let duration t = 2.0 *. t.config.Config.placement_epoch
 let root_label v = Flow_label.v Flow_label.Any (Flow_label.Host v)
 
+(* Hashtbl.fold enumerates bindings in hash-bucket order, which depends on
+   the OCaml version and hash seed. Every traversal that drives filter
+   installs/removes must pass through here so a controller's placements
+   are a pure function of the scenario, never of the bucket layout. *)
+let sorted_bindings ~cmp tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort cmp
+
+(* The canonical order on (node id, flow label) candidate keys — also the
+   greedy knapsack's tie-break. *)
+let key_compare (n1, l1) (n2, l2) =
+  if n1 <> n2 then compare (n1 : int) n2 else Flow_label.compare l1 l2
+
 (* Smallest prefix covering the aggregate's contiguous source range. *)
 let cover agg =
   let base = Fluid.src_base agg in
@@ -116,22 +128,19 @@ let epoch_optimal t =
             | Some (_, r) -> r := !r +. Fluid.total_rate agg
             | None -> Hashtbl.replace desired key (gw, ref (Fluid.total_rate agg))));
     (* Retire filters the new solution no longer wants. *)
-    Hashtbl.fold (fun k () acc -> k :: acc) t.owned []
-    |> List.sort (fun (n1, l1) (n2, l2) ->
-           if n1 <> n2 then compare n1 n2 else Flow_label.compare l1 l2)
-    |> List.iter (fun ((nid, label) as key) ->
+    sorted_bindings ~cmp:(fun (k1, ()) (k2, ()) -> key_compare k1 k2) t.owned
+    |> List.iter (fun (((nid, label) as key), ()) ->
            if not (Hashtbl.mem desired key) then
              match Hashtbl.find_opt t.by_node nid with
              | Some gw -> remove_at t gw label
              | None -> Hashtbl.remove t.owned key);
     (* Greedy knapsack: highest blocked rate first, until each gateway's
        slot budget runs out ([`Table_full] skips the candidate). *)
-    Hashtbl.fold (fun key (gw, r) acc -> (key, gw, !r) :: acc) desired []
-    |> List.sort (fun ((n1, l1), _, r1) ((n2, l2), _, r2) ->
-           if r1 <> r2 then compare r2 r1
-           else if n1 <> n2 then compare n1 n2
-           else Flow_label.compare l1 l2)
-    |> List.iter (fun ((_, label), gw, _) -> ignore (install_at t gw label))
+    sorted_bindings
+      ~cmp:(fun (k1, (_, r1)) (k2, (_, r2)) ->
+        if !r1 <> !r2 then compare !r2 !r1 else key_compare k1 k2)
+      desired
+    |> List.iter (fun ((_, label), (gw, _)) -> ignore (install_at t gw label))
   end
 
 (* --- Adaptive: feedback-driven frontier walk ---------------------------- *)
@@ -197,8 +206,7 @@ let epoch_adaptive t =
         end);
     (* The coarse root wildcard protects the victim only while some
        frontier is still short of its source gateway. *)
-    Hashtbl.fold (fun v gw acc -> (v, gw) :: acc) t.roots []
-    |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+    sorted_bindings ~cmp:(fun (a, _) (b, _) -> Addr.compare a b) t.roots
     |> List.iter (fun (v, gw) ->
            if Hashtbl.mem needed v then
              ignore (install_at t gw (root_label v))

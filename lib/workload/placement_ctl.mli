@@ -57,6 +57,15 @@ val register_gateways : t -> Gateway.t array -> unit
     every deployed gateway). Must be called before the first evidence
     arrives; also subscribes the Adaptive feedback to each table. *)
 
+val sorted_bindings :
+  cmp:('k * 'v -> 'k * 'v -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** [Hashtbl.fold] enumerates bindings in hash-bucket order — a function
+    of the OCaml version and hash seed, not of the scenario. Every
+    controller traversal that drives installs or removes goes through
+    this instead: fold, then sort by [cmp]. Exposed so the tier-1 suite
+    can pin the property (sorted output, insertion-order independence)
+    directly on the helper all decision paths share. *)
+
 (* Statistics *)
 
 val evidence : t -> int  (** evidence reports received *)

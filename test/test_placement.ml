@@ -106,15 +106,26 @@ let test_adaptive_walks_and_suppresses () =
 (* --- determinism ------------------------------------------------------------ *)
 
 (* Everything placement decides, reduced to a comparable value: where
-   filters went (per-gateway install/peak counts), what the victim saw
-   (the full rate series) and the scenario totals. *)
+   filters went (per-gateway install/peak counts plus the resident
+   filters with their install times — the realized placement order),
+   what the victim saw (the full rate series) and the scenario
+   totals. *)
 let fingerprint (r : As_scenario.result) =
+  let label_compare = Aitf_filter.Flow_label.compare in
   let per_gw =
     Array.to_list
       (Array.map
          (fun gw ->
            let t = Gateway.filters gw in
-           (Filter_table.installs t, Filter_table.peak_occupancy t))
+           let resident =
+             List.map
+               (fun h -> (Filter_table.label h, Filter_table.installed_at h))
+               (Filter_table.live_entries t)
+             |> List.sort (fun (l1, t1) (l2, t2) ->
+                    let c = label_compare l1 l2 in
+                    if c <> 0 then c else Float.compare t1 t2)
+           in
+           (Filter_table.installs t, Filter_table.peak_occupancy t, resident))
          r.As_scenario.r_gateways)
   in
   ( per_gw,
@@ -124,6 +135,27 @@ let fingerprint (r : As_scenario.result) =
       r.As_scenario.r_slots_peak,
       r.As_scenario.r_filters_installed,
       r.As_scenario.r_events ) )
+
+(* The candidate-enumeration helper every decision path folds through:
+   output must be sorted by [cmp] and independent of Hashtbl bucket
+   layout (here varied via insertion order). *)
+let test_sorted_bindings () =
+  let cmp (a, _) (b, _) = compare (a : int) b in
+  let enumerate order =
+    let tbl = Hashtbl.create 7 in
+    List.iter (fun k -> Hashtbl.replace tbl k (k * 2)) order;
+    Placement_ctl.sorted_bindings ~cmp tbl
+  in
+  let keys = [ 9; 3; 27; 1; 14; 0; 255; 8; 7; 100 ] in
+  let a = enumerate keys in
+  let b = enumerate (List.rev keys) in
+  checkb "insertion-order independent" true (a = b);
+  let rec sorted = function
+    | (k1, _) :: ((k2, _) :: _ as rest) -> k1 < k2 && sorted rest
+    | _ -> true
+  in
+  checkb "sorted ascending" true (sorted a);
+  checki "all bindings kept" (List.length keys) (List.length a)
 
 let test_placement_deterministic () =
   List.iter
@@ -169,6 +201,8 @@ let () =
         ] );
       ( "determinism",
         [
+          Alcotest.test_case "candidate order sorted" `Quick
+            test_sorted_bindings;
           Alcotest.test_case "same seed same placements" `Quick
             test_placement_deterministic;
           Alcotest.test_case "policies differ" `Quick test_policies_differ;
