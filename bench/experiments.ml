@@ -326,6 +326,7 @@ let e3 () =
       hops = 0;
       requestor = victim.Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   let (_ : Request_driver.t) =
@@ -395,6 +396,7 @@ let e4 () =
       hops = 0;
       requestor = driver_node.Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   let (_ : Request_driver.t) =
@@ -460,6 +462,7 @@ let e5 () =
       hops = 0;
       requestor = gw_node.Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   let (_ : Request_driver.t) =
@@ -608,6 +611,7 @@ let e7 () =
         hops = 0;
         requestor = m.Node.addr;
         corr = 0;
+        auth = 0L;
       }
     in
     for i = 0 to 7 do
@@ -2184,3 +2188,155 @@ let e19 () =
   Printf.printf "wrote BENCH_E19.json  (%d cells, %d drifted, %d gated disagreements)\n"
     (List.length s.Matrix.s_results)
     s.Matrix.s_drifted s.Matrix.s_disagreements
+
+(* ----------------------------------------------------------------- E20 -- *)
+
+(* Verifiable filtering contracts under Byzantine gateways
+   (lib/contract, docs/CONTRACTS.md). The validated verification regime —
+   a 60-domain Internet whose victim gateway is capacity-constrained so
+   a lying first-hop gateway's traffic is visible at the victim, with the
+   fast audit clock (deadline 0.75 s, grace 0.35 s) — re-run with 0%,
+   10%, 20% and 30% of the attack-side gateways forging install receipts
+   (the affirmative-evidence lying mode: every engaged liar must be
+   convicted by signature checks alone, independent of escalation
+   timing).
+
+   Three gates, asserted by CI over BENCH_E20.json (schema
+   aitf.contract-bench/1):
+   - detection: every corrupted gateway flagged, zero honest gateways
+     flagged (missed = false_positives = 0 at every fraction);
+   - recovery: the victim reaches time-to-filter at every fraction
+     (failover routes around the liars instead of stalling);
+   - goodput: legitimate bytes delivered stay within 10% of the
+     all-honest baseline (ratio >= 0.9). *)
+
+let e20 () =
+  let module As_scenario = Aitf_workload.As_scenario in
+  let module As_graph = Aitf_topo.As_graph in
+  let module Auditor = Aitf_contract.Auditor in
+  let module Adversary = Aitf_adversary.Adversary in
+  let module Json = Aitf_obs.Json in
+  let table =
+    Table.create
+      ~title:
+        "E20  verifiable contracts vs Byzantine gateways   (60 domains, 8 \
+         attack domains, forge mode, audit 0.75/0.35 s)"
+      ~columns:
+        [
+          "byz %";
+          "corrupted";
+          "flagged";
+          "missed";
+          "false pos";
+          "failovers";
+          "tts (s)";
+          "goodput MB";
+          "ratio";
+          "wall (s)";
+        ]
+  in
+  let run_fraction f =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      As_scenario.run
+        {
+          As_scenario.default with
+          As_scenario.as_spec =
+            { As_graph.default_spec with As_graph.domains = 60 };
+          as_config =
+            {
+              Config.default with
+              Config.engine = Config.Hybrid;
+              filter_capacity = 150;
+            };
+          as_seed = 42;
+          as_duration = 15.;
+          as_sources = 400;
+          as_attack_domains = 8;
+          as_legit_domains = 4;
+          as_contracts = true;
+          as_byzantine_fraction = f;
+          as_lying_mode = Adversary.Forge;
+          as_audit =
+            { Auditor.default_config with deadline = 0.75; grace = 0.35 };
+        }
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let fractions = [ 0.; 0.1; 0.2; 0.3 ] in
+  let runs = List.map (fun f -> (f, run_fraction f)) fractions in
+  let baseline_goodput =
+    match runs with
+    | (_, (r0, _)) :: _ -> r0.As_scenario.r_good_received_bytes
+    | [] -> 0.
+  in
+  let rows =
+    List.map
+      (fun (f, (r, wall)) ->
+        let byz = List.map snd r.As_scenario.r_byzantine in
+        let flagged =
+          match r.As_scenario.r_auditor with
+          | Some a -> Auditor.flagged a
+          | None -> []
+        in
+        let missed =
+          List.filter (fun b -> not (List.mem b flagged)) byz
+        in
+        let false_pos =
+          List.filter (fun g -> not (List.mem g byz)) flagged
+        in
+        let goodput = r.As_scenario.r_good_received_bytes in
+        let ratio =
+          if baseline_goodput <= 0. then 0. else goodput /. baseline_goodput
+        in
+        Table.add_row table
+          [
+            Printf.sprintf "%.0f" (100. *. f);
+            string_of_int (List.length byz);
+            string_of_int (List.length flagged);
+            string_of_int (List.length missed);
+            string_of_int (List.length false_pos);
+            string_of_int r.As_scenario.r_failovers;
+            (match r.As_scenario.r_time_to_filter with
+            | Some t -> Printf.sprintf "%.2f" t
+            | None -> "never");
+            Printf.sprintf "%.2f" (goodput /. 1e6);
+            Printf.sprintf "%.3f" ratio;
+            Printf.sprintf "%.2f" wall;
+          ];
+        Json.Obj
+          [
+            ("byzantine_fraction", Json.Float f);
+            ("corrupted", Json.Int (List.length byz));
+            ("flagged", Json.Int (List.length flagged));
+            ("missed", Json.Int (List.length missed));
+            ("false_positives", Json.Int (List.length false_pos));
+            ("failovers", Json.Int r.As_scenario.r_failovers);
+            ( "time_to_filter",
+              match r.As_scenario.r_time_to_filter with
+              | Some t -> Json.Float t
+              | None -> Json.Null );
+            ("good_received_bytes", Json.Float goodput);
+            ("goodput_ratio", Json.Float ratio);
+            ( "receipts_verified",
+              Json.Int
+                (match r.As_scenario.r_auditor with
+                | Some a -> Auditor.receipts_verified a
+                | None -> 0) );
+            ( "receipts_rejected",
+              Json.Int
+                (match r.As_scenario.r_auditor with
+                | Some a -> Auditor.receipts_rejected a
+                | None -> 0) );
+            ("wall_seconds", Json.Float wall);
+          ])
+      runs
+  in
+  emit table;
+  Aitf_obs.Report.write_json "BENCH_E20.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "aitf.contract-bench/1");
+         ("sweep", Json.List rows);
+       ]);
+  Printf.printf "wrote BENCH_E20.json  (%d fractions)\n" (List.length rows)

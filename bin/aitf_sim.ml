@@ -997,9 +997,86 @@ let internet_cmd =
            ~doc:"Attach a metrics registry and write a JSON run report \
                  (schema aitf.run-report/1).")
   in
+  let contracts =
+    Arg.(value & flag & info [ "contracts" ]
+           ~doc:"Enable verifiable filtering contracts: signed requests, \
+                 install receipts, a victim-side auditor and \
+                 Byzantine-gateway failover (docs/CONTRACTS.md).")
+  in
+  let byzantine_fraction =
+    Arg.(value & opt (prob_float "--byzantine-fraction") 0.
+         & info [ "byzantine-fraction" ] ~docv:"P"
+             ~doc:"Fraction of on-path gateways corrupted into the lying \
+                   mode at setup (needs $(b,--contracts)).")
+  in
+  let lying_mode =
+    let module A = Aitf_adversary.Adversary in
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "accept-ignore" ] -> Ok A.Accept_ignore
+      | [ "forge" ] -> Ok A.Forge
+      | [ "replay" ] -> Ok A.Replay
+      | [ "partial" ] -> Ok (A.Partial 125_000.)
+      | [ "partial"; leak ] -> (
+        match float_of_string_opt leak with
+        | Some l when l >= 0. -> Ok (A.Partial l)
+        | Some _ | None ->
+          Error (`Msg (Printf.sprintf "--lying-mode: bad leak %S" leak)))
+      | _ ->
+        Error
+          (`Msg
+             "--lying-mode: expected accept-ignore | partial[:BYTES/S] | \
+              forge | replay")
+    in
+    let print fmt m =
+      Format.pp_print_string fmt
+        (match m with
+        | A.Accept_ignore -> "accept-ignore"
+        | A.Partial l -> Printf.sprintf "partial:%g" l
+        | A.Forge -> "forge"
+        | A.Replay -> "replay")
+    in
+    Arg.(value & opt (conv (parse, print)) A.Accept_ignore
+         & info [ "lying-mode" ] ~docv:"MODE"
+             ~doc:"How corrupted gateways cheat: $(b,accept-ignore), \
+                   $(b,partial)[:leak bytes/s], $(b,forge) or $(b,replay).")
+  in
+  let contract_r1 =
+    Arg.(value & opt (some (pos_float "--contract-r1")) None
+         & info [ "contract-r1" ] ~docv:"REQ/S"
+             ~doc:"Provider-side contract: admit client filtering requests \
+                   at R1 per second (default: the paper's 100/s when only \
+                   $(b,--contract-r2) is given).")
+  in
+  let contract_r2 =
+    Arg.(value & opt (some (pos_float "--contract-r2")) None
+         & info [ "contract-r2" ] ~docv:"REQ/S"
+             ~doc:"Provider-side contract: cap counter-requests towards \
+                   the client at R2 per second (default: the paper's 1/s \
+                   when only $(b,--contract-r1) is given).")
+  in
+  let audit_deadline =
+    Arg.(value & opt (pos_float "--audit-deadline")
+           Aitf_contract.Auditor.default_config.Aitf_contract.Auditor.deadline
+         & info [ "audit-deadline" ] ~docv:"SECONDS"
+             ~doc:"Auditor: how long a gateway has to produce its first \
+                   receipt. Set below the temp-filter lifetime to catch \
+                   accept-then-ignore liars that blind escalation would \
+                   paper over.")
+  in
+  let audit_grace =
+    Arg.(value & opt (pos_float "--audit-grace")
+           Aitf_contract.Auditor.default_config.Aitf_contract.Auditor.grace
+         & info [ "audit-grace" ] ~docv:"SECONDS"
+             ~doc:"Auditor: arrivals within this window of a valid receipt \
+                   (or of the audit tick) still count as in-flight, not as \
+                   evidence. Must stay below the deadline.")
+  in
   let run domains tier1 multihome peer_p placement placement_epoch sources
       attack_domains legit_sources legit_domains attack_rate legit_rate
-      duration seed td overload filter_capacity metrics obs =
+      duration seed td overload filter_capacity metrics contracts
+      byzantine_fraction lying_mode contract_r1 contract_r2 audit_deadline
+      audit_grace obs =
     let registry =
       if metrics <> None then begin
         let reg = Aitf_obs.Metrics.create () in
@@ -1040,6 +1117,25 @@ let internet_cmd =
           as_attack_rate = attack_rate;
           as_legit_rate = legit_rate;
           as_td = td;
+          as_contracts = contracts;
+          as_byzantine_fraction = byzantine_fraction;
+          as_lying_mode = lying_mode;
+          as_contract =
+            (match (contract_r1, contract_r2) with
+            | None, None -> None
+            | r1, r2 ->
+              let d = Contract.paper_default in
+              Some
+                (Contract.v
+                   ~r1:(Option.value r1 ~default:d.Contract.r1)
+                   ~r2:(Option.value r2 ~default:d.Contract.r2)
+                   ()));
+          as_audit =
+            {
+              Aitf_contract.Auditor.default_config with
+              Aitf_contract.Auditor.deadline = audit_deadline;
+              grace = audit_grace;
+            };
         }
     in
     Aitf_obs.Metrics.detach ();
@@ -1081,6 +1177,27 @@ let internet_cmd =
       add "placement reclaims" (string_of_int (Placement_ctl.reclaims ctl));
       add "placement frontier pushes" (string_of_int (Placement_ctl.pushes ctl))
     | None -> add "requests absorbed at pools" (string_of_int r.As_scenario.r_absorbed));
+    (match r.As_scenario.r_auditor with
+    | None -> ()
+    | Some a ->
+      let module Auditor = Aitf_contract.Auditor in
+      let byz = List.map snd r.As_scenario.r_byzantine in
+      let flagged = Auditor.flagged a in
+      let missed =
+        List.filter (fun b -> not (List.mem b flagged)) byz
+      in
+      let false_pos =
+        List.filter (fun g -> not (List.mem g byz)) flagged
+      in
+      add "byzantine gateways (corrupted)" (string_of_int (List.length byz));
+      add "gateways flagged / missed / false-pos"
+        (Printf.sprintf "%d / %d / %d" (List.length flagged)
+           (List.length missed) (List.length false_pos));
+      add "receipts verified / rejected"
+        (Printf.sprintf "%d / %d"
+           (Auditor.receipts_verified a)
+           (Auditor.receipts_rejected a));
+      add "contract failovers" (string_of_int r.As_scenario.r_failovers));
     add "events processed" (string_of_int r.As_scenario.r_events);
     Table.print table;
     match (registry, metrics) with
@@ -1095,6 +1212,8 @@ let internet_cmd =
           ("domains", Json.Int domains);
           ("sources", Json.Int sources);
           ("attack_rate", Json.Float attack_rate);
+          ("contracts", Json.Bool contracts);
+          ("byzantine_fraction", Json.Float byzantine_fraction);
         ]
       in
       Aitf_obs.Report.write_json file
@@ -1107,7 +1226,9 @@ let internet_cmd =
       const run $ domains $ tier1 $ multihome $ peer_p $ placement
       $ placement_epoch $ sources $ attack_domains $ legit_sources
       $ legit_domains $ attack_rate $ legit_rate $ duration $ seed $ td
-      $ overload $ filter_capacity $ metrics $ obs_term)
+      $ overload $ filter_capacity $ metrics $ contracts
+      $ byzantine_fraction $ lying_mode $ contract_r1 $ contract_r2
+      $ audit_deadline $ audit_grace $ obs_term)
   in
   Cmd.v
     (Cmd.info "internet"

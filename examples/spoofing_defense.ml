@@ -57,6 +57,7 @@ let run ~handshake =
       hops = 0;
       requestor = m.Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   for i = 0 to 7 do

@@ -4,12 +4,15 @@ open Aitf_net
 open Aitf_filter
 open Aitf_core
 
+type lying_mode = Accept_ignore | Partial of float | Forge | Replay
+
 type playbook =
   | Slot_exhaustion of { sources : int; rate : float }
   | Shadow_exhaustion of { flows : int; rate : float }
   | Request_flood of { rate : float }
   | Reply_replay of { delay : float; guess_rate : float }
   | Route_forgery of { innocent : Addr.t }
+  | Lying_filter_node of { mode : lying_mode; fraction : float }
 
 type env = {
   net : Network.t;
@@ -39,6 +42,22 @@ let kind = function
   | Request_flood _ -> "request-flood"
   | Reply_replay _ -> "reply-replay"
   | Route_forgery _ -> "route-forgery"
+  | Lying_filter_node _ -> "lying-filter-node"
+
+let behavior_of_mode = function
+  | Accept_ignore -> Gateway.Accept_ignore
+  | Partial leak -> Gateway.Partial_policing leak
+  | Forge -> Gateway.Forge_receipts
+  | Replay -> Gateway.Replay_receipts
+
+(* The Byzantine filter node is not an injector with its own traffic loop:
+   it corrupts the compliance behaviour of already-contracted gateways, so
+   it plugs in at scenario setup rather than through {!launch}. *)
+let corrupt ~mode gateways =
+  List.iter
+    (fun gw -> Gateway.set_contract_behavior gw (behavior_of_mode mode))
+    gateways;
+  List.length gateways
 
 let attack_pkt_size = 1000
 
@@ -97,6 +116,7 @@ let launch_request_flood t ~rng ~start env ~pool ~rate =
                 (* forged: carries no correlation id, so span tracing sees
                    nothing — exactly like a pre-AITF sender *)
                 corr = 0;
+                auth = 0L;
               })))
 
 (* A compromised on-path router attacking the 3-way handshake: snoop
@@ -206,7 +226,12 @@ let launch ?(start = 1.) ~rng env playbook =
     launch_request_flood t ~rng ~start env ~pool:1_000_000 ~rate
   | Reply_replay { delay; guess_rate } ->
     launch_reply_replay t ~rng ~start env ~delay ~guess_rate
-  | Route_forgery { innocent } -> launch_route_forgery t env ~innocent);
+  | Route_forgery { innocent } -> launch_route_forgery t env ~innocent
+  | Lying_filter_node _ ->
+    invalid_arg
+      "Adversary.launch: lying-filter-node corrupts contracted gateways at \
+       scenario setup (aitf_sim internet --contracts --byzantine-fraction); \
+       use Adversary.corrupt");
   register_metrics t;
   t
 
@@ -281,11 +306,37 @@ let playbook_of_string s =
     | Some v -> (
       try Ok (Route_forgery { innocent = Addr.of_string v })
       with Invalid_argument _ -> Error (Printf.sprintf "bad innocent=%S" v)))
+  | "lying-filter-node" ->
+    let* () = known [ "mode"; "fraction"; "leak" ] in
+    let* fraction = num "fraction" 0.2 in
+    let* () =
+      if fraction >= 0. && fraction <= 1. then Ok ()
+      else Error (Printf.sprintf "fraction=%g not in [0,1]" fraction)
+    in
+    (* leak: residual bytes/s a partial policer lets through (default one
+       megabit). Ignored by the other modes. *)
+    let* leak = num "leak" 125_000. in
+    let* mode =
+      match
+        Option.value ~default:"accept-ignore" (List.assoc_opt "mode" kvs)
+      with
+      | "accept-ignore" -> Ok Accept_ignore
+      | "partial" -> Ok (Partial leak)
+      | "forge" -> Ok Forge
+      | "replay" -> Ok Replay
+      | m ->
+        Error
+          (Printf.sprintf
+             "unknown mode %S (expected accept-ignore, partial, forge or \
+              replay)"
+             m)
+    in
+    Ok (Lying_filter_node { mode; fraction })
   | _ ->
     Error
       (Printf.sprintf
          "unknown playbook %S (expected slot-exhaustion, shadow-exhaustion, \
-          request-flood, reply-replay or route-forgery)"
+          request-flood, reply-replay, route-forgery or lying-filter-node)"
          name)
 
 let playbook_to_string = function
@@ -298,3 +349,14 @@ let playbook_to_string = function
     Printf.sprintf "reply-replay:delay=%g,guess-rate=%g" delay guess_rate
   | Route_forgery { innocent } ->
     Printf.sprintf "route-forgery:innocent=%s" (Addr.to_string innocent)
+  | Lying_filter_node { mode = Partial leak; fraction } ->
+    Printf.sprintf "lying-filter-node:mode=partial,fraction=%g,leak=%g"
+      fraction leak
+  | Lying_filter_node { mode; fraction } ->
+    Printf.sprintf "lying-filter-node:mode=%s,fraction=%g"
+      (match mode with
+      | Accept_ignore -> "accept-ignore"
+      | Forge -> "forge"
+      | Replay -> "replay"
+      | Partial _ -> assert false)
+      fraction

@@ -23,9 +23,26 @@
       duplicates and bogus respectively.
     - {b route-forgery}: a compromised legacy router rewriting the route
       record on attack packets to an [innocent] address; round 0 is wasted
-      on it, escalation recovers along the honest stamps. *)
+      on it, escalation recovers along the honest stamps.
+    - {b lying-filter-node}: a Byzantine contracted gateway that accepts
+      filtering requests and then cheats — silently ([Accept_ignore]),
+      by rate-limiting instead of blocking ([Partial leak]), by
+      fabricating receipts without key material ([Forge]), or by replaying
+      its first genuine receipt forever ([Replay]). Unlike the other
+      playbooks it has no traffic loop of its own: {!corrupt} flips the
+      {!Aitf_core.Gateway.contract_behavior} of a [fraction] of on-path
+      gateways at scenario setup, and the victim-side
+      [Aitf_contract.Auditor] is the countermeasure (docs/CONTRACTS.md). *)
 
 open Aitf_net
+open Aitf_core
+
+(** How a lying filter node cheats on its contract. *)
+type lying_mode =
+  | Accept_ignore
+  | Partial of float  (** residual leak, bytes/s *)
+  | Forge
+  | Replay
 
 type playbook =
   | Slot_exhaustion of { sources : int; rate : float }  (** rate in bits/s *)
@@ -34,6 +51,8 @@ type playbook =
   | Request_flood of { rate : float }  (** requests/s *)
   | Reply_replay of { delay : float; guess_rate : float }
   | Route_forgery of { innocent : Addr.t }
+  | Lying_filter_node of { mode : lying_mode; fraction : float }
+      (** [fraction] of on-path gateways corrupted, in [0,1] *)
 
 type env = {
   net : Network.t;
@@ -50,7 +69,17 @@ type t
 val launch : ?start:float -> rng:Aitf_engine.Rng.t -> env -> playbook -> t
 (** Start the playbook at virtual time [start] (default 1.0 s). All
     randomness comes from [rng]; callers should pass a dedicated
-    [Rng.split] so launching an adversary does not perturb other streams. *)
+    [Rng.split] so launching an adversary does not perturb other streams.
+    Raises [Invalid_argument] for {!Lying_filter_node}, which corrupts
+    gateways at scenario setup via {!corrupt} instead. *)
+
+val corrupt : mode:lying_mode -> Gateway.t list -> int
+(** Flip the contract behaviour of each gateway to the lying [mode]
+    (they must have contracts enabled). Returns how many were corrupted.
+    The caller decides {e which} gateways — e.g. a seeded
+    [byzantine-fraction] pick of the on-path ASes. *)
+
+val behavior_of_mode : lying_mode -> Gateway.contract_behavior
 
 val halt : t -> unit
 val playbook : t -> playbook

@@ -1,0 +1,47 @@
+open Aitf_net
+
+type t = { seed : int64; keys : (Addr.t, int64) Hashtbl.t }
+
+let create ~seed = { seed = Int64.of_int seed; keys = Hashtbl.create 64 }
+
+(* splitmix64 finaliser: a cheap bijective scrambler with full avalanche,
+   good enough to make per-principal keys unrelated to each other and to
+   the run seed. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let key t addr =
+  match Hashtbl.find_opt t.keys addr with
+  | Some k -> k
+  | None ->
+    let k =
+      mix
+        (Int64.add t.seed
+           (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int32 addr)))
+    in
+    (* 0L doubles as "unsigned" on the wire; keep real keys away from it. *)
+    let k = if Int64.equal k 0L then 1L else k in
+    Hashtbl.replace t.keys addr k;
+    k
+
+let mac t addr bytes =
+  let k = key t addr in
+  (* FNV-1a over the canonical bytes, keyed fore and aft, then scrambled:
+     flipping any message bit or using any other key flips ~half the digest
+     bits. Deterministic per (seed, addr, bytes) across runs. *)
+  let h = ref (Int64.logxor k 0xCBF29CE484222325L) in
+  Bytes.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001B3L)
+    bytes;
+  let d = mix (Int64.logxor !h k) in
+  if Int64.equal d 0L then 1L else d
+
+let signer t addr = fun bytes -> mac t addr bytes
+let verify t addr bytes digest = Int64.equal (mac t addr bytes) digest

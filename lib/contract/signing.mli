@@ -1,0 +1,34 @@
+(** Deterministic keyed digests for the verifiable-contract layer.
+
+    {b Not cryptography.} A deployable AITF would give each AS a real key
+    and HMAC its messages; the simulator stands that machinery in with a
+    seeded splitmix keychain and an FNV-style keyed hash. The properties
+    the protocol relies on hold within a run: a digest verifies only under
+    the signer's key and only over the exact canonical bytes
+    ({!Aitf_core.Wire.signing_bytes}), and a node without the key material
+    cannot produce a verifying digest except by 1-in-2^64 luck. The whole
+    keychain derives from one integer seed, so runs stay reproducible. *)
+
+open Aitf_net
+
+type t
+(** A keychain: one derived key per principal (gateway or host) address. *)
+
+val create : seed:int -> t
+(** All keys derive deterministically from [seed]. Distinct seeds give
+    unrelated keychains, so cross-run replay is meaningless. *)
+
+val key : t -> Addr.t -> int64
+(** The (lazily derived, cached) key of one principal. Never [0L] — that
+    value is reserved to mean "unsigned" on the wire. *)
+
+val mac : t -> Addr.t -> Bytes.t -> int64
+(** Keyed digest of [bytes] under [addr]'s key. Never [0L]. *)
+
+val signer : t -> Addr.t -> Bytes.t -> int64
+(** [signer t addr] is [mac t addr] partially applied — the closure handed
+    to {!Aitf_core.Gateway.enable_contracts} and
+    {!Aitf_core.Host_agent.Victim.set_signer}. *)
+
+val verify : t -> Addr.t -> Bytes.t -> int64 -> bool
+(** Does [digest] verify as [addr]'s mac over [bytes]? *)

@@ -32,6 +32,27 @@ type flow_entry = {
   corr : int;  (* correlation id of the originating request (span tracing) *)
 }
 
+(* Verifiable-contract layer (docs/CONTRACTS.md). [Honest] is the only
+   behaviour protocol code assumes; the lying variants model the
+   Byzantine filter node of the Lying_filter_node playbook. *)
+type contract_behavior =
+  | Honest
+  | Accept_ignore  (* accept the request, install nothing, stay silent *)
+  | Partial_policing of float  (* rate-limit to this leak (bytes/s) *)
+  | Forge_receipts  (* no filter; receipts fabricated without the key *)
+  | Replay_receipts  (* brief install; replay the first receipt forever *)
+
+type contract_state = {
+  cs_sign : Bytes.t -> int64;  (* keyed digest under this gateway's key *)
+  cs_verify : Addr.t -> Bytes.t -> int64 -> bool;
+  cs_refresh : float;  (* receipt refresh period (s) *)
+  mutable cs_behavior : contract_behavior;
+  mutable cs_seq : int;  (* per-gateway receipt sequence number *)
+  cs_streams : (Flow_label.t, unit) Hashtbl.t;
+      (* labels with a live receipt-refresh loop, so an epoch-refreshed
+         install does not stack a second stream on the first *)
+}
+
 type t = {
   net : Network.t;
   sim : Sim.t;
@@ -59,6 +80,11 @@ type t = {
   client_overrides : (Addr.t, float * float) Hashtbl.t;
   verifying : (Flow_label.t, unit) Hashtbl.t;
       (* flows with an in-flight 3-way handshake, to coalesce repeats *)
+  mutable contracts : contract_state option;
+      (* None (the default) keeps every path bit-identical to the
+         pre-contract protocol: no signing, no receipts, no verification *)
+  flagged : (Addr.t, unit) Hashtbl.t;
+      (* peers the auditor convicted of lying; engage skips them *)
   blocklist : (Addr.t, float) Hashtbl.t;
   counters : Counter.t;
   mutable requests_received : int;
@@ -180,6 +206,120 @@ let disconnect_host t a =
     (Sim.now t.sim +. t.config.Config.disconnect_duration);
   Counter.incr t.counters "disconnect-host";
   trace t "disconnecting non-compliant host %a" Addr.pp a
+
+(* --- verifiable-contract layer (docs/CONTRACTS.md) ----------------------- *)
+
+let enable_contracts ?(refresh = 5.0) t ~sign ~verify =
+  if Option.is_some t.contracts then
+    invalid_arg "Gateway.enable_contracts: already enabled";
+  t.contracts <-
+    Some
+      {
+        cs_sign = sign;
+        cs_verify = verify;
+        cs_refresh = refresh;
+        cs_behavior = Honest;
+        cs_seq = 0;
+        cs_streams = Hashtbl.create 8;
+      };
+  (* Registered here, not in [create], so pre-contract runs expose exactly
+     the pre-contract metric set. *)
+  Aitf_obs.Metrics.if_attached (fun reg ->
+      let open Aitf_obs.Metrics in
+      let p metric = "gateway." ^ t.node.Node.name ^ "." ^ metric in
+      register_counter reg (p "receipts_issued") ~unit_:"receipts"
+        ~help:"Genuine install receipts issued (first send and refreshes)"
+        (fun () -> float_of_int (Counter.get t.counters "receipt-issued"));
+      register_counter reg (p "receipts_forged") ~unit_:"receipts"
+        ~help:"Fabricated receipts sent by a Forge_receipts gateway"
+        (fun () -> float_of_int (Counter.get t.counters "receipt-forged"));
+      register_counter reg (p "receipts_replayed") ~unit_:"receipts"
+        ~help:"Stale receipts re-sent by a Replay_receipts gateway"
+        (fun () -> float_of_int (Counter.get t.counters "receipt-replayed"));
+      register_counter reg (p "contracts_ignored") ~unit_:"requests"
+        ~help:"Requests accepted then ignored by a Byzantine behaviour"
+        (fun () -> float_of_int (Counter.get t.counters "contract-ignored"));
+      register_counter reg (p "requests_bad_auth") ~unit_:"requests"
+        ~help:"Requests dropped because their keyed digest did not verify"
+        (fun () -> float_of_int (Counter.get t.counters "req-bad-auth"));
+      register_gauge reg (p "peers_flagged") ~unit_:"gateways"
+        ~help:"Peers the auditor convicted of lying (skipped by engage)"
+        (fun () -> float_of_int (Hashtbl.length t.flagged));
+      register_counter reg (p "contract_failovers") ~unit_:"flows"
+        ~help:"Flows re-engaged past a flagged Byzantine gateway" (fun () ->
+          float_of_int (Counter.get t.counters "contract-failover")))
+
+let contracts_enabled t = Option.is_some t.contracts
+
+let set_contract_behavior t behavior =
+  match t.contracts with
+  | None -> invalid_arg "Gateway.set_contract_behavior: contracts not enabled"
+  | Some cs -> cs.cs_behavior <- behavior
+
+let contract_behavior t =
+  match t.contracts with None -> None | Some cs -> Some cs.cs_behavior
+
+let flag_peer t peer =
+  if not (Hashtbl.mem t.flagged peer) then begin
+    Hashtbl.replace t.flagged peer ();
+    Counter.incr t.counters "peer-flagged";
+    trace t "peer %a flagged as Byzantine" Addr.pp peer
+  end
+
+let flagged_peers t =
+  Hashtbl.fold (fun a () acc -> a :: acc) t.flagged []
+  |> List.sort Addr.compare
+
+(* Sign an outgoing request under this gateway's key; [0L] (unsigned) when
+   the contract layer is off, which is every pre-contract configuration. *)
+let sign_request t (req : Message.request) =
+  match t.contracts with
+  | None -> req
+  | Some cs -> (
+    match Wire.signing_bytes (Message.Filtering_request req) with
+    | Ok b -> { req with Message.auth = cs.cs_sign b }
+    | Error _ -> req)
+
+let request_authentic t (req : Message.request) =
+  match t.contracts with
+  | None -> true
+  | Some cs -> (
+    match Wire.signing_bytes (Message.Filtering_request req) with
+    | Ok b -> cs.cs_verify req.Message.requestor b req.Message.auth
+    | Error _ -> false)
+
+let receipt_signed cs (r : Message.receipt) =
+  match Wire.signing_bytes (Message.Install_receipt r) with
+  | Ok b -> { r with Message.rc_auth = cs.cs_sign b }
+  | Error _ -> r
+
+(* The receipt stream for one contracted flow: one receipt now, a refresh
+   every [cs_refresh] while [live ()] holds. [mk] builds each receipt (and
+   names the counter to bump), so the lying behaviours can fabricate or
+   replay through the same loop. At most one stream per label
+   ([cs_streams]), so a refreshed install does not stack a second one. *)
+let start_receipt_stream t cs ~flow ~victim ~corr ~mk ~live =
+  if not (Hashtbl.mem cs.cs_streams flow) then begin
+    Hashtbl.replace cs.cs_streams flow ();
+    let send_one () =
+      let r, counter = mk () in
+      Counter.incr t.counters counter;
+      Span.event ~node:t.node.Node.name ~corr ~now:(Sim.now t.sim)
+        "receipt-issued";
+      send t ~dst:victim (Message.Install_receipt r)
+    in
+    send_one ();
+    let rec arm () =
+      ignore
+        (Sim.after ~label:"gw-receipt" t.sim cs.cs_refresh (fun () ->
+             if live () then begin
+               send_one ();
+               arm ()
+             end
+             else Hashtbl.remove cs.cs_streams flow))
+    in
+    arm ()
+  end
 
 (* --- victim's-gateway role ---------------------------------------------- *)
 
@@ -304,6 +444,22 @@ let delegate_to_placement t (e : flow_entry) p =
 (* Engage round [e.round]: protect the victim with a temporary filter and
    hand the request to this round's attacker-side gateway. *)
 let rec engage t (e : flow_entry) =
+  (* Byzantine failover: a path entry the auditor has flagged is skipped
+     outright, so the request goes straight to the next AS on the recorded
+     route. The guard keeps the un-flagged (and contract-less) path
+     bit-identical. *)
+  if Hashtbl.length t.flagged > 0 then begin
+    let rec skip () =
+      match List.nth_opt e.path e.round with
+      | Some gw when Hashtbl.mem t.flagged gw && not (Addr.equal gw (addr t))
+        ->
+        Counter.incr t.counters "flagged-skipped";
+        e.round <- e.round + 1;
+        skip ()
+      | Some _ | None -> ()
+    in
+    skip ()
+  end;
   e.engaged_at <- Sim.now t.sim;
   install_temp t e;
   if e.round >= t.config.Config.max_rounds then terminal t e
@@ -323,15 +479,17 @@ let rec engage t (e : flow_entry) =
       trace t "round %d: asking %a to block %a" e.round Addr.pp gw
         Flow_label.pp e.flow;
       let req =
-        {
-          Message.flow = e.flow;
-          target = Message.To_attacker_gateway;
-          duration = e.duration;
-          path = e.path;
-          hops = e.round;
-          requestor = addr t;
-          corr = e.corr;
-        }
+        sign_request t
+          {
+            Message.flow = e.flow;
+            target = Message.To_attacker_gateway;
+            duration = e.duration;
+            path = e.path;
+            hops = e.round;
+            requestor = addr t;
+            corr = e.corr;
+            auth = 0L;
+          }
       in
       send t ~dst:gw (Message.Filtering_request req);
       arm_ctrl_retry t e
@@ -364,15 +522,17 @@ and escalate t (e : flow_entry) =
       trace t "escalating %a to upstream %a (round %d)" Flow_label.pp e.flow
         Addr.pp up e.round;
       let req =
-        {
-          Message.flow = e.flow;
-          target = Message.To_victim_gateway;
-          duration = e.duration;
-          path = e.path;
-          hops = e.round;
-          requestor = addr t;
-          corr = e.corr;
-        }
+        sign_request t
+          {
+            Message.flow = e.flow;
+            target = Message.To_victim_gateway;
+            duration = e.duration;
+            path = e.path;
+            hops = e.round;
+            requestor = addr t;
+            corr = e.corr;
+            auth = 0L;
+          }
       in
       send t ~dst:up (Message.Filtering_request req);
       arm_ctrl_retry t e
@@ -425,6 +585,32 @@ and arm_ctrl_retry t (e : flow_entry) ~resend ~gave_up =
     in
     arm t.config.Config.ctrl_rto 1
   end
+
+(* Byzantine failover: re-engage every flow whose current round points at
+   [peer]. Called (after {!flag_peer}) at the victim's gateway once the
+   auditor convicts [peer]; engage's skip-over-flagged then routes each
+   request to the next AS on its recorded path. Entries already delegated
+   upstream are the upstream's responsibility — its own [fail_over] covers
+   them. Deterministic order by flow label. Returns the flows re-engaged. *)
+let fail_over t ~peer =
+  let stuck = ref [] in
+  Shadow_cache.iter t.shadow (fun entry ->
+      let e = Shadow_cache.data entry in
+      match e.phase with
+      | Filtering | Monitoring -> (
+        match List.nth_opt e.path e.round with
+        | Some gw when Addr.equal gw peer -> stuck := e :: !stuck
+        | Some _ | None -> ())
+      | Delegated | Awaiting_path -> ());
+  let stuck = List.sort (fun a b -> Flow_label.compare a.flow b.flow) !stuck in
+  List.iter
+    (fun e ->
+      Counter.incr t.counters "contract-failover";
+      trace t "failing %a over past flagged %a" Flow_label.pp e.flow Addr.pp
+        peer;
+      engage t e)
+    stuck;
+  List.length stuck
 
 let victim_role t (req : Message.request) =
   Counter.incr t.counters "req-victim-role";
@@ -509,9 +695,15 @@ let victim_role t (req : Message.request) =
 
 (* --- attacker's-gateway role -------------------------------------------- *)
 
-let comply t ~received_at (req : Message.request) =
+(* The genuine compliance path. [leak] overrides the configured filter
+   action with a Partial_policing rate limit; [receipts] starts the install-
+   receipt stream owed under a verifiable contract. *)
+let comply_install ?leak ?receipts t ~received_at (req : Message.request) =
+  let rate_limit =
+    match leak with Some l -> Some l | None -> long_rate_limit t
+  in
   match
-    filter_install ?rate_limit:(long_rate_limit t) ~corr:req.Message.corr
+    filter_install ?rate_limit ~corr:req.Message.corr
       ~requestor:req.Message.requestor t req.Message.flow
       ~duration:req.Message.duration
   with
@@ -539,6 +731,26 @@ let comply t ~received_at (req : Message.request) =
     Span.complete ~corr:req.Message.corr ~now;
     trace t "blocking %a for %gs" Flow_label.pp req.Message.flow
       req.Message.duration;
+    (match (receipts, req.Message.flow.Flow_label.dst) with
+    | Some cs, Flow_label.Host victim ->
+      let flow = req.Message.flow in
+      start_receipt_stream t cs ~flow ~victim ~corr:req.Message.corr
+        ~live:(fun () -> Filter_table.live handle)
+        ~mk:(fun () ->
+          cs.cs_seq <- cs.cs_seq + 1;
+          ( receipt_signed cs
+              {
+                Message.rc_flow = flow;
+                rc_gateway = addr t;
+                rc_victim = victim;
+                rc_seq = cs.cs_seq;
+                rc_installed_at = Filter_table.installed_at handle;
+                rc_expires_at = Filter_table.expires_at handle;
+                rc_hits = Filter_table.hits handle;
+                rc_auth = 0L;
+              },
+            "receipt-issued" ))
+    | _ -> ());
     (match req.Message.flow.Flow_label.src with
     | Flow_label.Host client when in_cone t client ->
       let bucket = client_policer_for t client in
@@ -548,7 +760,13 @@ let comply t ~received_at (req : Message.request) =
           ~node:t.node.Node.name ~now:(Sim.now t.sim);
         send t ~dst:client
           (Message.Filtering_request
-             { req with Message.target = Message.To_attacker; requestor = addr t })
+             (sign_request t
+                {
+                  req with
+                  Message.target = Message.To_attacker;
+                  requestor = addr t;
+                  auth = 0L;
+                }))
       end
       else begin
         Counter.incr t.counters "req-policed-client";
@@ -571,6 +789,117 @@ let comply t ~received_at (req : Message.request) =
                       then disconnect_host t client))))
       end
     | Flow_label.Host _ | Flow_label.Any | Flow_label.Net _ -> ())
+
+(* The Lying_filter_node behaviours: the handshake has already succeeded,
+   so from here the gateway controls what (if anything) really happens. *)
+let comply_byzantine t cs ~received_at (req : Message.request) =
+  let finish_span () =
+    Span.finish ~node:t.node.Node.name ~corr:req.Message.corr
+      ~stage:Span.Verification ~now:(Sim.now t.sim) ()
+  in
+  match cs.cs_behavior with
+  | Honest | Partial_policing _ -> assert false (* dispatched in [comply] *)
+  | Accept_ignore ->
+    (* Accept-then-ignore: the requestor moved on believing we took over,
+       nothing was installed, and no receipt will ever arrive. Silence is
+       the tell the auditor keys on. *)
+    Counter.incr t.counters "contract-ignored";
+    finish_span ()
+  | Forge_receipts -> (
+    Counter.incr t.counters "contract-ignored";
+    finish_span ();
+    match req.Message.flow.Flow_label.dst with
+    | Flow_label.Any | Flow_label.Net _ -> ()
+    | Flow_label.Host victim ->
+      (* Fabricated receipts: correct shape and schedule, but the digest is
+         produced without this gateway's key material, so signature
+         verification fails at the auditor. *)
+      let flow = req.Message.flow in
+      let now = Sim.now t.sim in
+      let until = now +. req.Message.duration in
+      start_receipt_stream t cs ~flow ~victim ~corr:req.Message.corr
+        ~live:(fun () -> Sim.now t.sim < until)
+        ~mk:(fun () ->
+          cs.cs_seq <- cs.cs_seq + 1;
+          let r =
+            receipt_signed cs
+              {
+                Message.rc_flow = flow;
+                rc_gateway = addr t;
+                rc_victim = victim;
+                rc_seq = cs.cs_seq;
+                rc_installed_at = now;
+                rc_expires_at = until;
+                rc_hits = 0;
+                rc_auth = 0L;
+              }
+          in
+          ( { r with Message.rc_auth = Int64.lognot r.Message.rc_auth },
+            "receipt-forged" )))
+  | Replay_receipts -> (
+    (* Install just long enough for the first receipt to be genuine, then
+       replay that exact receipt — stale sequence number and all — at every
+       refresh while the filter itself has long lapsed. *)
+    match req.Message.flow.Flow_label.dst with
+    | Flow_label.Any | Flow_label.Net _ ->
+      Counter.incr t.counters "contract-ignored";
+      finish_span ()
+    | Flow_label.Host victim -> (
+      let flow = req.Message.flow in
+      let short = Float.min cs.cs_refresh req.Message.duration in
+      match
+        filter_install ~corr:req.Message.corr
+          ~requestor:req.Message.requestor t flow ~duration:short
+      with
+      | Error `Table_full ->
+        Counter.incr t.counters "filter-full";
+        finish_span ()
+      | Ok handle ->
+        Counter.incr t.counters "filter-long";
+        (match t.ttf with
+        | Some tm ->
+          Aitf_obs.Metrics.observe tm (Sim.now t.sim -. received_at)
+        | None -> ());
+        finish_span ();
+        let until = Sim.now t.sim +. req.Message.duration in
+        cs.cs_seq <- cs.cs_seq + 1;
+        let first =
+          receipt_signed cs
+            {
+              Message.rc_flow = flow;
+              rc_gateway = addr t;
+              rc_victim = victim;
+              rc_seq = cs.cs_seq;
+              rc_installed_at = Filter_table.installed_at handle;
+              (* the lie: claims the full T *)
+              rc_expires_at = until;
+              rc_hits = 0;
+              rc_auth = 0L;
+            }
+        in
+        let sent = ref false in
+        start_receipt_stream t cs ~flow ~victim ~corr:req.Message.corr
+          ~live:(fun () -> Sim.now t.sim < until)
+          ~mk:(fun () ->
+            let counter =
+              if !sent then "receipt-replayed" else "receipt-issued"
+            in
+            sent := true;
+            (first, counter))))
+
+let comply t ~received_at (req : Message.request) =
+  match t.contracts with
+  | None -> comply_install t ~received_at req
+  | Some cs -> (
+    match cs.cs_behavior with
+    | Honest -> comply_install ~receipts:cs t ~received_at req
+    | Partial_policing leak ->
+      (* Installs a rate-limited filter but issues receipts claiming full
+         policing; caught by the auditor's arrival evidence. *)
+      Counter.incr t.counters "contract-partial";
+      comply_install ~leak ~receipts:cs t ~received_at req
+    | Accept_ignore | Forge_receipts | Replay_receipts ->
+      comply_byzantine t cs ~received_at req)
 
 let attacker_role t (req : Message.request) =
   Counter.incr t.counters "req-attacker-role";
@@ -655,7 +984,15 @@ let attacker_role t (req : Message.request) =
 
 let on_request t (req : Message.request) =
   t.requests_received <- t.requests_received + 1;
-  match req.Message.target with
+  if not (request_authentic t req) then begin
+    (* With contracts on, an unsigned or tampered request is dropped before
+       it can spend anyone's R1 budget or install anything. *)
+    Counter.incr t.counters "req-bad-auth";
+    Span.event ~node:t.node.Node.name ~corr:req.Message.corr
+      ~now:(Sim.now t.sim) "req-bad-auth"
+  end
+  else
+    match req.Message.target with
   | Message.To_victim_gateway -> victim_role t req
   | Message.To_attacker_gateway -> attacker_role t req
   | Message.To_attacker ->
@@ -785,6 +1122,8 @@ let create ?(policy = Policy.Cooperative) ?upstream ?placement ~clients
       overrides = Hashtbl.create 8;
       client_overrides = Hashtbl.create 8;
       verifying = Hashtbl.create 8;
+      contracts = None;
+      flagged = Hashtbl.create 4;
       blocklist = Hashtbl.create 8;
       counters = Counter.create ();
       requests_received = 0;

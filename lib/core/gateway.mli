@@ -100,3 +100,73 @@ val tracked_requestors : t -> int
 (** Distinct requestors currently holding their own policing bucket —
     bounded; past the bound, unknown requestors share one overflow
     bucket. *)
+
+(** {1 Verifiable filtering contracts}
+
+    The optional contract layer of docs/CONTRACTS.md. Off by default, and
+    when off every code path is bit-identical to the pre-contract
+    protocol. When enabled ({!enable_contracts}):
+
+    - outgoing filtering requests carry a keyed digest of their canonical
+      wire bytes ({!Wire.signing_bytes}) under this gateway's key, and
+      incoming requests are verified against the requestor's key
+      (failures counted as ["req-bad-auth"] and dropped);
+    - honoring a request also issues an {e install receipt} to the flow's
+      victim, refreshed every [refresh] seconds while the filter stays
+      resident, so a victim-side auditor ([Aitf_contract.Auditor]) can
+      cross-check the claim against observed arrivals;
+    - peers convicted of lying by the auditor can be {!flag_peer}ed:
+      {e engage} then skips them on the recorded path and {!fail_over}
+      re-engages the flows stuck behind them (graceful Byzantine
+      failover). *)
+
+(** How this gateway honours contracts — [Honest] unless a
+    Lying_filter_node playbook corrupted it. *)
+type contract_behavior =
+  | Honest
+  | Accept_ignore
+      (** accept the request (handshake and all), install nothing, send
+          no receipts *)
+  | Partial_policing of float
+      (** install a filter that merely rate-limits to this many bytes/s
+          while the receipts claim full policing *)
+  | Forge_receipts
+      (** install nothing; fabricate receipts without the gateway's key
+          material, so their digests fail verification *)
+  | Replay_receipts
+      (** install only briefly, then replay the first (genuine) receipt —
+          stale sequence number and all — at every refresh *)
+
+val enable_contracts :
+  ?refresh:float ->
+  t ->
+  sign:(Bytes.t -> int64) ->
+  verify:(Addr.t -> Bytes.t -> int64 -> bool) ->
+  unit
+(** Turn the contract layer on. [sign] digests canonical bytes under this
+    gateway's key; [verify addr bytes digest] checks a digest under
+    [addr]'s key (both typically from [Aitf_contract.Signing]).
+    [refresh] is the receipt refresh period (default 5 s). Raises
+    [Invalid_argument] if already enabled. *)
+
+val contracts_enabled : t -> bool
+
+val set_contract_behavior : t -> contract_behavior -> unit
+(** Corrupt (or heal) this gateway's compliance behaviour. Raises
+    [Invalid_argument] when contracts are not enabled. *)
+
+val contract_behavior : t -> contract_behavior option
+(** [None] when the contract layer is off. *)
+
+val flag_peer : t -> Addr.t -> unit
+(** Record a Byzantine verdict against [peer]: engage will skip it on any
+    recorded path from now on. Idempotent. *)
+
+val flagged_peers : t -> Addr.t list
+(** Peers flagged so far, sorted. *)
+
+val fail_over : t -> peer:Addr.t -> int
+(** Re-engage every live flow whose current round points at [peer]
+    (deterministically, in flow-label order); with [peer] flagged, each
+    request now goes to the next AS on its path. Returns how many flows
+    were re-engaged. *)

@@ -37,6 +37,12 @@ module Victim = struct
            flow's filtering request hangs from. Minted unconditionally (a
            plain counter, no randomness) so traced and untraced runs make
            identical random/scheduling decisions. *)
+    mutable signer : (Bytes.t -> int64) option;
+        (* contract layer: keyed digest over canonical request bytes *)
+    mutable receipt_sink : (Message.receipt -> unit) option;
+    mutable request_observer : (Message.request -> unit) option;
+    mutable arrival_observer : (Flow_label.t -> float -> unit) option;
+        (* the auditor's evidence feed: every attack arrival, with time *)
     mutable last_ppm_path : Addr.t list option;
     mutable ppm_stable : int;
     mutable attack_packets : int;
@@ -69,7 +75,7 @@ module Victim = struct
     match Hashtbl.find_opt t.corrs flow with Some c -> c | None -> 0
 
   let request_message t flow path =
-    Message.Filtering_request
+    let req =
       {
         Message.flow;
         target = Message.To_victim_gateway;
@@ -78,7 +84,18 @@ module Victim = struct
         hops = 0;
         requestor = t.node.Node.addr;
         corr = corr_of t flow;
+        auth = 0L;
       }
+    in
+    let req =
+      match t.signer with
+      | None -> req
+      | Some sign -> (
+        match Wire.signing_bytes (Message.Filtering_request req) with
+        | Ok b -> { req with Message.auth = sign b }
+        | Error _ -> req)
+    in
+    Message.Filtering_request req
 
   (* The request to the gateway crosses the very tail circuit the attack is
      flooding, so it is the likeliest control message to drown. While the
@@ -136,7 +153,11 @@ module Victim = struct
       trace t "requesting block of %a" Flow_label.pp flow;
       Span.start ~corr:(corr_of t flow) ~stage:Span.Request
         ~node:t.node.Node.name ~now:(Sim.now t.sim);
-      send t ~dst:t.gateway (request_message t flow path);
+      let payload = request_message t flow path in
+      (match (t.request_observer, payload) with
+      | Some f, Message.Filtering_request req -> f req
+      | _, _ -> ());
+      send t ~dst:t.gateway payload;
       arm_retry t flow path
     end
     else begin
@@ -212,6 +233,7 @@ module Victim = struct
     in
     cell := !cell +. float_of_int pkt.size;
     Hashtbl.replace t.last_seen label now;
+    (match t.arrival_observer with Some f -> f label now | None -> ());
     (match t.path_source with
     | From_ppm collector ->
       Ppm.Collector.observe collector pkt;
@@ -235,6 +257,8 @@ module Victim = struct
           "victim-confirmed";
         send t ~dst:pkt.src (Message.Verification_reply { flow; nonce })
       end
+    | Message.Install_receipt r -> (
+      match t.receipt_sink with Some f -> f r | None -> ())
     | _ -> prev node pkt
 
   let create ?(td = 0.1) ?(path_source = From_route_record) ~gateway ~config
@@ -260,6 +284,10 @@ module Victim = struct
         good_meter = Rate_meter.create ~window:1.0;
         per_flow = Hashtbl.create 32;
         corrs = Hashtbl.create 32;
+        signer = None;
+        receipt_sink = None;
+        request_observer = None;
+        arrival_observer = None;
         last_ppm_path = None;
         ppm_stable = 0;
         attack_packets = 0;
@@ -324,6 +352,10 @@ module Victim = struct
     | None -> 0.
 
   let attack_flows_seen t = Hashtbl.length t.per_flow
+  let set_signer t f = t.signer <- Some f
+  let set_receipt_sink t f = t.receipt_sink <- Some f
+  let set_request_observer t f = t.request_observer <- Some f
+  let set_arrival_observer t f = t.arrival_observer <- Some f
   let requests_sent t = t.requests_sent
   let requests_suppressed t = t.requests_suppressed
   let requests_retransmitted t = t.requests_retransmitted

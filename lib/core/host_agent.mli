@@ -68,6 +68,26 @@ module Victim : sig
   (** Flows whose retry budget ran out with the attack still arriving. *)
 
   val queries_answered : t -> int
+
+  (* Verifiable-contract hooks (docs/CONTRACTS.md). All unset by default,
+     leaving behaviour bit-identical to the pre-contract agent. *)
+
+  val set_signer : t -> (Bytes.t -> int64) -> unit
+  (** Sign every outgoing filtering request: the function receives the
+      request's canonical wire bytes ({!Wire.signing_bytes}) and returns
+      the keyed digest to carry in its [auth] field. *)
+
+  val set_receipt_sink : t -> (Message.receipt -> unit) -> unit
+  (** Deliver install receipts (typically to an [Aitf_contract.Auditor]). *)
+
+  val set_request_observer : t -> (Message.request -> unit) -> unit
+  (** Observe each fresh (non-retransmitted) filtering request as sent,
+      after signing — the auditor uses the path to know which gateway owes
+      a receipt. *)
+
+  val set_arrival_observer : t -> (Flow_label.t -> float -> unit) -> unit
+  (** Observe every undesired-flow arrival (label, time) — the auditor's
+      evidence that a contracted gateway is not actually policing. *)
 end
 
 module Attacker : sig

@@ -69,6 +69,7 @@ let on_detect t flow (pkt : Packet.t) =
            hops = 0;
            requestor = (node t).Node.addr;
            corr;
+           auth = 0L;
          })
   end
 

@@ -11,12 +11,25 @@ type request = {
   hops : int;
   requestor : Addr.t;
   corr : int;
+  auth : int64;
+}
+
+type receipt = {
+  rc_flow : Flow_label.t;
+  rc_gateway : Addr.t;
+  rc_victim : Addr.t;
+  rc_seq : int;
+  rc_installed_at : float;
+  rc_expires_at : float;
+  rc_hits : int;
+  rc_auth : int64;
 }
 
 type Packet.payload +=
   | Filtering_request of request
   | Verification_query of { flow : Flow_label.t; nonce : int64 }
   | Verification_reply of { flow : Flow_label.t; nonce : int64 }
+  | Install_receipt of receipt
 
 let message_size = 64
 let protocol_number = 253
@@ -36,3 +49,8 @@ let pp_request fmt r =
        ~pp_sep:(fun f () -> Format.pp_print_string f ";")
        Addr.pp)
     r.path Addr.pp r.requestor
+
+let pp_receipt fmt r =
+  Format.fprintf fmt "receipt{%a gw=%a seq=%d [%g,%g] hits=%d}" Flow_label.pp
+    r.rc_flow Addr.pp r.rc_gateway r.rc_seq r.rc_installed_at r.rc_expires_at
+    r.rc_hits

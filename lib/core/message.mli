@@ -29,12 +29,36 @@ type request = {
           can stitch the distributed stages into one span tree; [0] means
           untraceable (legacy or forged requests). Never consulted by
           protocol logic. *)
+  auth : int64;
+      (** keyed digest of the request's canonical wire bytes under the
+          requestor's key ([Aitf_contract.Signing]); [0L] means unsigned
+          (legacy). Only consulted when the receiving gateway has the
+          verifiable-contract layer enabled. *)
 }
+
+type receipt = {
+  rc_flow : Flow_label.t;  (** the flow the gateway claims to police *)
+  rc_gateway : Addr.t;  (** the contracted gateway issuing the receipt *)
+  rc_victim : Addr.t;  (** whom the receipt is owed to (the flow's dst) *)
+  rc_seq : int;
+      (** per-gateway monotonically increasing sequence number; a replayed
+          receipt re-uses an old value and is caught by the auditor exactly
+          like a replayed handshake reply *)
+  rc_installed_at : float;  (** when the filter was installed (claim) *)
+  rc_expires_at : float;  (** when the filter will lapse (claim) *)
+  rc_hits : int;  (** packets the filter has blocked so far (claim) *)
+  rc_auth : int64;  (** keyed digest under the issuing gateway's key *)
+}
+(** Install receipt (docs/CONTRACTS.md): proof-of-policing a contracted
+    gateway returns when it installs a filter, then refreshes periodically
+    while the filter is resident. The victim-side auditor cross-checks the
+    claims against observed arrivals. *)
 
 type Packet.payload +=
   | Filtering_request of request
   | Verification_query of { flow : Flow_label.t; nonce : int64 }
   | Verification_reply of { flow : Flow_label.t; nonce : int64 }
+  | Install_receipt of receipt
 
 val message_size : int
 (** Wire size (bytes) charged for every AITF message. *)
@@ -47,3 +71,4 @@ val packet : src:Addr.t -> dst:Addr.t -> Packet.payload -> Packet.t
 
 val pp_target : Format.formatter -> target -> unit
 val pp_request : Format.formatter -> request -> unit
+val pp_receipt : Format.formatter -> receipt -> unit

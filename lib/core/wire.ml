@@ -29,10 +29,13 @@ let encoded_size = function
   | Message.Filtering_request r ->
     Some
       (2 + label_size r.Message.flow + 1 + 8 + 1 + 4 + 4 + 1
-      + (4 * List.length r.Message.path))
+      + (4 * List.length r.Message.path)
+      + 8)
   | Message.Verification_query { flow; _ } | Message.Verification_reply { flow; _ }
     ->
     Some (2 + label_size flow + 8)
+  | Message.Install_receipt r ->
+    Some (2 + label_size r.Message.rc_flow + 4 + 4 + 4 + 8 + 8 + 8 + 8)
   | _ -> None
 
 (* --- encoding -------------------------------------------------------------- *)
@@ -92,10 +95,11 @@ let encode payload =
       Bytes.set_int32_be b pos (Int32.of_int r.Message.corr);
       let pos = pos + 4 in
       let pos = put_u8 b pos (List.length r.Message.path) in
-      let final =
+      let pos =
         List.fold_left (fun pos a -> put_addr b pos a) pos r.Message.path
       in
-      assert (final = size);
+      Bytes.set_int64_be b pos r.Message.auth;
+      assert (pos + 8 = size);
       Ok b
     | Message.Verification_query { flow; nonce } ->
       let pos = put_u8 b pos 2 in
@@ -109,7 +113,36 @@ let encode payload =
       Bytes.set_int64_be b pos nonce;
       assert (pos + 8 = size);
       Ok b
+    | Message.Install_receipt r ->
+      let pos = put_u8 b pos 4 in
+      let pos = put_label b pos r.Message.rc_flow in
+      let pos = put_addr b pos r.Message.rc_gateway in
+      let pos = put_addr b pos r.Message.rc_victim in
+      Bytes.set_int32_be b pos (Int32.of_int r.Message.rc_seq);
+      let pos = pos + 4 in
+      Bytes.set_int64_be b pos (Int64.bits_of_float r.Message.rc_installed_at);
+      let pos = pos + 8 in
+      Bytes.set_int64_be b pos (Int64.bits_of_float r.Message.rc_expires_at);
+      let pos = pos + 8 in
+      Bytes.set_int64_be b pos (Int64.of_int r.Message.rc_hits);
+      let pos = pos + 8 in
+      Bytes.set_int64_be b pos r.Message.rc_auth;
+      assert (pos + 8 = size);
+      Ok b
     | _ -> Error "Wire.encode: not an AITF payload")
+
+(* The canonical bytes a keyed digest covers: the full encoding with the
+   trailing auth octets zeroed (requests and receipts both put auth last,
+   precisely so signing needs no second layout). *)
+let signing_bytes payload =
+  match payload with
+  | Message.Filtering_request _ | Message.Install_receipt _ -> (
+    match encode payload with
+    | Error _ as e -> e
+    | Ok b ->
+      Bytes.fill b (Bytes.length b - 8) 8 '\000';
+      Ok b)
+  | _ -> Error "Wire.signing_bytes: payload carries no auth field"
 
 (* --- decoding -------------------------------------------------------------- *)
 
@@ -189,9 +222,10 @@ let decode buf =
         let corr = Int32.to_int (get_addr c) land 0xFFFFFFFF in
         let n = get_u8 c in
         let path = List.init n (fun _ -> get_addr c) in
+        let auth = get_u64 c in
         Ok
           (Message.Filtering_request
-             { Message.flow; target; duration; path; hops; requestor; corr })
+             { Message.flow; target; duration; path; hops; requestor; corr; auth })
       | 2 ->
         let flow = get_label c in
         let nonce = get_u64 c in
@@ -200,5 +234,26 @@ let decode buf =
         let flow = get_label c in
         let nonce = get_u64 c in
         Ok (Message.Verification_reply { flow; nonce })
+      | 4 ->
+        let rc_flow = get_label c in
+        let rc_gateway = get_addr c in
+        let rc_victim = get_addr c in
+        let rc_seq = Int32.to_int (get_addr c) land 0xFFFFFFFF in
+        let rc_installed_at = Int64.float_of_bits (get_u64 c) in
+        let rc_expires_at = Int64.float_of_bits (get_u64 c) in
+        let rc_hits = Int64.to_int (get_u64 c) in
+        let rc_auth = get_u64 c in
+        Ok
+          (Message.Install_receipt
+             {
+               Message.rc_flow;
+               rc_gateway;
+               rc_victim;
+               rc_seq;
+               rc_installed_at;
+               rc_expires_at;
+               rc_hits;
+               rc_auth;
+             })
       | t -> Error (Bad_tag ("message-type", t))
   with Decode e -> Error e

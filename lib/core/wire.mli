@@ -9,7 +9,7 @@
 
     {v
     octet 0      version (currently 1)
-    octet 1      message type: 1 request / 2 query / 3 reply
+    octet 1      message type: 1 request / 2 query / 3 reply / 4 receipt
     flow label:
       sel        1 tag octet (0 any | 1 host | 2 net) then 4 addr octets
                  (host) or 4 + 1 prefix-length octets (net), for src then dst
@@ -20,10 +20,24 @@
       duration   8 octets (IEEE double bits)
       hops       1 octet
       requestor  4 octets
+      corr       4 octets
       path       1 length octet + 4 octets per entry
+      auth       8 octets (keyed digest; 0 = unsigned)
     query/reply body:
       nonce      8 octets
-    v} *)
+    receipt body:
+      gateway    4 octets
+      victim     4 octets
+      seq        4 octets
+      installed  8 octets (IEEE double bits)
+      expires    8 octets (IEEE double bits)
+      hits       8 octets
+      auth       8 octets (keyed digest; 0 = unsigned)
+    v}
+
+    The auth field always sits in the final 8 octets, so the canonical
+    signing input ({!signing_bytes}) is simply the encoding with its tail
+    zeroed. *)
 
 open Aitf_net
 
@@ -44,3 +58,9 @@ val decode : Bytes.t -> (Packet.payload, error) result
 val encoded_size : Packet.payload -> int option
 (** Size {!encode} would produce, without allocating. [None] for non-AITF
     payloads. *)
+
+val signing_bytes : Packet.payload -> (Bytes.t, string) result
+(** The canonical octets a keyed digest covers: the full encoding with the
+    trailing auth field zeroed. Only requests and receipts carry an auth
+    field; other payloads are an [Error]. Signer and verifier both call
+    this, so a digest matches iff every other octet of the message does. *)

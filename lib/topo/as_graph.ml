@@ -314,8 +314,8 @@ let attach_pool t ~domain ~range =
 
 type deployed = { graph : t; gateways : Gateway.t array }
 
-let deploy ?placement ?(policies = fun (_ : int) -> Policy.Cooperative)
-    ~config ~rng t =
+let deploy ?placement ?contract
+    ?(policies = fun (_ : int) -> Policy.Cooperative) ~config ~rng t =
   let gateways =
     Array.mapi
       (fun d r ->
@@ -329,4 +329,18 @@ let deploy ?placement ?(policies = fun (_ : int) -> Policy.Cooperative)
           ~config ~rng:(Rng.split rng) t.net r)
       t.routers
   in
+  (* Provider-side R1/R2 contracts on every provider->customer edge: each
+     customer AS gets the contracted request and counter-request rates at
+     its providers instead of the config defaults. *)
+  (match contract with
+  | None -> ()
+  | Some c ->
+    Array.iteri
+      (fun d gw ->
+        List.iter
+          (fun cust ->
+            Contract.apply_provider_side gw
+              ~client:t.routers.(cust).Node.addr c)
+          t.customers.(d))
+      gateways);
   { graph = t; gateways }

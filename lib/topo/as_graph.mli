@@ -92,6 +92,7 @@ type deployed = { graph : t; gateways : Gateway.t array }
 
 val deploy :
   ?placement:Placement.t ->
+  ?contract:Contract.t ->
   ?policies:(int -> Policy.gateway_policy) ->
   config:Config.t ->
   rng:Aitf_engine.Rng.t ->
@@ -101,5 +102,7 @@ val deploy :
     primary (lowest-id) provider; tier-1 gateways have no upstream. The
     customer cone handed to each gateway is its own domain prefix.
     [placement] is passed through to every gateway (the placement seam);
-    [policies] assigns per-domain gateway policies (default: all
-    cooperative). *)
+    [contract] applies {!Contract.apply_provider_side} on every
+    provider->customer edge, replacing the config's default R1/R2 rates
+    with the contracted ones; [policies] assigns per-domain gateway
+    policies (default: all cooperative). *)

@@ -4,6 +4,9 @@ module Series = Aitf_stats.Series
 module Fluid = Aitf_flowsim.Fluid
 module Sampler = Aitf_flowsim.Sampler
 module Filter_table = Aitf_filter.Filter_table
+module Signing = Aitf_contract.Signing
+module Auditor = Aitf_contract.Auditor
+module Adversary = Aitf_adversary.Adversary
 open Aitf_net
 open Aitf_core
 open Aitf_topo
@@ -22,6 +25,11 @@ type params = {
   as_attack_start : float;
   as_td : float;
   as_sample_period : float;
+  as_contracts : bool;
+  as_byzantine_fraction : float;
+  as_lying_mode : Adversary.lying_mode;
+  as_contract : Contract.t option;
+  as_audit : Auditor.config;
 }
 
 let default =
@@ -39,6 +47,11 @@ let default =
     as_attack_start = 1.;
     as_td = 0.1;
     as_sample_period = 0.1;
+    as_contracts = false;
+    as_byzantine_fraction = 0.;
+    as_lying_mode = Adversary.Accept_ignore;
+    as_contract = None;
+    as_audit = Auditor.default_config;
   }
 
 type result = {
@@ -60,6 +73,9 @@ type result = {
   r_reports : int;
   r_absorbed : int;
   r_events : int;
+  r_auditor : Auditor.t option;
+  r_byzantine : (int * Addr.t) list;
+  r_failovers : int;
 }
 
 (* Per-domain pool sub-ranges inside the /16: the attack pool owns the top
@@ -138,7 +154,7 @@ let run p =
   let deployed =
     As_graph.deploy
       ?placement:(Option.map Placement_ctl.handle ctl)
-      ~config ~rng graph
+      ?contract:p.as_contract ~config ~rng graph
   in
   let gws = deployed.As_graph.gateways in
   Option.iter (fun c -> Placement_ctl.register_gateways c gws) ctl;
@@ -152,6 +168,71 @@ let run p =
       ~config net victim_node
   in
   let victim_addr = victim_node.Node.addr in
+  (* Verifiable-contract wiring (docs/CONTRACTS.md). Strictly inside the
+     [as_contracts] branch — including the [Rng.split] — so contracts-off
+     runs consume the identical rng stream and stay bit-identical. *)
+  let contracts =
+    if not p.as_contracts then None
+    else begin
+      let crng = Rng.split rng in
+      let signing = Signing.create ~seed:p.as_seed in
+      Array.iter
+        (fun gw ->
+          Gateway.enable_contracts gw
+            ~sign:(Signing.signer signing (Gateway.addr gw))
+            ~verify:(Signing.verify signing))
+        gws;
+      Host_agent.Victim.set_signer victim (Signing.signer signing victim_addr);
+      (* Byzantine pick: the candidate set is the attack-side first-hop
+         gateways — the on-path domains that actually receive the victim's
+         round-0 filtering work (a corrupted transit AS that never sees a
+         request has nothing to lie about). A seeded partial Fisher–Yates
+         corrupts round(fraction * |candidates|) of them; failover then
+         escalates past each convicted liar to the next (honest, transit)
+         AS on the route. *)
+      let arr = Array.of_list attack_domains in
+      Array.sort compare arr;
+      let n_byz =
+        Int.min (Array.length arr)
+          (int_of_float
+             (Float.round
+                (p.as_byzantine_fraction *. float_of_int (Array.length arr))))
+      in
+      for i = 0 to n_byz - 1 do
+        let j = i + Rng.int crng (Array.length arr - i) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp
+      done;
+      let byz = List.sort compare (Array.to_list (Array.sub arr 0 n_byz)) in
+      ignore
+        (Adversary.corrupt ~mode:p.as_lying_mode
+           (List.map (fun d -> gws.(d)) byz));
+      let failovers = ref 0 in
+      (* Conviction: every gateway learns the liar's address (escalation
+         skips it from now on), the placement controller treats it as
+         zero-capacity, and the victim's gateway re-engages every contract
+         that was parked at it. *)
+      let on_flag peer =
+        Array.iter (fun g -> Gateway.flag_peer g peer) gws;
+        Option.iter (fun c -> Placement_ctl.flag_gateway c peer) ctl;
+        failovers := !failovers + Gateway.fail_over gws.(vdom) ~peer
+      in
+      let auditor =
+        Auditor.create ~config:p.as_audit
+          ~verify:(Signing.verify signing)
+          ~gateway:(As_graph.router graph vdom).Node.addr
+          ~on_flag sim
+      in
+      Host_agent.Victim.set_receipt_sink victim (Auditor.on_receipt auditor);
+      Host_agent.Victim.set_request_observer victim
+        (Auditor.note_request auditor);
+      Host_agent.Victim.set_arrival_observer victim
+        (Auditor.note_arrival auditor);
+      Some
+        (auditor, List.map (fun d -> (d, Gateway.addr gws.(d))) byz, failovers)
+    end
+  in
   let frng = Rng.split rng in
   let probe_rate =
     let r = config.Config.hybrid_probe_rate in
@@ -251,4 +332,7 @@ let run p =
     r_reports = (match ctl with Some c -> Placement_ctl.evidence c | None -> 0);
     r_absorbed = List.fold_left (fun acc r -> acc + !r) 0 !absorbed;
     r_events = Sim.events_processed sim;
+    r_auditor = Option.map (fun (a, _, _) -> a) contracts;
+    r_byzantine = (match contracts with Some (_, b, _) -> b | None -> []);
+    r_failovers = (match contracts with Some (_, _, f) -> !f | None -> 0);
   }

@@ -18,10 +18,13 @@
     occupancy summed over gateways) and time-to-filter (victim relief).
     Fully deterministic for a given seed, policy included. *)
 
+open Aitf_net
 open Aitf_core
 open Aitf_topo
 module Fluid = Aitf_flowsim.Fluid
 module Series = Aitf_stats.Series
+module Auditor = Aitf_contract.Auditor
+module Adversary = Aitf_adversary.Adversary
 
 type params = {
   as_spec : As_graph.spec;
@@ -37,6 +40,20 @@ type params = {
   as_attack_start : float;
   as_td : float;  (** victim detection delay *)
   as_sample_period : float;  (** victim-rate series sampling period *)
+  as_contracts : bool;
+      (** enable verifiable filtering contracts: signed requests, install
+          receipts, a victim-side auditor and Byzantine-gateway failover
+          (docs/CONTRACTS.md). [false] reproduces pre-contract runs bit
+          for bit. *)
+  as_byzantine_fraction : float;
+      (** fraction (in [0,1]) of on-path gateways corrupted to the lying
+          mode at setup; ignored unless [as_contracts] *)
+  as_lying_mode : Adversary.lying_mode;  (** how corrupted gateways cheat *)
+  as_contract : Contract.t option;
+      (** provider-side R1/R2 contract applied on every provider->customer
+          edge at deploy (independent of [as_contracts]; [None] keeps the
+          config defaults) *)
+  as_audit : Auditor.config;  (** auditor tuning (deadline, k, backoff) *)
 }
 
 val default : params
@@ -67,6 +84,12 @@ type result = {
   r_reports : int;  (** placement-evidence reports (managed policies) *)
   r_absorbed : int;  (** To_attacker requests absorbed by source pools *)
   r_events : int;
+  r_auditor : Auditor.t option;  (** present when [as_contracts] *)
+  r_byzantine : (int * Addr.t) list;
+      (** corrupted gateways as (domain, address), sorted by domain *)
+  r_failovers : int;
+      (** contract entries the victim's gateway re-engaged past flagged
+          peers *)
 }
 
 val run : params -> result

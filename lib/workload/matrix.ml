@@ -4,6 +4,7 @@ module Profile = Aitf_obs.Profile
 module Series = Aitf_stats.Series
 module Fault = Aitf_fault.Fault
 module Adversary = Aitf_adversary.Adversary
+module Auditor = Aitf_contract.Auditor
 open Aitf_core
 
 type cell = {
@@ -34,7 +35,9 @@ let mk ?(fault = "pristine") ?(adversary = "calm") ?(placement = "vanilla")
    engines; flood covers the hierarchy topology; swarm and internet are
    hybrid-only (their populations are out of the packet engine's reach);
    the replay cells drive each synthesized attack shape through both
-   engines from the same trace. *)
+   engines from the same trace. The two contract cells pin the verifiable
+   filtering-contract path (docs/CONTRACTS.md): one all-honest, one with a
+   quarter of the attack-side gateways forging receipts. *)
 let cells =
   [
     mk ~smoke:true "chain" "packet";
@@ -51,6 +54,8 @@ let cells =
     mk "internet" "hybrid";
     mk ~placement:"optimal" "internet" "hybrid";
     mk ~placement:"adaptive" "internet" "hybrid";
+    mk ~adversary:"contract" "internet" "hybrid";
+    mk ~adversary:"lying" "internet" "hybrid";
     mk ~smoke:true "replay-pulse" "packet";
     mk ~smoke:true "replay-pulse" "hybrid";
     mk "replay-churn" "packet";
@@ -184,32 +189,67 @@ let run_swarm_cell _cell () =
 
 let run_internet_cell cell () =
   let open As_scenario in
+  let contracts = cell.adversary = "contract" || cell.adversary = "lying" in
   let p =
-    {
-      default with
-      as_spec =
-        {
-          Aitf_topo.As_graph.default_spec with
-          Aitf_topo.As_graph.domains = 150;
-          tier1 = 3;
-        };
-      as_config =
-        {
-          Config.default with
-          Config.engine = Config.Hybrid;
-          placement = cell_placement cell.placement;
-        };
-      as_seed = 9;
-      as_duration = 10.;
-      as_sources = 20_000;
-      as_attack_domains = 8;
-      as_legit_domains = 4;
-      as_legit_sources = 2_000;
-      as_sample_period = 0.5;
-    }
+    if not contracts then
+      {
+        default with
+        as_spec =
+          {
+            Aitf_topo.As_graph.default_spec with
+            Aitf_topo.As_graph.domains = 150;
+            tier1 = 3;
+          };
+        as_config =
+          {
+            Config.default with
+            Config.engine = Config.Hybrid;
+            placement = cell_placement cell.placement;
+          };
+        as_seed = 9;
+        as_duration = 10.;
+        as_sources = 20_000;
+        as_attack_domains = 8;
+        as_legit_domains = 4;
+        as_legit_sources = 2_000;
+        as_sample_period = 0.5;
+      }
+    else
+      (* The contract cells run docs/CONTRACTS.md's verification regime:
+         a small graph whose victim gateway is capacity-constrained (so
+         misbehaviour is visible at the victim) and the fast audit
+         clock. The lying cell corrupts a quarter of the attack-side
+         gateways to forge receipts — the affirmative-evidence mode the
+         auditor must catch with zero false positives. *)
+      {
+        default with
+        as_spec =
+          {
+            Aitf_topo.As_graph.default_spec with
+            Aitf_topo.As_graph.domains = 60;
+          };
+        as_config =
+          {
+            Config.default with
+            Config.engine = Config.Hybrid;
+            placement = cell_placement cell.placement;
+            filter_capacity = 150;
+          };
+        as_seed = 42;
+        as_duration = 15.;
+        as_sources = 400;
+        as_attack_domains = 8;
+        as_legit_domains = 4;
+        as_sample_period = 0.5;
+        as_contracts = true;
+        as_byzantine_fraction = (if cell.adversary = "lying" then 0.25 else 0.);
+        as_lying_mode = Adversary.Forge;
+        as_audit = { Auditor.default_config with deadline = 0.75; grace = 0.35 };
+      }
   in
   let r = run p in
-  ( [
+  let base =
+    [
       ("attack_received_bytes", fl r.r_attack_received_bytes);
       ("good_offered_bytes", fl r.r_good_offered_bytes);
       ("good_received_bytes", fl r.r_good_received_bytes);
@@ -222,8 +262,28 @@ let run_internet_cell cell () =
       ("reports", it r.r_reports);
       ("absorbed", it r.r_absorbed);
       ("events", it r.r_events);
-    ],
-    r.r_victim_rate )
+    ]
+  in
+  let outcome =
+    match r.r_auditor with
+    | None -> base
+    | Some a ->
+      let byz = List.map snd r.r_byzantine in
+      let flagged = Auditor.flagged a in
+      let missed = List.filter (fun b -> not (List.mem b flagged)) byz in
+      let false_pos = List.filter (fun g -> not (List.mem g byz)) flagged in
+      base
+      @ [
+          ("byzantine", it (List.length byz));
+          ("flagged", it (List.length flagged));
+          ("missed", it (List.length missed));
+          ("false_positives", it (List.length false_pos));
+          ("receipts_verified", it (Auditor.receipts_verified a));
+          ("receipts_rejected", it (Auditor.receipts_rejected a));
+          ("failovers", it r.r_failovers);
+        ]
+  in
+  (outcome, r.r_victim_rate)
 
 (* Synthesized traces carry only attack pools; splice in a constant
    1 Mbit/s legit pool so the engine-agreement gate below has the same

@@ -28,7 +28,10 @@ type cell = {
       (** [chain], [flood], [swarm], [internet], or [replay-<shape>] *)
   engine : string;  (** [packet] or [hybrid] *)
   fault : string;  (** [pristine], [loss] or [burst] *)
-  adversary : string;  (** [calm] or [slotx] *)
+  adversary : string;
+      (** [calm], [slotx], or — internet only — [contract] (verifiable
+          contracts on, all gateways honest) / [lying] (contracts on, a
+          quarter of attack-side gateways forging receipts) *)
   placement : string;  (** [vanilla], [optimal] or [adaptive] *)
   smoke : bool;  (** in the reduced CI set *)
 }

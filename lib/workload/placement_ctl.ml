@@ -27,6 +27,8 @@ type t = {
       (* (node id, label) of every filter we currently intend to keep *)
   frontiers : (Addr.t * Addr.t, frontier) Hashtbl.t;  (* (src_base, victim) *)
   roots : (Addr.t, Gateway.t) Hashtbl.t;  (* victim -> reporting gateway *)
+  flagged : (Addr.t, unit) Hashtbl.t;
+      (* gateways convicted by a contract auditor: zero capacity to us *)
   mutable removing : bool;  (* our own removal in flight (subscribe feed) *)
   mutable installs : int;
   mutable reclaims : int;
@@ -66,13 +68,19 @@ let cover agg =
   done;
   Addr.prefix base !len
 
+let usable t gw = not (Hashtbl.mem t.flagged (Gateway.addr gw))
+
 (* The aggregate's path restricted to registered gateways, source side
    first. Stage 0 (the pool node) carries no gateway, so element 0 is the
-   source domain's gateway and the last element the victim's. *)
+   source domain's gateway and the last element the victim's. Flagged
+   (Byzantine) gateways are invisible — zero capacity to the planner. *)
 let chain_of t agg =
   Array.of_list
     (List.filter_map
-       (fun nd -> Hashtbl.find_opt t.by_node nd.Node.id)
+       (fun nd ->
+         match Hashtbl.find_opt t.by_node nd.Node.id with
+         | Some gw when usable t gw -> Some gw
+         | Some _ | None -> None)
        (Fluid.stage_nodes agg))
 
 let install_at t gw label =
@@ -102,8 +110,8 @@ let source_gateway t agg =
     | [] -> None
     | nd :: rest -> (
       match Hashtbl.find_opt t.by_node nd.Node.id with
-      | Some gw -> Some gw
-      | None -> first rest)
+      | Some gw when usable t gw -> Some gw
+      | Some _ | None -> first rest)
   in
   first (Fluid.stage_nodes agg)
 
@@ -216,6 +224,24 @@ let epoch_adaptive t =
            end)
   end
 
+(* A contract auditor convicted this gateway: forget every filter we
+   placed there (it was not honouring them anyway) and never plan through
+   it again. The next epoch re-solves around the hole — Optimal re-scores
+   with the liar's candidates gone, Adaptive's frontier walks re-derive
+   their chains without it. *)
+let flag_gateway t addr =
+  if not (Hashtbl.mem t.flagged addr) then begin
+    Hashtbl.replace t.flagged addr ();
+    match Hashtbl.find_opt t.by_addr addr with
+    | None -> ()
+    | Some gw ->
+      let nid = (Gateway.node gw).Node.id in
+      sorted_bindings ~cmp:(fun (k1, ()) (k2, ()) -> key_compare k1 k2) t.owned
+      |> List.iter (fun ((n, label), ()) -> if n = nid then remove_at t gw label)
+  end
+
+let flagged_gateway t addr = Hashtbl.mem t.flagged addr
+
 let epoch t =
   match t.policy with
   | Placement.Optimal -> epoch_optimal t
@@ -233,10 +259,10 @@ let on_evidence t (e : Placement.evidence) =
          gateway; the epochs then walk it towards the sources. *)
       if not (Hashtbl.mem t.roots v) then (
         match Hashtbl.find_opt t.by_addr e.Placement.reporter with
-        | Some gw ->
+        | Some gw when usable t gw ->
           if install_at t gw (root_label v) then
             Hashtbl.replace t.roots v gw
-        | None -> ())
+        | Some _ | None -> ())
     | Placement.Optimal ->
       (* Don't wait an epoch to cover a new victim. *)
       if fresh then epoch_optimal t
@@ -264,6 +290,7 @@ let create ?(suspect_rate = 10e6) ~policy ~fluid config =
       owned = Hashtbl.create 64;
       frontiers = Hashtbl.create 64;
       roots = Hashtbl.create 8;
+      flagged = Hashtbl.create 4;
       removing = false;
       installs = 0;
       reclaims = 0;

@@ -57,6 +57,15 @@ val register_gateways : t -> Gateway.t array -> unit
     every deployed gateway). Must be called before the first evidence
     arrives; also subscribes the Adaptive feedback to each table. *)
 
+val flag_gateway : t -> Aitf_net.Addr.t -> unit
+(** A contract auditor convicted this gateway of lying about its filters
+    (docs/CONTRACTS.md): reclaim every controller-owned filter placed
+    there and treat it as zero-capacity from now on — candidate chains
+    skip it, so the next epoch re-solves the placement around the hole.
+    Idempotent. *)
+
+val flagged_gateway : t -> Aitf_net.Addr.t -> bool
+
 val sorted_bindings :
   cmp:('k * 'v -> 'k * 'v -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
 (** [Hashtbl.fold] enumerates bindings in hash-bucket order — a function

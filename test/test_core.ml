@@ -370,6 +370,7 @@ let test_protocol_handshake_blocks_forgery () =
       hops = 0;
       requestor = m.Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   ignore
@@ -423,6 +424,7 @@ let test_protocol_forgery_succeeds_without_handshake () =
                    hops = 0;
                    requestor = m.Node.addr;
                    corr = 0;
+                   auth = 0L;
                  }))));
   Sim.run ~until:4.0 sim;
   let bgw1 = List.hd d.Chain.attacker_gateways in
@@ -479,6 +481,7 @@ let test_protocol_gateway_polices_remote_requests () =
       hops = 0;
       requestor = vgw_node.Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   ignore
@@ -513,6 +516,7 @@ let test_protocol_invalid_requestor_rejected () =
                    hops = 0;
                    requestor = outsider.Node.addr;
                    corr = 0;
+                   auth = 0L;
                  }))));
   Sim.run ~until:0.4 r.sim;
   checki "rejected as invalid" 1 (gw_counter (victim_gw r) "req-invalid")
@@ -539,6 +543,7 @@ let test_protocol_not_on_path_rejected () =
                    hops = 0;
                    requestor = vgw_node.Node.addr;
                    corr = 0;
+                   auth = 0L;
                  }))));
   Sim.run ~until:0.4 r.sim;
   checki "refused" 1 (gw_counter bgw1 "req-not-on-path")
@@ -590,6 +595,7 @@ let test_protocol_client_policer_r2 () =
       hops = 0;
       requestor = vgw_node.Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   let (_ : Aitf_workload.Request_driver.t) =
@@ -724,6 +730,7 @@ let sample_request =
     hops = 1;
     requestor = addr "10.0.0.1";
     corr = 7;
+    auth = 0L;
   }
 
 let roundtrip payload =
@@ -835,6 +842,7 @@ let wire_roundtrip_property =
             hops = hops mod 256;
             requestor = Int32.of_int requestor;
             corr = requestor;
+            auth = Int64.of_int requestor;
           })
         wire_label_gen
         (pair small_nat small_nat)
@@ -1089,6 +1097,7 @@ let test_protocol_policer_table_bounded () =
                      hops = 0;
                      requestor = Addr.add (addr "40.0.0.0") i;
                      corr = 0;
+                     auth = 0L;
                    }))))
   done;
   Sim.run ~until:1.5 r.sim;
@@ -1264,6 +1273,7 @@ let test_protocol_replay_after_t_rejected () =
       hops = 0;
       requestor = (List.hd r.topo.Chain.victim_gws).Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   (* Well past T (6 s) + the victim's memory of the request. The attacker

@@ -255,6 +255,7 @@ let request ~flow ~target ~path ~requestor =
     hops = 0;
     requestor;
     corr = 0;
+    auth = 0L;
   }
 
 let test_victim_gateway_duplicate_free () =

@@ -393,6 +393,7 @@ let forgery_never_installs =
                 (if i mod 2 = 0 then m.Node.addr
                  else (List.hd topo.Chain.victim_gws).Node.addr);
               corr = 0;
+              auth = 0L;
             }
           in
           ignore

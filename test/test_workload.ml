@@ -143,6 +143,7 @@ let test_driver_rate_and_indices () =
       hops = 0;
       requestor = a.Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   let d =
@@ -173,6 +174,7 @@ let test_driver_answers_queries () =
       hops = 0;
       requestor = a.Node.addr;
       corr = 0;
+      auth = 0L;
     }
   in
   let d =
