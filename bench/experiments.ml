@@ -2340,3 +2340,140 @@ let e20 () =
          ("sweep", Json.List rows);
        ]);
   Printf.printf "wrote BENCH_E20.json  (%d fractions)\n" (List.length rows)
+
+(* ----------------------------------------------------------------- E21 -- *)
+
+(* Multicore parallel engine: shard sweep on the Internet-scale scenario
+   (lib/engine/parallel, docs/PARALLEL.md). The 1000-domain AS graph is
+   partitioned over 1/2/4/8 event-queue shards synchronized by
+   conservative lookahead windows (the inter-domain hop delay); each
+   population runs every shard count and reports wall-clock, speedup
+   against its own 1-shard run, the barrier-stall fraction and the
+   cross-shard message volume. The agreement columns hold the E17-style
+   10% tolerance on victim goodput versus the 1-shard run.
+
+   Speedup is hardware-bound: on fewer cores than shards the sweep still
+   checks determinism and agreement, but the wall-clock gate does not
+   apply — BENCH_E21.json records [cores] and a per-row
+   [gate_applicable] so CI can condition the >= 1.5x (4 shards) and
+   >= 3x (8 shards) gates on the machine actually having the cores.
+
+   E21_MAX_SOURCES caps the population sweep (CI runs 10^5; the 10^6
+   point is the scoreboard run). E21_SHARDS overrides the shard list
+   (comma-separated). *)
+
+let e21 () =
+  let module As_scenario = Aitf_workload.As_scenario in
+  let module Sched = Aitf_parallel.Sched in
+  let module Json = Aitf_obs.Json in
+  Sched.set_default_clock Unix.gettimeofday;
+  let cap =
+    match Sys.getenv_opt "E21_MAX_SOURCES" with
+    | Some s -> (try int_of_string s with _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  let shard_counts =
+    match Sys.getenv_opt "E21_SHARDS" with
+    | Some s ->
+      List.filter_map int_of_string_opt (String.split_on_char ',' s)
+    | None -> [ 1; 2; 4; 8 ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E21  parallel engine shard sweep   (1000 domains, conservative \
+            lookahead; %d core(s))"
+           cores)
+      ~columns:
+        [
+          "sources";
+          "shards";
+          "wall (s)";
+          "speedup";
+          "stall %";
+          "windows";
+          "messages";
+          "goodput MB";
+          "agree";
+          "events";
+        ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      if n <= cap then begin
+        let base_wall = ref 0. and base_good = ref 0. in
+        List.iter
+          (fun shards ->
+            let t0 = Unix.gettimeofday () in
+            let r =
+              As_scenario.run
+                {
+                  As_scenario.default with
+                  As_scenario.as_config =
+                    { Config.default with Config.engine = Config.Hybrid };
+                  as_sources = n;
+                  as_shards = shards;
+                }
+            in
+            let wall = Unix.gettimeofday () -. t0 in
+            let good = r.As_scenario.r_good_received_bytes in
+            if shards = 1 then begin
+              base_wall := wall;
+              base_good := good
+            end;
+            let speedup = if wall > 0. then !base_wall /. wall else 0. in
+            let st = r.As_scenario.r_sched_stats in
+            let stall_frac =
+              if wall > 0. then st.Sched.stall_seconds /. wall else 0.
+            in
+            let agree =
+              !base_good = 0.
+              || Float.abs ((good -. !base_good) /. !base_good) <= 0.10
+            in
+            Table.add_row table
+              [
+                string_of_int n;
+                string_of_int shards;
+                Printf.sprintf "%.2f" wall;
+                Printf.sprintf "%.2f" speedup;
+                Printf.sprintf "%.1f" (100. *. stall_frac);
+                string_of_int st.Sched.windows;
+                string_of_int st.Sched.messages;
+                Printf.sprintf "%.2f" (good /. 1e6);
+                (if agree then "AGREE" else "DISAGREE");
+                string_of_int r.As_scenario.r_events;
+              ];
+            rows :=
+              Json.Obj
+                [
+                  ("sources", Json.Int n);
+                  ("shards", Json.Int shards);
+                  ("wall_seconds", Json.Float wall);
+                  ("speedup_vs_1shard", Json.Float speedup);
+                  ("stall_fraction", Json.Float stall_frac);
+                  ("windows", Json.Int st.Sched.windows);
+                  ("global_batches", Json.Int st.Sched.global_batches);
+                  ("messages", Json.Int st.Sched.messages);
+                  ("deferred", Json.Int st.Sched.deferred);
+                  ("good_received_bytes", Json.Float good);
+                  ("goodput_agrees_10pct", Json.Bool agree);
+                  ("events", Json.Int r.As_scenario.r_events);
+                  ("gate_applicable", Json.Bool (cores >= shards));
+                ]
+              :: !rows)
+          shard_counts
+      end)
+    [ 100_000; 1_000_000 ];
+  emit table;
+  Aitf_obs.Report.write_json "BENCH_E21.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "aitf.parallel-bench/1");
+         ("cores", Json.Int cores);
+         ("sweep", Json.List (List.rev !rows));
+       ]);
+  Printf.printf "wrote BENCH_E21.json  (%d rows, %d cores)\n"
+    (List.length !rows) cores

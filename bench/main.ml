@@ -160,6 +160,7 @@ let experiments =
     ("e18", "filter placement at Internet scale: vanilla vs optimal vs adaptive", Experiments.e18);
     ("e19", "golden-trace matrix: perf trajectory + engine agreement", Experiments.e19);
     ("e20", "verifiable contracts vs Byzantine gateways", Experiments.e20);
+    ("e21", "parallel engine: shard sweep, speedup + agreement", Experiments.e21);
     ("a1", "ablation: traceback mechanisms", Experiments.a1);
     ("a2", "ablation: shadow cache", Experiments.a2);
     ("a3", "ablation: wildcard aggregation", Experiments.a3);

@@ -1072,11 +1072,24 @@ let internet_cmd =
                    (or of the audit tick) still count as in-flight, not as \
                    evidence. Must stay below the deadline.")
   in
+  let shards =
+    Arg.(value & opt (min_int "--shards" 1) 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Simulation shards for the parallel engine \
+                 (docs/PARALLEL.md). 1 (the default) is the sequential \
+                 engine, bit-identical to earlier releases; N > 1 \
+                 partitions the domains over N event-queue shards \
+                 synchronized by conservative lookahead windows — \
+                 deterministic for a fixed (seed, N), with outcome \
+                 scalars that vary slightly across shard counts. \
+                 Incompatible with --contracts, --spans and \
+                 --flight-recorder.")
+  in
   let run domains tier1 multihome peer_p placement placement_epoch sources
       attack_domains legit_sources legit_domains attack_rate legit_rate
       duration seed td overload filter_capacity metrics contracts
       byzantine_fraction lying_mode contract_r1 contract_r2 audit_deadline
-      audit_grace obs =
+      audit_grace shards obs =
+    Aitf_parallel.Sched.set_default_clock Unix.gettimeofday;
     let registry =
       if metrics <> None then begin
         let reg = Aitf_obs.Metrics.create () in
@@ -1136,10 +1149,24 @@ let internet_cmd =
               Aitf_contract.Auditor.deadline = audit_deadline;
               grace = audit_grace;
             };
+          as_shards = shards;
         }
     in
     Aitf_obs.Metrics.detach ();
     obs_finish obs obs_state ~registry ~now:duration;
+    (* Shard profilers are per-instance (obs_finish only reported the
+       default probe, i.e. the coordinator); merge them into one table. *)
+    (match r.As_scenario.r_shard_profiles with
+    | [] -> ()
+    | profs ->
+      let merged = Aitf_obs.Profile.merge profs in
+      (match registry with
+      | Some reg ->
+        Aitf_obs.Profile.register_metrics merged reg
+          ~prefix:"engine.profile.shards"
+      | None -> ());
+      print_string "shard sims (merged):\n";
+      print_string (Aitf_obs.Profile.report merged));
     let table =
       Table.create
         ~title:
@@ -1199,6 +1226,16 @@ let internet_cmd =
            (Auditor.receipts_rejected a));
       add "contract failovers" (string_of_int r.As_scenario.r_failovers));
     add "events processed" (string_of_int r.As_scenario.r_events);
+    (if shards > 1 then begin
+       let module Sched = Aitf_parallel.Sched in
+       let st = r.As_scenario.r_sched_stats in
+       add "shards" (string_of_int shards);
+       add "sync windows (shard / global)"
+         (Printf.sprintf "%d / %d" st.Sched.windows st.Sched.global_batches);
+       add "cross-shard messages" (string_of_int st.Sched.messages);
+       add "deferred mutations" (string_of_int st.Sched.deferred);
+       add "barrier stall (s)" (Printf.sprintf "%.3f" st.Sched.stall_seconds)
+     end);
     Table.print table;
     match (registry, metrics) with
     | Some reg, Some file ->
@@ -1214,8 +1251,20 @@ let internet_cmd =
           ("attack_rate", Json.Float attack_rate);
           ("contracts", Json.Bool contracts);
           ("byzantine_fraction", Json.Float byzantine_fraction);
+          ("shards", Json.Int shards);
         ]
       in
+      (let module Sched = Aitf_parallel.Sched in
+       let st = r.As_scenario.r_sched_stats in
+       let add name v =
+         Aitf_obs.Metrics.register_gauge reg name (fun () -> v)
+       in
+       add "sched.shards" (float_of_int shards);
+       add "sched.windows" (float_of_int st.Sched.windows);
+       add "sched.global_batches" (float_of_int st.Sched.global_batches);
+       add "sched.messages" (float_of_int st.Sched.messages);
+       add "sched.deferred" (float_of_int st.Sched.deferred);
+       add "sched.stall_seconds" st.Sched.stall_seconds);
       Aitf_obs.Report.write_json file
         (Aitf_obs.Report.make ~meta ~series:[] ~now:duration reg);
       Printf.printf "wrote %s (%d metrics)\n" file (Aitf_obs.Metrics.size reg)
@@ -1228,7 +1277,7 @@ let internet_cmd =
       $ legit_domains $ attack_rate $ legit_rate $ duration $ seed $ td
       $ overload $ filter_capacity $ metrics $ contracts
       $ byzantine_fraction $ lying_mode $ contract_r1 $ contract_r2
-      $ audit_deadline $ audit_grace $ obs_term)
+      $ audit_deadline $ audit_grace $ shards $ obs_term)
   in
   Cmd.v
     (Cmd.info "internet"
@@ -1300,7 +1349,17 @@ let matrix_cmd =
   let list =
     Arg.(value & flag & info [ "list" ] ~doc:"List the cell ids and exit.")
   in
-  let run goldens bless smoke only bench_json list =
+  let shards =
+    Arg.(value & opt (min_int "--shards" 1) 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Run the internet cells on the parallel engine with N \
+                 shards (contract cells stay sequential; span digests are \
+                 disabled). Sharded documents legitimately differ from \
+                 the 1-shard goldens, so pair with --bless into a scratch \
+                 --goldens directory — the determinism-stress regime CI \
+                 uses. See docs/PARALLEL.md.")
+  in
+  let run goldens bless smoke only bench_json list shards =
+    Aitf_parallel.Sched.set_default_clock Unix.gettimeofday;
     if list then
       List.iter
         (fun c ->
@@ -1309,7 +1368,7 @@ let matrix_cmd =
         Matrix.cells
     else begin
       let s =
-        Matrix.run ~clock:Unix.gettimeofday ~only ~smoke ~bless
+        Matrix.run ~clock:Unix.gettimeofday ~only ~smoke ~bless ~shards
           ~goldens_dir:goldens ()
       in
       Matrix.print_summary s;
@@ -1322,7 +1381,8 @@ let matrix_cmd =
     end
   in
   let term =
-    Term.(const run $ goldens $ bless $ smoke $ only $ bench_json $ list)
+    Term.(
+      const run $ goldens $ bless $ smoke $ only $ bench_json $ list $ shards)
   in
   Cmd.v
     (Cmd.info "matrix"

@@ -1067,7 +1067,7 @@ let deliver t prev (node : Node.t) (pkt : Packet.t) =
 
 let create ?(policy = Policy.Cooperative) ?upstream ?placement ~clients
     ~config ~rng net node =
-  let sim = Network.sim net in
+  let sim = Network.sim_for net node in
   let cone = Lpm.create () in
   List.iter (fun p -> Lpm.insert cone p ()) clients;
   let prefix = "gateway." ^ node.Node.name in

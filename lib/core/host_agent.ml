@@ -200,7 +200,11 @@ module Victim = struct
       match ppm_path_ready t collector with
       | None -> ()
       | Some path ->
-        let flows = Hashtbl.fold (fun f () acc -> f :: acc) t.awaiting_path [] in
+        let flows =
+          Hashtbl.fold (fun f () acc -> f :: acc) t.awaiting_path []
+          |> List.sort Flow_label.compare
+          (* requests fire in label order, not hash-bucket order *)
+        in
         List.iter
           (fun flow ->
             Hashtbl.remove t.awaiting_path flow;
@@ -263,7 +267,7 @@ module Victim = struct
 
   let create ?(td = 0.1) ?(path_source = From_route_record) ~gateway ~config
       net node =
-    let sim = Network.sim net in
+    let sim = Network.sim_for net node in
     let t =
       {
         net;
@@ -421,7 +425,7 @@ module Attacker = struct
     | _ -> prev node pkt
 
   let create ?(strategy = Policy.Complies) ?filter_capacity ~config net node =
-    let sim = Network.sim net in
+    let sim = Network.sim_for net node in
     let capacity =
       Option.value ~default:config.Config.filter_capacity filter_capacity
     in

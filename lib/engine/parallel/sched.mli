@@ -1,0 +1,125 @@
+(** Conservative parallel discrete-event scheduler: domain-sharded event
+    queues with lookahead synchronization.
+
+    A [Sched.t] owns [shards] independent {!Aitf_engine.Sim.t} worlds plus
+    one {e global} world for run-wide machinery (the fluid fixed point,
+    placement controllers, series sampling). Each shard is executed by its
+    own OCaml 5 [Domain]; the global world always runs on the coordinator
+    thread, alone.
+
+    {2 Synchronization protocol}
+
+    Execution alternates between {e shard windows} and {e global batches},
+    chosen by a bounded-lag rule. Let [t_min] be the earliest pending event
+    across all shards, [g] the earliest pending global event and [L] the
+    {e lookahead} — the minimum latency over all registered cross-shard
+    channels ({!register_channel}):
+
+    - if [g <= t_min], the coordinator executes the global events at
+      [<= g] by itself (shards are parked, so global code may freely read
+      and mutate any shard's state — this is where the fluid engine and
+      the placement controllers run);
+    - otherwise every shard executes, in parallel, its local events with
+      time strictly below [min (t_min +. L) g]. Any cross-shard message
+      sent during the window carries timestamp [>= sender's clock + L >=
+      horizon], so it can never land in a receiver's past — the classic
+      conservative-lookahead argument, which is why channels with zero
+      latency are rejected outright rather than allowed to deadlock the
+      window computation.
+
+    At the barrier closing each window the coordinator drains every
+    shard's inbox in deterministic [(time, sender shard, sender sequence)]
+    order and replays the thunks deferred with {!defer} in
+    [(time, shard, sequence)] order. Runs are therefore reproducible for a
+    fixed (seed, shard count), regardless of OS scheduling.
+
+    With [~shards:1] the global world {e is} the single shard and {!run}
+    degenerates to [Sim.run] on it — bit-identical to the sequential
+    engine by construction. *)
+
+module Sim = Aitf_engine.Sim
+
+type t
+
+val create : shards:int -> unit -> t
+(** A scheduler with [shards] shard worlds (plus the global world when
+    [shards > 1]).
+    @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+
+val shard_sim : t -> int -> Sim.t
+(** The world owned by shard [i] (0-based). *)
+
+val shard_sims : t -> Sim.t array
+(** All shard worlds, index = shard id. With one shard this is also the
+    global world. *)
+
+val global : t -> Sim.t
+(** The coordinator's world: events here run with every shard parked and
+    may touch any shard's state. Equal to [shard_sim t 0] when
+    [shards t = 1]. *)
+
+val register_channel : t -> src:int -> dst:int -> lookahead:float -> unit
+(** Declare a cross-shard channel (e.g. an inter-domain link whose
+    endpoints partition into different shards) with its minimum latency in
+    seconds. The scheduler's lookahead is the minimum over all registered
+    channels; posting on unregistered pairs is not checked, so wiring code
+    must register every channel it creates.
+    @raise Invalid_argument if [lookahead] is zero, negative or not
+    finite (a zero-latency cross-shard link would force zero-width
+    windows, i.e. deadlock, so it is rejected with a clear error), or if
+    [src = dst] or either index is out of range. *)
+
+val lookahead : t -> float
+(** Current lookahead ([infinity] until a channel is registered). *)
+
+val post : t -> dst:int -> time:float -> (unit -> unit) -> unit
+(** Send a timestamped message: [fn] will execute in shard [dst]'s world
+    at virtual [time]. Called from a shard worker (e.g. a remote link's
+    delivery seam) it enqueues into [dst]'s inbox, drained at the next
+    barrier; called from the coordinator it schedules directly. *)
+
+val defer : t -> (unit -> unit) -> unit
+(** Run [fn] at the next barrier if called from a shard worker (stamped
+    with the worker's current virtual time for deterministic replay
+    order); run it immediately otherwise. This is the escape hatch for
+    shard-phase code that must mutate global state — e.g. filter-table
+    change notifications feeding the fluid mirror or a placement
+    controller. *)
+
+val run : ?until:float -> t -> unit
+(** Drain every world using the protocol above. With [?until], stops once
+    no event at [<= until] remains anywhere and advances all clocks to
+    [until]. Worker domains are spawned on entry and joined before
+    returning (also on exceptions, which are re-raised on the caller's
+    thread). *)
+
+val events_processed : t -> int
+(** Total events executed across all worlds. *)
+
+type stats = {
+  windows : int;  (** parallel shard windows executed *)
+  global_batches : int;  (** global-phase coordinator batches *)
+  messages : int;  (** cross-shard messages drained at barriers *)
+  deferred : int;  (** deferred thunks replayed at barriers *)
+  stall_seconds : float;
+      (** coordinator time spent blocked waiting for the slowest shard of
+          each window (wall-clock via [clock], nondeterministic) *)
+}
+
+val stats : t -> stats
+(** Snapshot of the synchronization counters — the null-message/barrier
+    accounting surfaced in run reports and BENCH_E21.json. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Clock used for {!stats}.stall_seconds only (default
+    {!set_default_clock}'s clock, initially [Sys.time] — process CPU
+    time; callers with access to [Unix.gettimeofday] should install it
+    for meaningful stall fractions). Never read on the simulation
+    path. *)
+
+val set_default_clock : (unit -> float) -> unit
+(** Clock inherited by every scheduler created afterwards — how the CLI
+    reaches schedulers that scenarios create internally (this library
+    cannot depend on [unix] itself). *)

@@ -6,17 +6,25 @@ type t = {
   mutable running : bool;
   mutable stop_requested : bool;
   mutable events_processed : int;
+  mutable profile_hook : (string option -> float -> int -> unit) option;
 }
 
 (* Opt-in profiler hook (installed by [Aitf_obs.Profile], which sits above
-   this library in the dependency graph). Like [Trace.sinks]: a global slot,
-   one branch per event when empty. Receives the event's category label, its
-   wall-clock CPU cost in seconds, and the queue depth after it ran. *)
-let profile_hook : (string option -> float -> int -> unit) option ref =
+   this library in the dependency graph). The hook is per-instance so that
+   several worlds in one process — matrix cells, the shards of a parallel
+   run — can't interleave their buckets; the default slot seeds every world
+   created while it is set, which is how [Profile.attach] keeps hooking
+   scenario-created sims it never sees. Receives the event's category
+   label, its wall-clock CPU cost in seconds, and the queue depth after it
+   ran. One branch per event when unset. *)
+let default_profile_hook : (string option -> float -> int -> unit) option ref
+    =
   ref None
 
-let set_profile_hook f = profile_hook := Some f
-let clear_profile_hook () = profile_hook := None
+let set_default_profile_hook f = default_profile_hook := Some f
+let clear_default_profile_hook () = default_profile_hook := None
+let set_profile_hook sim f = sim.profile_hook <- Some f
+let clear_profile_hook sim = sim.profile_hook <- None
 
 let create () =
   {
@@ -25,6 +33,7 @@ let create () =
     running = false;
     stop_requested = false;
     events_processed = 0;
+    profile_hook = !default_profile_hook;
   }
 
 let now sim = sim.now
@@ -47,7 +56,7 @@ let step sim =
   | Some (time, label, action) ->
     sim.now <- time;
     sim.events_processed <- sim.events_processed + 1;
-    (match !profile_hook with
+    (match sim.profile_hook with
     | None -> action ()
     | Some probe ->
       let t0 = Sys.time () in
@@ -79,6 +88,33 @@ let run ?until ?max_events sim =
   | Some t when t > sim.now && (not sim.stop_requested) && !budget <> 0 ->
     sim.now <- t
   | _ -> ()
+
+let next_time sim = Event_queue.next_time sim.queue
+
+let run_window ?(inclusive = false) sim ~horizon =
+  if sim.running then invalid_arg "Sim.run_window: already running";
+  sim.running <- true;
+  sim.stop_requested <- false;
+  let executable t = if inclusive then t <= horizon else t < horizon in
+  let rec loop () =
+    if sim.stop_requested then ()
+    else
+      match Event_queue.next_time sim.queue with
+      | Some t when executable t ->
+        ignore (step sim);
+        loop ()
+      | _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> sim.running <- false) loop
+
+let advance_to sim time =
+  (match Event_queue.next_time sim.queue with
+  | Some t when t < time ->
+    invalid_arg
+      (Printf.sprintf
+         "Sim.advance_to: event pending at %g before target %g" t time)
+  | _ -> ());
+  if time > sim.now then sim.now <- time
 
 let stop sim = sim.stop_requested <- true
 let events_processed sim = sim.events_processed

@@ -43,6 +43,24 @@ val step : t -> bool
 (** Execute the single earliest event, if any. Returns [false] when the
     queue is empty. *)
 
+val next_time : t -> float option
+(** Timestamp of the earliest pending event, if any. The parallel
+    scheduler uses this to compute the conservative execution horizon. *)
+
+val run_window : ?inclusive:bool -> t -> horizon:float -> unit
+(** Drain events with time strictly below [horizon] ([<= horizon] when
+    [inclusive]), leaving the clock at the last executed event rather than
+    advancing it to the horizon. This is the shard-phase primitive of the
+    conservative parallel scheduler: each shard may safely execute every
+    local event below the global horizon, because no in-flight cross-shard
+    message can carry an earlier timestamp. Re-entrant calls are
+    rejected. *)
+
+val advance_to : t -> float -> unit
+(** Force the clock forward to [time] (no-op if already past it), used to
+    align shard clocks with the end of a parallel run.
+    @raise Invalid_argument if an event earlier than [time] is pending. *)
+
 val stop : t -> unit
 (** Request that the current [run] stop after the event being processed. *)
 
@@ -62,13 +80,25 @@ val total_cancelled : t -> int
 (** Monotone count of cancellations that took effect; with
     {!total_scheduled} this yields the cancelled fraction. *)
 
-val set_profile_hook : (string option -> float -> int -> unit) -> unit
-(** Install the global per-event profiler probe: after each event executes,
-    the probe receives its category label, its wall-clock CPU cost in
-    seconds and the live queue depth. One branch per event when no probe is
-    installed. Timing uses the process clock, so anything derived from it
-    is nondeterministic — the probe must never feed back into simulation
+val set_profile_hook : t -> (string option -> float -> int -> unit) -> unit
+(** Install this world's per-event profiler probe: after each event
+    executes, the probe receives its category label, its wall-clock CPU
+    cost in seconds and the live queue depth. The hook is per-instance so
+    that two engines in one process (matrix cells, parallel shards) cannot
+    interleave buckets. One branch per event when no probe is installed.
+    Timing uses the process clock, so anything derived from it is
+    nondeterministic — the probe must never feed back into simulation
     state. *)
 
-val clear_profile_hook : unit -> unit
-(** Remove the profiler probe (used between runs and test cases). *)
+val clear_profile_hook : t -> unit
+(** Remove this world's profiler probe (used between runs and tests). *)
+
+val set_default_profile_hook : (string option -> float -> int -> unit) -> unit
+(** Install the probe inherited by every world subsequently created
+    ({!create} copies the default into the instance slot). This is how
+    [Profile.attach] hooks sims that scenarios create internally. Worlds
+    that already exist are unaffected. *)
+
+val clear_default_profile_hook : unit -> unit
+(** Stop seeding new worlds with a probe. Existing instances keep theirs
+    until {!clear_profile_hook}. *)

@@ -80,6 +80,9 @@ let evict_subsumed t label =
       (fun _ h acc ->
         if h.alive && Flow_label.subsumes label h.label then h :: acc else acc)
       t.by_label []
+    (* detach fires the removal handlers, so evict in label order, not
+       hash-bucket order *)
+    |> List.sort (fun a b -> Flow_label.compare a.label b.label)
   in
   List.iter (detach t) victims;
   List.length victims

@@ -303,9 +303,17 @@ let on_change t node_id change =
             if !changed then mark_dirty t)
       stages
 
-let attach_table t ~node table =
+let attach_table ?defer t ~node table =
   Hashtbl.replace t.tables node.Node.id table;
-  Filter_table.subscribe table (fun ev -> on_change t node.Node.id ev)
+  let cb ev = on_change t node.Node.id ev in
+  (* In sharded runs filter changes happen during shard windows while the
+     fluid state is shared: the mirror update is deferred to the barrier
+     (where [on_change]'s reeval re-derives ground truth from the table,
+     so late application is safe and idempotent). *)
+  let cb =
+    match defer with None -> cb | Some d -> fun ev -> d (fun () -> cb ev)
+  in
+  Filter_table.subscribe table cb
 
 (* --- construction --------------------------------------------------------- *)
 

@@ -51,10 +51,15 @@ val add_aggregate :
     notional packet size used for probe-rate derivation and flow-label
     matching. *)
 
-val attach_table : t -> node:Node.t -> Filter_table.t -> unit
+val attach_table :
+  ?defer:((unit -> unit) -> unit) -> t -> node:Node.t -> Filter_table.t -> unit
 (** Mirror [table]'s state onto every aggregate stage sitting at [node].
     Attach tables before they hold any entries (scenario setup time): only
-    changes after attachment are observed. *)
+    changes after attachment are observed. [?defer] wraps the change
+    callback (default: run immediately); the parallel engine passes
+    [Sched.defer] so shard-phase filter changes mutate the shared fluid
+    state only at barriers — safe because the mirror re-derives ground
+    truth from the table on every change. *)
 
 val set_block : t -> agg -> idx:int -> stage:int -> bool -> unit
 (** Manually block/unblock one source at one stage — the bridge used by

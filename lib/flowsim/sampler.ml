@@ -59,12 +59,18 @@ let probe t =
     t.sent <- t.sent + 1;
     Network.originate (Fluid.network t.fluid) origin pkt
 
-let attach ?rate ~rng fluid agg =
+let attach ?rate ?sim ~rng fluid agg =
   let r =
     match rate with Some r when r > 0. -> r | _ -> auto_rate agg
   in
   let t = { fluid; agg; rng; gap = 1. /. r; sent = 0; skipped = 0 } in
-  let sim = Network.sim (Fluid.network fluid) in
+  (* Sharded runs tick on the origin pool's shard so probe emission is a
+     shard-local event; the default is the network-wide sim, as before. *)
+  let sim =
+    match sim with
+    | Some sim -> sim
+    | None -> Network.sim (Fluid.network fluid)
+  in
   let rec tick () =
     if Fluid.active t.agg then probe t;
     ignore (Sim.after ~label:"fluid-sampler" sim t.gap tick)

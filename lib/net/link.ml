@@ -34,6 +34,10 @@ type t = {
   mutable fluid_offered : float;  (* bits/s *)
   mutable fluid_admitted : float;  (* bits/s *)
   mutable fluid_drops : int;
+  (* Cross-shard delivery seam (parallel engine): when set, delivery is
+     not scheduled on [sim] — the far end lives on another scheduler — but
+     posted through this callback as a timestamped message. *)
+  mutable remote : (time:float -> (unit -> unit) -> unit) option;
 }
 
 let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
@@ -72,6 +76,7 @@ let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
       fluid_offered = 0.;
       fluid_admitted = 0.;
       fluid_drops = 0;
+      remote = None;
     }
   in
   Aitf_obs.Metrics.if_attached (fun reg ->
@@ -104,6 +109,7 @@ let create ?(discipline = Drop_tail) sim ~name ~bandwidth ~delay
   t
 
 let set_deliver t f = t.deliver <- Some f
+let set_remote t post = t.remote <- Some post
 
 let wrap_deliver t f =
   match t.deliver with
@@ -114,9 +120,10 @@ let drop t reason (pkt : Packet.t) =
   t.dropped_packets <- t.dropped_packets + 1;
   t.dropped_bytes <- t.dropped_bytes + pkt.size;
   if Aitf_obs.Flight.enabled () then
-    Aitf_obs.Flight.note ~time:(Sim.now t.sim) ~node:t.tx_node ~link:t.name
-      ~kind:(Aitf_obs.Flight.Drop reason) ~size:pkt.size
-      ~queue_depth:t.queued_bytes
+    Aitf_obs.Flight.note ~sim:t.sim ~time:(Sim.now t.sim) ~node:t.tx_node
+      ~link:t.name
+      ~kind:(Aitf_obs.Flight.Drop reason)
+      ~size:pkt.size ~queue_depth:t.queued_bytes ()
 
 let red_weight = 0.02
 
@@ -160,8 +167,9 @@ let rec start_transmission t =
     t.busy <- true;
     t.idle_since <- None;
     t.queued_bytes <- t.queued_bytes - pkt.size;
-    Aitf_obs.Flight.note ~time:(Sim.now t.sim) ~node:t.tx_node ~link:t.name
-      ~kind:Aitf_obs.Flight.Dequeue ~size:pkt.size ~queue_depth:t.queued_bytes;
+    Aitf_obs.Flight.note ~sim:t.sim ~time:(Sim.now t.sim) ~node:t.tx_node
+      ~link:t.name ~kind:Aitf_obs.Flight.Dequeue ~size:pkt.size
+      ~queue_depth:t.queued_bytes ();
     let serialization = float_of_int (pkt.size * 8) /. t.bandwidth in
     (* Under fluid saturation the queue is full in steady state, so a packet
        that does get through waits a full queue's worth of serialisation. *)
@@ -172,17 +180,32 @@ let rec start_transmission t =
     in
     ignore
       (Sim.after ?label:tx_label t.sim serialization (fun () ->
-           (* Whether the serialised packet counts as transmitted or dropped
-              is decided once, at delivery time — never both. *)
-           ignore
-             (Sim.after ?label:delivery_label t.sim (t.delay +. fluid_wait)
-                (fun () ->
-                  match t.deliver with
-                  | Some f when t.is_up ->
-                    t.tx_packets <- t.tx_packets + 1;
-                    t.tx_bytes <- t.tx_bytes + pkt.size;
-                    f pkt
-                  | Some _ | None -> drop t "link-down" pkt));
+           (match t.remote with
+           | None ->
+             (* Whether the serialised packet counts as transmitted or
+                dropped is decided once, at delivery time — never both. *)
+             ignore
+               (Sim.after ?label:delivery_label t.sim (t.delay +. fluid_wait)
+                  (fun () ->
+                    match t.deliver with
+                    | Some f when t.is_up ->
+                      t.tx_packets <- t.tx_packets + 1;
+                      t.tx_bytes <- t.tx_bytes + pkt.size;
+                      f pkt
+                    | Some _ | None -> drop t "link-down" pkt))
+           | Some post -> (
+             (* Cross-shard link: decide transmitted-vs-dropped now, when
+                serialisation completes, because the link's own state must
+                not be touched from the far end's scheduler later. Only
+                the deliver callback crosses the shard boundary. *)
+             match t.deliver with
+             | Some f when t.is_up ->
+               t.tx_packets <- t.tx_packets + 1;
+               t.tx_bytes <- t.tx_bytes + pkt.size;
+               post
+                 ~time:(Sim.now t.sim +. t.delay +. fluid_wait)
+                 (fun () -> f pkt)
+             | Some _ | None -> drop t "link-down" pkt));
            update_red_avg t;
            start_transmission t))
 
@@ -232,9 +255,9 @@ let send t pkt =
     else begin
       Queue.add pkt t.queue;
       t.queued_bytes <- t.queued_bytes + pkt.size;
-      Aitf_obs.Flight.note ~time:(Sim.now t.sim) ~node:t.tx_node ~link:t.name
-        ~kind:Aitf_obs.Flight.Enqueue ~size:pkt.size
-        ~queue_depth:t.queued_bytes;
+      Aitf_obs.Flight.note ~sim:t.sim ~time:(Sim.now t.sim) ~node:t.tx_node
+        ~link:t.name ~kind:Aitf_obs.Flight.Enqueue ~size:pkt.size
+        ~queue_depth:t.queued_bytes ();
       if not t.busy then start_transmission t
     end
   end

@@ -46,6 +46,18 @@ val wrap_deliver : t -> ((Packet.t -> unit) -> Packet.t -> unit) -> unit
     original receive path.
     @raise Invalid_argument if no deliver callback is installed yet. *)
 
+val set_remote : t -> (time:float -> (unit -> unit) -> unit) -> unit
+(** Cross-shard delivery seam, alongside {!wrap_deliver}/{!set_fluid}:
+    when set, the link no longer schedules its delivery event on its own
+    scheduler. Instead, once serialisation completes it decides the
+    transmitted-vs-dropped outcome locally (counters, link-down) and posts
+    the deliver callback through [post ~time] as a timestamped message —
+    the parallel engine enqueues it into the destination shard's inbox,
+    safe to execute once every shard's clock plus the minimum cross-shard
+    latency has passed [time]. Fault wrappers installed via
+    {!wrap_deliver} run inside the posted closure, i.e. on the receiving
+    shard. *)
+
 val send : t -> Packet.t -> unit
 (** Enqueue a packet for transmission; drops it (and counts the drop) if the
     queue cannot hold it. *)

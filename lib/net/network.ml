@@ -3,6 +3,10 @@ module Heap = Aitf_engine.Heap
 
 type t = {
   sim : Sim.t;
+  (* Sharded mode (parallel engine): maps an AS id to the scheduler shard
+     world owning that domain's links and timers. [None] = everything on
+     [sim], which is the sequential engine bit for bit. *)
+  sim_of_as : (int -> Sim.t) option;
   mutable nodes_rev : Node.t list;
   by_id : (int, Node.t) Hashtbl.t;
   by_addr : (Addr.t, Node.t) Hashtbl.t;
@@ -10,9 +14,10 @@ type t = {
   mutable next_id : int;
 }
 
-let create sim =
+let create ?sim_of_as sim =
   {
     sim;
+    sim_of_as;
     nodes_rev = [];
     by_id = Hashtbl.create 64;
     by_addr = Hashtbl.create 64;
@@ -21,6 +26,11 @@ let create sim =
   }
 
 let sim t = t.sim
+
+let sim_of_as t as_id =
+  match t.sim_of_as with None -> t.sim | Some f -> f as_id
+
+let sim_for t (node : Node.t) = sim_of_as t node.Node.as_id
 
 (* Forwarding loop ------------------------------------------------------- *)
 
@@ -83,12 +93,17 @@ let connect ?(queue_capacity = 65536) ?discipline ?name t a b ~bandwidth
     | Some n -> n ^ dir
     | None -> Printf.sprintf "%s->%s" a.Node.name b.Node.name
   in
+  (* Each directed link lives on the scheduler of its transmitting
+     endpoint's AS: its queue, RED state and timers are then only ever
+     touched by that shard. *)
   let ab =
-    Link.create ?discipline t.sim ~name:(link_name "") ~bandwidth ~delay
-      ~queue_capacity
+    Link.create ?discipline
+      (sim_of_as t a.Node.as_id)
+      ~name:(link_name "") ~bandwidth ~delay ~queue_capacity
   in
   let ba =
-    Link.create ?discipline t.sim
+    Link.create ?discipline
+      (sim_of_as t b.Node.as_id)
       ~name:(Printf.sprintf "%s->%s" b.Node.name a.Node.name)
       ~bandwidth ~delay ~queue_capacity
   in
@@ -190,7 +205,7 @@ let compute_routes t =
 let originate t (node : Node.t) (pkt : Packet.t) =
   if Addr.equal pkt.dst node.Node.addr then
     ignore
-      (Sim.after ~label:"local-deliver" t.sim 0. (fun () ->
+      (Sim.after ~label:"local-deliver" (sim_for t node) 0. (fun () ->
            node.Node.delivered_packets <- node.Node.delivered_packets + 1;
            node.Node.local_deliver node pkt))
   else forward node pkt

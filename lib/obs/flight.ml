@@ -23,18 +23,40 @@ let capacity t = Array.length t.buf
 
 let current : t option ref = ref None
 
+(* Per-scheduler-instance overrides, keyed by physical sim identity. Kept
+   as a tiny assoc list: a process holds at most a handful of attached
+   recorders (one per shard), and [note] only scans it when non-empty. *)
+let overrides : (Aitf_engine.Sim.t * t) list ref = ref []
+
 let attach t = current := Some t
 let detach () = current := None
-let attached () = !current
-let enabled () = Option.is_some !current
 
-let note ~time ~node ~link ~kind ~size ~queue_depth =
-  match !current with
+let attach_to t sim =
+  overrides := (sim, t) :: List.filter (fun (s, _) -> s != sim) !overrides
+
+let detach_from sim =
+  overrides := List.filter (fun (s, _) -> s != sim) !overrides
+
+let attached () = !current
+let enabled () = Option.is_some !current || !overrides <> []
+
+let write t ~time ~node ~link ~kind ~size ~queue_depth =
+  t.buf.(t.next) <- Some { time; node; link; kind; size; queue_depth };
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+let note ?sim ~time ~node ~link ~kind ~size ~queue_depth () =
+  let target =
+    match sim with
+    | Some s when !overrides <> [] -> (
+      match List.find_opt (fun (s', _) -> s' == s) !overrides with
+      | Some (_, t) -> Some t
+      | None -> !current)
+    | _ -> !current
+  in
+  match target with
   | None -> ()
-  | Some t ->
-    t.buf.(t.next) <- Some { time; node; link; kind; size; queue_depth };
-    t.next <- (t.next + 1) mod Array.length t.buf;
-    t.total <- t.total + 1
+  | Some t -> write t ~time ~node ~link ~kind ~size ~queue_depth
 
 let records t =
   let n = Array.length t.buf in

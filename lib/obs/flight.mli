@@ -34,24 +34,37 @@ val create : capacity:int -> t
 
 val capacity : t -> int
 
-(** {1 Process-global attachment} *)
+(** {1 Attachment} *)
 
 val attach : t -> unit
+(** Process-global default recorder, as before. *)
+
 val detach : unit -> unit
+
+val attach_to : t -> Aitf_engine.Sim.t -> unit
+(** Per-scheduler-instance recorder: records noted with [?sim] equal to
+    this world land here instead of the global default, so two engines in
+    one process (matrix cells, parallel shards) keep separate rings. *)
+
+val detach_from : Aitf_engine.Sim.t -> unit
+
 val attached : unit -> t option
 val enabled : unit -> bool
 
 (** {1 Recording} *)
 
 val note :
+  ?sim:Aitf_engine.Sim.t ->
   time:float ->
   node:string ->
   link:string ->
   kind:kind ->
   size:int ->
   queue_depth:int ->
+  unit ->
   unit
-(** Append a record to the attached recorder; one branch when none. *)
+(** Append a record to the recorder for [?sim] (falling back to the
+    global default); one branch when none is attached. *)
 
 (** {1 Reading back} *)
 

@@ -34,14 +34,39 @@ let current : t option ref = ref None
 
 let attach t =
   current := Some t;
-  Sim.set_profile_hook (probe t)
+  Sim.set_default_profile_hook (probe t)
 
 let detach () =
   current := None;
-  Sim.clear_profile_hook ()
+  Sim.clear_default_profile_hook ()
 
+let attach_to t sim = Sim.set_profile_hook sim (probe t)
+let detach_from sim = Sim.clear_profile_hook sim
 let attached () = !current
 let enabled () = Option.is_some !current
+
+let merge ts =
+  let m = create () in
+  List.iter
+    (fun t ->
+      Hashtbl.iter
+        (fun k b ->
+          let acc =
+            match Hashtbl.find_opt m.tbl k with
+            | Some acc -> acc
+            | None ->
+              let acc = { n = 0; secs = 0. } in
+              Hashtbl.replace m.tbl k acc;
+              acc
+          in
+          acc.n <- acc.n + b.n;
+          acc.secs <- acc.secs +. b.secs)
+        t.tbl;
+      m.events <- m.events + t.events;
+      m.seconds <- m.seconds +. t.seconds;
+      if t.peak_pending > m.peak_pending then m.peak_pending <- t.peak_pending)
+    ts;
+  m
 
 let events t = t.events
 let seconds t = t.seconds

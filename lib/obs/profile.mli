@@ -18,13 +18,28 @@ type t
 val create : unit -> t
 
 val attach : t -> unit
-(** Install [t] as the engine's profiler probe (replacing any other). *)
+(** Install [t] as the default profiler probe (replacing any other):
+    every [Sim.t] created while attached inherits it, which is how the
+    probe reaches sims that scenarios create internally. Worlds created
+    before the attach are unaffected — use {!attach_to} for those. *)
 
 val detach : unit -> unit
-(** Remove the probe. *)
+(** Remove the default probe (instances keep theirs; see
+    {!detach_from}). *)
+
+val attach_to : t -> Aitf_engine.Sim.t -> unit
+(** Install [t] as [sim]'s own probe, independent of the default. The
+    parallel engine uses one profiler per shard sim so concurrent shards
+    never interleave buckets; {!merge} recombines them for reporting. *)
+
+val detach_from : Aitf_engine.Sim.t -> unit
 
 val attached : unit -> t option
 val enabled : unit -> bool
+
+val merge : t list -> t
+(** Sum the buckets/events/seconds of several profilers (peak queue depth
+    is the max). Used to report per-shard profiles as one table. *)
 
 (** {1 Results} *)
 

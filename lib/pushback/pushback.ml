@@ -150,7 +150,13 @@ let propagate r l =
       | None -> []
       | Some c ->
         Hashtbl.fold (fun hop cell acc -> (hop, !cell) :: acc) c.by_hop []
-        |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+        |> List.sort (fun (ha, a) (hb, b) ->
+               (* Tie-break on the hop address: List.sort is not stable,
+                  so equal contributions must not leak hash-bucket
+                  order. *)
+               match Float.compare b a with
+               | 0 -> Addr.compare ha hb
+               | c -> c)
     in
     let upstream =
       List.filter

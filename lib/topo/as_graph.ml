@@ -62,33 +62,36 @@ let is_stub t d = t.customers.(d) = []
 
 (* --- generation ---------------------------------------------------------- *)
 
-let build sim rng spec =
+(* Generation is split from materialisation so sharded runs can partition
+   the graph before any network object exists: [plan] performs every RNG
+   draw (preferential attachment, peering) and records the edge list in
+   creation order; [materialise] replays it against a network without
+   touching the RNG. [build] composes the two, so the draw sequence — and
+   therefore every downstream consumer of the stream — is unchanged from
+   the pre-split code. *)
+
+type plan = {
+  p_spec : spec;
+  p_providers : int list array;
+  p_customers : int list array;
+  p_peers : int list array;
+  p_edges : (int * int * float) list;  (* (a, b, bandwidth), creation order *)
+}
+
+let plan rng spec =
   if spec.tier1 < 2 then invalid_arg "As_graph.build: tier1 >= 2";
   if spec.domains <= spec.tier1 then
     invalid_arg "As_graph.build: domains > tier1";
   if spec.domains > 16384 then invalid_arg "As_graph.build: domains <= 16384";
   if spec.multihome < 1 then invalid_arg "As_graph.build: multihome >= 1";
   let n = spec.domains in
-  let net = Network.create sim in
-  let routers =
-    Array.init n (fun d ->
-        let r =
-          Network.add_node net
-            ~name:(Printf.sprintf "as%d" d)
-            ~addr:(Addr.add (domain_base d) 1)
-            ~as_id:d Node.Border_router
-        in
-        r.Node.advertised <- [ (domain_prefix d, Node.Global) ];
-        r)
-  in
   let providers = Array.make n [] in
   let customers = Array.make n [] in
   let peers = Array.make n [] in
   let deg = Array.make n 0 in
+  let edges = ref [] in
   let connect ?(bw = spec.uplink_bw) a b =
-    ignore
-      (Network.connect net routers.(a) routers.(b) ~bandwidth:bw
-         ~delay:spec.hop_delay ~queue_capacity:spec.queue_capacity);
+    edges := (a, b, bw) :: !edges;
     deg.(a) <- deg.(a) + 1;
     deg.(b) <- deg.(b) + 1
   in
@@ -156,14 +159,44 @@ let build sim rng spec =
     customers.(d) <- List.sort compare customers.(d);
     peers.(d) <- List.sort compare peers.(d)
   done;
+  {
+    p_spec = spec;
+    p_providers = providers;
+    p_customers = customers;
+    p_peers = peers;
+    p_edges = List.rev !edges;
+  }
+
+let materialise ?sim_of_as sim plan =
+  let spec = plan.p_spec in
+  let n = spec.domains in
+  let net = Network.create ?sim_of_as sim in
+  let routers =
+    Array.init n (fun d ->
+        let r =
+          Network.add_node net
+            ~name:(Printf.sprintf "as%d" d)
+            ~addr:(Addr.add (domain_base d) 1)
+            ~as_id:d Node.Border_router
+        in
+        r.Node.advertised <- [ (domain_prefix d, Node.Global) ];
+        r)
+  in
+  List.iter
+    (fun (a, b, bw) ->
+      ignore
+        (Network.connect net routers.(a) routers.(b) ~bandwidth:bw
+           ~delay:spec.hop_delay ~queue_capacity:spec.queue_capacity))
+    plan.p_edges;
+  let providers = plan.p_providers in
   let t =
     {
       net;
       spec;
       routers;
       providers;
-      customers;
-      peers;
+      customers = plan.p_customers;
+      peers = plan.p_peers;
       host_count = Array.make n 0;
     }
   in
@@ -229,6 +262,119 @@ let build sim rng spec =
         (port_between v primary)
   done;
   t
+
+let build sim rng spec = materialise sim (plan rng spec)
+
+(* --- domain -> shard partitioner ------------------------------------------ *)
+
+(* Weight-balanced region growing over the relationship graph, followed by
+   a boundary-refinement pass — a deterministic min-cut-aware heuristic in
+   the spirit of multi-seed BFS partitioning. Seeds are the heaviest
+   domains (ties to the lowest id), regions grow by always extending the
+   lightest shard from its BFS frontier (keeping each shard a connected,
+   low-cut blob), and refinement then moves boundary domains to the shard
+   owning most of their neighbors when that strictly reduces the edge cut
+   without unbalancing the loads. Pure function of (plan, weights). *)
+let partition plan ~shards ~weight =
+  if shards < 1 then
+    invalid_arg
+      (Printf.sprintf "As_graph.partition: shards must be >= 1 (got %d)"
+         shards);
+  let n = plan.p_spec.domains in
+  let assign = Array.make n 0 in
+  if shards = 1 then assign
+  else begin
+    let k = Int.min shards n in
+    let w =
+      Array.init n (fun d ->
+          let x = weight d in
+          if Float.is_nan x || x < 0. then
+            invalid_arg "As_graph.partition: weights must be >= 0";
+          x)
+    in
+    let nbrs d =
+      plan.p_providers.(d) @ plan.p_peers.(d) @ plan.p_customers.(d)
+    in
+    Array.fill assign 0 n (-1);
+    (* Seeds: the k heaviest domains, lowest id on ties. *)
+    let order = Array.init n (fun d -> d) in
+    Array.sort
+      (fun a b ->
+        let c = Float.compare w.(b) w.(a) in
+        if c <> 0 then c else compare a b)
+      order;
+    let load = Array.make k 0. in
+    let counts = Array.make k 0 in
+    let frontiers = Array.init k (fun _ -> Queue.create ()) in
+    let assigned = ref 0 in
+    let take s d =
+      assign.(d) <- s;
+      load.(s) <- load.(s) +. w.(d);
+      counts.(s) <- counts.(s) + 1;
+      incr assigned;
+      List.iter
+        (fun p -> if assign.(p) < 0 then Queue.push p frontiers.(s))
+        (nbrs d)
+    in
+    for s = 0 to k - 1 do
+      take s order.(s)
+    done;
+    (* Always grow the lightest shard; frontier entries may have been
+       claimed meanwhile, so pop until a free domain appears. A shard with
+       an exhausted frontier jumps to the lowest-id unassigned domain
+       (disconnected leftovers). *)
+    let next_free = ref 0 in
+    while !assigned < n do
+      let s = ref 0 in
+      for c = 1 to k - 1 do
+        if load.(c) < load.(!s) then s := c
+      done;
+      let s = !s in
+      let rec pop () =
+        match Queue.take_opt frontiers.(s) with
+        | Some d when assign.(d) >= 0 -> pop ()
+        | other -> other
+      in
+      match pop () with
+      | Some d -> take s d
+      | None ->
+        while !next_free < n && assign.(!next_free) >= 0 do
+          incr next_free
+        done;
+        if !next_free < n then take s !next_free
+    done;
+    (* Refinement: 2 sweeps in id order. *)
+    let target = Array.fold_left ( +. ) 0. w /. float_of_int k in
+    let cap = Float.max (target *. 1.15) (target +. 1e-9) in
+    for _pass = 1 to 2 do
+      for d = 0 to n - 1 do
+        let cur = assign.(d) in
+        let links = Array.make k 0 in
+        List.iter (fun p -> links.(assign.(p)) <- links.(assign.(p)) + 1)
+          (nbrs d);
+        let best = ref cur in
+        for c = 0 to k - 1 do
+          if links.(c) > links.(!best) then best := c
+        done;
+        let best = !best in
+        if
+          best <> cur
+          && links.(best) > links.(cur)
+          && counts.(cur) > 1
+          && load.(best) +. w.(d) <= cap
+        then begin
+          assign.(d) <- best;
+          load.(cur) <- load.(cur) -. w.(d);
+          load.(best) <- load.(best) +. w.(d);
+          counts.(cur) <- counts.(cur) - 1;
+          counts.(best) <- counts.(best) + 1
+        end
+      done
+    done;
+    assign
+  end
+
+let plan_spec plan = plan.p_spec
 
 (* --- path inspection ------------------------------------------------------ *)
 

@@ -45,7 +45,44 @@ type t
 val build : Aitf_engine.Sim.t -> Aitf_engine.Rng.t -> spec -> t
 (** Generate the graph, create one border-router node per domain, connect
     the edges and install the valley-free FIBs. All randomness comes from
-    the given rng. @raise Invalid_argument on an out-of-range spec. *)
+    the given rng; equal to [materialise sim (plan rng spec)], draw for
+    draw. @raise Invalid_argument on an out-of-range spec. *)
+
+(** {2 Two-phase construction (parallel engine)}
+
+    Sharded runs must know the domain->shard map {e before} links exist
+    (each link lives on its transmitter's shard), so generation is split:
+    {!plan} makes every RNG draw and records the structure, {!partition}
+    maps domains to shards, {!materialise} then builds the network —
+    optionally sharded via [?sim_of_as] — without consuming randomness. *)
+
+type plan
+(** The generated structure before any network object exists: provider /
+    customer / peer relations plus the edge list in creation order. *)
+
+val plan : Aitf_engine.Rng.t -> spec -> plan
+(** All of {!build}'s randomness, none of its side effects.
+    @raise Invalid_argument on an out-of-range spec. *)
+
+val plan_spec : plan -> spec
+
+val materialise :
+  ?sim_of_as:(int -> Aitf_engine.Sim.t) -> Aitf_engine.Sim.t -> plan -> t
+(** Build nodes, links and FIBs from a plan. RNG-free, so
+    [materialise sim (plan rng spec)] leaves the stream exactly where
+    {!build} would. [?sim_of_as] is passed to {!Aitf_net.Network.create}:
+    domain [d]'s links and timers land on [sim_of_as d]. *)
+
+val partition : plan -> shards:int -> weight:(int -> float) -> int array
+(** A deterministic min-cut-aware domain->shard map: multi-seed BFS
+    region growing balanced by [weight] (heaviest domains seed the
+    regions; the lightest shard always grows next), then two boundary
+    refinement sweeps that move a domain to the shard holding the
+    majority of its provider/customer/peer edges when that strictly
+    shrinks the cut without exceeding 115% of the balanced load. Returns
+    shard ids in [\[0, min shards domains)]. Pure in (plan, weight).
+    @raise Invalid_argument if [shards < 1] or a weight is negative or
+    NaN. *)
 
 val net : t -> Network.t
 val spec : t -> spec

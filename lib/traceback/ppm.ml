@@ -50,7 +50,11 @@ module Collector = struct
       Hashtbl.fold
         (fun edge count best ->
           match best with
-          | Some (_, c) when c >= count -> best
+          | Some (_, c) when c > count -> best
+          | Some (be, c) when c = count && compare be edge <= 0 ->
+            (* Equal counts: keep the smaller edge, not whichever hash
+               bucket came first. *)
+            best
           | _ -> Some (edge, count))
         h None
       |> Option.map fst

@@ -1,5 +1,6 @@
 module Sim = Aitf_engine.Sim
 module Rng = Aitf_engine.Rng
+module Sched = Aitf_parallel.Sched
 module Series = Aitf_stats.Series
 module Fluid = Aitf_flowsim.Fluid
 module Sampler = Aitf_flowsim.Sampler
@@ -30,6 +31,7 @@ type params = {
   as_lying_mode : Adversary.lying_mode;
   as_contract : Contract.t option;
   as_audit : Auditor.config;
+  as_shards : int;
 }
 
 let default =
@@ -52,6 +54,7 @@ let default =
     as_lying_mode = Adversary.Accept_ignore;
     as_contract = None;
     as_audit = Auditor.default_config;
+    as_shards = 1;
   }
 
 type result = {
@@ -76,6 +79,9 @@ type result = {
   r_auditor : Auditor.t option;
   r_byzantine : (int * Addr.t) list;
   r_failovers : int;
+  r_shards : int;
+  r_sched_stats : Sched.stats;
+  r_shard_profiles : Aitf_obs.Profile.t list;
 }
 
 (* Per-domain pool sub-ranges inside the /16: the attack pool owns the top
@@ -103,15 +109,52 @@ let run p =
        as_legit_domains)";
   if p.as_attack_domains + p.as_legit_domains > n - 1 - spec.As_graph.tier1
   then invalid_arg "As_scenario.run: not enough non-tier-1 domains for pools";
-  let sim = Sim.create () in
+  let shards = p.as_shards in
+  if shards < 1 then
+    invalid_arg
+      (Printf.sprintf "As_scenario.run: as_shards must be >= 1 (got %d)"
+         shards);
+  if shards > 1 && p.as_contracts then
+    invalid_arg
+      "As_scenario.run: contracts are not supported with as_shards > 1 (the \
+       victim-side auditor is inherently sequential; see docs/PARALLEL.md)";
+  if shards > 1 && Aitf_obs.Span.enabled () then
+    invalid_arg
+      "As_scenario.run: span tracing is not supported with as_shards > 1 \
+       (spans are minted from a process-global counter; see \
+       docs/PARALLEL.md)";
+  if shards > 1 && Aitf_obs.Flight.enabled () then
+    invalid_arg
+      "As_scenario.run: the flight recorder is not supported with as_shards \
+       > 1 (attach per-shard rings via Flight.attach_to instead; see \
+       docs/PARALLEL.md)";
+  let sched = Sched.create ~shards () in
+  let sim = Sched.global sched in
+  (* Concurrent shards must not share the default profiler probe their sims
+     inherited at create: give each shard its own buckets ([Profile.merge]
+     recombines them for reporting). The global sim keeps the inherited
+     probe — it only ever runs on the coordinator. *)
+  let shard_profiles =
+    if shards <= 1 || not (Aitf_obs.Profile.enabled ()) then []
+    else
+      Array.to_list
+        (Array.map
+           (fun s ->
+             let pr = Aitf_obs.Profile.create () in
+             Aitf_obs.Profile.attach_to pr s;
+             pr)
+           (Sched.shard_sims sched))
+  in
   let rng = Rng.create ~seed:p.as_seed in
-  let graph = As_graph.build sim rng spec in
-  let net = As_graph.net graph in
+  (* Generation is plan -> (picks) -> partition -> materialise: the picks
+     draw from the same stream position as they did when [As_graph.build]
+     ran first, and partitioning consumes no randomness, so 1-shard runs
+     replay the historical sequence bit for bit. *)
+  let plan = As_graph.plan rng spec in
   (* The last domain never acquired customers (providers are always chosen
      among earlier domains), so it is guaranteed to be a stub — the victim
      lives there, behind its bottleneck access link. *)
   let vdom = n - 1 in
-  let victim_node = As_graph.attach_host graph ~domain:vdom in
   (* Distinct uniform domain picks among non-tier-1, non-victim domains. *)
   let pick k avoid =
     let lo = spec.As_graph.tier1 and hi = n - 2 in
@@ -130,6 +173,52 @@ let run p =
   in
   let attack_domains = pick p.as_attack_domains [] in
   let legit_domains = pick p.as_legit_domains attack_domains in
+  (* Domain -> shard map, weighted by expected event load: the victim
+     domain is the funnel every probe converges on (heaviest), attack-pool
+     domains emit the probe streams, legitimate pools a trickle, transit
+     domains mostly forward. *)
+  let part =
+    if shards = 1 then Array.make n 0
+    else begin
+      let attack_set = Hashtbl.create 64 and legit_set = Hashtbl.create 16 in
+      List.iter (fun d -> Hashtbl.replace attack_set d ()) attack_domains;
+      List.iter (fun d -> Hashtbl.replace legit_set d ()) legit_domains;
+      As_graph.partition plan ~shards ~weight:(fun d ->
+          if d = vdom then 16.
+          else if Hashtbl.mem attack_set d then 8.
+          else if Hashtbl.mem legit_set d then 2.
+          else 1.)
+    end
+  in
+  let sim_of_as d = Sched.shard_sim sched part.(d) in
+  let graph =
+    As_graph.materialise
+      ?sim_of_as:(if shards > 1 then Some sim_of_as else None)
+      sim plan
+  in
+  let net = As_graph.net graph in
+  (* Cross-shard inter-domain links become remote: the transmit side stays
+     local, delivery is posted into the destination shard's inbox, and the
+     link's propagation delay is registered as that channel's lookahead.
+     Host/pool access links attach later, always intra-domain, so routers'
+     ports here are the complete cross-shard set. *)
+  if shards > 1 then
+    List.iter
+      (fun node ->
+        List.iter
+          (fun (port : Node.port) ->
+            let peer = Network.node net port.Node.peer_id in
+            let s_src = part.(node.Node.as_id)
+            and s_dst = part.(peer.Node.as_id) in
+            if s_src <> s_dst then begin
+              Sched.register_channel sched ~src:s_src ~dst:s_dst
+                ~lookahead:(Link.delay port.Node.link);
+              Link.set_remote port.Node.link (fun ~time fn ->
+                  Sched.post sched ~dst:s_dst ~time fn)
+            end)
+          node.Node.ports)
+      (Network.nodes net);
+  let victim_node = As_graph.attach_host graph ~domain:vdom in
   let base_of d = (As_graph.domain_prefix d).Addr.base in
   let attach off len d =
     let range = Addr.prefix (Addr.add (base_of d) off) len in
@@ -149,7 +238,9 @@ let run p =
         Float.max 1e6
           (0.5 *. p.as_attack_rate /. float_of_int p.as_attack_domains)
       in
-      Some (Placement_ctl.create ~suspect_rate ~policy ~fluid:eng config)
+      Some
+        (Placement_ctl.create ~defer:(Sched.defer sched) ~suspect_rate ~policy
+           ~fluid:eng config)
   in
   let deployed =
     As_graph.deploy
@@ -157,10 +248,13 @@ let run p =
       ?contract:p.as_contract ~config ~rng graph
   in
   let gws = deployed.As_graph.gateways in
-  Option.iter (fun c -> Placement_ctl.register_gateways c gws) ctl;
+  Option.iter
+    (fun c -> Placement_ctl.register_gateways ~defer:(Sched.defer sched) c gws)
+    ctl;
   Array.iter
     (fun gw ->
-      Fluid.attach_table eng ~node:(Gateway.node gw) (Gateway.filters gw))
+      Fluid.attach_table ~defer:(Sched.defer sched) eng
+        ~node:(Gateway.node gw) (Gateway.filters gw))
     gws;
   let victim =
     Host_agent.Victim.create ~td:p.as_td
@@ -256,7 +350,9 @@ let run p =
           in
           if attack then begin
             absorbed := Fluid_bridge.absorb_pool_requests pool :: !absorbed;
-            ignore (Sampler.attach ?rate:probe_rate ~rng:(Rng.split frng) eng agg)
+            ignore
+              (Sampler.attach ?rate:probe_rate ~sim:(sim_of_as d)
+                 ~rng:(Rng.split frng) eng agg)
           end
         end)
       pools
@@ -277,7 +373,7 @@ let run p =
              sample (t +. p.as_sample_period)))
   in
   sample p.as_sample_period;
-  Sim.run ~until:p.as_duration sim;
+  Sched.run ~until:p.as_duration sched;
   let slots_peak =
     Array.fold_left
       (fun acc gw -> acc + Filter_table.peak_occupancy (Gateway.filters gw))
@@ -331,8 +427,11 @@ let run p =
     r_requests_sent = Host_agent.Victim.requests_sent victim;
     r_reports = (match ctl with Some c -> Placement_ctl.evidence c | None -> 0);
     r_absorbed = List.fold_left (fun acc r -> acc + !r) 0 !absorbed;
-    r_events = Sim.events_processed sim;
+    r_events = Sched.events_processed sched;
     r_auditor = Option.map (fun (a, _, _) -> a) contracts;
     r_byzantine = (match contracts with Some (_, b, _) -> b | None -> []);
     r_failovers = (match contracts with Some (_, _, f) -> !f | None -> 0);
+    r_shards = shards;
+    r_sched_stats = Sched.stats sched;
+    r_shard_profiles = shard_profiles;
   }

@@ -54,6 +54,13 @@ type params = {
           edge at deploy (independent of [as_contracts]; [None] keeps the
           config defaults) *)
   as_audit : Auditor.config;  (** auditor tuning (deadline, k, backoff) *)
+  as_shards : int;
+      (** simulation shards (>= 1). [1] runs the sequential engine and is
+          bit-identical to the pre-sharding scenario; [> 1] partitions the
+          domains over that many event-queue shards synchronized by
+          conservative lookahead windows (docs/PARALLEL.md). Deterministic
+          for fixed (seed, shards); outcome scalars vary slightly across
+          shard counts. *)
 }
 
 val default : params
@@ -90,9 +97,19 @@ type result = {
   r_failovers : int;
       (** contract entries the victim's gateway re-engaged past flagged
           peers *)
+  r_shards : int;  (** echo of [as_shards] *)
+  r_sched_stats : Aitf_parallel.Sched.stats;
+      (** synchronization-window counters; all zeros when [as_shards = 1] *)
+  r_shard_profiles : Aitf_obs.Profile.t list;
+      (** per-shard profiler instances, in shard order — non-empty only
+          when [as_shards > 1] and a profiler was attached (merge with
+          {!Aitf_obs.Profile.merge} for one table) *)
 }
 
 val run : params -> result
 (** @raise Invalid_argument when the population does not fit the address
     plan (at most 2^15 attack sources and 2^14 legitimate sources per
-    domain) or the domain counts exceed the non-tier-1 domains. *)
+    domain) or the domain counts exceed the non-tier-1 domains, when
+    [as_shards < 1], or when [as_shards > 1] is combined with contracts,
+    span tracing or the flight recorder (all inherently sequential — see
+    docs/PARALLEL.md). *)

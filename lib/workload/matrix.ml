@@ -187,9 +187,12 @@ let run_swarm_cell _cell () =
     ],
     r.swarm_victim_rate )
 
-let run_internet_cell cell () =
+let run_internet_cell ?(shards = 1) cell () =
   let open As_scenario in
   let contracts = cell.adversary = "contract" || cell.adversary = "lying" in
+  (* Contract cells are inherently sequential (victim-side auditor); they
+     stay 1-shard even in a sharded matrix run. *)
+  let shards = if contracts then 1 else shards in
   let p =
     if not contracts then
       {
@@ -247,7 +250,7 @@ let run_internet_cell cell () =
         as_audit = { Auditor.default_config with deadline = 0.75; grace = 0.35 };
       }
   in
-  let r = run p in
+  let r = run { p with as_shards = shards } in
   let base =
     [
       ("attack_received_bytes", fl r.r_attack_received_bytes);
@@ -338,12 +341,12 @@ let run_replay_cell cell () =
     ],
     r.Replay.rr_victim_rate )
 
-let cell_body cell =
+let cell_body ?shards cell =
   match cell.topo with
   | "chain" -> run_chain_cell cell
   | "flood" -> run_flood_cell cell
   | "swarm" -> run_swarm_cell cell
-  | "internet" -> run_internet_cell cell
+  | "internet" -> run_internet_cell ?shards cell
   | t when String.length t > 7 && String.sub t 0 7 = "replay-" ->
     run_replay_cell cell
   | t -> invalid_arg ("Matrix: unknown topology " ^ t)
@@ -452,10 +455,13 @@ let write_file path contents =
 (* One cell, instrumented: fresh span collector (corr ids rewound so the
    digest is order-independent), the engine profiler for queue depth and
    event count, GC delta and the caller's clock for the perf trajectory. *)
-let run_cell ~clock cell =
+let run_cell ?(shards = 1) ~clock cell =
   Span.reset_mint ();
   let sp = Span.create () in
-  Span.attach sp;
+  (* Sharded cells run without span tracing (span minting is process-
+     global, so worker shards would race on it); the digest section of the
+     document is then deterministically empty. *)
+  if shards <= 1 then Span.attach sp;
   let prof = Profile.create () in
   Profile.attach prof;
   let a0 = Gc.allocated_bytes () in
@@ -464,8 +470,8 @@ let run_cell ~clock cell =
     Fun.protect
       ~finally:(fun () ->
         Profile.detach ();
-        Span.detach ())
-      (cell_body cell)
+        if shards <= 1 then Span.detach ())
+      (cell_body ~shards cell)
   in
   let wall = clock () -. t0 in
   let alloc_bytes = Gc.allocated_bytes () -. a0 in
@@ -537,7 +543,8 @@ let pair_up results =
     results
 
 let run ?(clock = Sys.time) ?(only = []) ?(smoke = false) ?(bless = false)
-    ~goldens_dir () =
+    ?(shards = 1) ~goldens_dir () =
+  if shards < 1 then invalid_arg "Matrix.run: shards must be >= 1";
   let selected =
     List.filter
       (fun c ->
@@ -548,7 +555,7 @@ let run ?(clock = Sys.time) ?(only = []) ?(smoke = false) ?(bless = false)
   let results =
     List.map
       (fun c ->
-        let r = run_cell ~clock c in
+        let r = run_cell ~shards ~clock c in
         let path = Filename.concat goldens_dir (c.id ^ ".json") in
         let status =
           if bless then begin

@@ -86,6 +86,7 @@ val run :
   ?only:string list ->
   ?smoke:bool ->
   ?bless:bool ->
+  ?shards:int ->
   goldens_dir:string ->
   unit ->
   summary
@@ -95,7 +96,16 @@ val run :
     comparing (creating the directory if needed). [?clock] supplies
     wall-clock readings for {!perf} (default {!Sys.time}; the CLI passes
     a real-time clock). Correlation-id minting is reset before every
-    cell, so each document is independent of execution order. *)
+    cell, so each document is independent of execution order.
+
+    [?shards > 1] runs the internet cells (except the inherently
+    sequential contract cells) on the parallel engine with that many
+    shards, and disables span tracing for every cell (span minting is
+    process-global). Sharded documents legitimately differ from the
+    1-shard goldens (event counts, empty span digest), so pair
+    [?shards > 1] with [?bless] into a scratch directory and compare
+    across repeated runs — the determinism regime the CI stress job
+    enforces. *)
 
 val print_summary : summary -> unit
 (** Human-readable cell table, agreement table and verdict on stdout. *)

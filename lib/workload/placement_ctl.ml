@@ -269,7 +269,8 @@ let on_evidence t (e : Placement.evidence) =
     | Placement.Vanilla -> ())
   | Flow_label.Net _ | Flow_label.Any -> ()
 
-let create ?(suspect_rate = 10e6) ~policy ~fluid config =
+let create ?(defer = fun f -> f ()) ?(suspect_rate = 10e6) ~policy ~fluid
+    config =
   (match policy with
   | Placement.Vanilla ->
     invalid_arg "Placement_ctl.create: Vanilla is unmanaged"
@@ -283,7 +284,12 @@ let create ?(suspect_rate = 10e6) ~policy ~fluid config =
       sim;
       config;
       suspect_rate;
-      handle = Placement.create ~policy ~report:(fun e -> !report_ref e);
+      (* Evidence arrives from gateways — shard-phase code in parallel
+         runs — so the report crosses into controller state through
+         [defer] (immediate by default). *)
+      handle =
+        Placement.create ~policy ~report:(fun e ->
+            defer (fun () -> !report_ref e));
       by_node = Hashtbl.create 64;
       by_addr = Hashtbl.create 64;
       victims = Hashtbl.create 8;
@@ -306,7 +312,7 @@ let create ?(suspect_rate = 10e6) ~policy ~fluid config =
   ignore (Sim.after sim config.Config.placement_epoch tick);
   t
 
-let register_gateways t gws =
+let register_gateways ?(defer = fun f -> f ()) t gws =
   Array.iter
     (fun gw ->
       let nid = (Gateway.node gw).Node.id in
@@ -316,11 +322,12 @@ let register_gateways t gws =
         Filter_table.subscribe (Gateway.filters gw) (fun ch ->
             match ch with
             | Filter_table.Removed h ->
-              let key = (nid, Filter_table.label h) in
-              if (not t.removing) && Hashtbl.mem t.owned key then begin
-                t.evictions_observed <- t.evictions_observed + 1;
-                Hashtbl.remove t.owned key
-              end
+              defer (fun () ->
+                  let key = (nid, Filter_table.label h) in
+                  if (not t.removing) && Hashtbl.mem t.owned key then begin
+                    t.evictions_observed <- t.evictions_observed + 1;
+                    Hashtbl.remove t.owned key
+                  end)
             | Filter_table.Installed _ -> ())
       end)
     gws

@@ -35,6 +35,7 @@ module Fluid = Aitf_flowsim.Fluid
 type t
 
 val create :
+  ?defer:((unit -> unit) -> unit) ->
   ?suspect_rate:float ->
   policy:Placement.policy ->
   fluid:Fluid.t ->
@@ -45,17 +46,23 @@ val create :
     itself forever, so bound runs with [Sim.run ~until]). [policy] must be
     [Optimal] or [Adaptive]. [suspect_rate] (default 10 Mb/s) is the
     Adaptive policy's observed-rate threshold above which a source range
-    is treated as attacking.
+    is treated as attacking. [?defer] wraps gateway evidence reports
+    before they touch controller state (default: immediate); the parallel
+    engine passes [Sched.defer] to move them to barriers.
     @raise Invalid_argument on [Vanilla] (there is nothing to control). *)
 
 val handle : t -> Placement.t
 (** The seam handle to pass to {!Aitf_core.Gateway.create} (and to
     {!Aitf_topo.As_graph.deploy}). *)
 
-val register_gateways : t -> Gateway.t array -> unit
+val register_gateways :
+  ?defer:((unit -> unit) -> unit) -> t -> Gateway.t array -> unit
 (** Tell the controller which gateways it may place filters in (typically
     every deployed gateway). Must be called before the first evidence
-    arrives; also subscribes the Adaptive feedback to each table. *)
+    arrives; also subscribes the Adaptive feedback to each table.
+    [?defer] wraps the eviction-feedback callback (default: immediate);
+    the parallel engine passes [Sched.defer] so shard-phase evictions
+    touch controller state only at barriers. *)
 
 val flag_gateway : t -> Aitf_net.Addr.t -> unit
 (** A contract auditor convicted this gateway of lying about its filters

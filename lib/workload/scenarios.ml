@@ -1,5 +1,6 @@
 module Sim = Aitf_engine.Sim
 module Rng = Aitf_engine.Rng
+module Sched = Aitf_parallel.Sched
 module Series = Aitf_stats.Series
 module Rate_meter = Aitf_stats.Rate_meter
 module Counter = Aitf_stats.Counter
@@ -81,8 +82,21 @@ let counter_total gws name =
   List.fold_left (fun acc gw -> acc + Counter.get (Gateway.counters gw) name) 0
     gws
 
-let run_chain params =
-  let sim = Sim.create () in
+(* These fixed small topologies are never sharded: with [?sched] they run
+   entirely on the scheduler's global sim. The seam exists so tests can
+   check that a 1-shard [Sched] replays the sequential engine bit for
+   bit. *)
+let sim_of_sched = function
+  | Some s -> Sched.global s
+  | None -> Sim.create ()
+
+let run_sched ?sched ~until sim =
+  match sched with
+  | Some s -> Sched.run ~until s
+  | None -> Sim.run ~until sim
+
+let run_chain ?sched params =
+  let sim = sim_of_sched sched in
   let rng = Rng.create ~seed:params.seed in
   let topo = Chain.build sim params.spec in
   let config, path_source =
@@ -292,7 +306,7 @@ let run_chain params =
       (fun reg -> Aitf_obs.Sampler.start ~interval:params.sample_period sim reg)
       (Aitf_obs.Metrics.attached ())
   in
-  Sim.run ~until:params.duration sim;
+  run_sched ?sched ~until:params.duration sim;
   let attack_offered_bytes =
     params.attack_rate *. (params.duration -. params.attack_start) /. 8.
   in
@@ -436,8 +450,8 @@ type flood_result = {
   flood_events : int;
 }
 
-let run_flood p =
-  let sim = Sim.create () in
+let run_flood ?sched p =
+  let sim = sim_of_sched sched in
   let rng = Rng.create ~seed:p.flood_seed in
   let t = Hierarchy.build sim p.hierarchy in
   let config = p.flood_config in
@@ -565,7 +579,7 @@ let run_flood p =
         Aitf_obs.Sampler.start ~interval:p.flood_sample_period sim reg)
       (Aitf_obs.Metrics.attached ())
   in
-  Sim.run ~until:p.flood_duration sim;
+  run_sched ?sched ~until:p.flood_duration sim;
   let filters_at gws =
     Array.fold_left
       (fun acc gw -> acc + Counter.get (Gateway.counters gw) "filter-long")
@@ -658,14 +672,14 @@ type swarm_result = {
    routes back to the pool node for the reverse control path. *)
 let pool_prefix j = Addr.prefix (Addr.of_octets 32 (16 * j) 0 0) 12
 
-let run_swarm p =
+let run_swarm ?sched p =
   if p.swarm_pools < 1 || p.swarm_pools > 16 then
     invalid_arg "run_swarm: swarm_pools must be in 1..16";
   if p.swarm_sources < p.swarm_pools then
     invalid_arg "run_swarm: need at least one source per pool";
   if (p.swarm_sources / p.swarm_pools) + 1 > 1 lsl 20 then
     invalid_arg "run_swarm: more than 2^20 sources per pool";
-  let sim = Sim.create () in
+  let sim = sim_of_sched sched in
   let rng = Rng.create ~seed:p.swarm_seed in
   let topo = Chain.build sim p.swarm_spec in
   let net = topo.Chain.net in

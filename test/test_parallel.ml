@@ -1,0 +1,342 @@
+(* Parallel engine: 1-shard bit-identity against the sequential engine,
+   conservative message ordering under random shard topologies,
+   multi-shard determinism and 1-vs-N agreement, zero-lookahead
+   rejection, and per-instance profiler-hook isolation. *)
+
+module Sim = Aitf_engine.Sim
+module Sched = Aitf_parallel.Sched
+module Series = Aitf_stats.Series
+module Scenarios = Aitf_workload.Scenarios
+module As_scenario = Aitf_workload.As_scenario
+module As_graph = Aitf_topo.As_graph
+module Config = Aitf_core.Config
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- 1-shard bit-identity on the classic scenarios -------------------------- *)
+
+(* A 1-shard scheduler must replay the plain-Sim run exactly: same event
+   count, same byte counters, same victim-rate series point for point. *)
+
+let chain_fingerprint (r : Scenarios.chain_result) =
+  ( r.Scenarios.attack_received_bytes,
+    r.Scenarios.good_received_bytes,
+    r.Scenarios.escalations,
+    r.Scenarios.requests_sent,
+    r.Scenarios.events_processed,
+    Series.points r.Scenarios.victim_rate )
+
+let test_chain_one_shard_identity () =
+  let p = { Scenarios.default_chain with Scenarios.duration = 5. } in
+  let seq = Scenarios.run_chain p in
+  let par = Scenarios.run_chain ~sched:(Sched.create ~shards:1 ()) p in
+  checkb "chain: 1-shard sched is bit-identical" true
+    (chain_fingerprint seq = chain_fingerprint par)
+
+let test_flood_one_shard_identity () =
+  let p = { Scenarios.default_flood with Scenarios.flood_duration = 10. } in
+  let seq = Scenarios.run_flood p in
+  let par = Scenarios.run_flood ~sched:(Sched.create ~shards:1 ()) p in
+  let fp (r : Scenarios.flood_result) =
+    ( r.Scenarios.legit_received_bytes,
+      r.Scenarios.flood_attack_received_bytes,
+      r.Scenarios.leaf_filters,
+      r.Scenarios.isp_filters,
+      r.Scenarios.flood_events )
+  in
+  checkb "flood: 1-shard sched is bit-identical" true (fp seq = fp par)
+
+let test_swarm_one_shard_identity () =
+  let p = { Scenarios.default_swarm with Scenarios.swarm_duration = 5. } in
+  let seq = Scenarios.run_swarm p in
+  let par = Scenarios.run_swarm ~sched:(Sched.create ~shards:1 ()) p in
+  let fp (r : Scenarios.swarm_result) =
+    ( r.Scenarios.swarm_good_received_bytes,
+      r.Scenarios.swarm_attack_received_bytes,
+      r.Scenarios.swarm_requests_sent,
+      r.Scenarios.swarm_filters,
+      r.Scenarios.swarm_events,
+      Series.points r.Scenarios.swarm_victim_rate )
+  in
+  checkb "swarm: 1-shard sched is bit-identical" true (fp seq = fp par)
+
+(* --- internet scenario: determinism and shard-count agreement --------------- *)
+
+let small_internet shards =
+  {
+    As_scenario.default with
+    As_scenario.as_spec =
+      { As_graph.default_spec with As_graph.domains = 80; tier1 = 3 };
+    as_config = { Config.default with Config.engine = Config.Hybrid };
+    as_seed = 11;
+    as_duration = 6.;
+    as_sources = 2_000;
+    as_attack_domains = 6;
+    as_legit_domains = 3;
+    as_legit_sources = 600;
+    as_sample_period = 0.5;
+    as_shards = shards;
+  }
+
+let internet_fingerprint (r : As_scenario.result) =
+  ( r.As_scenario.r_good_offered_bytes,
+    r.As_scenario.r_good_received_bytes,
+    r.As_scenario.r_attack_received_bytes,
+    r.As_scenario.r_requests_sent,
+    r.As_scenario.r_filters_installed,
+    r.As_scenario.r_slots_peak,
+    r.As_scenario.r_events,
+    Series.points r.As_scenario.r_victim_rate )
+
+let test_internet_multishard_deterministic () =
+  (* Same (seed, shards) must give the identical fingerprint on every
+     run, whatever the OS does to the worker domains. *)
+  let a = As_scenario.run (small_internet 3) in
+  let b = As_scenario.run (small_internet 3) in
+  checkb "3-shard runs are reproducible" true
+    (internet_fingerprint a = internet_fingerprint b);
+  checki "r_shards echoes the request" 3 a.As_scenario.r_shards;
+  let st = a.As_scenario.r_sched_stats in
+  checkb "shard windows executed" true (st.Sched.windows > 0);
+  checkb "cross-shard messages flowed" true (st.Sched.messages > 0)
+
+let test_internet_shard_agreement () =
+  (* Across shard counts the event interleaving differs (global-first tie
+     rule, window boundaries), so outcomes are only statistically equal:
+     hold the E17-style 10% agreement tolerance on the goodput scalar. *)
+  let seq = As_scenario.run (small_internet 1) in
+  let par = As_scenario.run (small_internet 4) in
+  let rel a b = if a = 0. then Float.abs b else Float.abs ((b -. a) /. a) in
+  checkb "good received within 10%" true
+    (rel seq.As_scenario.r_good_received_bytes
+       par.As_scenario.r_good_received_bytes
+    <= 0.10);
+  checkb "1-shard stats are all zero" true
+    (seq.As_scenario.r_sched_stats
+    = {
+        Sched.windows = 0;
+        global_batches = 0;
+        messages = 0;
+        deferred = 0;
+        stall_seconds = 0.;
+      })
+
+(* --- conservative ordering property ------------------------------------------ *)
+
+(* Random shard topologies driven directly through the Sched API: every
+   shard runs a self-rescheduling local ticker and posts cross-shard
+   messages at [now + lookahead]. The conservative invariants: each
+   world's execution times are non-decreasing (no event runs in its
+   world's past), every message executes at exactly its timestamp, and
+   nothing is lost. Failures would surface either as a broken log order
+   or as [Sim.at] refusing a past timestamp. *)
+
+type exec = { x_shard : int; x_time : float; x_kind : [ `Local | `Msg ] }
+
+let run_random_topology ~shards ~lookaheads ~ticks ~until =
+  let sched = Sched.create ~shards () in
+  for src = 0 to shards - 1 do
+    for dst = 0 to shards - 1 do
+      if src <> dst then
+        Sched.register_channel sched ~src ~dst ~lookahead:lookaheads.(src).(dst)
+    done
+  done;
+  let log = Array.make shards [] in
+  let expected = ref 0 and executed = ref 0 in
+  let record shard kind sim =
+    log.(shard) <-
+      { x_shard = shard; x_time = Sim.now sim; x_kind = kind } :: log.(shard);
+    incr executed
+  in
+  for s = 0 to shards - 1 do
+    let sim = Sched.shard_sim sched s in
+    let period = 0.01 +. (0.003 *. float_of_int (s + 1)) in
+    let rec tick i =
+      if Sim.now sim +. period <= until then begin
+        incr expected;
+        ignore
+          (Sim.after sim period (fun () ->
+               record s `Local sim;
+               (* Round-robin target; the message leaves with exactly the
+                  channel's latency, the tightest legal timestamp. *)
+               let dst = (s + 1 + (i mod (shards - 1))) mod shards in
+               let t = Sim.now sim +. lookaheads.(s).(dst) in
+               if t <= until then begin
+                 incr expected;
+                 Sched.post sched ~dst ~time:t (fun () ->
+                     record dst `Msg (Sched.shard_sim sched dst))
+               end;
+               tick (i + 1)))
+      end
+    in
+    ignore (tick 0);
+    for k = 1 to ticks do
+      incr expected;
+      ignore
+        (Sim.at sim
+           (0.005 *. float_of_int (k * (s + 1)))
+           (fun () -> record s `Local sim))
+    done
+  done;
+  Sched.run ~until sched;
+  (Array.map List.rev log, !expected, !executed)
+
+let ordering_property (shards, las) =
+  let lookaheads = Array.of_list (List.map Array.of_list las) in
+  let logs, expected, executed =
+    run_random_topology ~shards ~lookaheads ~ticks:5 ~until:1.0
+  in
+  let monotone l =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a.x_time <= b.x_time && go rest
+      | _ -> true
+    in
+    go l
+  in
+  Array.for_all monotone logs && expected = executed
+
+let gen_topology =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun shards ->
+    let cell = map (fun v -> 0.005 +. (float_of_int v /. 1000.)) (int_range 1 80) in
+    list_size (return shards) (list_size (return shards) cell)
+    >>= fun las -> return (shards, las))
+
+let ordering_qcheck =
+  QCheck.Test.make ~name:"cross-shard messages never run early" ~count:30
+    (QCheck.make
+       ~print:(fun (n, las) ->
+         Printf.sprintf "%d shards, lookaheads %s" n
+           (String.concat ";"
+              (List.map
+                 (fun row ->
+                   "[" ^ String.concat "," (List.map string_of_float row) ^ "]")
+                 las)))
+       gen_topology)
+    ordering_property
+
+let test_random_topology_deterministic () =
+  let lookaheads = [| [| 0.; 0.013 |]; [| 0.021; 0. |] |] in
+  let run () = run_random_topology ~shards:2 ~lookaheads ~ticks:4 ~until:2.0 in
+  let l1, e1, x1 = run () in
+  let l2, e2, x2 = run () in
+  checkb "same logs across runs" true (l1 = l2);
+  checki "same expected count" e1 e2;
+  checki "all executed" x1 e1;
+  checki "all executed (2nd run)" x2 e2
+
+(* --- zero lookahead is an error, not a deadlock ------------------------------ *)
+
+let test_zero_lookahead_rejected () =
+  let sched = Sched.create ~shards:2 () in
+  let rejects la =
+    match Sched.register_channel sched ~src:0 ~dst:1 ~lookahead:la with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  checkb "zero lookahead rejected" true (rejects 0.);
+  checkb "negative lookahead rejected" true (rejects (-0.5));
+  checkb "nan lookahead rejected" true (rejects Float.nan);
+  checkb "infinite lookahead rejected" true (rejects Float.infinity);
+  checkb "self-channel rejected" true
+    (match Sched.register_channel sched ~src:1 ~dst:1 ~lookahead:0.1 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  checkb "out-of-range shard rejected" true
+    (match Sched.register_channel sched ~src:0 ~dst:2 ~lookahead:0.1 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  checkb "shards < 1 rejected" true
+    (match Sched.create ~shards:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- per-instance profiler hooks --------------------------------------------- *)
+
+let test_profile_hook_per_instance () =
+  let module Profile = Aitf_obs.Profile in
+  let sim_a = Sim.create () and sim_b = Sim.create () in
+  let pa = Profile.create () in
+  Profile.attach_to pa sim_a;
+  let burn sim n =
+    for i = 1 to n do
+      ignore (Sim.after sim (float_of_int i) (fun () -> ()))
+    done;
+    Sim.run sim
+  in
+  burn sim_a 5;
+  burn sim_b 7;
+  checki "instance probe saw only its own sim" 5 (Profile.events pa);
+  Profile.detach_from sim_a;
+  burn sim_a 3;
+  checki "detached probe sees nothing further" 5 (Profile.events pa);
+  (* The default probe is inherited at [Sim.create] only, so worlds that
+     existed beforehand — and worlds with their own probe — are
+     unaffected by it. *)
+  let pd = Profile.create () in
+  Profile.attach pd;
+  let sim_c = Sim.create () in
+  let pc = Profile.create () in
+  Profile.attach_to pc sim_c;
+  burn sim_c 4;
+  burn sim_b 2;
+  Profile.detach ();
+  checki "attach_to overrides the inherited default" 4 (Profile.events pc);
+  checki "default probe untouched by overridden sims" 0 (Profile.events pd);
+  let merged = Profile.merge [ pa; pc ] in
+  checki "merge sums events" 9 (Profile.events merged)
+
+(* --- guard rails -------------------------------------------------------------- *)
+
+let test_unsupported_combos_rejected () =
+  let bad p =
+    match As_scenario.run p with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  checkb "as_shards = 0 rejected" true
+    (bad { (small_internet 1) with As_scenario.as_shards = 0 });
+  checkb "contracts + shards rejected" true
+    (bad { (small_internet 2) with As_scenario.as_contracts = true });
+  let sp = Aitf_obs.Span.create () in
+  Aitf_obs.Span.attach sp;
+  let spans_rejected = bad (small_internet 2) in
+  Aitf_obs.Span.detach ();
+  checkb "span tracing + shards rejected" true spans_rejected
+
+let () =
+  Alcotest.run "aitf_parallel"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "chain 1-shard bit-identity" `Quick
+            test_chain_one_shard_identity;
+          Alcotest.test_case "flood 1-shard bit-identity" `Quick
+            test_flood_one_shard_identity;
+          Alcotest.test_case "swarm 1-shard bit-identity" `Quick
+            test_swarm_one_shard_identity;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "multi-shard runs reproduce" `Slow
+            test_internet_multishard_deterministic;
+          Alcotest.test_case "1 vs 4 shards agree within 10%" `Slow
+            test_internet_shard_agreement;
+          Alcotest.test_case "random topology reproduces" `Quick
+            test_random_topology_deterministic;
+        ] );
+      ( "ordering",
+        [
+          QCheck_alcotest.to_alcotest ordering_qcheck;
+          Alcotest.test_case "zero lookahead is an error" `Quick
+            test_zero_lookahead_rejected;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "profiler hooks are per-instance" `Quick
+            test_profile_hook_per_instance;
+          Alcotest.test_case "unsupported shard combos rejected" `Quick
+            test_unsupported_combos_rejected;
+        ] );
+    ]

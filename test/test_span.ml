@@ -126,7 +126,7 @@ let test_flight_ring_bounds () =
       for i = 1 to 10 do
         Flight.note ~time:(float_of_int i) ~node:"A" ~link:"A->B"
           ~kind:(if i mod 2 = 0 then Flight.Enqueue else Flight.Dequeue)
-          ~size:1000 ~queue_depth:i
+          ~size:1000 ~queue_depth:i ()
       done);
   checki "total recorded" 10 (Flight.recorded f);
   let rs = Flight.records f in
@@ -139,7 +139,7 @@ let test_flight_note_without_recorder () =
   checkb "disabled" false (Flight.enabled ());
   (* one branch, no crash *)
   Flight.note ~time:0. ~node:"A" ~link:"A->B" ~kind:(Flight.Drop "full")
-    ~size:1 ~queue_depth:0
+    ~size:1 ~queue_depth:0 ()
 
 (* --- engine profiler -------------------------------------------------------- *)
 
