@@ -161,6 +161,7 @@ let experiments =
     ("e19", "golden-trace matrix: perf trajectory + engine agreement", Experiments.e19);
     ("e20", "verifiable contracts vs Byzantine gateways", Experiments.e20);
     ("e21", "parallel engine: shard sweep, speedup + agreement", Experiments.e21);
+    ("e22", "sharded tracing: overhead gate + digest invariance", Experiments.e22);
     ("a1", "ablation: traceback mechanisms", Experiments.a1);
     ("a2", "ablation: shadow cache", Experiments.a2);
     ("a3", "ablation: wildcard aggregation", Experiments.a3);

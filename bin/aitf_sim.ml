@@ -140,6 +140,7 @@ type obs_opts = {
   spans_file : string option;
   flight_capacity : int;
   flight_dump : bool;
+  flight_dump_file : string option;
   profile : bool;
   slo : float option;
 }
@@ -170,6 +171,14 @@ let obs_term =
            ~doc:"Dump the retained flight-recorder records to stderr after \
                  the run (on-demand counterpart to the --slo auto-dump).")
   in
+  let flight_dump_file =
+    Arg.(value & opt (some string) None & info [ "flight-dump-file" ]
+           ~docv:"FILE"
+           ~doc:"Write --slo auto-dumps to FILE instead of stderr. In \
+                 sharded runs each shard's ring dumps to FILE.shard<i> \
+                 (records sorted by time, shard, sequence), so concurrent \
+                 breaches never interleave.")
+  in
   let profile =
     Arg.(value & flag & info [ "profile" ]
            ~doc:"Profile the engine: wall-clock seconds per event category \
@@ -186,9 +195,11 @@ let obs_term =
                  Implies span collection even without --spans.")
   in
   Term.(
-    const (fun spans_file flight_capacity flight_dump profile slo ->
-        { spans_file; flight_capacity; flight_dump; profile; slo })
-    $ spans $ flight $ flight_dump $ profile $ slo)
+    const (fun spans_file flight_capacity flight_dump flight_dump_file
+               profile slo ->
+        { spans_file; flight_capacity; flight_dump; flight_dump_file;
+          profile; slo })
+    $ spans $ flight $ flight_dump $ flight_dump_file $ profile $ slo)
 
 let obs_attach (o : obs_opts) =
   let collector =
@@ -202,6 +213,7 @@ let obs_attach (o : obs_opts) =
   let recorder =
     if o.flight_capacity > 0 then begin
       let f = Aitf_obs.Flight.create ~capacity:o.flight_capacity in
+      Aitf_obs.Flight.set_dump_path f o.flight_dump_file;
       Aitf_obs.Flight.attach f;
       Some f
     end
@@ -217,7 +229,7 @@ let obs_attach (o : obs_opts) =
           | None -> nan)
           seconds;
         match recorder with
-        | Some f -> Aitf_obs.Flight.dump f
+        | Some f -> Aitf_obs.Flight.auto_dump f
         | None -> ())
   | _ -> ());
   let profiler =
@@ -1081,15 +1093,16 @@ let internet_cmd =
                  synchronized by conservative lookahead windows — \
                  deterministic for a fixed (seed, N), with outcome \
                  scalars that vary slightly across shard counts. \
-                 Incompatible with --contracts, --spans and \
-                 --flight-recorder.")
+                 Observability composes: --spans, --flight-recorder, \
+                 --metrics and --contracts all work at any N (per-shard \
+                 collectors merged deterministically after the run; see \
+                 docs/OBSERVABILITY.md).")
   in
   let run domains tier1 multihome peer_p placement placement_epoch sources
       attack_domains legit_sources legit_domains attack_rate legit_rate
       duration seed td overload filter_capacity metrics contracts
       byzantine_fraction lying_mode contract_r1 contract_r2 audit_deadline
       audit_grace shards obs =
-    Aitf_parallel.Sched.set_default_clock Unix.gettimeofday;
     let registry =
       if metrics <> None then begin
         let reg = Aitf_obs.Metrics.create () in
@@ -1254,19 +1267,12 @@ let internet_cmd =
           ("shards", Json.Int shards);
         ]
       in
-      (let module Sched = Aitf_parallel.Sched in
-       let st = r.As_scenario.r_sched_stats in
-       let add name v =
-         Aitf_obs.Metrics.register_gauge reg name (fun () -> v)
-       in
-       add "sched.shards" (float_of_int shards);
-       add "sched.windows" (float_of_int st.Sched.windows);
-       add "sched.global_batches" (float_of_int st.Sched.global_batches);
-       add "sched.messages" (float_of_int st.Sched.messages);
-       add "sched.deferred" (float_of_int st.Sched.deferred);
-       add "sched.stall_seconds" st.Sched.stall_seconds);
+      (* The sched.* gauges are registered by the scenario itself (live
+         reads over the scheduler, including the per-window timeline);
+         the run report just adds the structured "parallel" section. *)
       Aitf_obs.Report.write_json file
-        (Aitf_obs.Report.make ~meta ~series:[] ~now:duration reg);
+        (Aitf_obs.Report.make ~meta ?parallel:r.As_scenario.r_parallel
+           ~series:[] ~now:duration reg);
       Printf.printf "wrote %s (%d metrics)\n" file (Aitf_obs.Metrics.size reg)
     | _ -> ()
   in
@@ -1351,15 +1357,16 @@ let matrix_cmd =
   in
   let shards =
     Arg.(value & opt (min_int "--shards" 1) 1 & info [ "shards" ] ~docv:"N"
-           ~doc:"Run the internet cells on the parallel engine with N \
-                 shards (contract cells stay sequential; span digests are \
-                 disabled). Sharded documents legitimately differ from \
-                 the 1-shard goldens, so pair with --bless into a scratch \
+           ~doc:"Run the unpinned internet cells (contract cells included) \
+                 on the parallel engine with N shards; -shard<K> cells \
+                 keep their pinned count. Span tracing stays on — the \
+                 per-cell span_digest in --bench-json is shard-invariant. \
+                 Sharded documents still differ from the 1-shard goldens \
+                 in outcome scalars, so pair with --bless into a scratch \
                  --goldens directory — the determinism-stress regime CI \
                  uses. See docs/PARALLEL.md.")
   in
   let run goldens bless smoke only bench_json list shards =
-    Aitf_parallel.Sched.set_default_clock Unix.gettimeofday;
     if list then
       List.iter
         (fun c ->
@@ -1512,6 +1519,10 @@ let replay_cmd =
     term
 
 let () =
+  (* Parallel-engine barrier stalls are measured on the real clock for
+     every command (the library default is a zero clock so pure-library
+     users stay deterministic). *)
+  Aitf_parallel.Sched.set_default_clock Unix.gettimeofday;
   let info =
     Cmd.info "aitf_sim" ~version:"1.0.0"
       ~doc:"Active Internet Traffic Filtering simulator (Argyraki & Cheriton)"

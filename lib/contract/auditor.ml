@@ -78,10 +78,9 @@ let violations t =
   Hashtbl.fold (fun a n acc -> (a, n) :: acc) t.violation_counts []
   |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
 
-let trace t fmt = Trace.emitf ~time:(Sim.now t.sim) ~category:"auditor" fmt
+let trace _t ~now fmt = Trace.emitf ~time:now ~category:"auditor" fmt
 
-let violate t (x : expectation) gw kind =
-  let now = Sim.now t.sim in
+let violate t ~now (x : expectation) gw kind =
   Counter.incr t.counters ("violation-" ^ violation_name kind);
   let total =
     1 + Option.value ~default:0 (Hashtbl.find_opt t.violation_counts gw)
@@ -89,7 +88,7 @@ let violate t (x : expectation) gw kind =
   Hashtbl.replace t.violation_counts gw total;
   let n = 1 + Option.value ~default:0 (Hashtbl.find_opt x.x_strikes gw) in
   Hashtbl.replace x.x_strikes gw n;
-  trace t "violation (%s) strike #%d (total %d) against %a on %a"
+  trace t ~now "violation (%s) strike #%d (total %d) against %a on %a"
     (violation_name kind) n total Addr.pp gw Flow_label.pp x.x_flow;
   (* Probing backs off exponentially: the next violation on this flow needs
      fresh evidence and a widening quiet window, so a single sustained
@@ -110,19 +109,19 @@ let violate t (x : expectation) gw kind =
   if n >= needed && not (Hashtbl.mem t.flagged_tbl gw) then begin
     Hashtbl.replace t.flagged_tbl gw ();
     Counter.incr t.counters "gateway-flagged";
-    trace t "flagging %a after %d violations" Addr.pp gw n;
+    trace t ~now "flagging %a after %d violations" Addr.pp gw n;
     t.on_flag gw
   end
 
 (* The accountable entry skips flagged gateways — exactly mirroring the
    failover skip the victim's gateway performs on the same path. *)
-let advance_past_flagged t (x : expectation) =
+let advance_past_flagged t ~now (x : expectation) =
   let rec go () =
     match List.nth_opt x.x_path x.x_idx with
     | Some gw when Hashtbl.mem t.flagged_tbl gw ->
       x.x_idx <- x.x_idx + 1;
-      x.x_mark <- Sim.now t.sim;
-      x.x_deadline <- Sim.now t.sim +. t.config.deadline;
+      x.x_mark <- now;
+      x.x_deadline <- now +. t.config.deadline;
       x.x_backoff <- t.config.deadline;
       go ()
     | Some _ | None -> ()
@@ -130,7 +129,7 @@ let advance_past_flagged t (x : expectation) =
   go ()
 
 let audit_one t now (x : expectation) =
-  advance_past_flagged t x;
+  advance_past_flagged t ~now x;
   (* Drop a stale receipt from a since-flagged issuer: it pacifies nothing.
      The audit re-arms from scratch — the newly accountable gateway gets a
      full deadline to produce its post-failover receipt; without the reset
@@ -155,7 +154,7 @@ let audit_one t now (x : expectation) =
       && x.x_last_arrival > x.x_receipt_at +. t.config.grace
       && x.x_last_arrival > x.x_mark
       && x.x_last_arrival >= now -. t.config.grace
-    then violate t x g Not_policing
+    then violate t ~now x g Not_policing
   | None -> (
     (* No receipt covers the flow: past the deadline, persisting arrivals
        convict the accountable path entry — including the silent
@@ -171,7 +170,7 @@ let audit_one t now (x : expectation) =
         now >= x.x_deadline
         && x.x_last_arrival > x.x_mark
         && x.x_last_arrival >= now -. t.config.grace
-      then violate t x gw Silent)
+      then violate t ~now x gw Silent)
 
 let tick t =
   let now = Sim.now t.sim in
@@ -180,8 +179,13 @@ let tick t =
   |> List.sort (fun a b -> Flow_label.compare a.x_flow b.x_flow)
   |> List.iter (audit_one t now)
 
-let note_request t (req : Message.request) =
-  let now = Sim.now t.sim in
+(* [?now] lets sharded runs stamp observations with the observing shard's
+   clock at capture time ([As_scenario] routes these calls through
+   [Sched.defer], which replays them at the barrier — the global sim's
+   clock there lags the shard that saw the event). Sequential callers
+   omit it and get the historical [Sim.now t.sim]. *)
+let note_request ?now t (req : Message.request) =
+  let now = match now with Some n -> n | None -> Sim.now t.sim in
   (* The victim's own gateway closes the path; it answers to us directly
      (terminal filtering), not through receipts, so it is never audited. *)
   let path =
@@ -198,7 +202,7 @@ let note_request t (req : Message.request) =
     x.x_deadline <-
       (if x.x_deadline <= now then now +. t.config.deadline
        else Float.min x.x_deadline (now +. t.config.deadline));
-    advance_past_flagged t x
+    advance_past_flagged t ~now x
   | None ->
     let x =
       {
@@ -215,7 +219,7 @@ let note_request t (req : Message.request) =
         x_strikes = Hashtbl.create 4;
       }
     in
-    advance_past_flagged t x;
+    advance_past_flagged t ~now x;
     Hashtbl.replace t.expectations req.Message.flow x
 
 let note_arrival t flow at =
@@ -223,8 +227,8 @@ let note_arrival t flow at =
   | Some x -> x.x_last_arrival <- at
   | None -> ()
 
-let on_receipt t (r : Message.receipt) =
-  let now = Sim.now t.sim in
+let on_receipt ?now t (r : Message.receipt) =
+  let now = match now with Some n -> n | None -> Sim.now t.sim in
   let authentic =
     (* [signing_bytes] zeroes the auth tail itself, so the receipt passes
        through unmodified. *)
@@ -239,7 +243,7 @@ let on_receipt t (r : Message.receipt) =
        either a forger without key material or tampering in flight. The
        named issuer claimed to police and provably is not. *)
     match Hashtbl.find_opt t.expectations r.Message.rc_flow with
-    | Some x -> violate t x r.Message.rc_gateway Bad_signature
+    | Some x -> violate t ~now x r.Message.rc_gateway Bad_signature
     | None -> ()
   end
   else begin
@@ -254,7 +258,7 @@ let on_receipt t (r : Message.receipt) =
          not a high-water mark — receipts for different flows from one
          issuer interleave on the wire, and reordering must not convict. *)
       match Hashtbl.find_opt t.expectations r.Message.rc_flow with
-      | Some x -> violate t x r.Message.rc_gateway Replayed
+      | Some x -> violate t ~now x r.Message.rc_gateway Replayed
       | None -> ()
     end
     else begin

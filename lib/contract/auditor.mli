@@ -66,19 +66,24 @@ val create :
     filters, not receipts, so it is excluded from auditing. [on_flag]
     fires exactly once per convicted gateway. *)
 
-val note_request : t -> Aitf_core.Message.request -> unit
+val note_request : ?now:float -> t -> Aitf_core.Message.request -> unit
 (** A filtering request went out: the first un-flagged gateway on its
     path now owes a receipt within [deadline]. Re-requesting a known flow
-    re-arms its deadline without forgetting accumulated violations. *)
+    re-arms its deadline without forgetting accumulated violations.
+    [?now] overrides the observation timestamp (default [Sim.now] on the
+    auditor's own sim) — sharded runs capture the observing shard's
+    clock and replay the call through [Sched.defer] at the barrier,
+    where the global clock lags the shard's. *)
 
 val note_arrival : t -> Flow_label.t -> float -> unit
 (** An undesired packet of [flow] arrived at [time]. *)
 
-val on_receipt : t -> Aitf_core.Message.receipt -> unit
+val on_receipt : ?now:float -> t -> Aitf_core.Message.receipt -> unit
 (** An install receipt arrived: verify its digest and sequence number,
     then either accept it as the flow's coverage claim or record the
     violation it proves. A receipt whose label subsumes an audited flow
-    covers it (controller-placed prefix filters). *)
+    covers it (controller-placed prefix filters). [?now] as in
+    {!note_request}. *)
 
 val flagged : t -> Addr.t list
 (** Gateways convicted so far, sorted. *)

@@ -120,7 +120,7 @@ module Victim = struct
                  if attempt <= t.config.Config.ctrl_retries then begin
                    if Token_bucket.allow t.bucket ~now:(Sim.now t.sim) then begin
                      t.requests_retransmitted <- t.requests_retransmitted + 1;
-                     Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+                     Span.event ~node:t.node.Node.name ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
                        "victim-retransmit";
                      trace t "re-requesting block of %a (attempt %d)"
                        Flow_label.pp flow (attempt + 1);
@@ -128,7 +128,7 @@ module Victim = struct
                    end
                    else begin
                      t.requests_suppressed <- t.requests_suppressed + 1;
-                     Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+                     Span.event ~node:t.node.Node.name ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
                        "request-suppressed"
                    end;
                    sent_at := Sim.now t.sim;
@@ -136,7 +136,7 @@ module Victim = struct
                  end
                  else begin
                    t.requests_gave_up <- t.requests_gave_up + 1;
-                   Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+                   Span.event ~node:t.node.Node.name ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
                      "victim-gave-up";
                    Hashtbl.remove t.retrying flow
                  end
@@ -162,7 +162,7 @@ module Victim = struct
     end
     else begin
       t.requests_suppressed <- t.requests_suppressed + 1;
-      Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+      Span.event ~node:t.node.Node.name ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
         "request-suppressed"
     end
 
@@ -257,7 +257,7 @@ module Victim = struct
       (* "Do you really not want this flow?" — confirm iff we asked. *)
       if requested_live t flow then begin
         t.queries_answered <- t.queries_answered + 1;
-        Span.event ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
+        Span.event ~node:t.node.Node.name ~corr:(corr_of t flow) ~now:(Sim.now t.sim)
           "victim-confirmed";
         send t ~dst:pkt.src (Message.Verification_reply { flow; nonce })
       end

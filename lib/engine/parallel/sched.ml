@@ -33,6 +33,18 @@ type stats = {
   stall_seconds : float;
 }
 
+(* One shard window's telemetry, recorded when the window log is enabled
+   ([set_window_log]): the horizon it ran to, the coordinator's barrier
+   stall, how many events each shard executed inside it, and how many
+   messages/deferred thunks its closing barrier drained. *)
+type window_record = {
+  w_horizon : float;
+  w_stall : float;
+  w_events : int array;
+  w_messages : int;
+  w_deferred : int;
+}
+
 type t = {
   n : int;
   sims : Sim.t array;
@@ -47,12 +59,18 @@ type t = {
   sync : sync;
   mutable running : bool;
   mutable clock : unit -> float;
+  mutable worker_init : shard:int -> unit;
   (* stats *)
   mutable s_windows : int;
   mutable s_global : int;
   mutable s_messages : int;
   mutable s_deferred : int;
   mutable s_stall : float;
+  (* window log (off unless set_window_log) *)
+  mutable wlog_max : int;
+  mutable wlog : window_record list;  (* newest first *)
+  mutable wlog_len : int;
+  mutable wlog_dropped : int;
 }
 
 (* Which shard (if any) the current domain is executing, set by workers at
@@ -97,11 +115,16 @@ let create ~shards () =
       };
     running = false;
     clock = !default_clock;
+    worker_init = (fun ~shard:_ -> ());
     s_windows = 0;
     s_global = 0;
     s_messages = 0;
     s_deferred = 0;
     s_stall = 0.;
+    wlog_max = 0;
+    wlog = [];
+    wlog_len = 0;
+    wlog_dropped = 0;
   }
 
 let shards t = t.n
@@ -110,6 +133,20 @@ let shard_sims t = t.sims
 let global t = t.global_sim
 let lookahead t = t.min_lookahead
 let set_clock t clock = t.clock <- clock
+
+let set_worker_init t f =
+  if t.running then invalid_arg "Sched.set_worker_init: already running";
+  t.worker_init <- f
+
+let set_window_log t ~max =
+  if max < 0 then invalid_arg "Sched.set_window_log: max must be >= 0";
+  t.wlog_max <- max
+
+let window_log t = List.rev t.wlog
+let window_log_dropped t = t.wlog_dropped
+
+let shard_events t =
+  Array.map Sim.events_processed t.sims
 
 let register_channel t ~src ~dst ~lookahead =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
@@ -218,6 +255,16 @@ let drain_deferred t =
 let worker t i () =
   Domain.DLS.set ctx_key (Some (i, t.sims.(i)));
   let sync = t.sync in
+  (* Per-domain setup installed by the scenario (span collector binding,
+     mint stride, ...). A failure here must not kill the worker — the
+     barrier protocol needs every worker looping — so it is parked in
+     [sync.failure] and re-raised on the coordinator at the first
+     window. *)
+  (try t.worker_init ~shard:i
+   with e ->
+     Mutex.lock sync.m;
+     if sync.failure = None then sync.failure <- Some e;
+     Mutex.unlock sync.m);
   let my_gen = ref 0 in
   let rec loop () =
     Mutex.lock sync.m;
@@ -255,12 +302,13 @@ let run_shard_window t ~horizon ~inclusive =
   while sync.remaining > 0 do
     Condition.wait sync.done_ sync.m
   done;
-  t.s_stall <- t.s_stall +. (t.clock () -. t0);
+  let stall = t.clock () -. t0 in
+  t.s_stall <- t.s_stall +. stall;
   let failure = sync.failure in
   sync.failure <- None;
   Mutex.unlock sync.m;
   t.s_windows <- t.s_windows + 1;
-  match failure with Some e -> raise e | None -> ()
+  match failure with Some e -> raise e | None -> stall
 
 let min_next_shard t =
   let best = ref infinity in
@@ -312,9 +360,34 @@ let run_parallel ?until t =
          or before the next global event. *)
       let h = Float.min (s_min +. t.min_lookahead) g in
       let horizon, inclusive = if upto < h then (upto, true) else (h, false) in
-      run_shard_window t ~horizon ~inclusive;
-      drain_inboxes t;
-      drain_deferred t;
+      if t.wlog_max = 0 then begin
+        let (_ : float) = run_shard_window t ~horizon ~inclusive in
+        drain_inboxes t;
+        drain_deferred t
+      end
+      else begin
+        let ev0 = Array.map Sim.events_processed t.sims in
+        let msg0 = t.s_messages and def0 = t.s_deferred in
+        let stall = run_shard_window t ~horizon ~inclusive in
+        drain_inboxes t;
+        drain_deferred t;
+        if t.wlog_len < t.wlog_max then begin
+          let ev =
+            Array.mapi (fun i sim -> Sim.events_processed sim - ev0.(i)) t.sims
+          in
+          t.wlog <-
+            {
+              w_horizon = horizon;
+              w_stall = stall;
+              w_events = ev;
+              w_messages = t.s_messages - msg0;
+              w_deferred = t.s_deferred - def0;
+            }
+            :: t.wlog;
+          t.wlog_len <- t.wlog_len + 1
+        end
+        else t.wlog_dropped <- t.wlog_dropped + 1
+      end;
       loop ()
     end
   in
@@ -347,3 +420,26 @@ let stats t =
     deferred = t.s_deferred;
     stall_seconds = t.s_stall;
   }
+
+module Metrics = Aitf_obs.Metrics
+
+(* Pull gauges over the live scheduler: snapshotting the registry after
+   [run] returns reads the final synchronization counters. Names match
+   the historical CLI report keys ([sched.windows], ...). *)
+let register_metrics t reg ~prefix =
+  let gauge name help read =
+    Metrics.register_gauge reg ~help (prefix ^ "." ^ name) read
+  in
+  gauge "shards" "configured shard count" (fun () -> float_of_int t.n);
+  gauge "lookahead" "minimum cross-shard channel latency (s)" (fun () ->
+      t.min_lookahead);
+  gauge "windows" "parallel shard windows executed" (fun () ->
+      float_of_int t.s_windows);
+  gauge "global_batches" "global-phase coordinator batches" (fun () ->
+      float_of_int t.s_global);
+  gauge "messages" "cross-shard messages drained at barriers" (fun () ->
+      float_of_int t.s_messages);
+  gauge "deferred" "deferred thunks replayed at barriers" (fun () ->
+      float_of_int t.s_deferred);
+  gauge "stall_seconds" "coordinator barrier-wait wall-clock (s)" (fun () ->
+      t.s_stall)

@@ -98,6 +98,37 @@ val run : ?until:float -> t -> unit
 val events_processed : t -> int
 (** Total events executed across all worlds. *)
 
+val shard_events : t -> int array
+(** Events executed per shard world (index = shard id), excluding the
+    global world. *)
+
+val set_worker_init : t -> (shard:int -> unit) -> unit
+(** Hook run once by each worker domain at spawn, after it has marked
+    itself as executing [shard] — the seam for per-domain setup that
+    must happen on the worker itself (e.g. [Span.bind_domain]: installing
+    the shard's span collector and correlation-id stride in the worker's
+    domain-local storage). Exceptions raised by the hook are re-raised on
+    the coordinator at the first window.
+    @raise Invalid_argument if called while {!run} is active. *)
+
+type window_record = {
+  w_horizon : float;  (** virtual-time horizon the window ran to *)
+  w_stall : float;  (** coordinator barrier wait for this window (s) *)
+  w_events : int array;  (** events executed per shard in this window *)
+  w_messages : int;  (** cross-shard messages drained at its barrier *)
+  w_deferred : int;  (** deferred thunks replayed at its barrier *)
+}
+
+val set_window_log : t -> max:int -> unit
+(** Record a {!window_record} for each of the first [max] shard windows
+    (off by default; [max = 0] turns it back off). The cap bounds memory
+    on long runs — {!window_log_dropped} counts windows past it. *)
+
+val window_log : t -> window_record list
+(** Logged windows, in execution order. *)
+
+val window_log_dropped : t -> int
+
 type stats = {
   windows : int;  (** parallel shard windows executed *)
   global_batches : int;  (** global-phase coordinator batches *)
@@ -123,3 +154,11 @@ val set_default_clock : (unit -> float) -> unit
 (** Clock inherited by every scheduler created afterwards — how the CLI
     reaches schedulers that scenarios create internally (this library
     cannot depend on [unix] itself). *)
+
+val register_metrics : t -> Aitf_obs.Metrics.t -> prefix:string -> unit
+(** Register pull gauges over the live scheduler in [reg]:
+    [<prefix>.shards], [.lookahead], [.windows], [.global_batches],
+    [.messages], [.deferred] and [.stall_seconds]. Snapshotting after
+    {!run} returns reads the final synchronization counters.
+    @raise Invalid_argument on duplicate names (one registration per
+    registry). *)

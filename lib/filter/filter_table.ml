@@ -169,6 +169,7 @@ let live_entries t =
   Hashtbl.fold (fun _ h acc -> if h.alive then h :: acc else acc) t.by_label []
   |> List.sort (fun a b -> Flow_label.compare a.label b.label)
 
+let sim t = t.sim
 let label h = h.label
 let corr h = h.corr
 let rate_limit h = Option.map Token_bucket.rate h.limiter

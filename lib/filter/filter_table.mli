@@ -64,6 +64,12 @@ val subscribe : t -> (change -> unit) -> unit
 val find : t -> Flow_label.t -> handle option
 (** Live entry with exactly this label. *)
 
+val sim : t -> Aitf_engine.Sim.t
+(** The clock this table was created on — in sharded runs, the owning
+    shard's simulator. Subscription callbacks that must timestamp the
+    change with the exact install/removal instant read this clock, not
+    a global one. *)
+
 val evict_subsumed : t -> Flow_label.t -> int
 (** Remove every live entry whose label is subsumed by the given label and
     return how many were evicted — the compaction step used when a

@@ -90,11 +90,15 @@ let eviction_candidate ?sparing t =
        None
 
 (* Span-trace the eviction against the request that installed the filter,
-   so the victim's trace shows who paid for the table pressure. *)
+   so the victim's trace shows who paid for the table pressure. Recorded
+   on the root, not an open span: the eviction happens at the table's
+   gateway while the request's open spans may live on other nodes (and,
+   sharded, in other collectors), so root attachment is the only placement
+   independent of the shard layout. *)
 let note_eviction t reason h =
   match Filter_table.corr h with
   | Some corr ->
-    Aitf_obs.Span.event ~corr ~now:(Sim.now t.sim) reason
+    Aitf_obs.Span.root_event ~corr ~now:(Sim.now t.sim) reason
   | None -> ()
 
 let priority_evict ?sparing t =

@@ -269,23 +269,32 @@ let src_range agg sel =
     let hi = min (base + agg.n - 1) (pb + span - 1) in
     if lo > hi then None else Some (lo - base, hi - base)
 
+(* The rate domain reacted to this filter: annotate the owning request's
+   span tree so hybrid traces show the mirror kept pace. The spans
+   themselves are closed by the gateway's own table subscription — the
+   same seam — so both engines close identical span sets. Timestamped on
+   the table's own clock (the shard clock in sharded runs) and recorded
+   from the subscribing context, never from a deferred replay — the span
+   is open and the instant exact right where the change fires. *)
+let annotate_change ~now change =
+  let h =
+    match change with
+    | Filter_table.Installed h | Filter_table.Removed h -> h
+  in
+  if Aitf_obs.Span.enabled () then
+    match Filter_table.corr h with
+    | Some corr ->
+      Aitf_obs.Span.root_event ~corr ~now
+        (match change with
+        | Filter_table.Installed _ -> "fluid-mirror-install"
+        | Filter_table.Removed _ -> "fluid-mirror-remove")
+    | None -> ()
+
 let on_change t node_id change =
   let h =
     match change with
     | Filter_table.Installed h | Filter_table.Removed h -> h
   in
-  (* The rate domain reacted to this filter: annotate the owning request's
-     span tree so hybrid traces show the mirror kept pace. The spans
-     themselves are closed by the gateway's own table subscription — the
-     same seam — so both engines close identical span sets. *)
-  (if Aitf_obs.Span.enabled () then
-     match Filter_table.corr h with
-     | Some corr ->
-       Aitf_obs.Span.event ~corr ~now:(Sim.now t.sim)
-         (match change with
-         | Filter_table.Installed _ -> "fluid-mirror-install"
-         | Filter_table.Removed _ -> "fluid-mirror-remove")
-     | None -> ());
   let label = Filter_table.label h in
   match Hashtbl.find_opt t.subs node_id with
   | None -> ()
@@ -305,15 +314,22 @@ let on_change t node_id change =
 
 let attach_table ?defer t ~node table =
   Hashtbl.replace t.tables node.Node.id table;
-  let cb ev = on_change t node.Node.id ev in
+  let mirror ev = on_change t node.Node.id ev in
   (* In sharded runs filter changes happen during shard windows while the
      fluid state is shared: the mirror update is deferred to the barrier
      (where [on_change]'s reeval re-derives ground truth from the table,
-     so late application is safe and idempotent). *)
-  let cb =
-    match defer with None -> cb | Some d -> fun ev -> d (fun () -> cb ev)
+     so late application is safe and idempotent). The span annotation is
+     NOT deferred — it must record in the subscriber's context at the
+     table clock's exact instant, or traces would depend on the shard
+     layout. *)
+  let mirror =
+    match defer with
+    | None -> mirror
+    | Some d -> fun ev -> d (fun () -> mirror ev)
   in
-  Filter_table.subscribe table cb
+  Filter_table.subscribe table (fun ev ->
+      annotate_change ~now:(Sim.now (Filter_table.sim table)) ev;
+      mirror ev)
 
 (* --- construction --------------------------------------------------------- *)
 

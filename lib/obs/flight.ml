@@ -13,13 +13,25 @@ type t = {
   buf : record option array;
   mutable next : int;  (* write cursor *)
   mutable total : int;
+  mutable shard : int option;  (* identity stamp for sharded runs *)
+  mutable dump_path : string option;  (* auto-dump target (else stderr) *)
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
-  { buf = Array.make capacity None; next = 0; total = 0 }
+  {
+    buf = Array.make capacity None;
+    next = 0;
+    total = 0;
+    shard = None;
+    dump_path = None;
+  }
 
 let capacity t = Array.length t.buf
+let set_shard t i = t.shard <- Some i
+let shard t = t.shard
+let set_dump_path t p = t.dump_path <- p
+let dump_path t = t.dump_path
 
 let current : t option ref = ref None
 
@@ -71,6 +83,41 @@ let records t =
 
 let recorded t = t.total
 
+(* [merge_into master rings] interleaves every shard ring's retained
+   records into [master] in deterministic (time, shard, per-shard write
+   order) order. Within a ring, write order is virtual-time order (each
+   shard's sim executes monotonically), so the merged ring is globally
+   time-sorted with shard id breaking ties. [master]'s total afterwards
+   counts every record seen anywhere, mirroring the single-ring meaning
+   of {!recorded}. *)
+let merge_into master rings =
+  let shard_of t i = match t.shard with Some s -> s | None -> i in
+  let tagged =
+    List.concat
+      (List.mapi
+         (fun i t ->
+           List.mapi (fun j r -> (r.time, shard_of t i, j, r)) (records t))
+         rings)
+  in
+  let tagged =
+    List.stable_sort
+      (fun (ta, sa, ja, _) (tb, sb, jb, _) ->
+        let c = Float.compare ta tb in
+        if c <> 0 then c
+        else
+          let c = Int.compare sa sb in
+          if c <> 0 then c else Int.compare ja jb)
+      tagged
+  in
+  let written = List.length tagged in
+  List.iter
+    (fun (_, _, _, r) ->
+      write master ~time:r.time ~node:r.node ~link:r.link ~kind:r.kind
+        ~size:r.size ~queue_depth:r.queue_depth)
+    tagged;
+  let seen = List.fold_left (fun acc t -> acc + t.total) 0 rings in
+  master.total <- master.total - written + seen
+
 let kind_name = function
   | Enqueue -> "enqueue"
   | Dequeue -> "dequeue"
@@ -85,3 +132,26 @@ let dump ?(out = Format.err_formatter) t =
   Format.fprintf out "== flight recorder: last %d of %d record(s) ==@."
     (List.length rs) t.total;
   List.iter (fun r -> Format.fprintf out "%a@." pp_record r) rs
+
+let auto_dump_target t =
+  Option.map
+    (fun p ->
+      match t.shard with
+      | Some i -> Printf.sprintf "%s.shard%d" p i
+      | None -> p)
+    t.dump_path
+
+let auto_dump t =
+  match auto_dump_target t with
+  | None -> dump t
+  | Some path ->
+    (* One whole-file write per dump: a per-shard-suffixed path means no
+       two recorders ever target the same file, so dumps cannot
+       interleave or clobber each other. *)
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let out = Format.formatter_of_out_channel oc in
+        dump ~out t;
+        Format.pp_print_flush out ())

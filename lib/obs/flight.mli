@@ -34,6 +34,19 @@ val create : capacity:int -> t
 
 val capacity : t -> int
 
+val set_shard : t -> int -> unit
+(** Stamp this recorder as belonging to a parallel-engine shard: the id
+    breaks ties in {!merge_into}'s ordering and suffixes the
+    {!auto_dump} path. *)
+
+val shard : t -> int option
+
+val set_dump_path : t -> string option -> unit
+(** File {!auto_dump} writes to (suffixed [".shard<i>"] for stamped
+    recorders). [None] (the default) dumps to stderr. *)
+
+val dump_path : t -> string option
+
 (** {1 Attachment} *)
 
 val attach : t -> unit
@@ -74,8 +87,22 @@ val records : t -> record list
 val recorded : t -> int
 (** Total records ever written (may exceed [capacity]). *)
 
+val merge_into : t -> t list -> unit
+(** [merge_into master rings] appends every ring's retained records into
+    [master], interleaved in deterministic (time, shard, per-shard write
+    order) order — the end-of-run merge for sharded runs (each shard's
+    write order {e is} its virtual-time order, so the result is globally
+    time-sorted with the shard id breaking ties). [recorded master]
+    afterwards counts records seen across all rings. *)
+
 val pp_record : Format.formatter -> record -> unit
 
 val dump : ?out:Format.formatter -> t -> unit
 (** Print every retained record, oldest first (default
     [Format.err_formatter]). *)
+
+val auto_dump : t -> unit
+(** The SLO-breach dump: write the retained records to {!dump_path}
+    (suffixed [".shard<i>"] when {!set_shard} was called, so concurrent
+    dumps from different shards never share a file), or to stderr when
+    no path is set. Each call rewrites the file whole. *)

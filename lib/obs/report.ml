@@ -41,16 +41,21 @@ let series_json (name, s) =
              (Series.points s)) );
     ]
 
-let make ?(meta = []) ?(series = []) ~now registry =
+let make ?(meta = []) ?parallel ?(series = []) ~now registry =
   Json.Obj
-    [
-      ("schema", Json.String schema);
-      ("generated_at", Json.Float now);
-      ("meta", Json.Obj meta);
-      ( "metrics",
-        Json.List (List.map (metric_json registry) (Metrics.snapshot registry)) );
-      ("series", Json.List (List.map series_json series));
-    ]
+    ([ ("schema", Json.String schema);
+       ("generated_at", Json.Float now);
+       ("meta", Json.Obj meta);
+     ]
+    @ (match parallel with
+      | None -> []
+      | Some p -> [ ("parallel", p) ])
+    @ [
+        ( "metrics",
+          Json.List
+            (List.map (metric_json registry) (Metrics.snapshot registry)) );
+        ("series", Json.List (List.map series_json series));
+      ])
 
 (* --- parsing back ----------------------------------------------------------- *)
 

@@ -10,6 +10,9 @@
     { "schema": "aitf.run-report/1",
       "generated_at": <virtual seconds>,
       "meta": { ... caller-supplied run parameters ... },
+      -- sharded runs only --
+      "parallel": { "shards": <n>, "windows": <n>, "stall_seconds": ...,
+                    "per_shard": [...], "window_timeline": {...} },
       "metrics": [
         { "name": ..., "kind": "counter"|"gauge"|"histogram",
           "unit": ..., "help": ...,
@@ -22,13 +25,17 @@
 
 val make :
   ?meta:(string * Json.t) list ->
+  ?parallel:Json.t ->
   ?series:(string * Aitf_stats.Series.t) list ->
   now:float ->
   Metrics.t ->
   Json.t
 (** Snapshot the registry and assemble the report. [now] stamps
     [generated_at] (virtual time); [series] usually comes from
-    {!Sampler.series}. *)
+    {!Sampler.series}; [?parallel] is the parallel-engine telemetry
+    section emitted by sharded runs ([As_scenario.result.r_parallel]) —
+    omitted entirely for sequential runs, keeping their reports
+    byte-identical to previous versions. *)
 
 val values_of_json :
   Json.t -> ((string * Metrics.value) list, string) result

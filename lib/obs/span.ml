@@ -14,6 +14,14 @@ let stage_name = function
   | Counter_request -> "counter-request"
   | Permanent_filter -> "permanent-filter"
 
+let stage_index = function
+  | Detect -> 0
+  | Request -> 1
+  | Temp_filter -> 2
+  | Verification -> 3
+  | Counter_request -> 4
+  | Permanent_filter -> 5
+
 let all_stages =
   [ Detect; Request; Temp_filter; Verification; Counter_request; Permanent_filter ]
 
@@ -30,12 +38,13 @@ type span = {
 
 type root = {
   corr : int;
-  flow : string;
-  victim : string;
-  opened_at : float;
+  mutable flow : string;
+  mutable victim : string;
+  mutable opened_at : float;
   mutable completed_at : float option;
   mutable spans : span list;
   mutable root_events : event list;
+  mutable orphan : bool;
 }
 
 type t = {
@@ -45,6 +54,7 @@ type t = {
          at once on different nodes during escalation *)
   nonces : (int64, int) Hashtbl.t;
   mutable slo : (float * (root -> unit)) option;
+  mutable allow_orphans : bool;
 }
 
 let create () =
@@ -53,20 +63,64 @@ let create () =
     open_spans = Hashtbl.create 64;
     nonces = Hashtbl.create 32;
     slo = None;
+    allow_orphans = false;
   }
+
+let set_allow_orphans t v = t.allow_orphans <- v
 
 (* Correlation ids are minted unconditionally (protocol messages carry one
    whether or not a collector is attached), off a plain counter — no
-   randomness, so traced and untraced runs see identical protocol state. *)
+   randomness, so traced and untraced runs see identical protocol state.
+   Worker domains of the parallel engine each mint from their own stride
+   ([bind_domain]): ids stay unique and deterministic without a shared
+   atomic, at the price of being shard-dependent — which is why every
+   cross-shard-count comparison goes through the canonical re-keying of
+   [merge_into]/[digest] rather than raw ids. *)
 let minter = ref 0
 
+(* Per-domain override installed by parallel-engine workers: collector and
+   mint stride for the calling domain. The main domain keeps the plain
+   globals, so sequential runs are bit-identical to the historical code. *)
+type domain_binding = {
+  mutable b_collector : t option;
+  mutable b_active : bool;
+  mutable b_base : int;
+  mutable b_count : int;
+}
+
+let binding_key : domain_binding Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { b_collector = None; b_active = false; b_base = 0; b_count = 0 })
+
+let bind_domain ?collector ~mint_base () =
+  let b = Domain.DLS.get binding_key in
+  b.b_collector <- collector;
+  b.b_active <- true;
+  b.b_base <- mint_base;
+  b.b_count <- 0
+
+let unbind_domain () =
+  let b = Domain.DLS.get binding_key in
+  b.b_collector <- None;
+  b.b_active <- false;
+  b.b_base <- 0;
+  b.b_count <- 0
+
 let mint () =
-  incr minter;
-  !minter
+  let b = Domain.DLS.get binding_key in
+  if b.b_active then begin
+    b.b_count <- b.b_count + 1;
+    b.b_base + b.b_count
+  end
+  else begin
+    incr minter;
+    !minter
+  end
 
 (* Harness hook: independent scenarios run back-to-back in one process
    (the golden matrix, bench) rewind the counter so cell N's corr ids do
-   not depend on cells 0..N-1. *)
+   not depend on cells 0..N-1. Domain strides need no rewind: worker
+   domains are fresh per scheduler run. *)
 let reset_mint () = minter := 0
 
 let current : t option ref = ref None
@@ -74,27 +128,60 @@ let current : t option ref = ref None
 let attach t = current := Some t
 let detach () = current := None
 let attached () = !current
-let enabled () = Option.is_some !current
 
-let with_t f = match !current with None -> () | Some t -> f t
+let domain_collector () =
+  let b = Domain.DLS.get binding_key in
+  if b.b_active && b.b_collector <> None then b.b_collector else !current
+
+let enabled () = Option.is_some (domain_collector ())
+
+let with_t f = match domain_collector () with None -> () | Some t -> f t
+
+let new_root t ~corr ~flow ~victim ~now ~orphan =
+  let r =
+    {
+      corr;
+      flow;
+      victim;
+      opened_at = now;
+      completed_at = None;
+      spans = [];
+      root_events = [];
+      orphan;
+    }
+  in
+  Hashtbl.replace t.tbl corr r;
+  r
+
+(* The root for [corr], creating an orphan placeholder when permitted —
+   shard collectors see spans for requests whose root opened in another
+   shard's collector; [merge_into] later reunites them (and drops
+   placeholders that never find a real root, e.g. forged corr 0). *)
+let find_or_orphan t ~corr ~now =
+  match Hashtbl.find_opt t.tbl corr with
+  | Some r -> Some r
+  | None ->
+    if t.allow_orphans then
+      Some (new_root t ~corr ~flow:"" ~victim:"" ~now ~orphan:true)
+    else None
 
 let root ~corr ~flow ~victim ~now =
   with_t (fun t ->
-      if not (Hashtbl.mem t.tbl corr) then
-        Hashtbl.replace t.tbl corr
-          {
-            corr;
-            flow;
-            victim;
-            opened_at = now;
-            completed_at = None;
-            spans = [];
-            root_events = [];
-          })
+      match Hashtbl.find_opt t.tbl corr with
+      | None -> ignore (new_root t ~corr ~flow ~victim ~now ~orphan:false)
+      | Some r ->
+        (* First real writer wins; an orphan placeholder gets its identity
+           filled in (recording raced ahead of the root on this shard). *)
+        if r.orphan then begin
+          r.flow <- flow;
+          r.victim <- victim;
+          r.opened_at <- now;
+          r.orphan <- false
+        end)
 
 let start ~corr ~stage ~node ~now =
   with_t (fun t ->
-      match Hashtbl.find_opt t.tbl corr with
+      match find_or_orphan t ~corr ~now with
       | None -> ()
       | Some r ->
         let s =
@@ -164,9 +251,15 @@ let event ?node ~corr ~now label =
       match newest_open t ?node ~corr () with
       | Some s -> s.span_events <- e :: s.span_events
       | None -> (
-        match Hashtbl.find_opt t.tbl corr with
+        match find_or_orphan t ~corr ~now with
         | Some r -> r.root_events <- e :: r.root_events
         | None -> ()))
+
+let root_event ~corr ~now label =
+  with_t (fun t ->
+      match find_or_orphan t ~corr ~now with
+      | Some r -> r.root_events <- { at = now; label } :: r.root_events
+      | None -> ())
 
 let stage_event ?node ~corr ~stage ~now label =
   with_t (fun t ->
@@ -174,7 +267,7 @@ let stage_event ?node ~corr ~stage ~now label =
       match peek_open t ?node ~corr ~stage () with
       | Some s -> s.span_events <- e :: s.span_events
       | None -> (
-        match Hashtbl.find_opt t.tbl corr with
+        match find_or_orphan t ~corr ~now with
         | Some r -> r.root_events <- e :: r.root_events
         | None -> ()))
 
@@ -182,7 +275,7 @@ let bind_nonce ~corr ~nonce =
   with_t (fun t -> Hashtbl.replace t.nonces nonce corr)
 
 let corr_of_nonce ~nonce =
-  match !current with
+  match domain_collector () with
   | None -> None
   | Some t -> Hashtbl.find_opt t.nonces nonce
 
@@ -193,14 +286,19 @@ let event_by_nonce ~nonce ~now label =
 
 let complete ~corr ~now =
   with_t (fun t ->
-      match Hashtbl.find_opt t.tbl corr with
+      match find_or_orphan t ~corr ~now with
       | None -> ()
       | Some r ->
         if r.completed_at = None then begin
           r.completed_at <- Some now;
-          match t.slo with
-          | Some (slo, on_breach) when now -. r.opened_at > slo -> on_breach r
-          | Some _ | None -> ()
+          (* SLO evaluation is meaningless on an orphan placeholder (its
+             opened_at is the first local sighting, not the victim's):
+             [merge_into] re-evaluates on the reunited root instead. *)
+          if not r.orphan then
+            match t.slo with
+            | Some (slo, on_breach) when now -. r.opened_at > slo ->
+              on_breach r
+            | Some _ | None -> ()
         end)
 
 let set_slo t ~seconds f = t.slo <- Some (seconds, f)
@@ -220,6 +318,179 @@ let duration s =
 
 let completed_roots t =
   List.filter (fun r -> r.completed_at <> None) (roots t)
+
+(* --- shard merge ------------------------------------------------------------ *)
+
+(* Canonical root order: the order a sequential run would have minted in —
+   chronological by opening time at the victim, ties broken by identity
+   rather than by shard-dependent raw corr. *)
+let canonical_root_compare a b =
+  let c = Float.compare a.opened_at b.opened_at in
+  if c <> 0 then c
+  else
+    let c = String.compare a.victim b.victim in
+    if c <> 0 then c
+    else
+      let c = String.compare a.flow b.flow in
+      if c <> 0 then c else Int.compare a.corr b.corr
+
+let span_compare a b =
+  let c = Float.compare a.started_at b.started_at in
+  if c <> 0 then c
+  else
+    let c = Int.compare (stage_index a.stage) (stage_index b.stage) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.node b.node in
+      if c <> 0 then c
+      else
+        Option.compare Float.compare a.finished_at b.finished_at
+
+let event_compare (a : event) (b : event) =
+  let c = Float.compare a.at b.at in
+  if c <> 0 then c else String.compare a.label b.label
+
+let merge_into master others =
+  let collectors = master :: others in
+  (* Real roots win the identity; orphan placeholders (shards that only
+     saw spans) contribute their spans, events and completion times. *)
+  let reals = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      Hashtbl.iter
+        (fun corr r -> if not r.orphan then Hashtbl.replace reals corr r)
+        c.tbl)
+    collectors;
+  let merged = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      Hashtbl.iter
+        (fun corr r ->
+          match Hashtbl.find_opt reals corr with
+          | None -> () (* orphan with no real root anywhere: forged corr *)
+          | Some real ->
+            let acc =
+              match Hashtbl.find_opt merged corr with
+              | Some acc -> acc
+              | None ->
+                let acc =
+                  {
+                    corr;
+                    flow = real.flow;
+                    victim = real.victim;
+                    opened_at = real.opened_at;
+                    completed_at = None;
+                    spans = [];
+                    root_events = [];
+                    orphan = false;
+                  }
+                in
+                Hashtbl.replace merged corr acc;
+                acc
+            in
+            acc.spans <- r.spans @ acc.spans;
+            acc.root_events <- r.root_events @ acc.root_events;
+            (match (r.completed_at, acc.completed_at) with
+            | Some x, Some y -> acc.completed_at <- Some (Float.min x y)
+            | Some x, None -> acc.completed_at <- Some x
+            | None, _ -> ()))
+        c.tbl)
+    collectors;
+  let roots = Hashtbl.fold (fun _ r acc -> r :: acc) merged [] in
+  let roots = List.sort canonical_root_compare roots in
+  (* Re-key to the canonical 1..N ids a sequential run would have used, and
+     put spans/events into deterministic (time, stage, node) order. *)
+  let rekeyed =
+    List.mapi
+      (fun i r ->
+        let corr = i + 1 in
+        let spans =
+          List.sort span_compare (List.rev_map (fun s -> s) r.spans)
+          |> List.map (fun s ->
+                 {
+                   s with
+                   span_corr = corr;
+                   span_events =
+                     List.rev (List.sort event_compare s.span_events);
+                 })
+        in
+        {
+          r with
+          corr;
+          spans = List.rev spans;
+          root_events = List.rev (List.sort event_compare r.root_events);
+        })
+      roots
+  in
+  (* Nonce bindings follow their root to its canonical id. *)
+  let corr_map = Hashtbl.create 64 in
+  List.iteri
+    (fun i r -> Hashtbl.replace corr_map r.corr (i + 1))
+    roots;
+  let nonces = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      Hashtbl.iter
+        (fun nonce corr ->
+          match Hashtbl.find_opt corr_map corr with
+          | Some corr' -> Hashtbl.replace nonces nonce corr'
+          | None -> ())
+        c.nonces)
+    collectors;
+  Hashtbl.reset master.tbl;
+  Hashtbl.reset master.open_spans;
+  Hashtbl.reset master.nonces;
+  List.iter (fun r -> Hashtbl.replace master.tbl r.corr r) rekeyed;
+  Hashtbl.iter (fun n c -> Hashtbl.replace master.nonces n c) nonces;
+  (* Completions recorded in shard collectors bypassed the master's SLO
+     callback mid-run; fire it now, deterministically, in canonical
+     order. *)
+  (match master.slo with
+  | None -> ()
+  | Some (slo, on_breach) ->
+    List.iter
+      (fun r ->
+        match r.completed_at with
+        | Some c when c -. r.opened_at > slo -> on_breach r
+        | Some _ | None -> ())
+      rekeyed)
+
+(* --- canonical digest --------------------------------------------------------- *)
+
+(* A fingerprint of the span forest that is independent of raw correlation
+   ids (shard-dependent) and of hash-table iteration order: roots in
+   canonical order re-keyed 1..N, spans and events in deterministic order,
+   times printed round-trip exactly. Equal digests at different shard
+   counts mean the merged trace is the same trace. *)
+let digest t =
+  let buf = Buffer.create 4096 in
+  let fl x = Printf.sprintf "%.17g" x in
+  let opt = function None -> "-" | Some x -> fl x in
+  let rs = List.sort canonical_root_compare (roots t) in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf "root %d %s %s %s %s\n" (i + 1) r.flow r.victim
+           (fl r.opened_at) (opt r.completed_at));
+      let spans = List.sort span_compare (List.rev r.spans) in
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "  span %s %s %s %s\n" (stage_name s.stage)
+               s.node (fl s.started_at) (opt s.finished_at));
+          List.iter
+            (fun (e : event) ->
+              Buffer.add_string buf
+                (Printf.sprintf "    ev %s %s\n" (fl e.at) e.label))
+            (List.sort event_compare (List.rev s.span_events)))
+        spans;
+      List.iter
+        (fun (e : event) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  rev %s %s\n" (fl e.at) e.label))
+        (List.sort event_compare (List.rev r.root_events)))
+    rs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* --- Chrome trace-event export ---------------------------------------------- *)
 

@@ -18,7 +18,22 @@
     entry point is a single branch when no collector is attached.
     Recording never schedules events and never consumes randomness, and
     {!mint} runs unconditionally off a plain counter, so a traced run is
-    bit-identical to an untraced one (same seed, same event sequence). *)
+    bit-identical to an untraced one (same seed, same event sequence).
+
+    {2 Sharded runs}
+
+    Under the parallel engine each worker domain gets its own collector
+    and mint stride via {!bind_domain} (installed by [As_scenario]
+    through [Sched]'s worker-init hook), so recording needs no locks and
+    traced sharded runs stay bit-identical to untraced ones. Shard
+    collectors run with {!set_allow_orphans} on: spans for a correlation
+    id whose root opened in another shard accumulate under an {e orphan}
+    placeholder, and {!merge_into} reunites everything at end of run —
+    re-keying roots into the canonical (opened_at, victim, flow) order a
+    sequential run would have minted, and dropping orphan-only roots
+    (forged ids), which reproduces the sequential "ignore unknown corr"
+    semantics. {!digest} applies the same canonicalization, so equal
+    digests across shard counts mean the same trace. *)
 
 (** Protocol stages of one filtering request, in causal order. *)
 type stage =
@@ -49,27 +64,40 @@ type span = {
 
 type root = {
   corr : int;
-  flow : string;  (** printed flow label *)
-  victim : string;  (** node that minted the id *)
-  opened_at : float;
+  mutable flow : string;  (** printed flow label *)
+  mutable victim : string;  (** node that minted the id *)
+  mutable opened_at : float;
   mutable completed_at : float option;
       (** when the long filter was installed at the attacker side — the
           "request succeeded" moment; [None] for unfinished requests *)
   mutable spans : span list;  (** newest first *)
   mutable root_events : event list;  (** newest first *)
+  mutable orphan : bool;
+      (** placeholder created by a shard collector for a correlation id
+          whose root lives in another shard's collector; resolved (or
+          dropped) by {!merge_into} *)
 }
 
 type t
-(** A span collector — one per traced run. *)
+(** A span collector — one per traced run (plus one per shard in sharded
+    runs). *)
 
 val create : unit -> t
+
+val set_allow_orphans : t -> bool -> unit
+(** When on, recording calls for an unknown correlation id create an
+    orphan placeholder root instead of being ignored. Off by default
+    (sequential semantics); turned on for shard collectors and for the
+    master collector during a sharded run. *)
 
 (** {1 Correlation ids} *)
 
 val mint : unit -> int
 (** Next correlation id (1, 2, ...). Deterministic and independent of
     attachment: protocol code mints unconditionally so that message
-    contents do not depend on whether tracing is on. *)
+    contents do not depend on whether tracing is on. On a worker domain
+    bound with {!bind_domain}, ids come from that domain's stride
+    instead of the process-global counter. *)
 
 val reset_mint : unit -> unit
 (** Rewind the process-global correlation-id counter to 0, so the next
@@ -78,25 +106,43 @@ val reset_mint : unit -> unit
     digest) depend on how many scenarios ran before it. Harnesses that
     execute several independent scenarios in one process — the golden
     matrix, the bench driver — call this before each one; a single
-    scenario never needs it. *)
+    scenario never needs it. (Worker-domain strides need no rewind:
+    domains are fresh per scheduler run.) *)
 
-(** {1 Process-global attachment} *)
+(** {1 Attachment} *)
 
 val attach : t -> unit
+(** Attach [t] process-globally (the main domain's collector). *)
+
 val detach : unit -> unit
 val attached : unit -> t option
 
+val bind_domain : ?collector:t -> mint_base:int -> unit -> unit
+(** Install a per-domain binding for the {e calling} domain: recording
+    on this domain goes to [?collector] (falling back to the global
+    attachment when omitted) and {!mint} returns [mint_base + 1],
+    [mint_base + 2], ... Parallel-engine workers call this at spawn with
+    a per-shard stride (e.g. [(shard + 1) lsl 24], which keeps ids
+    inside the 32-bit wire encoding), whether or not tracing is on —
+    minting happens unconditionally and must stay race-free. *)
+
+val unbind_domain : unit -> unit
+(** Remove the calling domain's binding (main-domain semantics again). *)
+
 val enabled : unit -> bool
-(** [true] iff a collector is attached. *)
+(** [true] iff the calling domain has a collector (its own binding's, or
+    the global attachment). *)
 
 (** {1 Recording (no-ops when detached)} *)
 
 val root : corr:int -> flow:string -> victim:string -> now:float -> unit
-(** Open the root span for [corr] (first writer wins). *)
+(** Open the root span for [corr] (first {e real} writer wins; an orphan
+    placeholder for [corr] gets its identity filled in). *)
 
 val start : corr:int -> stage:stage -> node:string -> now:float -> unit
 (** Open a child span. Ignored when no root for [corr] exists (e.g. a
-    forged request with corr 0). *)
+    forged request with corr 0) — unless orphans are allowed, in which
+    case a placeholder root is created. *)
 
 val finish :
   ?node:string -> corr:int -> stage:stage -> now:float -> unit -> unit
@@ -114,6 +160,13 @@ val stage_event :
 (** Attach a point event to the newest open [(corr, stage)] span,
     falling back to the root when none is open. *)
 
+val root_event : corr:int -> now:float -> string -> unit
+(** Attach a point event directly to [corr]'s root, never to an open
+    span. Use for annotations whose source is not a stage of the request
+    (the fluid mirror, auditors): "newest open span" depends on which
+    collector saw which opens, so root attachment is the only placement
+    that is invariant across shard layouts. *)
+
 val bind_nonce : corr:int -> nonce:int64 -> unit
 (** Remember that a handshake [nonce] belongs to [corr], so layers that
     only see the query/reply (the fault injector) can annotate the right
@@ -127,12 +180,34 @@ val event_by_nonce : nonce:int64 -> now:float -> string -> unit
 val complete : corr:int -> now:float -> unit
 (** Mark the request completed (long filter installed). Fires the SLO
     breach callback ({!set_slo}) when [now - opened_at] exceeds the
-    objective. First completion wins. *)
+    objective. First completion wins. Orphan placeholders record the
+    completion but defer SLO evaluation to {!merge_into}. *)
 
 val set_slo : t -> seconds:float -> (root -> unit) -> unit
 (** Latency objective: a root completing after more than [seconds] since
     it opened invokes the callback (used to auto-dump the
     {!Flight} recorder on anomalies). *)
+
+(** {1 Shard merge} *)
+
+val merge_into : t -> t list -> unit
+(** [merge_into master shards] folds every shard collector (and the
+    master's own records) into [master]: orphan placeholders contribute
+    their spans, events and completion times to the real root of the
+    same correlation id (earliest completion wins, matching sequential
+    first-completion-wins); orphan-only roots — ids with no real root
+    anywhere, i.e. forged — are dropped. Roots are then re-keyed
+    [1..N] in canonical (opened_at, victim, flow) order with spans and
+    events sorted deterministically, and the master's SLO callback is
+    fired for breaching completed roots in that order. Call once, after
+    [Sched.run] returns. *)
+
+val digest : t -> string
+(** Hex fingerprint of the span forest, independent of raw correlation
+    ids and hash-table order: roots canonically ordered and re-keyed as
+    in {!merge_into}, spans/events deterministically sorted, times
+    printed round-trip exactly. Equal digests at different shard counts
+    mean the merged trace is the same trace. *)
 
 (** {1 Queries} *)
 

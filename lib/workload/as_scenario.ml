@@ -8,6 +8,10 @@ module Filter_table = Aitf_filter.Filter_table
 module Signing = Aitf_contract.Signing
 module Auditor = Aitf_contract.Auditor
 module Adversary = Aitf_adversary.Adversary
+module Span = Aitf_obs.Span
+module Flight = Aitf_obs.Flight
+module Metrics = Aitf_obs.Metrics
+module Json = Aitf_obs.Json
 open Aitf_net
 open Aitf_core
 open Aitf_topo
@@ -82,6 +86,7 @@ type result = {
   r_shards : int;
   r_sched_stats : Sched.stats;
   r_shard_profiles : Aitf_obs.Profile.t list;
+  r_parallel : Json.t option;
 }
 
 (* Per-domain pool sub-ranges inside the /16: the attack pool owns the top
@@ -114,22 +119,59 @@ let run p =
     invalid_arg
       (Printf.sprintf "As_scenario.run: as_shards must be >= 1 (got %d)"
          shards);
-  if shards > 1 && p.as_contracts then
-    invalid_arg
-      "As_scenario.run: contracts are not supported with as_shards > 1 (the \
-       victim-side auditor is inherently sequential; see docs/PARALLEL.md)";
-  if shards > 1 && Aitf_obs.Span.enabled () then
-    invalid_arg
-      "As_scenario.run: span tracing is not supported with as_shards > 1 \
-       (spans are minted from a process-global counter; see \
-       docs/PARALLEL.md)";
-  if shards > 1 && Aitf_obs.Flight.enabled () then
-    invalid_arg
-      "As_scenario.run: the flight recorder is not supported with as_shards \
-       > 1 (attach per-shard rings via Flight.attach_to instead; see \
-       docs/PARALLEL.md)";
   let sched = Sched.create ~shards () in
   let sim = Sched.global sched in
+  (* Shard-clean tracing: each worker domain gets its own span collector
+     (orphan mode on — roots for ids minted in other shards materialise as
+     placeholders) plus a disjoint correlation-id stride; [Span.merge_into]
+     reunites everything after the run. The master collector also runs in
+     orphan mode while sharded: coordinator-context recording (the fluid
+     mirror) sees shard-minted ids too. Workers mint from their stride
+     whether or not tracing is on — minting is unconditional protocol
+     work and must stay race-free. *)
+  let master_span = Span.attached () in
+  let shard_spans =
+    if shards <= 1 then [||]
+    else
+      match master_span with
+      | None -> [||]
+      | Some m ->
+        Span.set_allow_orphans m true;
+        Array.init shards (fun _ ->
+            let c = Span.create () in
+            Span.set_allow_orphans c true;
+            c)
+  in
+  if shards > 1 then
+    Sched.set_worker_init sched (fun ~shard ->
+        Span.bind_domain
+          ?collector:
+            (if shard_spans = [||] then None else Some shard_spans.(shard))
+          ~mint_base:((shard + 1) lsl 24)
+          ());
+  (* Per-shard flight-recorder rings, merged into the attached master in
+     (time, shard, seq) order after the run. Shard-suffixed auto-dump
+     paths keep SLO dumps from different shards out of each other's
+     files. *)
+  let master_flight = Flight.attached () in
+  let shard_flights =
+    if shards <= 1 then [||]
+    else
+      match master_flight with
+      | None -> [||]
+      | Some m ->
+        Array.init shards (fun i ->
+            let f = Flight.create ~capacity:(Flight.capacity m) in
+            Flight.set_shard f i;
+            Flight.set_dump_path f (Flight.dump_path m);
+            Flight.attach_to f (Sched.shard_sim sched i);
+            f)
+  in
+  Metrics.if_attached (fun reg ->
+      if not (Metrics.registered reg "sched.windows") then
+        Sched.register_metrics sched reg ~prefix:"sched");
+  if shards > 1 && Metrics.attached () <> None then
+    Sched.set_window_log sched ~max:20_000;
   (* Concurrent shards must not share the default profiler probe their sims
      inherited at create: give each shard its own buckets ([Profile.merge]
      recombines them for reporting). The global sim keeps the inherited
@@ -318,11 +360,23 @@ let run p =
           ~gateway:(As_graph.router graph vdom).Node.addr
           ~on_flag sim
       in
-      Host_agent.Victim.set_receipt_sink victim (Auditor.on_receipt auditor);
-      Host_agent.Victim.set_request_observer victim
-        (Auditor.note_request auditor);
-      Host_agent.Victim.set_arrival_observer victim
-        (Auditor.note_arrival auditor);
+      (* Victim-side observations reach the auditor through the defer
+         seam: the victim executes inside its shard's window, while the
+         auditor's state belongs to the coordinator (its tick runs on the
+         global sim). Each observation captures the victim shard's clock
+         at the moment it happened, then replays at the barrier in
+         deterministic (time, shard, seq) order. With one shard, [defer]
+         runs the thunk immediately — bit-identical to the direct calls
+         this replaces. *)
+      let vsim = sim_of_as vdom in
+      Host_agent.Victim.set_receipt_sink victim (fun r ->
+          let now = Sim.now vsim in
+          Sched.defer sched (fun () -> Auditor.on_receipt ~now auditor r));
+      Host_agent.Victim.set_request_observer victim (fun req ->
+          let now = Sim.now vsim in
+          Sched.defer sched (fun () -> Auditor.note_request ~now auditor req));
+      Host_agent.Victim.set_arrival_observer victim (fun flow at ->
+          Sched.defer sched (fun () -> Auditor.note_arrival auditor flow at));
       Some
         (auditor, List.map (fun d -> (d, Gateway.addr gws.(d))) byz, failovers)
     end
@@ -374,6 +428,20 @@ let run p =
   in
   sample p.as_sample_period;
   Sched.run ~until:p.as_duration sched;
+  (* Reunite the per-shard observability state: spans re-keyed into
+     canonical order, flight records interleaved by (time, shard, seq).
+     Shard rings detach so the next run in this process starts clean. *)
+  (match master_span with
+  | Some m when shard_spans <> [||] ->
+    Span.merge_into m (Array.to_list shard_spans)
+  | Some _ | None -> ());
+  (match master_flight with
+  | Some m when shard_flights <> [||] ->
+    Flight.merge_into m (Array.to_list shard_flights);
+    Array.iteri
+      (fun i _ -> Flight.detach_from (Sched.shard_sim sched i))
+      shard_flights
+  | Some _ | None -> ());
   let slots_peak =
     Array.fold_left
       (fun acc gw -> acc + Filter_table.peak_occupancy (Gateway.filters gw))
@@ -406,6 +474,69 @@ let run p =
       | Some (t, _) -> Some (t -. p.as_attack_start)
       | None -> None (* still above threshold when the run ended *))
   in
+  (* The run report's "parallel" section: final synchronization counters,
+     a per-shard event breakdown, and (when the window log was armed) the
+     per-window timeline of horizon / barrier stall / event counts. *)
+  let r_parallel =
+    if shards <= 1 then None
+    else begin
+      let st = Sched.stats sched in
+      let finite_or_inf x =
+        if Float.is_finite x then Json.Float x else Json.String "inf"
+      in
+      let per_shard =
+        Array.to_list
+          (Array.mapi
+             (fun i e ->
+               Json.Obj [ ("shard", Json.Int i); ("events", Json.Int e) ])
+             (Sched.shard_events sched))
+      in
+      let timeline =
+        match Sched.window_log sched with
+        | [] -> []
+        | wl ->
+          [
+            ( "window_timeline",
+              Json.Obj
+                [
+                  ("dropped", Json.Int (Sched.window_log_dropped sched));
+                  ( "points",
+                    Json.List
+                      (List.map
+                         (fun (w : Sched.window_record) ->
+                           Json.Obj
+                             [
+                               ("horizon", Json.Float w.Sched.w_horizon);
+                               ("stall_seconds", Json.Float w.Sched.w_stall);
+                               ( "events",
+                                 Json.List
+                                   (Array.to_list
+                                      (Array.map
+                                         (fun e -> Json.Int e)
+                                         w.Sched.w_events)) );
+                               ("messages", Json.Int w.Sched.w_messages);
+                               ("deferred", Json.Int w.Sched.w_deferred);
+                             ])
+                         wl) );
+                ] );
+          ]
+      in
+      Some
+        (Json.Obj
+           ([
+              ("shards", Json.Int shards);
+              ("lookahead", finite_or_inf (Sched.lookahead sched));
+              ("windows", Json.Int st.Sched.windows);
+              ("global_batches", Json.Int st.Sched.global_batches);
+              ("messages", Json.Int st.Sched.messages);
+              ("deferred", Json.Int st.Sched.deferred);
+              ("stall_seconds", Json.Float st.Sched.stall_seconds);
+              ("global_events", Json.Int (Sim.events_processed sim));
+              ("per_shard", Json.List per_shard);
+            ]
+           @ timeline))
+    end
+  in
   {
     r_params = p;
     r_graph = graph;
@@ -434,4 +565,5 @@ let run p =
     r_shards = shards;
     r_sched_stats = Sched.stats sched;
     r_shard_profiles = shard_profiles;
+    r_parallel;
   }

@@ -104,12 +104,23 @@ type result = {
       (** per-shard profiler instances, in shard order — non-empty only
           when [as_shards > 1] and a profiler was attached (merge with
           {!Aitf_obs.Profile.merge} for one table) *)
+  r_parallel : Aitf_obs.Json.t option;
+      (** the run report's ["parallel"] telemetry section — shard count,
+          lookahead, synchronization counters, per-shard event breakdown
+          and (when a metrics registry was attached) the per-window
+          timeline; [None] when [as_shards = 1] *)
 }
 
 val run : params -> result
-(** @raise Invalid_argument when the population does not fit the address
+(** Observability composes with sharding: an attached span collector,
+    flight recorder, metrics registry or contract auditor all work at any
+    [as_shards] — workers record into per-shard collectors/rings that are
+    merged deterministically after the run (spans re-keyed canonically,
+    flight records interleaved by (time, shard, seq)), and victim-side
+    auditor observations replay through [Sched.defer] at barriers. See
+    docs/PARALLEL.md and docs/OBSERVABILITY.md.
+
+    @raise Invalid_argument when the population does not fit the address
     plan (at most 2^15 attack sources and 2^14 legitimate sources per
-    domain) or the domain counts exceed the non-tier-1 domains, when
-    [as_shards < 1], or when [as_shards > 1] is combined with contracts,
-    span tracing or the flight recorder (all inherently sequential — see
-    docs/PARALLEL.md). *)
+    domain) or the domain counts exceed the non-tier-1 domains, or when
+    [as_shards < 1]. *)

@@ -14,20 +14,24 @@ type cell = {
   fault : string;
   adversary : string;
   placement : string;
+  shards : int;
   smoke : bool;
 }
 
 let agreement_threshold = 0.10
 
 let mk ?(fault = "pristine") ?(adversary = "calm") ?(placement = "vanilla")
-    ?(smoke = false) topo engine =
+    ?(shards = 1) ?(smoke = false) topo engine =
   {
-    id = String.concat "-" [ topo; engine; fault; adversary; placement ];
+    id =
+      String.concat "-" [ topo; engine; fault; adversary; placement ]
+      ^ (if shards > 1 then Printf.sprintf "-shard%d" shards else "");
     topo;
     engine;
     fault;
     adversary;
     placement;
+    shards;
     smoke;
   }
 
@@ -37,7 +41,11 @@ let mk ?(fault = "pristine") ?(adversary = "calm") ?(placement = "vanilla")
    the replay cells drive each synthesized attack shape through both
    engines from the same trace. The two contract cells pin the verifiable
    filtering-contract path (docs/CONTRACTS.md): one all-honest, one with a
-   quarter of the attack-side gateways forging receipts. *)
+   quarter of the attack-side gateways forging receipts. The two shard4
+   cells pin the parallel engine's observability seams: the same internet
+   run on 4 event-queue shards with span tracing merged canonically, and
+   the contract regime with the auditor replaying through the defer
+   seam. *)
 let cells =
   [
     mk ~smoke:true "chain" "packet";
@@ -56,6 +64,8 @@ let cells =
     mk ~placement:"adaptive" "internet" "hybrid";
     mk ~adversary:"contract" "internet" "hybrid";
     mk ~adversary:"lying" "internet" "hybrid";
+    mk ~shards:4 "internet" "hybrid";
+    mk ~shards:4 ~adversary:"contract" "internet" "hybrid";
     mk ~smoke:true "replay-pulse" "packet";
     mk ~smoke:true "replay-pulse" "hybrid";
     mk "replay-churn" "packet";
@@ -190,9 +200,6 @@ let run_swarm_cell _cell () =
 let run_internet_cell ?(shards = 1) cell () =
   let open As_scenario in
   let contracts = cell.adversary = "contract" || cell.adversary = "lying" in
-  (* Contract cells are inherently sequential (victim-side auditor); they
-     stay 1-shard even in a sharded matrix run. *)
-  let shards = if contracts then 1 else shards in
   let p =
     if not contracts then
       {
@@ -386,13 +393,16 @@ let doc_of cell outcome series sp =
         ("id", Json.String cell.id);
         ( "dims",
           Json.Obj
-            [
-              ("topo", Json.String cell.topo);
-              ("engine", Json.String cell.engine);
-              ("fault", Json.String cell.fault);
-              ("adversary", Json.String cell.adversary);
-              ("placement", Json.String cell.placement);
-            ] );
+            ([
+               ("topo", Json.String cell.topo);
+               ("engine", Json.String cell.engine);
+               ("fault", Json.String cell.fault);
+               ("adversary", Json.String cell.adversary);
+               ("placement", Json.String cell.placement);
+             ]
+            (* Only sharded cells carry the dimension, so every 1-shard
+               golden stays byte-identical to its pre-sharding form. *)
+            @ if cell.shards > 1 then [ ("shards", it cell.shards) ] else []) );
         ("outcome", Json.Obj outcome);
         ( "victim_rate",
           Json.List
@@ -420,6 +430,7 @@ type cell_result = {
   cr_doc : string;
   cr_outcome : (string * Json.t) list;
   cr_perf : perf;
+  cr_digest : string;
   cr_status : status;
 }
 
@@ -454,14 +465,18 @@ let write_file path contents =
 
 (* One cell, instrumented: fresh span collector (corr ids rewound so the
    digest is order-independent), the engine profiler for queue depth and
-   event count, GC delta and the caller's clock for the perf trajectory. *)
+   event count, GC delta and the caller's clock for the perf trajectory.
+   Spans are always collected — sharded internet cells record into
+   per-shard collectors (workers mint on per-shard id strides) that
+   As_scenario merges canonically back into [sp], so the document's span
+   section and [cr_digest] are real fingerprints at any shard count. *)
 let run_cell ?(shards = 1) ~clock cell =
+  (* A cell pinned to a shard count keeps it; the caller's --shards
+     overrides only the unpinned (1-shard) cells. *)
+  let shards = if shards > 1 then shards else cell.shards in
   Span.reset_mint ();
   let sp = Span.create () in
-  (* Sharded cells run without span tracing (span minting is process-
-     global, so worker shards would race on it); the digest section of the
-     document is then deterministically empty. *)
-  if shards <= 1 then Span.attach sp;
+  Span.attach sp;
   let prof = Profile.create () in
   Profile.attach prof;
   let a0 = Gc.allocated_bytes () in
@@ -470,7 +485,7 @@ let run_cell ?(shards = 1) ~clock cell =
     Fun.protect
       ~finally:(fun () ->
         Profile.detach ();
-        if shards <= 1 then Span.detach ())
+        Span.detach ())
       (cell_body ~shards cell)
   in
   let wall = clock () -. t0 in
@@ -487,6 +502,7 @@ let run_cell ?(shards = 1) ~clock cell =
         peak_queue = Profile.peak_pending prof;
         engine_events = Profile.events prof;
       };
+    cr_digest = Span.digest sp;
     cr_status = Match (* provisional; the golden compare overwrites it *);
   }
 
@@ -630,6 +646,7 @@ let bench_json s =
                    ("alloc_bytes", fl r.cr_perf.alloc_bytes);
                    ("peak_queue_depth", it r.cr_perf.peak_queue);
                    ("engine_events", it r.cr_perf.engine_events);
+                   ("span_digest", Json.String r.cr_digest);
                    ("golden", Json.String (status_name r.cr_status));
                  ])
              s.s_results) );

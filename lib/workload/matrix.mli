@@ -23,7 +23,9 @@
     See docs/GOLDENS.md for the cell list and the blessing procedure. *)
 
 type cell = {
-  id : string;  (** [<topo>-<engine>-<fault>-<adversary>-<placement>] *)
+  id : string;
+      (** [<topo>-<engine>-<fault>-<adversary>-<placement>], with a
+          [-shard<N>] suffix when the cell pins a shard count > 1 *)
   topo : string;
       (** [chain], [flood], [swarm], [internet], or [replay-<shape>] *)
   engine : string;  (** [packet] or [hybrid] *)
@@ -33,6 +35,9 @@ type cell = {
           contracts on, all gateways honest) / [lying] (contracts on, a
           quarter of attack-side gateways forging receipts) *)
   placement : string;  (** [vanilla], [optimal] or [adaptive] *)
+  shards : int;
+      (** event-queue shards the cell pins (internet only); 1-shard cells
+          follow the runner's [?shards] instead *)
   smoke : bool;  (** in the reduced CI set *)
 }
 
@@ -60,6 +65,10 @@ type cell_result = {
   cr_doc : string;  (** the serialized cell document *)
   cr_outcome : (string * Aitf_obs.Json.t) list;
   cr_perf : perf;
+  cr_digest : string;
+      (** canonical span-forest digest ({!Aitf_obs.Span.digest}) —
+          invariant across shard counts for a fixed cell body, which the
+          CI traced-shard job asserts *)
   cr_status : status;
 }
 
@@ -98,14 +107,17 @@ val run :
     a real-time clock). Correlation-id minting is reset before every
     cell, so each document is independent of execution order.
 
-    [?shards > 1] runs the internet cells (except the inherently
-    sequential contract cells) on the parallel engine with that many
-    shards, and disables span tracing for every cell (span minting is
-    process-global). Sharded documents legitimately differ from the
-    1-shard goldens (event counts, empty span digest), so pair
-    [?shards > 1] with [?bless] into a scratch directory and compare
-    across repeated runs — the determinism regime the CI stress job
-    enforces. *)
+    [?shards > 1] runs every unpinned internet cell (contract cells
+    included — the auditor replays through the scheduler's defer seam) on
+    the parallel engine with that many shards; cells that pin their own
+    shard count (the [-shard<N>] cells) keep it. Span tracing stays on at
+    any shard count: workers record into per-shard collectors merged
+    canonically after the run, so {!cell_result.cr_digest} is comparable
+    across shard counts. Sharded documents still legitimately differ
+    from the 1-shard goldens in outcome scalars (event interleaving), so
+    pair [?shards > 1] with [?bless] into a scratch directory and
+    compare across repeated runs — the determinism regime the CI stress
+    job enforces. *)
 
 val print_summary : summary -> unit
 (** Human-readable cell table, agreement table and verdict on stdout. *)

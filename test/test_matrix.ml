@@ -59,7 +59,8 @@ let test_engine_agreement () =
 
 let test_cell_ids_well_formed () =
   (* Ids are the golden filenames; they must be unique and spell out the
-     five dimensions. *)
+     five dimensions, plus a -shard<N> suffix when the cell pins a
+     parallel shard count. *)
   let ids = List.map (fun c -> c.Matrix.id) Matrix.cells in
   checki "ids unique" (List.length ids)
     (List.length (List.sort_uniq compare ids));
@@ -71,7 +72,11 @@ let test_cell_ids_well_formed () =
             [
               c.Matrix.topo; c.Matrix.engine; c.Matrix.fault;
               c.Matrix.adversary; c.Matrix.placement;
-            ]))
+            ]
+          ^
+          if c.Matrix.shards > 1 then
+            Printf.sprintf "-shard%d" c.Matrix.shards
+          else ""))
     Matrix.cells;
   checkb "a smoke subset exists" true
     (List.exists (fun c -> c.Matrix.smoke) Matrix.cells)

@@ -87,6 +87,54 @@ let test_with_attached_detaches_on_raise () =
    with Failure _ -> ());
   checkb "detached after raise" true (Metrics.attached () = None)
 
+let test_cross_domain_stress () =
+  (* The parallel engine registers sched.* metrics and observes stall
+     timers from whichever domain reaches the barrier first, while other
+     shards' components may still be registering. The registry's internal
+     table is mutex-protected; this hammers registration, timer
+     observation and snapshotting from several domains at once and then
+     checks nothing was lost or double-counted. *)
+  let reg = Metrics.create () in
+  let domains = 4 and gauges_per_domain = 50 and observations = 200 in
+  let tm = Metrics.timer reg "stress.timer" in
+  let go = Atomic.make false in
+  let spawn d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get go) do
+          Domain.cpu_relax ()
+        done;
+        for i = 0 to gauges_per_domain - 1 do
+          Metrics.register_gauge reg
+            (Printf.sprintf "stress.d%d.g%03d" d i)
+            (fun () -> float_of_int (d * 1000 + i));
+          (* interleave reads with writes to chase lost updates *)
+          ignore (Metrics.snapshot reg)
+        done;
+        for _ = 1 to observations do
+          Metrics.observe tm 0.01
+        done)
+  in
+  let workers = List.init domains spawn in
+  Atomic.set go true;
+  List.iter Domain.join workers;
+  checki "all gauges + the timer survived" ((domains * gauges_per_domain) + 1)
+    (Metrics.size reg);
+  (match Metrics.value reg "stress.timer" with
+  | Some (Metrics.Histogram { count; sum; _ }) ->
+    checki "no observation lost" (domains * observations) count;
+    checkf "sum exact" (float_of_int (domains * observations) *. 0.01) sum
+  | _ -> Alcotest.fail "expected histogram");
+  (* every registered gauge still reads its own closure *)
+  List.iter
+    (fun name ->
+      if name <> "stress.timer" then
+        match Metrics.value reg name with
+        | Some (Metrics.Gauge v) ->
+          Scanf.sscanf name "stress.d%d.g%d" (fun d i ->
+              checkf name (float_of_int ((d * 1000) + i)) v)
+        | _ -> Alcotest.fail (name ^ ": expected gauge"))
+    (Metrics.names reg)
+
 (* --- JSON codec ------------------------------------------------------------ *)
 
 let test_json_print_and_escape () =
@@ -271,6 +319,8 @@ let () =
           Alcotest.test_case "attach/detach" `Quick test_attach_detach;
           Alcotest.test_case "with_attached detaches on raise" `Quick
             test_with_attached_detaches_on_raise;
+          Alcotest.test_case "cross-domain stress" `Quick
+            test_cross_domain_stress;
         ] );
       ( "json",
         [

@@ -289,21 +289,110 @@ let test_profile_hook_per_instance () =
 
 (* --- guard rails -------------------------------------------------------------- *)
 
-let test_unsupported_combos_rejected () =
-  let bad p =
-    match As_scenario.run p with
-    | _ -> false
-    | exception Invalid_argument _ -> true
-  in
+let test_bad_shards_rejected () =
   checkb "as_shards = 0 rejected" true
-    (bad { (small_internet 1) with As_scenario.as_shards = 0 });
-  checkb "contracts + shards rejected" true
-    (bad { (small_internet 2) with As_scenario.as_contracts = true });
-  let sp = Aitf_obs.Span.create () in
-  Aitf_obs.Span.attach sp;
-  let spans_rejected = bad (small_internet 2) in
-  Aitf_obs.Span.detach ();
-  checkb "span tracing + shards rejected" true spans_rejected
+    (match As_scenario.run { (small_internet 1) with As_scenario.as_shards = 0 }
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- observability composes with sharding ------------------------------------- *)
+
+module Span = Aitf_obs.Span
+module Flight = Aitf_obs.Flight
+
+let traced_run p =
+  Span.reset_mint ();
+  let sp = Span.create () in
+  Span.attach sp;
+  Fun.protect ~finally:Span.detach (fun () -> (As_scenario.run p, sp))
+
+let test_traced_equals_untraced () =
+  (* Recording never schedules events and never consumes randomness, and
+     workers mint from their stride whether or not a collector is
+     attached — so tracing must not move a single byte at any shard
+     count. *)
+  List.iter
+    (fun shards ->
+      Span.reset_mint ();
+      let plain = As_scenario.run (small_internet shards) in
+      let traced, sp = traced_run (small_internet shards) in
+      checkb
+        (Printf.sprintf "traced = untraced at %d shard(s)" shards)
+        true
+        (internet_fingerprint plain = internet_fingerprint traced);
+      checkb
+        (Printf.sprintf "spans were actually collected at %d shard(s)" shards)
+        true
+        (Span.roots sp <> []))
+    [ 1; 4 ]
+
+let test_span_digest_shard_invariant () =
+  (* The canonical digest must not depend on how the domains were
+     sharded: same seed, same trace. *)
+  let digest shards =
+    let _, sp = traced_run (small_internet shards) in
+    Span.digest sp
+  in
+  let d1 = digest 1 and d2 = digest 2 and d4 = digest 4 in
+  Alcotest.(check string) "digest: 1 shard = 2 shards" d1 d2;
+  Alcotest.(check string) "digest: 1 shard = 4 shards" d1 d4
+
+let test_contracts_compose_with_shards () =
+  let p shards =
+    { (small_internet shards) with As_scenario.as_contracts = true }
+  in
+  let a = As_scenario.run (p 4) in
+  let b = As_scenario.run (p 4) in
+  checkb "sharded contract runs are reproducible" true
+    (internet_fingerprint a = internet_fingerprint b);
+  match a.As_scenario.r_auditor with
+  | None -> Alcotest.fail "auditor missing from sharded contract run"
+  | Some aud ->
+    let bud =
+      match b.As_scenario.r_auditor with
+      | Some x -> x
+      | None -> Alcotest.fail "auditor missing from repeat run"
+    in
+    checkb "receipts flowed through the defer seam" true
+      (Aitf_contract.Auditor.receipts_verified aud > 0);
+    checki "auditor outcomes reproduce"
+      (Aitf_contract.Auditor.receipts_verified aud)
+      (Aitf_contract.Auditor.receipts_verified bud)
+
+let test_flight_recorder_composes_with_shards () =
+  let fl = Flight.create ~capacity:4096 in
+  Flight.attach fl;
+  let r =
+    Fun.protect ~finally:Flight.detach (fun () ->
+        As_scenario.run (small_internet 4))
+  in
+  checki "ran sharded" 4 r.As_scenario.r_shards;
+  let rs = Flight.records fl in
+  checkb "records were captured" true (rs <> []);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Flight.time <= b.Flight.time && sorted rest
+    | _ -> true
+  in
+  checkb "merged records are time-sorted" true (sorted rs)
+
+let test_parallel_report_section () =
+  let r = As_scenario.run (small_internet 3) in
+  match r.As_scenario.r_parallel with
+  | None -> Alcotest.fail "r_parallel missing at 3 shards"
+  | Some j ->
+    let module Json = Aitf_obs.Json in
+    let int_field name =
+      match Option.bind (Json.member name j) Json.get_float with
+      | Some v -> int_of_float v
+      | None -> Alcotest.fail ("parallel section missing " ^ name)
+    in
+    checki "shards echoed" 3 (int_field "shards");
+    checkb "windows counted" true (int_field "windows" > 0);
+    checkb "messages counted" true (int_field "messages" > 0);
+    let seq = As_scenario.run (small_internet 1) in
+    checkb "no parallel section at 1 shard" true
+      (seq.As_scenario.r_parallel = None)
 
 let () =
   Alcotest.run "aitf_parallel"
@@ -336,7 +425,20 @@ let () =
         [
           Alcotest.test_case "profiler hooks are per-instance" `Quick
             test_profile_hook_per_instance;
-          Alcotest.test_case "unsupported shard combos rejected" `Quick
-            test_unsupported_combos_rejected;
+          Alcotest.test_case "bad shard counts rejected" `Quick
+            test_bad_shards_rejected;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "traced runs are bit-identical to untraced" `Slow
+            test_traced_equals_untraced;
+          Alcotest.test_case "span digest is shard-invariant" `Slow
+            test_span_digest_shard_invariant;
+          Alcotest.test_case "contracts compose with shards" `Slow
+            test_contracts_compose_with_shards;
+          Alcotest.test_case "flight recorder composes with shards" `Quick
+            test_flight_recorder_composes_with_shards;
+          Alcotest.test_case "parallel report section" `Quick
+            test_parallel_report_section;
         ] );
     ]

@@ -117,6 +117,102 @@ let test_slo_fires_on_breach () =
       let r = Option.get (Span.find_root t slow) in
       checkf "first completion wins" 2.0 (Option.get r.Span.completed_at))
 
+(* --- shard merge ------------------------------------------------------------ *)
+
+let record_into c f =
+  Span.attach c;
+  Fun.protect ~finally:Span.detach f
+
+let shard_collector () =
+  let c = Span.create () in
+  Span.set_allow_orphans c true;
+  c
+
+let test_root_event_ignores_open_spans () =
+  with_collector (fun t ->
+      let corr = Span.mint () in
+      Span.root ~corr ~flow:"f" ~victim:"V" ~now:0.;
+      Span.start ~corr ~stage:Span.Temp_filter ~node:"G" ~now:0.;
+      Span.event ~corr ~now:0.1 "lands in the open span";
+      (* root_event must bypass the open span: "newest open span" depends
+         on which collector saw which opens, so shard-layout-invariant
+         sources (fluid mirror, auditors) pin to the root instead *)
+      Span.root_event ~corr ~now:0.2 "lands at the root";
+      let r = Option.get (Span.find_root t corr) in
+      checki "root got exactly one" 1 (List.length r.Span.root_events);
+      checks "the right one" "lands at the root"
+        (List.hd r.Span.root_events).Span.label;
+      let s = List.hd (Span.spans_of r) in
+      checki "span kept its own" 1 (List.length (Span.events_of s)))
+
+let test_merge_reunites_orphans () =
+  let master = shard_collector () in
+  let sa = shard_collector () and sb = shard_collector () in
+  (* root + detect live in shard A... *)
+  record_into sa (fun () ->
+      Span.root ~corr:7 ~flow:"a -> v" ~victim:"V" ~now:1.0;
+      Span.start ~corr:7 ~stage:Span.Detect ~node:"V" ~now:1.0;
+      Span.finish ~corr:7 ~stage:Span.Detect ~now:1.1 ());
+  (* ...while the attacker-side stages land in shard B as an orphan
+     placeholder, plus a forged id with no real root anywhere *)
+  record_into sb (fun () ->
+      Span.start ~corr:7 ~stage:Span.Verification ~node:"G" ~now:1.2;
+      Span.finish ~corr:7 ~stage:Span.Verification ~now:1.4 ();
+      Span.complete ~corr:7 ~now:1.5;
+      Span.start ~corr:999 ~stage:Span.Request ~node:"X" ~now:2.;
+      Span.finish ~corr:999 ~stage:Span.Request ~now:2.1 ());
+  Span.merge_into master [ sa; sb ];
+  checki "forged orphan dropped, real root kept" 1
+    (List.length (Span.roots master));
+  let r = List.hd (Span.roots master) in
+  checki "re-keyed to 1" 1 r.Span.corr;
+  checkb "no longer an orphan" false r.Span.orphan;
+  checks "identity from the real root" "V" r.Span.victim;
+  checkf "orphan's completion carried over" 1.5
+    (Option.get r.Span.completed_at);
+  let stages =
+    List.map (fun s -> Span.stage_name s.Span.stage) (Span.spans_of r)
+  in
+  checkb "shard A's span present" true (List.mem "detect" stages);
+  checkb "shard B's span present" true (List.mem "verification" stages)
+
+let test_digest_shard_layout_invariant () =
+  (* the same logical trace recorded two ways — sequentially with corr
+     ids 1,2 and split over two shard collectors with stride-minted ids —
+     must produce the same digest: canonical re-keying erases both the
+     raw ids and the shard layout *)
+  let record ~c1 ~c2 ~(into : int -> Span.t) =
+    record_into (into 0) (fun () ->
+        Span.root ~corr:c1 ~flow:"f1" ~victim:"V" ~now:0.;
+        Span.start ~corr:c1 ~stage:Span.Request ~node:"V" ~now:0.;
+        Span.finish ~corr:c1 ~stage:Span.Request ~now:0.2 ());
+    record_into (into 1) (fun () ->
+        Span.root_event ~corr:c1 ~now:0.3 "fluid-mirror-install";
+        Span.complete ~corr:c1 ~now:0.4;
+        Span.root ~corr:c2 ~flow:"f2" ~victim:"W" ~now:0.1;
+        Span.start ~corr:c2 ~stage:Span.Detect ~node:"W" ~now:0.1;
+        Span.finish ~corr:c2 ~stage:Span.Detect ~now:0.15 ())
+  in
+  let seq = Span.create () in
+  Span.set_allow_orphans seq true;
+  record ~c1:1 ~c2:2 ~into:(fun _ -> seq);
+  let master = shard_collector () in
+  let sa = shard_collector () and sb = shard_collector () in
+  record
+    ~c1:((1 lsl 24) + 1)
+    ~c2:((2 lsl 24) + 1)
+    ~into:(fun i -> if i = 0 then sa else sb);
+  Span.merge_into master [ sa; sb ];
+  checks "digest invariant across layouts" (Span.digest seq)
+    (Span.digest master);
+  (* and the digest alone canonicalizes: the unmerged sequential
+     collector with shifted raw ids fingerprints identically too *)
+  let shifted = Span.create () in
+  Span.set_allow_orphans shifted true;
+  record ~c1:501 ~c2:502 ~into:(fun _ -> shifted);
+  checks "digest independent of raw corr ids" (Span.digest seq)
+    (Span.digest shifted)
+
 (* --- flight recorder -------------------------------------------------------- *)
 
 let test_flight_ring_bounds () =
@@ -320,6 +416,15 @@ let () =
           Alcotest.test_case "nonce binding" `Quick test_nonce_binding;
           Alcotest.test_case "slo fires on breach" `Quick
             test_slo_fires_on_breach;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "root_event ignores open spans" `Quick
+            test_root_event_ignores_open_spans;
+          Alcotest.test_case "merge reunites orphans" `Quick
+            test_merge_reunites_orphans;
+          Alcotest.test_case "digest is shard-layout invariant" `Quick
+            test_digest_shard_layout_invariant;
         ] );
       ( "flight",
         [
